@@ -1,0 +1,119 @@
+"""A1 — ablations of the design choices DESIGN.md calls out.
+
+Four knobs, each isolated:
+
+1. iota budget with vs without the separator theorem's k^{1/d} factor
+   (the E10 finding);
+2. centerpoint method: iterated Radon (analysed) vs coordinate median
+   (cheap heuristic);
+3. unit-time sample size for the centerpoint;
+4. base-case size m0 (leaf brute force vs deeper recursion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FastDnCConfig, parallel_nearest_neighborhood
+from repro.pvm import Machine
+from repro.separators import MTTVSeparatorSampler, point_split
+from repro.workloads import clustered, uniform_cube
+
+from common import table_bench, write_table
+
+N = 4096
+
+
+@table_bench
+def test_a1_k_aware_iota_budget():
+    """Ablate the k^{1/d} factor in the punt threshold (E10's finding)."""
+    rows = []
+    for k in (4, 8, 16):
+        pts = uniform_cube(N, 2, 60 + k)
+        aware = parallel_nearest_neighborhood(
+            pts, k, machine=Machine(), seed=1, config=FastDnCConfig()
+        )
+        # simulate a k-blind budget by shrinking iota_factor by k^{1/d}
+        blind = parallel_nearest_neighborhood(
+            pts, k, machine=Machine(), seed=1,
+            config=FastDnCConfig(iota_factor=3.0 / k ** 0.5,
+                                 active_factor=4.0 / k ** 0.5),
+        )
+        rows.append(
+            (k, f"{aware.cost.depth:.0f}", aware.stats.punts,
+             f"{blind.cost.depth:.0f}", blind.stats.punts)
+        )
+    write_table(
+        "a1_k_budget",
+        "A1  iota budget with (aware) vs without (blind) the k^{1/d} factor",
+        ["k", "aware depth", "aware punts", "blind depth", "blind punts"],
+        rows,
+    )
+
+
+@table_bench
+def test_a1_centerpoint_method():
+    """Radon-point centerpoints vs coordinatewise medians."""
+    rows = []
+    for name, gen in (("uniform", uniform_cube), ("clustered", clustered)):
+        pts = gen(N, 2, 71)
+        for method in ("radon", "median"):
+            sampler = MTTVSeparatorSampler(pts, seed=2, centerpoint=method)
+            ratios = [point_split(sampler.draw(), pts).split_ratio for _ in range(30)]
+            rows.append(
+                (name, method, f"{np.median(ratios):.3f}", f"{np.max(ratios):.3f}",
+                 f"{np.mean(np.array(ratios) <= 0.8) * 100:.0f}%")
+            )
+    write_table(
+        "a1_centerpoint",
+        "A1b  split quality by centerpoint method (30 draws)",
+        ["workload", "method", "median split", "worst split", "<= 0.8"],
+        rows,
+    )
+
+
+@table_bench
+def test_a1_sample_size():
+    """Unit-time sample size: how small can the centerpoint sample be?"""
+    rows = []
+    pts = uniform_cube(N, 2, 72)
+    for size in (16, 32, 64, 128, None):
+        sampler = MTTVSeparatorSampler(pts, seed=3, sample_size=size)
+        ratios = [point_split(sampler.draw(), pts).split_ratio for _ in range(30)]
+        rows.append(
+            (size if size else "all", f"{np.median(ratios):.3f}",
+             f"{np.max(ratios):.3f}", f"{np.mean(np.array(ratios) <= 0.8) * 100:.0f}%")
+        )
+    write_table(
+        "a1_sample_size",
+        "A1c  split quality vs centerpoint sample size (n=4096, d=2)",
+        ["sample", "median split", "worst split", "<= 0.8"],
+        rows,
+    )
+
+
+@table_bench
+def test_a1_base_case_size():
+    """m0: bigger leaves trade depth against quadratic leaf work."""
+    rows = []
+    pts = uniform_cube(N, 2, 73)
+    for m0 in (16, 32, 64, 128, 256):
+        res = parallel_nearest_neighborhood(
+            pts, 1, machine=Machine(), seed=4, config=FastDnCConfig(m0=m0)
+        )
+        rows.append(
+            (m0, f"{res.cost.depth:.0f}", f"{res.cost.work / N:.0f}",
+             res.stats.base_cases, res.stats.punts)
+        )
+    write_table(
+        "a1_base_case",
+        "A1d  base-case size m0: depth vs work trade (n=4096, d=2, k=1)",
+        ["m0", "depth", "work/n", "base cases", "punts"],
+        rows,
+    )
+
+
+def test_bench_radon_vs_median_centerpoint(benchmark):
+    pts = uniform_cube(N, 2, 74)
+    benchmark(lambda: MTTVSeparatorSampler(pts, seed=5, centerpoint="radon"))

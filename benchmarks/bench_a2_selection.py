@@ -1,0 +1,78 @@
+"""A2 — the O(log log k) question (§6.2's closing remark).
+
+The paper: "for k > 1 ... the k closest points can be computed in random
+O(log log k) time ... It is an interesting question whether this extra
+factor can be eliminated."  We compare the three selection engines in the
+scan-vector model — full radix sort, quickselect-by-scans, Floyd–Rivest
+two-pass sampling — on depth as n and k grow, quantifying how much the
+sampling selection buys and how close to constant-depth it gets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pvm import Machine
+from repro.pvm.sorting import (
+    floyd_rivest_select,
+    parallel_k_smallest,
+    randomized_select,
+    split_radix_sort,
+)
+
+from common import table_bench, write_table
+
+
+@table_bench
+def test_a2_selection_depth_vs_n():
+    rows = []
+    rng = np.random.default_rng(0)
+    for n in (1_000, 10_000, 100_000):
+        arr = rng.random(n)
+        k = n // 2
+        m_q = Machine()
+        randomized_select(m_q, arr, k)
+        m_fr = Machine()
+        floyd_rivest_select(m_fr, arr, k)
+        m_sort = Machine()
+        split_radix_sort(m_sort, (arr * 2**20).astype(np.int64), bits=20)
+        rows.append(
+            (n, f"{m_sort.total.depth:.0f}", f"{m_q.total.depth:.0f}",
+             f"{m_fr.total.depth:.0f}",
+             f"{m_q.total.work / n:.1f}", f"{m_fr.total.work / n:.2f}")
+        )
+    write_table(
+        "a2_selection_depth",
+        "A2  median selection depth: radix sort vs quickselect vs Floyd-Rivest",
+        ["n", "sort depth", "quickselect depth", "FR depth", "qs work/n", "FR work/n"],
+        rows,
+    )
+
+
+@table_bench
+def test_a2_k_smallest_depth_vs_k():
+    rows = []
+    rng = np.random.default_rng(1)
+    n = 50_000
+    arr = rng.random(n)
+    for k in (1, 4, 16, 64, 256):
+        m = Machine()
+        parallel_k_smallest(m, arr, k)
+        rows.append((k, f"{m.total.depth:.0f}", f"{m.total.work / n:.2f}"))
+    write_table(
+        "a2_k_smallest",
+        f"A2b  k smallest of n={n}: depth vs k (the log log k question)",
+        ["k", "depth", "work/n"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("algo", ["quickselect", "floyd_rivest"])
+def test_bench_selection(benchmark, algo):
+    arr = np.random.default_rng(2).random(100_000)
+    fn = {
+        "quickselect": lambda: randomized_select(Machine(), arr, 50_000),
+        "floyd_rivest": lambda: floyd_rivest_select(Machine(), arr, 50_000),
+    }[algo]
+    benchmark(fn)

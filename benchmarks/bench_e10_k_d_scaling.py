@@ -1,0 +1,70 @@
+"""E10 — k and d scaling of the fast algorithm.
+
+Claims: the algorithm "can be easily generalized to handle k > 1" with an
+extra O(log log k) factor on the correction depth, and works for any
+fixed d (constants grow with d through the separator exponent
+(d-1)/d and the kissing number).  We sweep both and check exactness at
+every cell.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines import brute_force_knn
+from repro.core import parallel_nearest_neighborhood
+from repro.pvm import Machine
+from repro.workloads import uniform_cube
+
+from common import table_bench, write_table
+
+N = 4096
+
+
+@table_bench
+def test_e10_k_sweep():
+    rows = []
+    for k in (1, 2, 4, 8, 16):
+        pts = uniform_cube(N, 2, 20 + k)
+        res = parallel_nearest_neighborhood(pts, k, machine=Machine(), seed=1)
+        assert res.system.same_distances(brute_force_knn(pts, k))
+        loglogk = 1.0 if k == 1 else 1.0 + math.log2(math.log2(k) + 2.0)
+        rows.append(
+            (k, f"{res.cost.depth:.0f}", f"{res.cost.work / N:.0f}",
+             f"{loglogk:.2f}", res.stats.punts, "exact")
+        )
+    write_table(
+        "e10_k_sweep",
+        f"E10  fast DnC vs k (n={N}, d=2): depth ~ O(log n log log k)",
+        ["k", "depth", "work/n", "loglog-k factor", "punts", "vs brute"],
+        rows,
+    )
+
+
+@table_bench
+def test_e10_d_sweep():
+    rows = []
+    for d in (2, 3, 4, 5):
+        pts = uniform_cube(N if d < 5 else 2048, d, 30 + d)
+        res = parallel_nearest_neighborhood(pts, 1, machine=Machine(), seed=2)
+        assert res.system.same_distances(brute_force_knn(pts, 1))
+        n = pts.shape[0]
+        iota_max = max(i for _, i in res.stats.straddler_fraction) if res.stats.straddler_fraction else 0
+        rows.append(
+            (d, n, f"{res.cost.depth:.0f}", f"{res.cost.work / n:.0f}",
+             res.stats.separator_attempts, iota_max, "exact")
+        )
+    write_table(
+        "e10_d_sweep",
+        "E10b  fast DnC vs dimension (k=1): constants grow with d, shape holds",
+        ["d", "n", "depth", "work/n", "separator draws", "max iota", "vs brute"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("k", [1, 8])
+def test_bench_k(benchmark, k):
+    pts = uniform_cube(2048, 2, 40)
+    benchmark(lambda: parallel_nearest_neighborhood(pts, k, seed=3))

@@ -1,0 +1,83 @@
+"""E11 — model mapping: Brent-scheduled time and SCAN cost policies.
+
+The paper's "O(log n) time using n processors" statement, made concrete:
+Brent's principle converts the (depth, work) ledger into T_p <= W/p + D.
+We print the speedup curve of a real run, the p = n regime, and how the
+depth changes under the unit / loglog / log SCAN policies (the paper's
+CRCW remark: an extra O(log log) factor without unit scans).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import parallel_nearest_neighborhood
+from repro.pvm import Machine, brent_time, schedule_curve
+from repro.workloads import uniform_cube
+
+from common import table_bench, write_table
+
+N = 16384
+
+
+@table_bench
+def test_e11_speedup_curve():
+    pts = uniform_cube(N, 2, 1)
+    res = parallel_nearest_neighborhood(pts, 1, machine=Machine(), seed=2)
+    rows = []
+    for pt in schedule_curve(res.cost, [1, 4, 16, 64, 256, 1024, 4096, N, 4 * N]):
+        rows.append(
+            (pt.processors, f"{pt.time:.0f}", f"{pt.speedup:.1f}", f"{pt.efficiency:.3f}")
+        )
+    rows.append(("inf", f"{res.cost.depth:.0f}", f"{res.cost.parallelism:.0f}", ""))
+    write_table(
+        "e11_speedup",
+        f"E11  Brent schedule of one fast-DnC run (n={N}, d=2, k=1)",
+        ["p", "T_p = W/p + D", "speedup", "efficiency"],
+        rows,
+    )
+
+
+@table_bench
+def test_e11_scan_policies():
+    rows = []
+    pts = uniform_cube(8192, 2, 3)
+    base = None
+    for policy in ("unit", "loglog", "log"):
+        res = parallel_nearest_neighborhood(pts, 1, machine=Machine(policy), seed=4)
+        if base is None:
+            base = res.cost.depth
+        rows.append(
+            (policy, f"{res.cost.depth:.0f}", f"{res.cost.depth / base:.2f}x",
+             f"{res.cost.work:.3g}", f"{brent_time(res.cost, 8192):.0f}")
+        )
+    write_table(
+        "e11_scan_policies",
+        "E11b  SCAN cost policy vs depth (n=8192): the paper's model remark",
+        ["scan policy", "depth", "vs unit", "work", "T_p at p=n"],
+        rows,
+    )
+
+
+@table_bench
+def test_e11_p_equals_n_is_log_n():
+    rows = []
+    for n in (1024, 4096, 16384):
+        pts = uniform_cube(n, 2, n)
+        res = parallel_nearest_neighborhood(pts, 1, machine=Machine(), seed=5)
+        tp = brent_time(res.cost, n)
+        rows.append((n, f"{tp:.0f}", f"{tp / math.log2(n):.1f}"))
+    write_table(
+        "e11_p_equals_n",
+        "E11c  T_n (= W/n + D) scales like log n — the headline claim",
+        ["n", "T_n", "T_n / log2 n"],
+        rows,
+    )
+
+
+def test_bench_schedule_curve(benchmark):
+    pts = uniform_cube(2048, 2, 6)
+    res = parallel_nearest_neighborhood(pts, 1, seed=7)
+    benchmark(lambda: schedule_curve(res.cost, [1, 16, 256, 2048]))

@@ -1,0 +1,80 @@
+"""E12 — the application: recursive separators on the computed k-NN graph.
+
+The paper's introduction frames the k-NN graph construction as the
+gateway to separator-based algorithms on "nicely embedded" graphs.  This
+experiment runs the full chain on real outputs: separator sizes across
+all scales of the recursive tree (theory: size^{(d-1)/d} per node) and
+the nested-dissection fill-in payoff against baseline orderings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import power_law_fit
+from repro.baselines import brute_force_knn
+from repro.core import (
+    build_separator_tree,
+    check_separation,
+    elimination_fill,
+    knn_graph_edges,
+    nested_dissection_order,
+    parallel_nearest_neighborhood,
+    separator_profile,
+)
+from repro.workloads import grid_jitter, uniform_cube
+
+from common import table_bench, write_table
+
+
+@table_bench
+def test_e12_separator_profile():
+    rows = []
+    for d in (2, 3):
+        pts = uniform_cube(4096, d, 80 + d)
+        system = parallel_nearest_neighborhood(pts, 1, seed=1).system
+        tree = build_separator_tree(system, seed=2, min_size=64)
+        assert check_separation(system, tree)
+        prof = [(m, s) for m, s in separator_profile(tree) if m >= 128 and s >= 1]
+        fit = power_law_fit([m for m, _ in prof], [s for _, s in prof])
+        top_m, top_s = prof[0]
+        rows.append(
+            (d, tree.height(), top_s, f"{top_s / top_m ** ((d - 1) / d):.2f}",
+             f"size^{fit.exponent:.2f}", f"(theory ^{(d - 1) / d:.2f})")
+        )
+    write_table(
+        "e12_separator_profile",
+        "E12  recursive separators on computed 1-NN graphs (n=4096)",
+        ["d", "tree height", "top separator", "top/n^((d-1)/d)", "profile fit", "theory"],
+        rows,
+    )
+
+
+@table_bench
+def test_e12_nested_dissection_fill():
+    rows = []
+    for n in (1024, 2304):
+        pts = grid_jitter(n, 2, 90 + n)
+        system = brute_force_knn(pts, 2)
+        edges = knn_graph_edges(system)
+        tree = build_separator_tree(system, seed=3, min_size=24)
+        nd = elimination_fill(edges, nested_dissection_order(tree))
+        ident = elimination_fill(edges, np.arange(n))
+        rnd = elimination_fill(edges, np.random.default_rng(4).permutation(n))
+        rows.append(
+            (n, edges.shape[0], nd, ident, rnd,
+             f"{rnd / max(nd, 1):.1f}x")
+        )
+    write_table(
+        "e12_nested_dissection",
+        "E12b  nested dissection fill-in on grid-like 2-NN graphs",
+        ["n", "edges", "ND fill", "identity fill", "random fill", "random/ND"],
+        rows,
+    )
+
+
+def test_bench_separator_tree(benchmark):
+    pts = uniform_cube(2048, 2, 95)
+    system = brute_force_knn(pts, 1)
+    benchmark(lambda: build_separator_tree(system, seed=5))

@@ -1,0 +1,75 @@
+"""E1 — Sphere Separator Theorem (Theorem 2.1).
+
+Claim: a k-ply neighborhood system of n balls has (and the MTTV sampler
+finds, in expectation) a sphere separator cutting O(k^{1/d} n^{(d-1)/d})
+balls while (d+1)/(d+2)-splitting.  We sweep n and d on k-NN ball systems,
+fit the intersection-number exponent, and report split ratios.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import power_law_fit
+from repro.baselines import brute_force_knn
+from repro.separators import MTTVSeparatorSampler, ball_split, default_delta
+from repro.workloads import uniform_cube
+
+from common import table_bench, write_table
+
+DRAWS = 20
+
+
+def separator_stats(n: int, d: int, k: int, seed: int) -> tuple[float, float]:
+    pts = uniform_cube(n, d, seed)
+    balls = brute_force_knn(pts, k).to_ball_system()
+    sampler = MTTVSeparatorSampler(pts, seed=seed + 1)
+    iotas, ratios = [], []
+    for _ in range(DRAWS):
+        rep = ball_split(sampler.draw(), balls)
+        iotas.append(rep.intersection_number)
+        ratios.append(rep.split_ratio)
+    return float(np.median(iotas)), float(np.median(ratios))
+
+
+@table_bench
+def test_e1_table():
+    rows = []
+    for d in (2, 3, 4):
+        ns = [512, 1024, 2048, 4096] if d < 4 else [512, 1024, 2048]
+        iotas = []
+        for n in ns:
+            iota, ratio = separator_stats(n, d, 1, seed=n + d)
+            iotas.append(max(iota, 1.0))
+            rows.append((d, n, iota, f"{ratio:.3f}", f"{default_delta(d, 0.05):.3f}",
+                         f"{(d - 1) / d:.2f}"))
+        fit = power_law_fit(ns, iotas)
+        rows.append((d, "fit", f"n^{fit.exponent:.2f}", "", "", f"(theory n^{(d-1)/d:.2f})"))
+    write_table(
+        "e1_separator_quality",
+        "E1  MTTV separator on 1-NN ball systems (median of 20 draws)",
+        ["d", "n", "iota", "split", "delta target", "theory"],
+        rows,
+    )
+
+
+@table_bench
+def test_e1_k_scaling():
+    rows = []
+    for k in (1, 2, 4, 8):
+        iota, ratio = separator_stats(2048, 2, k, seed=90 + k)
+        rows.append((k, iota, f"{iota / 2048 ** 0.5:.2f}", f"{ratio:.3f}"))
+    write_table(
+        "e1_k_scaling",
+        "E1b  intersection number vs k (n=2048, d=2; theory ~ k^{1/d} sqrt(n))",
+        ["k", "iota", "iota/sqrt(n)", "split"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("d", [2, 3])
+def test_bench_separator_draw(benchmark, d):
+    pts = uniform_cube(4096, d, 5)
+    sampler = MTTVSeparatorSampler(pts, seed=6)
+    benchmark(sampler.draw)

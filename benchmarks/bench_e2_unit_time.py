@@ -1,0 +1,73 @@
+"""E2 — the Unit Time Separator Algorithm.
+
+Claims: each attempt costs O(1) depth and O(n) work; an attempt succeeds
+(delta-splits) with constant probability, so the retry loop is geometric
+with a small mean.  We measure per-attempt cost vs n and the retry
+distribution across workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pvm import Machine
+from repro.separators import find_good_separator
+from repro.workloads import annulus, clustered, uniform_cube
+
+from common import table_bench, write_table
+
+
+@table_bench
+def test_e2_cost_and_retries():
+    rows = []
+    for n in (512, 2048, 8192):
+        m = Machine()
+        attempts = []
+        for seed in range(10):
+            m_run = Machine()
+            _, a = find_good_separator(uniform_cube(n, 2, seed), m_run, seed=seed)
+            attempts.append(a)
+            if seed == 0:
+                m = m_run
+        per_attempt_depth = m.total.depth / attempts[0]
+        per_attempt_work = m.total.work / attempts[0]
+        rows.append(
+            (n, f"{per_attempt_depth:.0f}", f"{per_attempt_work / n:.2f}",
+             f"{np.mean(attempts):.1f}", max(attempts))
+        )
+    write_table(
+        "e2_unit_time",
+        "E2  unit-time separator: per-attempt cost and retry counts (d=2)",
+        ["n", "depth/attempt", "work/attempt/n", "mean attempts", "max attempts"],
+        rows,
+    )
+
+
+@table_bench
+def test_e2_retry_distribution_by_workload():
+    rows = []
+    for name, gen in (("uniform", uniform_cube), ("clustered", clustered), ("annulus", annulus)):
+        for d in (2, 3):
+            attempts = []
+            for seed in range(15):
+                m = Machine()
+                _, a = find_good_separator(gen(1500, d, 40 + seed), m, seed=seed)
+                attempts.append(a)
+            rows.append((name, d, f"{np.mean(attempts):.2f}", int(np.median(attempts)), max(attempts)))
+    write_table(
+        "e2_retries_by_workload",
+        "E2b  separator retries by workload (n=1500, 15 runs each)",
+        ["workload", "d", "mean", "median", "max"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("n", [1024, 8192])
+def test_bench_find_good_separator(benchmark, n):
+    pts = uniform_cube(n, 2, 3)
+
+    def run():
+        return find_good_separator(pts, Machine(), seed=4)
+
+    benchmark(run)

@@ -1,0 +1,53 @@
+"""E4 — Simple Parallel Divide-and-Conquer (Lemma 5.1).
+
+Claim: depth Theta(log^2 n) with n processors (an O(log m) query-structure
+correction at every one of the O(log n) levels).  We sweep n and show the
+per-doubling depth increments *grow* — the quadratic signature — and fit
+the polylog degree.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import polylog_degree_estimate
+from repro.core import simple_parallel_dnc
+from repro.pvm import Machine
+from repro.workloads import uniform_cube
+
+from common import table_bench, write_table
+
+SIZES = [1024, 2048, 4096, 8192, 16384]
+
+
+@table_bench
+def test_e4_depth_table():
+    rows = []
+    depths = []
+    prev = None
+    for n in SIZES:
+        res = simple_parallel_dnc(uniform_cube(n, 3, n), 1, machine=Machine(), seed=1)
+        depths.append(res.cost.depth)
+        inc = "" if prev is None else f"{res.cost.depth - prev:+.0f}"
+        rows.append(
+            (n, f"{res.cost.depth:.0f}", inc,
+             f"{res.cost.depth / math.log2(n) ** 2:.2f}",
+             f"{res.cost.work / n:.0f}")
+        )
+        prev = res.cost.depth
+    p = polylog_degree_estimate(SIZES, depths)
+    rows.append(("fit", f"(log n)^{p:.2f}", "", "theory: ^2", ""))
+    write_table(
+        "e4_simple_dnc",
+        "E4  simple (hyperplane) DnC depth vs n (d=3, k=1): Theta(log^2 n)",
+        ["n", "depth", "increment", "depth/log2(n)^2", "work/n"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("n", [2048, 8192])
+def test_bench_simple_dnc(benchmark, n):
+    pts = uniform_cube(n, 2, 5)
+    benchmark(lambda: simple_parallel_dnc(pts, 1, seed=6))

@@ -1,0 +1,90 @@
+"""E5 — Parallel Nearest Neighborhood (Theorem 6.1), the headline result.
+
+Claims: randomized O(log n) depth, n processors, work-optimal O(n) total
+work (matching Vaidya sequentially).  We sweep n, fit the polylog degree
+of the depth curve (should be ~1 vs the simple algorithm's ~2), verify
+near-linear work, and show the head-to-head with E4.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import polylog_degree_estimate, power_law_fit
+from repro.core import parallel_nearest_neighborhood, simple_parallel_dnc
+from repro.pvm import Machine
+from repro.workloads import uniform_cube
+
+from common import table_bench, write_chart, write_table
+
+SIZES = [1024, 2048, 4096, 8192, 16384]
+
+
+@table_bench
+def test_e5_depth_and_work_table():
+    rows = []
+    depths, works = [], []
+    prev = None
+    for n in SIZES:
+        res = parallel_nearest_neighborhood(uniform_cube(n, 3, n), 1, machine=Machine(), seed=1)
+        depths.append(res.cost.depth)
+        works.append(res.cost.work)
+        inc = "" if prev is None else f"{res.cost.depth - prev:+.0f}"
+        rows.append(
+            (n, f"{res.cost.depth:.0f}", inc,
+             f"{res.cost.depth / math.log2(n):.1f}",
+             f"{res.cost.work / n:.0f}", res.stats.punts)
+        )
+        prev = res.cost.depth
+    p = polylog_degree_estimate(SIZES, depths)
+    wfit = power_law_fit(SIZES, works)
+    rows.append(("fit", f"(log n)^{p:.2f}", "", "theory: ^1", f"work ~ n^{wfit.exponent:.2f}", ""))
+    write_table(
+        "e5_fast_dnc",
+        "E5  fast (sphere) DnC vs n (d=3, k=1): O(log n) depth, O(n) work",
+        ["n", "depth", "increment", "depth/log2 n", "work/n", "punts"],
+        rows,
+    )
+
+
+@table_bench
+def test_e5_head_to_head():
+    rows = []
+    for n in (2048, 8192, 16384):
+        pts = uniform_cube(n, 3, n + 5)
+        fast = parallel_nearest_neighborhood(pts, 1, machine=Machine(), seed=2)
+        simple = simple_parallel_dnc(pts, 1, machine=Machine(), seed=2)
+        rows.append(
+            (n, f"{fast.cost.depth:.0f}", f"{simple.cost.depth:.0f}",
+             f"{simple.cost.depth / fast.cost.depth:.2f}x",
+             f"{fast.cost.work / n:.0f}", f"{simple.cost.work / n:.0f}")
+        )
+    write_table(
+        "e5_head_to_head",
+        "E5b  sphere vs hyperplane DnC (d=3, k=1): who wins and by how much",
+        ["n", "fast depth", "simple depth", "depth ratio", "fast work/n", "simple work/n"],
+        rows,
+    )
+    from repro.analysis import Series, ascii_chart
+
+    ns = [int(r[0]) for r in rows]
+    fast_d = [float(r[1]) for r in rows]
+    simple_d = [float(r[2]) for r in rows]
+    write_chart(
+        "e5_head_to_head",
+        ascii_chart(
+            [Series("fast (sphere)", ns, fast_d), Series("simple (hyperplane)", ns, simple_d)],
+            log_x=True,
+            title="depth vs n: O(log n) vs O(log^2 n)",
+            width=56,
+            height=14,
+        ),
+    )
+
+
+@pytest.mark.parametrize("n", [2048, 8192])
+def test_bench_fast_dnc(benchmark, n):
+    pts = uniform_cube(n, 2, 7)
+    benchmark(lambda: parallel_nearest_neighborhood(pts, 1, seed=8))

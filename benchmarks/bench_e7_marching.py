@@ -1,0 +1,134 @@
+"""E7 — Fast Correction marching (Lemmas 6.2, 6.4, 6.5).
+
+Claims: with high probability the number of active ball instances at every
+level of the opposite partition tree stays below m^{1-eta}; the synthetic
+duplication process X(W, K) stays below g(W) log W.  We instrument real
+fast-DnC runs for the level-active profile and Monte-Carlo the duplication
+process against its envelope.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import duplication_g
+from repro.core import parallel_nearest_neighborhood, simulate_duplication
+from repro.workloads import clustered, uniform_cube
+
+from common import table_bench, write_table
+
+
+@table_bench
+def test_e7_level_actives_real_runs():
+    rows = []
+    for name, gen in (("uniform", uniform_cube), ("clustered", clustered)):
+        for n in (4096, 16384):
+            res = parallel_nearest_neighborhood(gen(n, 2, n), 1, seed=4)
+            # profile of the largest marches (root-level corrections)
+            biggest = sorted(res.stats.marching_level_active, key=lambda t: -t[0])[:3]
+            for m, profile in biggest:
+                peak = max(profile) if profile else 0
+                rows.append(
+                    (name, n, m, profile[0] if profile else 0, peak,
+                     f"{peak / max(m, 1) ** 0.8:.2f}", len(profile))
+                )
+    write_table(
+        "e7_marching_actives",
+        "E7  marching level-actives on real runs (3 largest corrections per run):"
+        " peak actives stay ~ m^0.8 (theory m^{1-eta})",
+        ["workload", "n", "m at node", "initial", "peak actives", "peak/m^0.8", "levels"],
+        rows,
+    )
+
+
+@table_bench
+def test_e7_duplication_envelope():
+    rows = []
+    W, alpha = 4000.0, 0.9
+    for K in (6, 10, 14):
+        for adversary in ("half", "extreme", "random"):
+            totals = [
+                simulate_duplication(W, K, seed, alpha=alpha, adversary=adversary).leaf_total
+                for seed in range(40)
+            ]
+            env = duplication_g(W, K, alpha) * math.log(W)
+            rows.append(
+                (K, adversary, f"{np.mean(totals):.0f}", f"{np.max(totals):.0f}",
+                 f"{env:.0f}", f"{np.max(totals) / env:.3f}")
+            )
+    write_table(
+        "e7_duplication",
+        f"E7b  duplication process X(W={W:.0f}, K) vs Lemma 6.5 envelope g(W) log W",
+        ["K", "adversary", "mean X", "max X", "envelope", "max/envelope"],
+        rows,
+    )
+
+
+@table_bench
+def test_e7_duplication_probability_knob():
+    """beta controls duplication frequency: smaller beta -> more blowup."""
+    rows = []
+    for beta in (0.1, 0.4, 0.8):
+        totals = [
+            simulate_duplication(2000.0, 10, s, alpha=0.9, beta=beta).leaf_total
+            for s in range(30)
+        ]
+        dups = [
+            simulate_duplication(2000.0, 10, s, alpha=0.9, beta=beta).duplications
+            for s in range(30)
+        ]
+        rows.append((beta, f"{np.mean(dups):.1f}", f"{np.mean(totals):.0f}", f"{np.max(totals):.0f}"))
+    write_table(
+        "e7_beta_knob",
+        "E7c  duplication process vs beta (W=2000, K=10, alpha=0.9)",
+        ["beta", "mean dups", "mean X", "max X"],
+        rows,
+    )
+
+
+def test_bench_march_heavy(benchmark):
+    pts = uniform_cube(8192, 2, 9)
+    res = parallel_nearest_neighborhood(pts, 1, seed=10)
+    from repro.core import march_balls
+
+    rng = np.random.default_rng(11)
+    centers = rng.random((64, 2))
+    radii = rng.random(64) * 0.1
+
+    benchmark(lambda: march_balls(res.tree, pts, centers, radii))
+
+
+@table_bench
+def test_e7_lemma64_unrelated_system():
+    """Lemma 6.4 directly: a sphere drawn by the unit-time separator on
+    point set P cuts at most n^alpha balls of an *unrelated* k-ply system
+    B, with probability 1 - 1/n^beta.  We draw spheres on one point set
+    and measure cuts against the 1-NN balls of an independent set."""
+    from repro.baselines import brute_force_knn
+    from repro.separators import MTTVSeparatorSampler, ball_split
+
+    rows = []
+    for n in (1024, 4096):
+        pts_p = uniform_cube(n, 2, n + 50)          # separator input P
+        pts_b = uniform_cube(n, 2, n + 51)          # unrelated system B
+        balls = brute_force_knn(pts_b, 1).to_ball_system()
+        sampler = MTTVSeparatorSampler(pts_p, seed=7)
+        iotas = np.array([
+            ball_split(sampler.draw(), balls).intersection_number for _ in range(40)
+        ])
+        alpha = 0.75  # between (d-1)/d = 0.5 and 1
+        exceed = float((iotas > n**alpha).mean())
+        rows.append(
+            (n, f"{np.median(iotas):.0f}", int(iotas.max()), f"{n**alpha:.0f}",
+             f"{exceed:.3f}", f"{n ** -(alpha - 0.5):.3f}")
+        )
+    write_table(
+        "e7_lemma64",
+        "E7d  Lemma 6.4: separator spheres vs an unrelated 1-NN system"
+        " (alpha=0.75; bound Pr[iota > n^a] <= n^-(a-(d-1)/d))",
+        ["n", "median iota", "max iota", "n^alpha", "Pr[iota > n^a]", "bound"],
+        rows,
+    )

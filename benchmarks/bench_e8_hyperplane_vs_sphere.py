@@ -1,0 +1,82 @@
+"""E8 — hyperplane cuts cross Omega(n) balls; spheres cross O(n^{(d-1)/d}).
+
+The paper's Section 1 motivation, quantified: on adversarial inputs a
+fixed-direction median hyperplane (Bentley's cut) crosses a constant
+fraction of the 1-NN balls, while the MTTV sphere's crossings scale
+sublinearly.  Also reports the downstream effect: total correction work
+of the two divide-and-conquer algorithms on the same inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import power_law_fit
+from repro.baselines import brute_force_knn
+from repro.core import parallel_nearest_neighborhood, simple_parallel_dnc
+from repro.pvm import Machine
+from repro.separators import MTTVSeparatorSampler, ball_split, median_hyperplane
+from repro.workloads import plane_hugger, slab_pairs, uniform_cube
+
+from common import table_bench, write_table
+
+
+def crossings(pts: np.ndarray, k: int = 1, draws: int = 15) -> tuple[int, float]:
+    balls = brute_force_knn(pts, k).to_ball_system()
+    plane_iota = balls.intersection_number(median_hyperplane(pts, axis=0))
+    sampler = MTTVSeparatorSampler(pts, seed=3)
+    sphere = float(np.median([
+        ball_split(sampler.draw(), balls).intersection_number for _ in range(draws)
+    ]))
+    return plane_iota, sphere
+
+
+@table_bench
+def test_e8_crossing_scaling():
+    rows = []
+    for name, gen in (("slab_pairs", slab_pairs), ("plane_hugger", plane_hugger), ("uniform", uniform_cube)):
+        plane_counts, sphere_counts, ns = [], [], [512, 1024, 2048, 4096]
+        for n in ns:
+            p, s = crossings(gen(n, 2, n))
+            plane_counts.append(max(p, 1))
+            sphere_counts.append(max(s, 1.0))
+            rows.append((name, n, p, f"{s:.0f}", f"{p / max(s, 1):.0f}x"))
+        pfit = power_law_fit(ns, plane_counts)
+        sfit = power_law_fit(ns, sphere_counts)
+        rows.append((name, "fit", f"n^{pfit.exponent:.2f}", f"n^{sfit.exponent:.2f}", ""))
+    write_table(
+        "e8_crossings",
+        "E8  1-NN ball crossings: fixed-direction median hyperplane vs MTTV sphere"
+        " (theory: Omega(n) vs O(sqrt n) on adversarial inputs)",
+        ["workload", "n", "hyperplane", "sphere (med)", "gap"],
+        rows,
+    )
+
+
+@table_bench
+def test_e8_downstream_cost():
+    """The crossings translate into correction work and depth."""
+    rows = []
+    for n in (1024, 4096):
+        pts = slab_pairs(n, 2, n + 1)
+        fast = parallel_nearest_neighborhood(pts, 1, machine=Machine(), seed=5)
+        simple = simple_parallel_dnc(pts, 1, machine=Machine(), seed=5)
+        assert fast.system.same_distances(simple.system)
+        rows.append(
+            (n, f"{fast.cost.depth:.0f}", f"{simple.cost.depth:.0f}",
+             f"{fast.cost.work / n:.0f}", f"{simple.cost.work / n:.0f}")
+        )
+    write_table(
+        "e8_downstream",
+        "E8b  end-to-end on slab_pairs: sphere DnC vs hyperplane DnC (both exact)",
+        ["n", "fast depth", "simple depth", "fast work/n", "simple work/n"],
+        rows,
+    )
+
+
+def test_bench_crossing_measurement(benchmark):
+    pts = slab_pairs(2048, 2, 7)
+    balls = brute_force_knn(pts, 1).to_ball_system()
+    plane = median_hyperplane(pts, axis=0)
+    benchmark(lambda: balls.intersection_number(plane))

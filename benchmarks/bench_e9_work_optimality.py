@@ -1,0 +1,93 @@
+"""E9 — work-optimality and exactness across algorithms.
+
+Claim: the parallel algorithm "uses no more work than the best sequential
+algorithm" (up to constants).  We compare the fast DnC's charged work
+against the actual operation counts of the sequential baselines (kd-tree,
+grid, brute force) across workloads, and re-verify exact agreement.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import power_law_fit
+from repro.baselines import brute_force_knn, grid_knn, kdtree_knn
+from repro.core import parallel_nearest_neighborhood
+from repro.pvm import Machine
+from repro.workloads import clustered, uniform_cube
+
+from common import table_bench, write_table
+
+
+@table_bench
+def test_e9_work_scaling():
+    rows = []
+    works = []
+    ns = [1024, 2048, 4096, 8192, 16384]
+    for n in ns:
+        res = parallel_nearest_neighborhood(uniform_cube(n, 2, n), 1, machine=Machine(), seed=1)
+        works.append(res.cost.work)
+        rows.append((n, f"{res.cost.work:.3g}", f"{res.cost.work / n:.0f}",
+                     f"{n * n:.3g}"))
+    fit = power_law_fit(ns, works)
+    rows.append(("fit", f"n^{fit.exponent:.2f}", "theory: ^1", "brute: ^2"))
+    write_table(
+        "e9_work_scaling",
+        "E9  fast DnC charged work vs n (d=2, k=1): near-linear, far from n^2",
+        ["n", "work", "work/n", "brute-force work"],
+        rows,
+    )
+
+
+@table_bench
+def test_e9_wall_clock_and_agreement():
+    rows = []
+    for name, gen in (("uniform", uniform_cube), ("clustered", clustered)):
+        n, k = 8192, 2
+        pts = gen(n, 2, 12)
+
+        t0 = time.perf_counter()
+        fast = parallel_nearest_neighborhood(pts, k, seed=2)
+        t_fast = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        kd = kdtree_knn(pts, k)
+        t_kd = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        gr = grid_knn(pts, k)
+        t_grid = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        bf = brute_force_knn(pts, k)
+        t_bf = time.perf_counter() - t0
+
+        agree = fast.system.same_distances(bf) and kd.same_distances(bf) and gr.same_distances(bf)
+        rows.append(
+            (name, "yes" if agree else "NO",
+             f"{t_fast:.2f}", f"{t_kd:.2f}", f"{t_grid:.2f}", f"{t_bf:.2f}")
+        )
+        assert agree
+    write_table(
+        "e9_agreement",
+        "E9b  exact agreement + wall-clock seconds (simulator wall time is NOT the"
+        " paper's metric; work/depth above are)",
+        ["workload", "all agree", "fast DnC s", "kd-tree s", "grid s", "brute s"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize(
+    "algo", ["fast_dnc", "kdtree", "grid", "brute"]
+)
+def test_bench_all_knn(benchmark, algo):
+    pts = uniform_cube(4096, 2, 13)
+    fn = {
+        "fast_dnc": lambda: parallel_nearest_neighborhood(pts, 2, seed=3),
+        "kdtree": lambda: kdtree_knn(pts, 2),
+        "grid": lambda: grid_knn(pts, 2),
+        "brute": lambda: brute_force_knn(pts, 2),
+    }[algo]
+    benchmark(fn)

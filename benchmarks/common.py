@@ -1,0 +1,72 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_eN_*.py`` module regenerates one experiment of DESIGN.md §5:
+it times representative kernels through pytest-benchmark AND writes the
+experiment's table (the thing EXPERIMENTS.md quotes) to
+``benchmarks/results/``, so a plain ``pytest benchmarks/ --benchmark-only``
+leaves the full set of measured tables on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_table(name: str, title: str, header: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Format rows as a fixed-width table, save to results/<name>.txt, return it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    srows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, ""]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in srows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    text = "\n".join(lines) + "\n"
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text)
+    print("\n" + text)
+    return text
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def table_bench(fn):
+    """Run a table-producing experiment as a single-round benchmark.
+
+    Table sweeps must also execute under ``pytest benchmarks/
+    --benchmark-only`` (the project's prescribed command), so they are
+    registered as one-round pedantic benchmarks: timed once, table written
+    to results/.  NOTE: deliberately not ``functools.wraps`` — pytest
+    unwraps ``__wrapped__`` when inspecting fixtures, which would hide the
+    ``benchmark`` parameter and mark the test as a skippable non-benchmark.
+    """
+
+    def wrapper(benchmark):
+        benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    wrapper.__name__ = fn.__name__
+    wrapper.__doc__ = fn.__doc__
+    return wrapper
+
+
+def write_chart(name: str, chart: str) -> None:
+    """Append an ASCII chart to an experiment's results file."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "a") as fh:
+        fh.write("\n" + chart + "\n")
+    print("\n" + chart)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Nested dissection on the k-NN graph — why the paper wanted this graph.
+
+The introduction's motivation: the k-NN graph is "nicely embedded", so the
+sphere separator theorem applies to it recursively.  This example runs the
+full chain the paper enables:
+
+  points --(fast parallel DnC)--> exact k-NN graph
+         --(recursive MTTV separators)--> separator tree
+         --(separators last)--> nested dissection elimination ordering
+         --> measured fill-in vs a random ordering
+
+Run:  python examples/nested_dissection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import power_law_fit
+from repro.core import (
+    build_separator_tree,
+    check_separation,
+    elimination_fill,
+    knn_graph_edges,
+    nested_dissection_order,
+    parallel_nearest_neighborhood,
+    separator_profile,
+)
+from repro.workloads import grid_jitter
+
+
+def main() -> None:
+    # near-lattice points: the nearest-neighbor graph is then grid-like,
+    # the textbook case where nested dissection shines
+    n, d, k = 4096, 2, 3
+    points = grid_jitter(n, d, seed=21)
+
+    # 1. the paper's algorithm produces the graph
+    result = parallel_nearest_neighborhood(points, k, seed=22)
+    edges = knn_graph_edges(result.system)
+    print(f"k-NN graph: n={n}, {edges.shape[0]} edges "
+          f"(built in simulated depth {result.cost.depth:.0f})")
+
+    # 2. recursive sphere separators on the graph
+    tree = build_separator_tree(result.system, seed=23, min_size=24)
+    assert check_separation(result.system, tree), "separation property must hold"
+    prof = [(m, s) for m, s in separator_profile(tree) if m >= 200 and s >= 1]
+    fit = power_law_fit([m for m, _ in prof], [s for _, s in prof])
+    print(f"separator tree: height {tree.height()}, "
+          f"separator size ~ size^{fit.exponent:.2f} (theory: ^{(d-1)/d:.2f})")
+    top = prof[0]
+    print(f"top separator: {top[1]} of {top[0]} vertices "
+          f"({top[1] / top[0] ** ((d - 1) / d):.2f} x n^{(d-1)/d:.2f})")
+
+    # 3. nested dissection ordering and its fill-in
+    nd_order = nested_dissection_order(tree)
+    rng = np.random.default_rng(24)
+    rand_order = rng.permutation(n)
+    ident_order = np.arange(n)
+
+    fills = {
+        "nested dissection": elimination_fill(edges, nd_order),
+        "identity order": elimination_fill(edges, ident_order),
+        "random order": elimination_fill(edges, rand_order),
+    }
+    print("\nsymbolic Cholesky fill-in (new edges created):")
+    base = fills["nested dissection"]
+    for name, f in fills.items():
+        print(f"  {name:<18} {f:>8}  ({f / max(base, 1):.1f}x)")
+    print("\nseparators eliminated last keep elimination cliques small —")
+    print("the Lipton–Rose–Tarjan payoff the paper's graph construction unlocks.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Parallel scaling study: O(log n) vs O(log^2 n), and Brent speedups.
+
+Sweeps problem sizes, runs both the fast sphere-separator algorithm
+(Section 6) and the simple hyperplane algorithm (Section 5) on the
+simulated scan-vector machine, and prints the depth/work tables plus a
+Brent-scheduled speedup curve — the practical reading of "n processors,
+O(log n) time".
+
+Run:  python examples/parallel_scaling.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import loglinear_fit
+from repro.core import parallel_nearest_neighborhood, simple_parallel_dnc
+from repro.pvm import Machine, schedule_curve
+from repro.workloads import uniform_cube
+
+
+def main() -> None:
+    k, d = 1, 2
+    sizes = [1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14]
+
+    print(f"{'n':>7} {'fast depth':>11} {'simple depth':>13} "
+          f"{'fast work/n':>12} {'simple work/n':>14} {'punts':>6}")
+    fast_depths, simple_depths = [], []
+    last_fast = None
+    for n in sizes:
+        pts = uniform_cube(n, d, seed=n)
+        fast = parallel_nearest_neighborhood(pts, k, machine=Machine(), seed=1)
+        simple = simple_parallel_dnc(pts, k, machine=Machine(), seed=1)
+        fast_depths.append(fast.cost.depth)
+        simple_depths.append(simple.cost.depth)
+        last_fast = fast
+        print(f"{n:>7} {fast.cost.depth:>11.0f} {simple.cost.depth:>13.0f} "
+              f"{fast.cost.work / n:>12.1f} {simple.cost.work / n:>14.1f} "
+              f"{fast.stats.punts:>6}")
+
+    fit_fast = loglinear_fit(sizes, fast_depths)
+    fit_simple = loglinear_fit(sizes, simple_depths)
+    print(f"\ndepth per doubling of n: fast {fit_fast.exponent:.1f}, "
+          f"simple {fit_simple.exponent:.1f}")
+    print("(the fast algorithm adds a ~constant amount of depth per doubling —")
+    print(" O(log n) — while the simple one adds increasingly more — O(log^2 n))")
+
+    n = sizes[-1]
+    print(f"\nBrent-scheduled times for the fast run at n = {n}:")
+    print(f"{'p':>8} {'time':>12} {'speedup':>9} {'efficiency':>11}")
+    for pt in schedule_curve(last_fast.cost, [1, 16, 256, 4096, n, 4 * n]):
+        print(f"{pt.processors:>8} {pt.time:>12.0f} {pt.speedup:>9.1f} {pt.efficiency:>11.2f}")
+    ideal = last_fast.cost.depth
+    print(f"\nwith p = n the schedule is within {last_fast.cost.work / n / ideal + 1:.2f}x "
+          f"of the depth lower bound ({ideal:.0f} steps ~ "
+          f"{ideal / math.log2(n):.1f} x log2 n)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's headline algorithm in five minutes.
+
+Computes the exact k-nearest-neighbor graph of random points with the
+O(log n)-depth sphere-separator algorithm (Frieze–Miller–Teng, SPAA 1992),
+validates it against brute force, and reads the simulated parallel cost
+off the machine ledger.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import brute_force_knn
+from repro.core import knn_graph_edges, parallel_nearest_neighborhood
+from repro.pvm import Machine, brent_time
+from repro.workloads import uniform_cube
+
+
+def main() -> None:
+    n, d, k = 4096, 2, 2
+    points = uniform_cube(n, d, seed=7)
+
+    # --- run the paper's algorithm on a simulated scan-vector machine ----
+    machine = Machine(scan="unit")  # the paper's unit-time SCAN model
+    result = parallel_nearest_neighborhood(points, k, machine=machine, seed=42)
+
+    # --- the answer is exact --------------------------------------------
+    reference = brute_force_knn(points, k)
+    assert result.system.same_distances(reference), "must match brute force"
+    edges = knn_graph_edges(result.system)
+    print(f"k-NN graph of n={n} points (d={d}, k={k}): {edges.shape[0]} edges")
+
+    # --- the cost ledger is the point of the exercise --------------------
+    cost = result.cost
+    print(f"parallel depth : {cost.depth:,.0f}  (~{cost.depth / np.log2(n):.1f} x log2 n)")
+    print(f"total work     : {cost.work:,.0f}  (~{cost.work / n:.0f} x n)")
+    print(f"parallelism    : {cost.parallelism:,.0f}")
+    print(f"Brent time with p = n processors: {brent_time(cost, n):,.0f} steps")
+
+    # --- what the randomness did ------------------------------------------
+    s = result.stats
+    print(
+        f"recursion: {s.nodes} nodes, {s.base_cases} base cases, "
+        f"{s.separator_attempts} separator draws, {s.punts} punts "
+        f"({s.punts_iota} iota / {s.punts_marching} marching / {s.punts_separator} separator)"
+    )
+
+
+if __name__ == "__main__":
+    main()

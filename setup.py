@@ -1,0 +1,9 @@
+"""Legacy shim so `pip install -e .` works offline (no wheel package).
+
+All metadata lives in pyproject.toml; this file only enables the
+`--no-use-pep517` editable-install path on environments without `wheel`.
+"""
+
+from setuptools import setup
+
+setup()

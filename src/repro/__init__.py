@@ -1,0 +1,40 @@
+"""repro — Separator based parallel divide and conquer in computational geometry.
+
+A production-grade reproduction of Frieze, Miller & Teng (SPAA 1992): the
+O(log n)-depth, n-processor randomized algorithm for the k-nearest-neighbor
+graph of n points in R^d, built on Miller–Teng–Thurston–Vavasis sphere
+separators and executed on a simulated Blelloch scan-vector machine with a
+(depth, work) cost ledger.
+
+Public surface (see README for a tour):
+
+- :mod:`repro.pvm` — the machine model (cost algebra, primitives, Brent
+  scheduling);
+- :mod:`repro.geometry` — points, spheres, ball systems, stereographic and
+  conformal maps, Radon/centerpoints;
+- :mod:`repro.separators` — the MTTV sphere separator, its unit-time retry
+  loop, hyperplane baselines, quality measures;
+- :mod:`repro.core` — the paper's algorithms: the neighborhood query
+  structure (Sec. 3), the O(log^2 n) simple divide and conquer (Sec. 5),
+  the O(log n) fast algorithm with punting (Sec. 6), the punting-lemma
+  process simulators (Sec. 4);
+- :mod:`repro.baselines` — brute force, kd-tree and grid all-kNN;
+- :mod:`repro.workloads` — synthetic and adversarial point generators;
+- :mod:`repro.analysis` — recurrences, probability bounds, scaling fits.
+"""
+
+from . import analysis, baselines, core, geometry, pvm, separators, util, workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "baselines",
+    "core",
+    "geometry",
+    "pvm",
+    "separators",
+    "util",
+    "workloads",
+    "__version__",
+]

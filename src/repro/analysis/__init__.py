@@ -1,0 +1,35 @@
+"""Theory-side companions: the paper's recurrences, probability bounds,
+and the scaling-law fits used to compare measured curves against claims."""
+
+from .bounds import (
+    A_CONST,
+    RHO,
+    bernoulli_heads_bound,
+    duplication_g,
+    mgf_path_bound,
+    punting_tail_bound,
+    punting_tail_bound_corollary,
+)
+from .fitting import PowerFit, loglinear_fit, polylog_degree_estimate, power_law_fit
+from .report import Series, ascii_chart
+from .recurrences import height_constant, height_recurrence, leaf_recurrence, min_valid_m0
+
+__all__ = [
+    "A_CONST",
+    "RHO",
+    "bernoulli_heads_bound",
+    "duplication_g",
+    "mgf_path_bound",
+    "punting_tail_bound",
+    "punting_tail_bound_corollary",
+    "PowerFit",
+    "loglinear_fit",
+    "polylog_degree_estimate",
+    "power_law_fit",
+    "height_constant",
+    "height_recurrence",
+    "leaf_recurrence",
+    "min_valid_m0",
+    "Series",
+    "ascii_chart",
+]

@@ -1,0 +1,96 @@
+"""Closed-form probability bounds from the paper.
+
+- :func:`punting_tail_bound` — Lemma 4.1: for the probabilistic
+  (0, log m)-tree, ``Pr[RD(n) > 2c log n] <= n * A * e^{-c log n}`` with
+  ``rho = sqrt(e)/2`` and ``A = e^{rho/(1-rho)}``.
+- :func:`punting_tail_bound_corollary` — Corollary 4.1, the (C, log m)
+  version: ``Pr[RD(n) > 2(c + C) log n] <= n * A * e^{-c log n}``.
+- :func:`mgf_path_bound` — the moment-generating-function estimate inside
+  the Lemma 4.1 proof, exposed so tests can check the simulated path-sum
+  MGF sits below it.
+- :func:`duplication_g` — Lemma 6.5's ``g(W) = W + 2^{(1-alpha)K}(1+eps) K
+  W^alpha`` envelope for the duplication process.
+- :func:`bernoulli_heads_bound` — the ``Pr[L > 3m] <= 2^{-2m}`` Chernoff
+  step used in Theorem 3.1 / Lemma 5.1 for separator-retry sequences.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "RHO",
+    "A_CONST",
+    "punting_tail_bound",
+    "punting_tail_bound_corollary",
+    "mgf_path_bound",
+    "duplication_g",
+    "bernoulli_heads_bound",
+]
+
+RHO = math.sqrt(math.e) / 2.0
+A_CONST = math.exp(RHO / (1.0 - RHO))
+
+
+def punting_tail_bound(n: int, c: float) -> float:
+    """Lemma 4.1 right-hand side ``n * A * e^{-c log n}`` (natural log).
+
+    Clamped to 1 (it is a probability bound; small n / small c make the
+    raw expression exceed 1, where it is vacuous).
+    """
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    if c <= 0:
+        return 1.0
+    return min(1.0, n * A_CONST * math.exp(-c * math.log(n)))
+
+
+def punting_tail_bound_corollary(n: int, c: float, C: float) -> tuple[float, float]:
+    """Corollary 4.1: returns ``(threshold, bound)`` —
+    ``Pr[RD(n) > threshold] <= bound`` with threshold ``2(c + C) log2 n``."""
+    if C < 0:
+        raise ValueError("C must be >= 0")
+    return 2.0 * (c + C) * math.log2(n), punting_tail_bound(n, c)
+
+
+def mgf_path_bound(m: int, lam: float = 0.5) -> float:
+    """Upper bound on ``E[e^{lam * (X_1 + ... + X_m)}]`` along one root path.
+
+    ``X_i`` is 0 w.p. ``1 - 2^{-i}`` and ``i`` w.p. ``2^{-i}`` (node at
+    distance i from the leaf has subtree size 2^i, weight log2(2^i) = i).
+    Each factor is ``1 - 2^{-i} + 2^{-i} e^{lam i} <= 1 + rho^i`` with
+    ``rho = e^lam / 2`` (for lam <= 1/2, since ``e^{lam i}/2^i =
+    (e^lam/2)^i``), so the product is at most ``e^{rho/(1-rho)}``.
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    rho = math.exp(lam) / 2.0
+    if rho >= 1:
+        raise ValueError("lam too large: e^lam / 2 must be < 1")
+    total = 1.0
+    for i in range(1, m + 1):
+        total *= 1.0 + rho**i
+    return total
+
+
+def duplication_g(W: float, K: int, alpha: float, eps: float = 0.1) -> float:
+    """Lemma 6.5's envelope ``g(W) = W + 2^{(1-alpha)K} (1+eps) K W^alpha``."""
+    if W <= 0 or K < 0:
+        raise ValueError("need W > 0 and K >= 0")
+    if not 0 < alpha < 1:
+        raise ValueError("alpha must be in (0, 1)")
+    return W + 2.0 ** ((1.0 - alpha) * K) * (1.0 + eps) * K * W**alpha
+
+
+def bernoulli_heads_bound(m: int, factor: float = 3.0) -> float:
+    """``Pr[more than factor*m trials needed for m heads] <= 2^{-2m}``.
+
+    The Chernoff step of Theorem 3.1: with success probability >= 1/2 per
+    trial, seeing fewer than m heads in 3m trials has probability at most
+    ``2^{-2m}`` (the paper's constant; valid for factor >= 3).
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if factor < 3.0:
+        raise ValueError("the paper's bound is stated for factor >= 3")
+    return 2.0 ** (-2.0 * m)

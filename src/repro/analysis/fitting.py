@@ -1,0 +1,89 @@
+"""Scaling-law fits for the experiments.
+
+The experiments check *shape*: depth ~ log n vs log^2 n, work ~ n,
+intersection numbers ~ n^{(d-1)/d}.  These helpers fit the corresponding
+models by least squares and report the exponents/slopes with R^2, so
+benches can print "measured exponent 0.51 (theory 0.50)" rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["PowerFit", "power_law_fit", "loglinear_fit", "polylog_degree_estimate"]
+
+
+@dataclass(frozen=True, slots=True)
+class PowerFit:
+    """Result of a least-squares fit; interpretation depends on the model.
+
+    For :func:`power_law_fit` (model ``y = coeff * x^exponent``) the
+    ``exponent`` is the power; for :func:`loglinear_fit` (model
+    ``y = coeff + exponent * log2 x``) it is the slope per doubling.
+    """
+
+    exponent: float
+    coeff: float
+    r2: float
+
+
+def _r2(y: np.ndarray, yhat: np.ndarray) -> float:
+    ss_res = float(np.sum((y - yhat) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    if ss_tot == 0:
+        return 1.0 if ss_res == 0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def power_law_fit(x: Sequence[float], y: Sequence[float]) -> PowerFit:
+    """Fit ``y ~ coeff * x^exponent`` on log-log axes.
+
+    Requires positive x and y; at least two points.
+    """
+    xa = np.asarray(x, dtype=np.float64)
+    ya = np.asarray(y, dtype=np.float64)
+    if xa.shape != ya.shape or xa.ndim != 1 or xa.size < 2:
+        raise ValueError("x and y must be equal-length 1-D with >= 2 points")
+    if (xa <= 0).any() or (ya <= 0).any():
+        raise ValueError("power-law fit needs positive data")
+    lx, ly = np.log(xa), np.log(ya)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    yhat = slope * lx + intercept
+    return PowerFit(exponent=float(slope), coeff=float(np.exp(intercept)), r2=_r2(ly, yhat))
+
+
+def loglinear_fit(x: Sequence[float], y: Sequence[float]) -> PowerFit:
+    """Fit ``y ~ coeff + exponent * log2 x`` (semi-log axes).
+
+    ``exponent`` is then the per-doubling increment — for an O(log n)
+    depth curve it converges to a constant; for O(log^2 n) it grows.
+    """
+    xa = np.asarray(x, dtype=np.float64)
+    ya = np.asarray(y, dtype=np.float64)
+    if xa.shape != ya.shape or xa.ndim != 1 or xa.size < 2:
+        raise ValueError("x and y must be equal-length 1-D with >= 2 points")
+    if (xa <= 0).any():
+        raise ValueError("log fit needs positive x")
+    lx = np.log2(xa)
+    slope, intercept = np.polyfit(lx, ya, 1)
+    yhat = slope * lx + intercept
+    return PowerFit(exponent=float(slope), coeff=float(intercept), r2=_r2(ya, yhat))
+
+
+def polylog_degree_estimate(x: Sequence[float], y: Sequence[float]) -> float:
+    """Estimate p in ``y ~ (log n)^p`` by log-log fit against log2 n.
+
+    Distinguishes the O(log n) algorithm (p ~ 1) from the O(log^2 n) one
+    (p ~ 2) — the headline comparison of experiments E4/E5.
+    """
+    xa = np.asarray(x, dtype=np.float64)
+    ya = np.asarray(y, dtype=np.float64)
+    if (xa <= 1).any() or (ya <= 0).any():
+        raise ValueError("need x > 1 and y > 0")
+    lx = np.log(np.log2(xa))
+    ly = np.log(ya)
+    slope, _ = np.polyfit(lx, ly, 1)
+    return float(slope)

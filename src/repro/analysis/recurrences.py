@@ -1,0 +1,91 @@
+"""Numeric solutions of the paper's recurrences (Section 3.2, Lemma 3.1).
+
+The query-structure height and leaf-count recurrences::
+
+    h(m) <= 1                                   m <= m0
+    h(m) <= 1 + h(delta*m + m^mu)               m >  m0
+
+    s(m) <= 1                                   m <= m0
+    s(m) <= s(delta1*m + m^mu) + s((1-delta1)*m)  m >  m0
+
+Lemma 3.1: for m0 large enough (``m0^mu <= (1-delta)/2 * m0``),
+``h(n) = O(log n)`` and ``s(n) = O(n / m0)``.  Solving them numerically
+gives the exact constants our measured trees should sit below
+(experiment E3).
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+__all__ = ["height_recurrence", "leaf_recurrence", "min_valid_m0", "height_constant"]
+
+
+def min_valid_m0(delta: float, mu: float) -> int:
+    """Smallest integer m0 with ``m0^mu <= (1-delta)/2 * m0``.
+
+    This is the paper's condition on the leaf threshold; above it the
+    shrinkage ``delta*m + m^mu <= (1+delta)/2 * m`` holds for all m > m0.
+    """
+    if not 0 < delta < 1 or not 0 < mu < 1:
+        raise ValueError("need 0 < delta < 1 and 0 < mu < 1")
+    target = (1.0 - delta) / 2.0
+    m0 = 2
+    while m0 ** (mu - 1.0) > target:
+        m0 *= 2
+        if m0 > 2**60:  # pragma: no cover - parameters sane in practice
+            raise ValueError("no valid m0 for these parameters")
+    # binary search down for the tight value
+    lo, hi = m0 // 2, m0
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if mid ** (mu - 1.0) <= target:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def height_recurrence(n: int, delta: float, mu: float, m0: int) -> int:
+    """Exact iteration count of ``m -> delta*m + m^mu`` down to m0."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    m = float(n)
+    h = 1
+    guard = 0
+    while m > m0:
+        m = delta * m + m**mu
+        h += 1
+        guard += 1
+        if guard > 10_000:
+            raise ValueError("height recurrence does not contract; check delta, mu, m0")
+    return h
+
+
+def height_constant(delta: float, mu: float, m0: int, *, n: int = 1 << 20) -> float:
+    """Empirical constant c with ``h(n) ~ c * log2 n`` for the recurrence."""
+    h = height_recurrence(n, delta, mu, m0)
+    return h / math.log2(n)
+
+
+def leaf_recurrence(n: int, delta1: float, mu: float, m0: int) -> int:
+    """Worst-case leaf count of the space recurrence s(m).
+
+    Memoised on the integer ceiling of m (the recurrence is monotone, so
+    rounding up is conservative).
+    """
+    if not 0 < delta1 < 1:
+        raise ValueError("delta1 must be in (0, 1)")
+
+    @lru_cache(maxsize=None)
+    def s(m: int) -> int:
+        if m <= m0:
+            return 1
+        big = math.ceil(delta1 * m + m**mu)
+        small = math.ceil((1 - delta1) * m)
+        if big >= m or small >= m:
+            raise ValueError("leaf recurrence does not contract; check parameters")
+        return s(big) + s(small)
+
+    return s(int(n))

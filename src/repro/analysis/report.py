@@ -1,0 +1,98 @@
+"""Terminal-friendly reporting: ASCII scatter/line charts for experiments.
+
+The benchmark tables record numbers; these helpers render the *shape* —
+depth-vs-n curves, tail plots — as fixed-width ASCII so results files and
+CLI output can show the scaling story without a plotting stack.
+
+Charts are deliberately small-dependency: a character grid, log or linear
+axes, multiple labelled series (distinct markers), and axis legends.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = ["Series", "ascii_chart"]
+
+_MARKERS = "*o+x#@%&"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled curve: parallel x/y sequences."""
+
+    label: str
+    x: Sequence[float]
+    y: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(f"series {self.label!r}: x and y lengths differ")
+        if len(self.x) == 0:
+            raise ValueError(f"series {self.label!r} is empty")
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        if value <= 0:
+            raise ValueError("log axis requires positive values")
+        return math.log10(value)
+    return value
+
+
+def ascii_chart(
+    series: List[Series],
+    *,
+    width: int = 64,
+    height: int = 18,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: str = "",
+) -> str:
+    """Render labelled series on a character grid.
+
+    Returns a multi-line string: title, plot box with y-range labels, an
+    x-range line, and a marker legend.  Values are clipped to the data's
+    bounding box; log axes reject non-positive values.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 8 or height < 4:
+        raise ValueError("chart too small to draw")
+    xs = [_transform(v, log_x) for s in series for v in s.x]
+    ys = [_transform(v, log_y) for s in series for v in s.y]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(series):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for xv, yv in zip(s.x, s.y):
+            cx = int(round((_transform(xv, log_x) - x_lo) / x_span * (width - 1)))
+            cy = int(round((_transform(yv, log_y) - y_lo) / y_span * (height - 1)))
+            row = height - 1 - cy
+            grid[row][cx] = marker
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_top = f"{(10 ** y_hi if log_y else y_hi):.3g}"
+    y_bot = f"{(10 ** y_lo if log_y else y_lo):.3g}"
+    label_w = max(len(y_top), len(y_bot))
+    for r, row in enumerate(grid):
+        prefix = y_top if r == 0 else (y_bot if r == height - 1 else "")
+        lines.append(f"{prefix:>{label_w}} |{''.join(row)}|")
+    x_left = f"{(10 ** x_lo if log_x else x_lo):.3g}"
+    x_right = f"{(10 ** x_hi if log_x else x_hi):.3g}"
+    axis = " " * label_w + " +" + "-" * width + "+"
+    lines.append(axis)
+    gap = width - len(x_left) - len(x_right)
+    lines.append(" " * (label_w + 2) + x_left + " " * max(1, gap) + x_right)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {s.label}" for i, s in enumerate(series)
+    )
+    scales = f"[x: {'log' if log_x else 'lin'}, y: {'log' if log_y else 'lin'}]"
+    lines.append(f"{legend}   {scales}")
+    return "\n".join(lines)

@@ -1,0 +1,9 @@
+"""Comparator algorithms: brute force (ground truth), kd-tree (the good
+sequential algorithm), and uniform-grid shell search (the expected-linear
+Vaidya stand-in)."""
+
+from .brute_force import brute_force_knn
+from .grid import grid_knn
+from .kdtree import KDTree, kdtree_knn
+
+__all__ = ["brute_force_knn", "grid_knn", "KDTree", "kdtree_knn"]

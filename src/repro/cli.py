@@ -1,0 +1,219 @@
+"""Command-line interface: run the paper's algorithms from a shell.
+
+Subcommands
+-----------
+``repro knn``
+    Compute the exact k-NN graph of a generated workload (or a points
+    file) with any of the five algorithms; print the cost ledger, phase
+    breakdown and stats; optionally save the edge list.
+``repro separators``
+    Draw MTTV sphere separators for a workload and print their quality
+    against the k-NN ball system, next to the Bentley hyperplane cut.
+``repro scaling``
+    Depth/work sweep of the fast vs simple algorithm over problem sizes.
+``repro dissect``
+    Recursive separator tree + nested dissection fill report.
+
+Entry points: ``repro`` (console script) or ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Separator based parallel divide and conquer (Frieze-Miller-Teng, SPAA 1992)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workload", default="uniform",
+                       help="workload name (uniform, ball, gaussian, clustered, grid, annulus, collinear)")
+        p.add_argument("--points-file", default=None,
+                       help=".npz/.npy file with an (n, d) float array (overrides --workload)")
+        p.add_argument("-n", type=int, default=4096, help="number of points")
+        p.add_argument("-d", type=int, default=2, help="dimension")
+        p.add_argument("--seed", type=int, default=0, help="random seed")
+
+    knn = sub.add_parser("knn", help="compute the exact k-NN graph")
+    add_workload_args(knn)
+    knn.add_argument("-k", type=int, default=1, help="neighbors per point")
+    knn.add_argument("--algo", default="fast",
+                     choices=["fast", "simple", "kdtree", "grid", "brute"])
+    knn.add_argument("--scan", default="unit", choices=["unit", "loglog", "log"],
+                     help="SCAN cost policy of the simulated machine")
+    knn.add_argument("--check", action="store_true", help="verify against brute force")
+    knn.add_argument("--out", default=None, help="save edges to this .npz file")
+
+    seps = sub.add_parser("separators", help="separator quality report")
+    add_workload_args(seps)
+    seps.add_argument("-k", type=int, default=1)
+    seps.add_argument("--draws", type=int, default=10)
+
+    scaling = sub.add_parser("scaling", help="fast vs simple depth sweep")
+    scaling.add_argument("--sizes", type=int, nargs="+",
+                         default=[1024, 2048, 4096, 8192])
+    scaling.add_argument("-d", type=int, default=2)
+    scaling.add_argument("-k", type=int, default=1)
+    scaling.add_argument("--seed", type=int, default=0)
+
+    dissect = sub.add_parser("dissect", help="separator tree + nested dissection")
+    add_workload_args(dissect)
+    dissect.add_argument("-k", type=int, default=2)
+    dissect.add_argument("--min-size", type=int, default=32)
+    dissect.add_argument("--fill", action="store_true",
+                         help="also count elimination fill (slow for large n)")
+    return parser
+
+
+def _load_points(args: argparse.Namespace) -> np.ndarray:
+    from .workloads import make_workload
+
+    if args.points_file:
+        loaded = np.load(args.points_file)
+        arr = loaded["points"] if hasattr(loaded, "files") else loaded
+        return np.asarray(arr, dtype=np.float64)
+    return make_workload(args.workload, args.n, args.d, args.seed)
+
+
+def _cmd_knn(args: argparse.Namespace) -> int:
+    from .baselines import brute_force_knn, grid_knn, kdtree_knn
+    from .core import knn_graph_edges, parallel_nearest_neighborhood, simple_parallel_dnc
+    from .pvm import Machine, brent_time
+
+    pts = _load_points(args)
+    n = pts.shape[0]
+    machine = Machine(scan=args.scan)
+    if args.algo == "fast":
+        result = parallel_nearest_neighborhood(pts, args.k, machine=machine, seed=args.seed)
+        system, stats = result.system, result.stats
+    elif args.algo == "simple":
+        result = simple_parallel_dnc(pts, args.k, machine=machine, seed=args.seed)
+        system, stats = result.system, result.stats
+    elif args.algo == "kdtree":
+        system, stats = kdtree_knn(pts, args.k), None
+    elif args.algo == "grid":
+        system, stats = grid_knn(pts, args.k), None
+    else:
+        system, stats = brute_force_knn(pts, args.k, machine=machine), None
+    edges = knn_graph_edges(system)
+    print(f"{args.algo}: n={n} d={pts.shape[1]} k={args.k} -> {edges.shape[0]} edges")
+    if args.algo in ("fast", "simple", "brute"):
+        cost = machine.total
+        print(f"simulated cost: depth={cost.depth:.0f} work={cost.work:.0f} "
+              f"T_n={brent_time(cost, n):.0f}")
+        for name, c in sorted(machine.sections.items()):
+            print(f"  phase {name:<8} work={c.work:.0f}")
+    if stats is not None and hasattr(stats, "punts"):
+        print(f"punts={stats.punts} separator_draws={stats.separator_attempts}")
+    if args.check:
+        ref = brute_force_knn(pts, args.k)
+        ok = system.same_distances(ref)
+        print(f"brute-force check: {'OK' if ok else 'MISMATCH'}")
+        if not ok:
+            return 1
+    if args.out:
+        np.savez(args.out, edges=edges, points=pts,
+                 neighbor_indices=system.neighbor_indices,
+                 neighbor_sq_dists=system.neighbor_sq_dists)
+        print(f"saved {args.out}")
+    return 0
+
+
+def _cmd_separators(args: argparse.Namespace) -> int:
+    from .baselines import brute_force_knn
+    from .separators import MTTVSeparatorSampler, ball_split, default_delta, median_hyperplane
+
+    pts = _load_points(args)
+    balls = brute_force_knn(pts, args.k).to_ball_system()
+    d = pts.shape[1]
+    sampler = MTTVSeparatorSampler(pts, seed=args.seed)
+    print(f"target delta = {default_delta(d, 0.05):.3f}; "
+          f"sqrt-law scale n^{(d - 1) / d:.2f} = {pts.shape[0] ** ((d - 1) / d):.0f}")
+    print(f"{'draw':>4} {'kind':<11} {'split':>6} {'iota':>6}")
+    for i in range(args.draws):
+        sep = sampler.draw()
+        rep = ball_split(sep, balls)
+        print(f"{i:>4} {type(sep).__name__:<11} {rep.split_ratio:>6.3f} {rep.intersection_number:>6}")
+    plane = median_hyperplane(pts)
+    rep = ball_split(plane, balls)
+    print(f"{'--':>4} {'MedianCut':<11} {rep.split_ratio:>6.3f} {rep.intersection_number:>6}")
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from .core import parallel_nearest_neighborhood, simple_parallel_dnc
+    from .pvm import Machine
+    from .workloads import uniform_cube
+
+    rows = []
+    print(f"{'n':>8} {'fast depth':>11} {'simple depth':>13} {'ratio':>6}")
+    for n in args.sizes:
+        pts = uniform_cube(n, args.d, args.seed + n)
+        fast = parallel_nearest_neighborhood(pts, args.k, machine=Machine(), seed=args.seed)
+        simple = simple_parallel_dnc(pts, args.k, machine=Machine(), seed=args.seed)
+        rows.append((n, fast.cost.depth, simple.cost.depth))
+        print(f"{n:>8} {fast.cost.depth:>11.0f} {simple.cost.depth:>13.0f} "
+              f"{simple.cost.depth / fast.cost.depth:>5.2f}x")
+    if len(rows) >= 2:
+        from .analysis import Series, ascii_chart
+
+        print()
+        print(ascii_chart(
+            [Series("fast", [r[0] for r in rows], [r[1] for r in rows]),
+             Series("simple", [r[0] for r in rows], [r[2] for r in rows])],
+            log_x=True, title="depth vs n", width=48, height=12,
+        ))
+    return 0
+
+
+def _cmd_dissect(args: argparse.Namespace) -> int:
+    from .baselines import brute_force_knn
+    from .core import (
+        build_separator_tree,
+        check_separation,
+        elimination_fill,
+        knn_graph_edges,
+        nested_dissection_order,
+        separator_profile,
+    )
+
+    pts = _load_points(args)
+    system = brute_force_knn(pts, args.k)
+    tree = build_separator_tree(system, seed=args.seed, min_size=args.min_size)
+    ok = check_separation(system, tree)
+    print(f"separator tree: height {tree.height()}, separation {'OK' if ok else 'VIOLATED'}")
+    for m, s in separator_profile(tree)[:8]:
+        print(f"  node size {m:>6} separator {s:>5}  ({s / max(m, 1) ** 0.5:.2f} x sqrt)")
+    if args.fill:
+        edges = knn_graph_edges(system)
+        order = nested_dissection_order(tree)
+        nd = elimination_fill(edges, order)
+        rnd = elimination_fill(edges, np.random.default_rng(args.seed + 1).permutation(pts.shape[0]))
+        print(f"fill-in: nested dissection {nd}, random {rnd} ({rnd / max(nd, 1):.1f}x)")
+    return 0 if ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "knn": _cmd_knn,
+        "separators": _cmd_separators,
+        "scaling": _cmd_scaling,
+        "dissect": _cmd_dissect,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""The paper's algorithms: query structure (Sec. 3), punting processes
+(Sec. 4), the O(log^2 n) simple DnC (Sec. 5) and the O(log n) fast DnC
+(Sec. 6), plus the k-neighborhood/k-NN-graph result types they share.
+"""
+
+from .graph_separators import (
+    GraphSeparatorNode,
+    elimination_fill,
+    build_separator_tree,
+    check_separation,
+    nested_dissection_order,
+    separator_profile,
+)
+from .correction import MarchResult, apply_candidate_pairs, march_balls, query_correction_pairs
+from .fast_dnc import (
+    FastDnCConfig,
+    FastDnCResult,
+    FastDnCStats,
+    parallel_nearest_neighborhood,
+)
+from .knn_graph import adjacency_lists, knn_graph_edges, max_degree, to_networkx
+from .neighborhood import KNeighborhoodSystem, merge_neighbor_lists
+from .partition_tree import PartitionNode
+from .punting import (
+    DuplicationTrace,
+    ab_tree_trials,
+    punted_weighted_depth,
+    simulate_ab_tree,
+    simulate_duplication,
+)
+from .query_points import knn_query
+from .query import NeighborhoodQueryStructure, QueryConfig, QueryNode, QueryStats
+from .verify import VerificationReport, verify_system
+from .simple_dnc import SimpleDnCConfig, SimpleDnCResult, SimpleDnCStats, simple_parallel_dnc
+
+__all__ = [
+    "GraphSeparatorNode",
+    "build_separator_tree",
+    "check_separation",
+    "elimination_fill",
+    "nested_dissection_order",
+    "separator_profile",
+    "MarchResult",
+    "apply_candidate_pairs",
+    "march_balls",
+    "query_correction_pairs",
+    "FastDnCConfig",
+    "FastDnCResult",
+    "FastDnCStats",
+    "parallel_nearest_neighborhood",
+    "adjacency_lists",
+    "knn_graph_edges",
+    "max_degree",
+    "to_networkx",
+    "KNeighborhoodSystem",
+    "merge_neighbor_lists",
+    "PartitionNode",
+    "DuplicationTrace",
+    "ab_tree_trials",
+    "punted_weighted_depth",
+    "simulate_ab_tree",
+    "simulate_duplication",
+    "knn_query",
+    "NeighborhoodQueryStructure",
+    "QueryConfig",
+    "QueryNode",
+    "QueryStats",
+    "SimpleDnCConfig",
+    "SimpleDnCResult",
+    "SimpleDnCStats",
+    "simple_parallel_dnc",
+    "VerificationReport",
+    "verify_system",
+]

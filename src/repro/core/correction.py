@@ -1,0 +1,194 @@
+"""Correction of straddling balls (Sections 5, 6.1–6.2 of the paper).
+
+After the two half-problems of a divide step are solved, only the balls
+that intersect the separator can be wrong (Lemma 6.1): their recursive
+radius may still be too large because the true k-th neighbor sits on the
+other side.  Correcting ball ``B_i`` means finding every opposite-side
+point strictly inside ``B_i`` and re-taking the k best candidates.
+
+Two implementations, exactly as in the paper:
+
+- **Fast Correction** (Section 6.2): march the straddling balls down the
+  opposite side's partition tree.  A ball moves into every child whose
+  region it can intersect (duplicating at nodes it straddles — the
+  *reachability* relation of Lemma 6.3); at the leaves, ball-point
+  containment is tested exhaustively.  The march is abandoned (and the
+  caller punts) if the number of active ball instances at any level
+  exceeds the ``m^(1-eta)`` cap of Lemma 6.2.
+- **Query correction** (Section 5 / the punt path): build a
+  :class:`~repro.core.query.NeighborhoodQueryStructure` over the straddling
+  balls and query every opposite-side point against it.
+
+Both produce (ball, candidate point) pairs; :func:`apply_candidate_pairs`
+merges them into the global neighbor lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..geometry.balls import BallSystem
+from ..pvm.machine import Machine
+from .neighborhood import merge_neighbor_lists
+from .partition_tree import PartitionNode
+from .query import NeighborhoodQueryStructure, QueryConfig
+
+__all__ = ["MarchResult", "march_balls", "apply_candidate_pairs", "query_correction_pairs"]
+
+
+@dataclass
+class MarchResult:
+    """Outcome of marching straddlers down a partition tree."""
+
+    ball_rows: np.ndarray
+    point_ids: np.ndarray
+    level_active: List[int] = field(default_factory=list)
+    label_tests: int = 0
+    leaf_tests: int = 0
+    succeeded: bool = True
+
+    @property
+    def pairs(self) -> int:
+        return int(self.ball_rows.shape[0])
+
+
+def march_balls(
+    tree: PartitionNode,
+    points: np.ndarray,
+    ball_centers: np.ndarray,
+    ball_radii: np.ndarray,
+    *,
+    active_cap: Optional[float] = None,
+) -> MarchResult:
+    """March balls down ``tree`` and report strict-containment pairs.
+
+    ``ball_centers``/``ball_radii`` describe the straddling balls (rows are
+    the caller's ball identifiers); ``points`` is the *global* coordinate
+    array the tree's leaf indices refer to.  A ball with infinite radius
+    reaches every leaf and contains every point.
+
+    Returns a :class:`MarchResult` whose ``ball_rows[i]``/``point_ids[i]``
+    are one (ball row, global point id) candidate pair.  When ``active_cap``
+    is given and the number of active ball instances on some level exceeds
+    it, marching stops early with ``succeeded=False`` (the caller punts to
+    the query structure — Lemma 6.2's low-probability branch).
+    """
+    nballs = ball_centers.shape[0]
+    result = MarchResult(
+        ball_rows=np.empty(0, dtype=np.int64), point_ids=np.empty(0, dtype=np.int64)
+    )
+    if nballs == 0:
+        return result
+    out_rows: List[np.ndarray] = []
+    out_pts: List[np.ndarray] = []
+    frontier: List[Tuple[PartitionNode, np.ndarray]] = [
+        (tree, np.arange(nballs, dtype=np.int64))
+    ]
+    while frontier:
+        level_count = sum(rows.shape[0] for _, rows in frontier)
+        result.level_active.append(level_count)
+        if active_cap is not None and level_count > active_cap:
+            result.succeeded = False
+            return result
+        next_frontier: List[Tuple[PartitionNode, np.ndarray]] = []
+        for node, rows in frontier:
+            if node.is_leaf:
+                pts_ids = node.indices
+                if pts_ids.shape[0] == 0 or rows.shape[0] == 0:
+                    continue
+                centers = ball_centers[rows]
+                radii = ball_radii[rows]
+                qq = points[pts_ids]
+                result.leaf_tests += rows.shape[0] * pts_ids.shape[0]
+                # diff-based kernel: leaves are small, and containment at
+                # tiny radii must not suffer GEMM cancellation
+                diff = centers[:, None, :] - qq[None, :, :]
+                sq = np.einsum("bnd,bnd->bn", diff, diff)
+                inside = sq < np.square(radii)[:, None]
+                inside |= np.isinf(radii)[:, None]
+                bi, pi = np.nonzero(inside)
+                out_rows.append(rows[bi])
+                out_pts.append(pts_ids[pi])
+                continue
+            sep = node.separator
+            cls = sep.classify_balls(ball_centers[rows], ball_radii[rows])  # type: ignore[union-attr]
+            result.label_tests += int(rows.shape[0])
+            left_rows = rows[cls <= 0]
+            right_rows = rows[cls >= 0]
+            if left_rows.shape[0]:
+                next_frontier.append((node.left, left_rows))  # type: ignore[arg-type]
+            if right_rows.shape[0]:
+                next_frontier.append((node.right, right_rows))  # type: ignore[arg-type]
+        frontier = next_frontier
+    if out_rows:
+        result.ball_rows = np.concatenate(out_rows)
+        result.point_ids = np.concatenate(out_pts)
+    return result
+
+
+def apply_candidate_pairs(
+    points: np.ndarray,
+    nbr_idx: np.ndarray,
+    nbr_sq: np.ndarray,
+    owner_ids: np.ndarray,
+    ball_rows: np.ndarray,
+    point_ids: np.ndarray,
+    k: int,
+) -> int:
+    """Merge candidate pairs into the global neighbor lists, in place.
+
+    ``owner_ids[r]`` is the global point owning ball row ``r``.  For each
+    owner with candidates, its list is re-taken as the k best of (current
+    list ∪ candidates).  Self-pairs are ignored.  Returns the number of
+    owners whose lists changed.
+    """
+    if ball_rows.shape[0] == 0:
+        return 0
+    owners = owner_ids[ball_rows]
+    keep = owners != point_ids
+    owners, cands = owners[keep], point_ids[keep]
+    if owners.shape[0] == 0:
+        return 0
+    diff = points[owners] - points[cands]
+    cand_sq = np.einsum("ij,ij->i", diff, diff)
+    order = np.argsort(owners, kind="stable")
+    owners, cands, cand_sq = owners[order], cands[order], cand_sq[order]
+    boundaries = np.flatnonzero(np.concatenate(([True], owners[1:] != owners[:-1])))
+    boundaries = np.append(boundaries, owners.shape[0])
+    changed = 0
+    for b in range(boundaries.shape[0] - 1):
+        lo, hi = boundaries[b], boundaries[b + 1]
+        g = owners[lo]
+        new_idx, new_sq = merge_neighbor_lists(
+            nbr_idx[g], nbr_sq[g], cands[lo:hi], cand_sq[lo:hi], k
+        )
+        if not np.array_equal(new_idx, nbr_idx[g]) or not np.array_equal(new_sq, nbr_sq[g]):
+            changed += 1
+        nbr_idx[g] = new_idx
+        nbr_sq[g] = new_sq
+    return changed
+
+
+def query_correction_pairs(
+    straddlers: BallSystem,
+    opposite_points: np.ndarray,
+    opposite_ids: np.ndarray,
+    machine: Optional[Machine],
+    seed: object,
+    config: QueryConfig,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The punt path: query structure over straddlers, probe opposite points.
+
+    Returns ``(ball_rows, point_ids)`` candidate pairs with global point
+    ids, shaped like :func:`march_balls` output.  Build and query costs are
+    charged to ``machine`` (the O(log m)-depth fallback of the Punting
+    Lemma analysis).
+    """
+    if len(straddlers) == 0 or opposite_points.shape[0] == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    structure = NeighborhoodQueryStructure(straddlers, machine=machine, seed=seed, config=config)
+    point_rows, ball_rows = structure.query_many(opposite_points)
+    return ball_rows, opposite_ids[point_rows]

@@ -1,0 +1,376 @@
+"""Parallel Nearest Neighborhood — the O(log n) algorithm (Section 6).
+
+The headline contribution: compute the k-neighborhood system (and hence the
+k-NN graph) of n points in R^d in randomized O(log n) depth with n
+processors on the scan-vector model.
+
+Structure, following the paper's pseudo-code verbatim:
+
+1. base case: small subproblems solved by testing all pairs ("in m time
+   using m processors");
+2. otherwise, repeat the Unit Time Sphere Separator Algorithm until a
+   sphere delta-splits the points;
+3. recurse on interior and exterior *in parallel*;
+4. **Correction**: if the straddler count ``iota`` is at most ``m^mu``,
+   run Fast Correction (march straddlers down the opposite partition tree
+   in O(1) depth, Lemma 6.3); otherwise *punt* — rebuild via the
+   neighborhood query structure in O(log m) depth.  By the Punting Lemma
+   (4.1) the punts cost only a constant factor overall.
+
+The implementation is exact (Las-Vegas): randomness moves cost between the
+fast path and the punt path but the returned neighbor lists always equal
+the brute-force answer (up to distance ties).  Every probabilistic event
+the analysis tracks — separator retries, iota sizes, marching level
+actives, punts — is recorded in :class:`FastDnCStats` for experiments
+E5/E7.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..geometry.balls import BallSystem
+from ..geometry.points import as_points, kth_smallest_per_row, pairwise_sq_dists_direct
+from ..geometry.spheres import Hyperplane, Sphere
+from ..pvm.cost import Cost
+from ..pvm.machine import Machine
+from ..separators.unit_time import SeparatorFailure, find_good_separator
+from ..util.rng import as_generator
+from .correction import apply_candidate_pairs, march_balls, query_correction_pairs
+from .neighborhood import KNeighborhoodSystem
+from .partition_tree import PartitionNode
+from .query import QueryConfig
+
+__all__ = ["FastDnCConfig", "FastDnCStats", "FastDnCResult", "parallel_nearest_neighborhood"]
+
+SeparatorLike = Union[Sphere, Hyperplane]
+
+
+@dataclass(frozen=True)
+class FastDnCConfig:
+    """Parameters of the fast algorithm.
+
+    ``mu`` (via ``mu_slack``) is the straddler-budget exponent of the
+    separator theorem, ``(d-1)/d + slack``; a node whose straddler count
+    exceeds ``iota_factor * m^mu`` punts immediately.  The marching cap is
+    ``active_factor * m^active_exponent`` with ``active_exponent =
+    mu + active_slack`` (Lemma 6.2's ``m^(1-eta)``).  ``m0`` and
+    ``base_factor`` set the brute-force base-case threshold
+    ``max(m0, base_factor * (k+1))`` — large enough that no recursive
+    subproblem ever has fewer than k+1 points on both sides of a split.
+    ``fc_depth`` is the constant depth charged for a successful Fast
+    Correction (the paper's constant number of label-and-scan phases).
+    """
+
+    m0: int = 64
+    base_factor: int = 4
+    epsilon: float = 0.05
+    mu_slack: float = 0.10
+    iota_factor: float = 3.0
+    active_factor: float = 4.0
+    active_slack: float = 0.05
+    max_attempts: int = 48
+    sample_size: Optional[int] = None
+    fc_depth: float = 4.0
+    query: QueryConfig = field(default_factory=QueryConfig)
+
+    def mu(self, d: int) -> float:
+        return min(0.98, (d - 1) / d + self.mu_slack)
+
+    def iota_budget(self, m: int, d: int, k: int = 1) -> float:
+        # the separator theorem's bound is O(k^{1/d} n^{(d-1)/d}); the
+        # budget must carry the k factor or large-k runs punt spuriously
+        return max(4.0, self.iota_factor * k ** (1.0 / d) * m ** self.mu(d))
+
+    def active_cap(self, m: int, d: int, k: int = 1) -> float:
+        expo = min(0.99, self.mu(d) + self.active_slack)
+        return max(8.0, self.active_factor * k ** (1.0 / d) * m**expo)
+
+    def base_size(self, k: int) -> int:
+        return max(self.m0, self.base_factor * (k + 1))
+
+
+@dataclass
+class FastDnCStats:
+    """Event counts and probabilistic traces of one run."""
+
+    nodes: int = 0
+    base_cases: int = 0
+    separator_attempts: int = 0
+    punts_iota: int = 0
+    punts_marching: int = 0
+    punts_separator: int = 0
+    straddler_fraction: List[Tuple[int, int]] = field(default_factory=list)
+    marching_level_active: List[Tuple[int, List[int]]] = field(default_factory=list)
+    corrections_fast: int = 0
+    corrections_none: int = 0
+
+    @property
+    def punts(self) -> int:
+        return self.punts_iota + self.punts_marching + self.punts_separator
+
+
+@dataclass
+class FastDnCResult:
+    """Output bundle: exact neighbor lists, the partition tree, statistics,
+    and the machine whose ledger holds the parallel cost."""
+
+    system: KNeighborhoodSystem
+    tree: PartitionNode
+    stats: FastDnCStats
+    machine: Machine
+
+    @property
+    def cost(self) -> Cost:
+        return self.machine.total
+
+
+def parallel_nearest_neighborhood(
+    points: np.ndarray,
+    k: int = 1,
+    *,
+    machine: Optional[Machine] = None,
+    seed: object = None,
+    config: FastDnCConfig = FastDnCConfig(),
+) -> FastDnCResult:
+    """Compute the exact k-neighborhood system by sphere-separator DnC.
+
+    Parameters
+    ----------
+    points:
+        (n, d) input points, n >= 1.
+    k:
+        Neighbors per point (fixed small k is the paper's regime; any
+        ``1 <= k < n`` works, with the predicted extra ``O(log log k)``
+        depth factor charged on corrections).
+    machine:
+        Cost ledger; a fresh unit-scan :class:`Machine` by default.
+    seed:
+        RNG or seed (cost-only randomness; the output is deterministic
+        up to distance ties).
+    config:
+        :class:`FastDnCConfig`.
+
+    Returns
+    -------
+    FastDnCResult
+        With exact ``system`` (validated against brute force in the test
+        suite), the partition ``tree``, and ``stats``.
+    """
+    pts = as_points(points, min_points=1)
+    n, d = pts.shape
+    if not 1 <= k < max(2, n):
+        raise ValueError(f"k must satisfy 1 <= k < n, got k={k}, n={n}")
+    if machine is None:
+        machine = Machine()
+    rng = as_generator(seed)
+    stats = FastDnCStats()
+    nbr_idx = np.full((n, k), -1, dtype=np.int64)
+    nbr_sq = np.full((n, k), np.inf)
+    base = config.base_size(k)
+    runner = _Runner(pts, k, machine, rng, config, stats, nbr_idx, nbr_sq, base)
+    tree = runner.solve(np.arange(n, dtype=np.int64))
+    system = KNeighborhoodSystem(pts, k, nbr_idx, nbr_sq)
+    return FastDnCResult(system=system, tree=tree, stats=stats, machine=machine)
+
+
+class _Runner:
+    """Recursion state shared across the divide and conquer."""
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        k: int,
+        machine: Machine,
+        rng: np.random.Generator,
+        config: FastDnCConfig,
+        stats: FastDnCStats,
+        nbr_idx: np.ndarray,
+        nbr_sq: np.ndarray,
+        base: int,
+    ) -> None:
+        self.points = points
+        self.k = k
+        self.machine = machine
+        self.rng = rng
+        self.config = config
+        self.stats = stats
+        self.nbr_idx = nbr_idx
+        self.nbr_sq = nbr_sq
+        self.base = base
+        self.dim = points.shape[1]
+
+    # -- base case -----------------------------------------------------------
+
+    def brute_force(self, ids: np.ndarray) -> None:
+        """All-pairs k nearest within the subset; paper's deterministic base.
+
+        Charged as depth m, work m^2 ("in m time using m processors").
+        """
+        m = ids.shape[0]
+        self.stats.base_cases += 1
+        with self.machine.section("base"):
+            self.machine.charge(Cost(float(m), float(m) * float(m)))
+        if m <= 1:
+            return
+        sub = self.points[ids]
+        sq = pairwise_sq_dists_direct(sub, sub)
+        np.fill_diagonal(sq, np.inf)
+        kk = min(self.k, m - 1)
+        local_idx, local_sq = kth_smallest_per_row(sq, kk)
+        self.nbr_idx[ids, :kk] = ids[local_idx]
+        self.nbr_sq[ids, :kk] = local_sq
+        if kk < self.k:
+            self.nbr_idx[ids, kk:] = -1
+            self.nbr_sq[ids, kk:] = np.inf
+
+    # -- recursion -------------------------------------------------------------
+
+    def solve(self, ids: np.ndarray) -> PartitionNode:
+        m = ids.shape[0]
+        self.stats.nodes += 1
+        if m <= self.base:
+            self.brute_force(ids)
+            return PartitionNode(indices=ids)
+        sub = self.points[ids]
+        try:
+            with self.machine.section("divide"):
+                separator, attempts = find_good_separator(
+                    sub,
+                    self.machine,
+                    seed=self.rng,
+                    epsilon=self.config.epsilon,
+                    max_attempts=self.config.max_attempts,
+                    sample_size=self.config.sample_size,
+                )
+            self.stats.separator_attempts += attempts
+        except SeparatorFailure:
+            # pathological multiset (e.g. almost all points identical):
+            # solve this subproblem exhaustively — correctness first.
+            self.stats.punts_separator += 1
+            self.brute_force(ids)
+            return PartitionNode(indices=ids)
+        side = separator.side_of_points(sub)
+        self.machine.charge(self.machine.ewise_cost(m, 2.0))
+        self.machine.charge(self.machine.scan_cost(m).then(self.machine.permute_cost(m)))
+        in_ids = ids[side < 0]
+        ex_ids = ids[side > 0]
+        children: List[Optional[PartitionNode]] = [None, None]
+        with self.machine.parallel() as par:
+            with par.branch():
+                children[0] = self.solve(in_ids)
+            with par.branch():
+                children[1] = self.solve(ex_ids)
+        node = PartitionNode(
+            indices=ids, separator=separator, left=children[0], right=children[1]
+        )
+        with self.machine.section("correct"):
+            self.correct(node, in_ids, ex_ids)
+        return node
+
+    # -- correction --------------------------------------------------------------
+
+    def correct(self, node: PartitionNode, in_ids: np.ndarray, ex_ids: np.ndarray) -> None:
+        """Fix straddling balls of both sides (Correction of Section 6.1)."""
+        sep = node.separator
+        assert sep is not None
+        m = node.size
+        d = self.dim
+        radii_in = np.sqrt(self.nbr_sq[in_ids, -1])
+        radii_ex = np.sqrt(self.nbr_sq[ex_ids, -1])
+        cls_in = sep.classify_balls(self.points[in_ids], radii_in)
+        cls_ex = sep.classify_balls(self.points[ex_ids], radii_ex)
+        self.machine.charge(self.machine.ewise_cost(m, 2.0))
+        self.machine.charge(self.machine.scan_cost(m))
+        straddle_in = in_ids[cls_in == 0]
+        straddle_ex = ex_ids[cls_ex == 0]
+        iota = straddle_in.shape[0] + straddle_ex.shape[0]
+        self.stats.straddler_fraction.append((m, iota))
+        node.meta["iota"] = iota
+        node.meta["punted"] = False
+        if iota == 0:
+            self.stats.corrections_none += 1
+            return
+        if iota >= self.config.iota_budget(m, d, self.k):
+            self.stats.punts_iota += 1
+            node.meta["punted"] = True
+            self._query_correct(straddle_in, ex_ids)
+            self._query_correct(straddle_ex, in_ids)
+            return
+        ok_a = self._fast_correct(node, straddle_in, node.right, m)
+        ok_b = self._fast_correct(node, straddle_ex, node.left, m)
+        if ok_a and ok_b:
+            self.stats.corrections_fast += 1
+        else:
+            node.meta["punted"] = True
+
+    def _fast_correct(
+        self,
+        node: PartitionNode,
+        straddlers: np.ndarray,
+        opposite_tree: Optional[PartitionNode],
+        m: int,
+    ) -> bool:
+        """Fast Correction of Section 6.2; returns False when it punted."""
+        if straddlers.shape[0] == 0 or opposite_tree is None:
+            return True
+        centers = self.points[straddlers]
+        radii = np.sqrt(self.nbr_sq[straddlers, -1])
+        cap = self.config.active_cap(m, self.dim, self.k)
+        result = march_balls(
+            opposite_tree, self.points, centers, radii, active_cap=cap
+        )
+        self.stats.marching_level_active.append((m, list(result.level_active)))
+        if not result.succeeded:
+            self.stats.punts_marching += 1
+            opposite_ids = opposite_tree.indices
+            self._query_correct(straddlers, opposite_ids)
+            return False
+        # constant-depth charge for the label-and-scan phases (Lemma 6.3),
+        # plus the k-selection step (O(log log k) for k > 1, Section 6.2)
+        select_depth = 1.0 if self.k == 1 else 1.0 + math.log2(math.log2(self.k) + 2.0)
+        work = float(result.label_tests + result.leaf_tests + result.pairs * (self.k + 1))
+        self.machine.charge(Cost(self.config.fc_depth + select_depth, max(work, 1.0)))
+        apply_candidate_pairs(
+            self.points,
+            self.nbr_idx,
+            self.nbr_sq,
+            straddlers,
+            result.ball_rows,
+            result.point_ids,
+            self.k,
+        )
+        return True
+
+    def _query_correct(self, straddlers: np.ndarray, opposite_ids: np.ndarray) -> None:
+        """Punt path: query-structure correction (Parallel Neighborhood
+        Querying of Section 3.3), O(log m) depth."""
+        if straddlers.shape[0] == 0 or opposite_ids.shape[0] == 0:
+            return
+        radii = np.sqrt(self.nbr_sq[straddlers, -1])
+        system = BallSystem(self.points[straddlers], radii)
+        ball_rows, point_ids = query_correction_pairs(
+            system,
+            self.points[opposite_ids],
+            opposite_ids,
+            self.machine,
+            self.rng,
+            self.config.query,
+        )
+        select_depth = 1.0 if self.k == 1 else 1.0 + math.log2(math.log2(self.k) + 2.0)
+        self.machine.charge(
+            Cost(select_depth, float(max(1, point_ids.shape[0] * (self.k + 1))))
+        )
+        apply_candidate_pairs(
+            self.points,
+            self.nbr_idx,
+            self.nbr_sq,
+            straddlers,
+            ball_rows,
+            point_ids,
+            self.k,
+        )

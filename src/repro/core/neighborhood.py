@@ -1,0 +1,137 @@
+"""k-neighborhood systems of point sets (Section 5 of the paper).
+
+For points ``P = {p_1, ..., p_n}`` and fixed ``k``, the *k-neighborhood
+ball* ``B_i`` is the largest ball centered at ``p_i`` whose open interior
+contains at most ``k - 1`` points of ``P`` other than ``p_i`` — i.e. its
+radius is the distance from ``p_i`` to its k-th nearest neighbor.  The
+collection ``{B_1, ..., B_n}`` is the k-neighborhood system, and given the
+radii the k-nearest-neighbor graph follows in O(log n) time on n
+processors (Section 5.1), which is why the algorithms in this package
+compute the system (in fact the full k-nearest lists).
+
+:class:`KNeighborhoodSystem` is the result type shared by every algorithm
+(brute force, kd-tree, grid, simple DnC, fast DnC): per-point neighbor
+index lists and squared distances, sorted ascending, padded with ``-1`` /
+``inf`` when a (sub)problem has fewer than ``k`` other points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry.balls import BallSystem
+from ..geometry.points import as_points
+
+__all__ = ["KNeighborhoodSystem", "merge_neighbor_lists"]
+
+
+@dataclass(frozen=True)
+class KNeighborhoodSystem:
+    """Exact k-nearest neighbor lists of a point set.
+
+    Attributes
+    ----------
+    points:
+        (n, d) input points.
+    k:
+        Number of neighbors per point.
+    neighbor_indices:
+        (n, k) int64; ``neighbor_indices[i]`` are the k nearest points to
+        ``points[i]`` (self excluded), sorted by (distance, index); ``-1``
+        pads rows when fewer than k neighbors exist.
+    neighbor_sq_dists:
+        (n, k) float64 squared distances matching ``neighbor_indices``;
+        ``inf`` on padded slots.
+    """
+
+    points: np.ndarray
+    k: int
+    neighbor_indices: np.ndarray
+    neighbor_sq_dists: np.ndarray
+
+    def __post_init__(self) -> None:
+        pts = as_points(self.points)
+        n = pts.shape[0]
+        idx = np.asarray(self.neighbor_indices, dtype=np.int64)
+        sq = np.asarray(self.neighbor_sq_dists, dtype=np.float64)
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if idx.shape != (n, self.k) or sq.shape != (n, self.k):
+            raise ValueError(
+                f"neighbor arrays must be ({n}, {self.k}); got {idx.shape} and {sq.shape}"
+            )
+        object.__setattr__(self, "points", pts)
+        object.__setattr__(self, "neighbor_indices", idx)
+        object.__setattr__(self, "neighbor_sq_dists", sq)
+
+    def __len__(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.points.shape[1]
+
+    @property
+    def radii(self) -> np.ndarray:
+        """k-neighborhood ball radii: distance to the k-th neighbor.
+
+        ``inf`` where the list is incomplete (fewer than k real neighbors).
+        """
+        last = self.neighbor_sq_dists[:, -1]
+        return np.sqrt(last)
+
+    def to_ball_system(self) -> BallSystem:
+        """The k-neighborhood system as an explicit ball collection."""
+        return BallSystem(self.points, self.radii)
+
+    def is_complete(self) -> bool:
+        """True when every list holds k real (finite) neighbors."""
+        return bool(np.isfinite(self.neighbor_sq_dists).all())
+
+    def validate_sorted(self) -> bool:
+        """Internal invariant: rows sorted ascending by squared distance."""
+        sq = self.neighbor_sq_dists
+        return bool(np.all(sq[:, 1:] >= sq[:, :-1]))
+
+    def same_distances(self, other: "KNeighborhoodSystem", *, rtol: float = 1e-9, atol: float = 1e-10) -> bool:
+        """Distance-level equality (robust to ties permuting equal-distance ids)."""
+        if len(self) != len(other) or self.k != other.k:
+            return False
+        a, b = self.neighbor_sq_dists, other.neighbor_sq_dists
+        both_inf = np.isinf(a) & np.isinf(b)
+        return bool(np.allclose(np.where(both_inf, 0.0, a), np.where(both_inf, 0.0, b), rtol=rtol, atol=atol))
+
+
+def merge_neighbor_lists(
+    idx_a: np.ndarray,
+    sq_a: np.ndarray,
+    idx_b: np.ndarray,
+    sq_b: np.ndarray,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge two candidate lists for one point into its k best.
+
+    Inputs need not be sorted; duplicates (same index) are dropped keeping
+    the smaller distance; output is sorted by (distance, index) and padded
+    to length k with (-1, inf).
+    """
+    idx = np.concatenate([np.asarray(idx_a, dtype=np.int64), np.asarray(idx_b, dtype=np.int64)])
+    sq = np.concatenate([np.asarray(sq_a, dtype=np.float64), np.asarray(sq_b, dtype=np.float64)])
+    real = idx >= 0
+    idx, sq = idx[real], sq[real]
+    if idx.size:
+        # collapse duplicate ids to their smallest distance, then order the
+        # survivors by (distance, id)
+        uniq_ids, inv = np.unique(idx, return_inverse=True)
+        best_sq = np.full(uniq_ids.size, np.inf)
+        np.minimum.at(best_sq, inv, sq)
+        order = np.lexsort((uniq_ids, best_sq))
+        idx, sq = uniq_ids[order], best_sq[order]
+    out_idx = np.full(k, -1, dtype=np.int64)
+    out_sq = np.full(k, np.inf)
+    take = min(k, idx.size)
+    out_idx[:take] = idx[:take]
+    out_sq[:take] = sq[:take]
+    return out_idx, out_sq

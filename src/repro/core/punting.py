@@ -1,0 +1,181 @@
+"""The Punting Lemma machinery (Sections 4 and 6.4 of the paper).
+
+Two stochastic processes are analysed in the paper and simulated here:
+
+**Probabilistic (a, b)-trees** (Section 4).  A complete binary tree with n
+leaves; a node whose subtree has m leaves gets weight ``a(m)`` with
+probability ``1 - 1/m`` and ``b(m)`` with probability ``1/m``.  ``RD(n)``
+is the maximum over leaves of the sum of weights along the root path.  The
+Punting Lemma (4.1): for the (0, log m)-tree,
+
+    Pr[RD(n) > 2c log n] <= n * A * e^{-c log n},   A = e^{rho/(1-rho)},
+    rho = sqrt(e)/2,
+
+and Corollary 4.1 adds a constant ``C`` per node.  This models
+"run-A-first-if-unlucky-then-run-B": weight 0 is the fast correction,
+weight log m is the punt.
+
+**The weighted duplication process** (Section 6.4, Lemma 6.5).  Models the
+ball-marching: a node of weight w either (w.p. ``1/w^beta``) duplicates its
+full weight into both children (a bad separator that cuts everything) or
+splits ``w`` into ``w0`` and ``w - w0 + w^alpha`` where an *adversary*
+picks ``w0`` (the ``w^alpha`` term is the expected duplication of a good
+separator).  ``X(W, K)`` is the total leaf weight; Lemma 6.5 bounds it by
+``O(g(W) log W)`` with ``g(W) = W + 2^{(1-alpha)K}(1+eps) K W^alpha``.
+
+Both simulators are vectorized level-by-level so tails can be estimated
+from thousands of trials in the experiments (E6, E7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..util.rng import as_generator
+
+__all__ = [
+    "simulate_ab_tree",
+    "ab_tree_trials",
+    "DuplicationTrace",
+    "simulate_duplication",
+    "punted_weighted_depth",
+]
+
+
+def simulate_ab_tree(
+    n: int,
+    rng: object = None,
+    *,
+    a: Callable[[int], float] = lambda m: 0.0,
+    b: Callable[[int], float] = lambda m: math.log2(m),
+) -> float:
+    """One draw of RD(n): the max weighted root-leaf depth.
+
+    ``n`` must be a power of two >= 2.  Level ``l`` (root = 0) has ``2^l``
+    nodes, each with ``m = n / 2^l`` leaves below; each independently takes
+    weight ``b(m)`` with probability ``1/m``, else ``a(m)``.  Leaves
+    themselves (m = 1) carry no weight.  Vectorized: path sums propagate
+    down by repetition.
+    """
+    if n < 2 or (n & (n - 1)) != 0:
+        raise ValueError(f"n must be a power of two >= 2, got {n}")
+    gen = as_generator(rng)
+    levels = int(math.log2(n))
+    path = np.zeros(1)
+    for level in range(levels):
+        m = n >> level
+        count = 1 << level
+        bad = gen.random(count) < (1.0 / m)
+        weights = np.where(bad, float(b(m)), float(a(m)))
+        path = np.repeat(path + weights, 2)
+    return float(path.max())
+
+
+def ab_tree_trials(
+    n: int,
+    trials: int,
+    rng: object = None,
+    *,
+    a: Callable[[int], float] = lambda m: 0.0,
+    b: Callable[[int], float] = lambda m: math.log2(m),
+) -> np.ndarray:
+    """Independent draws of RD(n) (for tail-vs-bound plots, experiment E6)."""
+    gen = as_generator(rng)
+    return np.array([simulate_ab_tree(n, gen, a=a, b=b) for _ in range(trials)])
+
+
+@dataclass
+class DuplicationTrace:
+    """One run of the Section 6.4 duplication process."""
+
+    level_totals: List[float]
+    leaf_total: float
+    duplications: int
+
+    @property
+    def max_level_total(self) -> float:
+        return max(self.level_totals)
+
+
+def simulate_duplication(
+    W: float,
+    K: int,
+    rng: object = None,
+    *,
+    alpha: float = 0.9,
+    beta: Optional[float] = None,
+    w_bar: float = 8.0,
+    adversary: str = "half",
+) -> DuplicationTrace:
+    """Simulate the weighted duplication process on a depth-K binary tree.
+
+    Parameters mirror Lemma 6.5: ``alpha`` in ((2d-1)/(2d), 1) and
+    ``beta = alpha - (d-1)/d`` (default: chosen so alpha + beta > 1 via
+    ``beta = 2*alpha - 1`` when not given, the d-free analogue).  The
+    ``adversary`` picks ``w0`` on a good step: ``"half"`` (w/2),
+    ``"extreme"`` (keeps everything left), or ``"random"``.
+
+    Node recursion: weight ``w`` at height ``k``; stop when ``k == 0`` or
+    ``w <= w_bar``; else with probability ``w^-beta`` both children get
+    ``w`` (a duplication event), otherwise children get ``w0`` and
+    ``w - w0 + w^alpha``.
+    """
+    if not 0 < alpha < 1:
+        raise ValueError("alpha must be in (0, 1)")
+    b = beta if beta is not None else max(0.05, 2 * alpha - 1.0)
+    if adversary not in ("half", "extreme", "random"):
+        raise ValueError(f"unknown adversary {adversary!r}")
+    gen = as_generator(rng)
+    level_totals: List[float] = []
+    leaf_total = 0.0
+    duplications = 0
+    frontier = np.array([W], dtype=np.float64)
+    heights = K
+    for k in range(heights, -1, -1):
+        if frontier.size == 0:
+            break
+        level_totals.append(float(frontier.sum()))
+        stopped = (frontier <= w_bar) | (k == 0)
+        leaf_total += float(frontier[stopped].sum())
+        active = frontier[~stopped]
+        if active.size == 0:
+            frontier = np.empty(0)
+            continue
+        dup = gen.random(active.size) < active ** (-b)
+        duplications += int(dup.sum())
+        dup_children = np.repeat(active[dup], 2)
+        good = active[~dup]
+        if adversary == "half":
+            w0 = good / 2.0
+        elif adversary == "extreme":
+            w0 = good.copy()
+        else:
+            w0 = gen.random(good.size) * good
+        left = w0
+        right = good - w0 + good**alpha
+        frontier = np.concatenate([dup_children, left, right])
+        # drop zero-weight children (adversary "extreme" leaves nothing left)
+        frontier = frontier[frontier > 0]
+    return DuplicationTrace(level_totals=level_totals, leaf_total=leaf_total, duplications=duplications)
+
+
+def punted_weighted_depth(tree) -> float:
+    """Max over root-leaf paths of ``sum(log2 m_v)`` over punted nodes.
+
+    ``tree`` is a :class:`~repro.core.partition_tree.PartitionNode` whose
+    internal nodes carry ``meta["punted"]`` (set by the fast algorithm);
+    this is the random variable the Punting Lemma bounds for the real run
+    (Theorem 6.1's weight assignment w(v)).
+    """
+
+    def walk(node) -> float:
+        own = math.log2(max(2, node.size)) if node.meta.get("punted") else 0.0
+        if node.is_leaf:
+            return own
+        return own + max(walk(node.left), walk(node.right))
+
+    return walk(tree)

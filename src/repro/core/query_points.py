@@ -1,0 +1,104 @@
+"""k-NN queries for *new* points against a built partition tree.
+
+The divide and conquer's partition tree (Section 6) is not only scaffolding
+for corrections — it is a search structure.  For a query point q:
+
+1. descend to q's leaf and take the k nearest among the leaf's points
+   (a first, possibly too-large, radius estimate);
+2. march the ball B(q, r_k) down the tree exactly like a straddling ball
+   in Fast Correction (Lemma 6.3's reachability guarantees every point
+   within r_k is found);
+3. merge the found candidates — the radius can only shrink, so one round
+   is exact.
+
+This turns every :class:`~repro.core.fast_dnc.FastDnCResult` into a
+reusable index: build once with the paper's algorithm, query forever.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..geometry.points import as_points, pairwise_sq_dists_direct
+from .correction import march_balls
+from .neighborhood import merge_neighbor_lists
+from .partition_tree import PartitionNode
+
+__all__ = ["knn_query"]
+
+
+def knn_query(
+    tree: PartitionNode,
+    points: np.ndarray,
+    queries: np.ndarray,
+    k: int = 1,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact k nearest data points for each query row.
+
+    Parameters
+    ----------
+    tree:
+        Partition tree over ``points`` (e.g. ``FastDnCResult.tree``).
+    points:
+        The (n, d) data array the tree's leaf indices refer to.
+    queries:
+        (q, d) query points (need not be data points).
+    k:
+        Neighbors per query, ``1 <= k <= n``.
+
+    Returns
+    -------
+    (indices, sq_dists):
+        Each (q, k), sorted ascending by (distance, index); padded with
+        (-1, inf) when fewer than k data points exist.
+    """
+    pts = as_points(points, min_points=1)
+    qs = as_points(queries)
+    if pts.shape[1] != qs.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: data is {pts.shape[1]}-D, queries are {qs.shape[1]}-D"
+        )
+    n = pts.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must satisfy 1 <= k <= n, got k={k}, n={n}")
+    nq = qs.shape[0]
+    out_idx = np.full((nq, k), -1, dtype=np.int64)
+    out_sq = np.full((nq, k), np.inf)
+    if nq == 0:
+        return out_idx, out_sq
+
+    # phase 1: leaf estimates
+    radii = np.empty(nq)
+    for i in range(nq):
+        leaf = tree.leaf_of_point(qs[i])
+        ids = leaf.indices
+        if ids.shape[0]:
+            sq = pairwise_sq_dists_direct(qs[i : i + 1], pts[ids])[0]
+            take = min(k, ids.shape[0])
+            sel = np.argpartition(sq, take - 1)[:take] if take < ids.shape[0] else np.arange(ids.shape[0])
+            out_idx[i], out_sq[i] = merge_neighbor_lists(
+                ids[sel], sq[sel], np.empty(0, dtype=np.int64), np.empty(0), k
+            )
+        radii[i] = np.sqrt(out_sq[i, -1])  # inf when the leaf was too small
+
+    # phase 2: march the query balls; reachability finds every point
+    # within the current k-th distance, so merging is exact
+    result = march_balls(tree, pts, qs, radii)
+    if result.pairs:
+        order = np.argsort(result.ball_rows, kind="stable")
+        rows = result.ball_rows[order]
+        cands = result.point_ids[order]
+        bounds = np.flatnonzero(np.concatenate(([True], rows[1:] != rows[:-1])))
+        bounds = np.append(bounds, rows.shape[0])
+        for b in range(bounds.shape[0] - 1):
+            lo, hi = bounds[b], bounds[b + 1]
+            qi = int(rows[lo])
+            ids = cands[lo:hi]
+            diff = pts[ids] - qs[qi]
+            sq = np.einsum("md,md->m", diff, diff)
+            out_idx[qi], out_sq[qi] = merge_neighbor_lists(
+                out_idx[qi], out_sq[qi], ids, sq, k
+            )
+    return out_idx, out_sq

@@ -1,0 +1,185 @@
+"""Simple Parallel Divide-and-Conquer — the O(log^2 n) algorithm (Section 5).
+
+The stepping-stone algorithm (and, with its hyperplane cuts, a faithful
+stand-in for the Bentley / Cole–Goodrich baseline the paper compares
+against): split the points in half with a median hyperplane, recurse in
+parallel, then correct every ball that intersects the cut by building a
+neighborhood query structure over the straddlers and querying the opposite
+side's points — an O(log m)-depth correction at *every* level, which is
+where the second log factor comes from (Lemma 5.1).
+
+The correction is exact for the same reason as in the fast algorithm
+(Lemma 6.1 does not care whether the separator is a sphere or a plane);
+the difference is purely cost: a hyperplane can be crossed by Omega(n)
+k-NN balls (experiment E8), so there is no fast marching path to take.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..geometry.balls import BallSystem
+from ..geometry.points import as_points, kth_smallest_per_row, pairwise_sq_dists_direct
+from ..pvm.cost import Cost
+from ..pvm.machine import Machine
+from ..separators.hyperplane import find_median_hyperplane
+from ..util.rng import as_generator
+from .correction import apply_candidate_pairs, query_correction_pairs
+from .neighborhood import KNeighborhoodSystem
+from .partition_tree import PartitionNode
+from .query import QueryConfig
+
+__all__ = ["SimpleDnCConfig", "SimpleDnCStats", "SimpleDnCResult", "simple_parallel_dnc"]
+
+
+@dataclass(frozen=True)
+class SimpleDnCConfig:
+    """Parameters of the simple algorithm (see :class:`FastDnCConfig` for
+    the shared meanings of ``m0``/``base_factor``)."""
+
+    m0: int = 64
+    base_factor: int = 4
+    rotate_axes: bool = True
+    query: QueryConfig = field(default_factory=QueryConfig)
+
+    def base_size(self, k: int) -> int:
+        return max(self.m0, self.base_factor * (k + 1))
+
+
+@dataclass
+class SimpleDnCStats:
+    """Event counts of one run."""
+
+    nodes: int = 0
+    base_cases: int = 0
+    degenerate_cuts: int = 0
+    straddler_fraction: List[tuple[int, int]] = field(default_factory=list)
+
+
+@dataclass
+class SimpleDnCResult:
+    """Exact neighbor lists, the cut tree, statistics, and the cost ledger."""
+
+    system: KNeighborhoodSystem
+    tree: PartitionNode
+    stats: SimpleDnCStats
+    machine: Machine
+
+    @property
+    def cost(self) -> Cost:
+        return self.machine.total
+
+
+def simple_parallel_dnc(
+    points: np.ndarray,
+    k: int = 1,
+    *,
+    machine: Optional[Machine] = None,
+    seed: object = None,
+    config: SimpleDnCConfig = SimpleDnCConfig(),
+) -> SimpleDnCResult:
+    """Exact k-neighborhood system via hyperplane divide and conquer.
+
+    Same contract as
+    :func:`~repro.core.fast_dnc.parallel_nearest_neighborhood`; only the
+    measured cost profile differs (depth Theta(log^2 n), experiment E4).
+    """
+    pts = as_points(points, min_points=1)
+    n, d = pts.shape
+    if not 1 <= k < max(2, n):
+        raise ValueError(f"k must satisfy 1 <= k < n, got k={k}, n={n}")
+    if machine is None:
+        machine = Machine()
+    rng = as_generator(seed)
+    stats = SimpleDnCStats()
+    nbr_idx = np.full((n, k), -1, dtype=np.int64)
+    nbr_sq = np.full((n, k), np.inf)
+    base = config.base_size(k)
+
+    def brute(ids: np.ndarray) -> None:
+        m = ids.shape[0]
+        stats.base_cases += 1
+        with machine.section("base"):
+            machine.charge(Cost(float(m), float(m) * float(m)))
+        if m <= 1:
+            return
+        sub = pts[ids]
+        sq = pairwise_sq_dists_direct(sub, sub)
+        np.fill_diagonal(sq, np.inf)
+        kk = min(k, m - 1)
+        local_idx, local_sq = kth_smallest_per_row(sq, kk)
+        nbr_idx[ids, :kk] = ids[local_idx]
+        nbr_sq[ids, :kk] = local_sq
+
+    select_depth = 1.0 if k == 1 else 1.0 + math.log2(math.log2(k) + 2.0)
+
+    def correct(node: PartitionNode, in_ids: np.ndarray, ex_ids: np.ndarray) -> None:
+        sep = node.separator
+        assert sep is not None
+        m = node.size
+        for straddle_side, opposite in ((in_ids, ex_ids), (ex_ids, in_ids)):
+            if straddle_side.shape[0] == 0 or opposite.shape[0] == 0:
+                continue
+            radii = np.sqrt(nbr_sq[straddle_side, -1])
+            cls = sep.classify_balls(pts[straddle_side], radii)
+            machine.charge(machine.ewise_cost(straddle_side.shape[0], 2.0))
+            straddlers = straddle_side[cls == 0]
+            stats.straddler_fraction.append((m, int(straddlers.shape[0])))
+            if straddlers.shape[0] == 0:
+                continue
+            system = BallSystem(pts[straddlers], np.sqrt(nbr_sq[straddlers, -1]))
+            ball_rows, point_ids = query_correction_pairs(
+                system, pts[opposite], opposite, machine, rng, config.query
+            )
+            machine.charge(
+                Cost(select_depth, float(max(1, point_ids.shape[0] * (k + 1))))
+            )
+            apply_candidate_pairs(
+                pts, nbr_idx, nbr_sq, straddlers, ball_rows, point_ids, k
+            )
+
+    def solve(ids: np.ndarray, depth_level: int) -> PartitionNode:
+        m = ids.shape[0]
+        stats.nodes += 1
+        if m <= base:
+            brute(ids)
+            return PartitionNode(indices=ids)
+        axis = depth_level % d if config.rotate_axes else None
+        try:
+            with machine.section("divide"):
+                plane, _ = find_median_hyperplane(pts[ids], machine, axis=axis)
+        except ValueError:
+            try:
+                with machine.section("divide"):
+                    plane, _ = find_median_hyperplane(pts[ids], machine, axis=None)
+            except ValueError:
+                stats.degenerate_cuts += 1
+                brute(ids)
+                return PartitionNode(indices=ids)
+        side = plane.side_of_points(pts[ids])
+        machine.charge(machine.ewise_cost(m, 2.0))
+        machine.charge(machine.scan_cost(m).then(machine.permute_cost(m)))
+        in_ids = ids[side < 0]
+        ex_ids = ids[side > 0]
+        if in_ids.shape[0] == 0 or ex_ids.shape[0] == 0:
+            stats.degenerate_cuts += 1
+            brute(ids)
+            return PartitionNode(indices=ids)
+        children: List[Optional[PartitionNode]] = [None, None]
+        with machine.parallel() as par:
+            with par.branch():
+                children[0] = solve(in_ids, depth_level + 1)
+            with par.branch():
+                children[1] = solve(ex_ids, depth_level + 1)
+        node = PartitionNode(indices=ids, separator=plane, left=children[0], right=children[1])
+        with machine.section("correct"):
+            correct(node, in_ids, ex_ids)
+        return node
+
+    tree = solve(np.arange(n, dtype=np.int64), 0)
+    system = KNeighborhoodSystem(pts, k, nbr_idx, nbr_sq)
+    return SimpleDnCResult(system=system, tree=tree, stats=stats, machine=machine)

@@ -1,0 +1,101 @@
+"""Independent verification of k-neighborhood systems.
+
+The test suite mostly checks algorithm-vs-algorithm agreement; this module
+checks outputs against the *definition* (Section 5.1): ``B_i`` is the
+largest ball centered at ``p_i`` whose open interior contains at most
+``k - 1`` other points.  Concretely, for every point:
+
+1. **validity** — strictly fewer than k other points lie strictly inside
+   the reported radius;
+2. **maximality** — at least k other points lie within the closed radius
+   (the k-th neighbor sits exactly on the boundary);
+3. **list consistency** — the reported neighbor list's distances match
+   the actual point distances and are sorted.
+
+These checks are O(n^2) (they are *audits*, not algorithms) but chunked
+and vectorized, so auditing tens of thousands of points is cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..geometry.points import chunked_pairs, pairwise_sq_dists_direct
+from .neighborhood import KNeighborhoodSystem
+
+__all__ = ["VerificationReport", "verify_system"]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of an audit; falsy when any point fails."""
+
+    n: int
+    k: int
+    invalid_radius: List[int] = field(default_factory=list)
+    not_maximal: List[int] = field(default_factory=list)
+    bad_lists: List[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (self.invalid_radius or self.not_maximal or self.bad_lists)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"OK: {self.n} points audited against the k={self.k} definition"
+        return (
+            f"FAILED: invalid_radius={self.invalid_radius[:5]}... "
+            f"not_maximal={self.not_maximal[:5]}... bad_lists={self.bad_lists[:5]}..."
+        )
+
+
+def verify_system(
+    system: KNeighborhoodSystem,
+    *,
+    rtol: float = 1e-9,
+    chunk: int = 512,
+) -> VerificationReport:
+    """Audit a k-neighborhood system against its definition.
+
+    Points whose lists are padded (subproblems smaller than k+1 points)
+    are exempt from maximality — their ball is legitimately unbounded —
+    but still checked for validity of the finite prefix.
+    """
+    pts = system.points
+    n, k = len(system), system.k
+    report = VerificationReport(n=n, k=k)
+    nbr_sq = system.neighbor_sq_dists
+    nbr_idx = system.neighbor_indices
+    for lo, hi in chunked_pairs(n, chunk):
+        sq = pairwise_sq_dists_direct(pts[lo:hi], pts)
+        rows = np.arange(lo, hi)
+        sq[rows - lo, rows] = np.inf  # self does not count
+        radii_sq = nbr_sq[lo:hi, -1]
+        tol = rtol * (1.0 + np.where(np.isfinite(radii_sq), radii_sq, 0.0))
+        finite = np.isfinite(radii_sq)
+        inside = (sq < (radii_sq - tol)[:, None]) & finite[:, None]
+        strictly_inside = inside.sum(axis=1)
+        bad_valid = np.flatnonzero(strictly_inside > k - 1)
+        report.invalid_radius.extend((bad_valid + lo).tolist())
+        within_closed = (sq <= (radii_sq + tol)[:, None]).sum(axis=1)
+        bad_max = np.flatnonzero(finite & (within_closed < k))
+        report.not_maximal.extend((bad_max + lo).tolist())
+        # list consistency: reported distances equal actual distances
+        for i in range(lo, hi):
+            ids = nbr_idx[i]
+            real = ids >= 0
+            if not real.any():
+                continue
+            actual = sq[i - lo, ids[real]]
+            claimed = nbr_sq[i, real]
+            finite_prefix = nbr_sq[i, real]
+            sorted_ok = bool((np.diff(finite_prefix) >= -1e-12).all())
+            if not np.allclose(actual, claimed, rtol=1e-7, atol=1e-9) or not sorted_ok:
+                report.bad_lists.append(i)
+    return report

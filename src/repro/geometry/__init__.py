@@ -1,0 +1,52 @@
+"""Geometric substrate: points, spheres, ball systems, and the conformal
+machinery (stereographic lift, Radon/centerpoints, sphere maps) that the
+MTTV separator algorithm is built from.
+"""
+
+from .balls import BallSystem, union
+from .centerpoints import coordinate_median, iterated_radon_centerpoint, tukey_depth_estimate
+from .conformal import ConformalMap, rotation_to_pole
+from .kissing import KNOWN_KISSING, kissing_number, kissing_number_bounds
+from .points import (
+    as_points,
+    bounding_box,
+    chunked_pairs,
+    diameter_upper_bound,
+    kth_smallest_per_row,
+    pairwise_sq_dists,
+    sq_dists_to,
+)
+from .radon import radon_partition, radon_point
+from .spheres import Hyperplane, Separator, SideCounts, Sphere
+from .stereographic import SphereCap, circle_to_separator, lift, project, separator_to_circle
+
+__all__ = [
+    "BallSystem",
+    "union",
+    "coordinate_median",
+    "iterated_radon_centerpoint",
+    "tukey_depth_estimate",
+    "ConformalMap",
+    "rotation_to_pole",
+    "KNOWN_KISSING",
+    "kissing_number",
+    "kissing_number_bounds",
+    "as_points",
+    "bounding_box",
+    "chunked_pairs",
+    "diameter_upper_bound",
+    "kth_smallest_per_row",
+    "pairwise_sq_dists",
+    "sq_dists_to",
+    "radon_partition",
+    "radon_point",
+    "Hyperplane",
+    "Separator",
+    "SideCounts",
+    "Sphere",
+    "SphereCap",
+    "circle_to_separator",
+    "lift",
+    "project",
+    "separator_to_circle",
+]

@@ -1,0 +1,150 @@
+"""Neighborhood systems: finite collections of balls (Section 2 of the paper).
+
+A *d-dimensional neighborhood system* is a set of balls ``B_i = B(p_i, r_i)``.
+Key quantities reproduced here:
+
+- **ply** of a point (how many balls cover it) and the k-ply property;
+- the **k-neighborhood system** property (each ball's open interior contains
+  at most k centers);
+- the **intersection number** ``iota_B(S)`` of a separator — the size of the
+  separator set ``B_O(S)``;
+- the Density Lemma (Lemma 2.1) check: a k-neighborhood system is
+  ``tau_d * k``-ply, with ``tau_d`` the kissing number.
+
+These are the objects the query structure of Section 3 indexes and that the
+correction steps of Sections 5–6 march around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from .points import as_points, pairwise_sq_dists, sq_dists_to
+from .spheres import Separator
+
+__all__ = ["BallSystem"]
+
+
+@dataclass(frozen=True)
+class BallSystem:
+    """A finite collection of balls ``B(center_i, radius_i)`` in R^d.
+
+    ``radii`` may contain ``inf`` (balls of sub-problems too small to pin
+    down a k-th neighbor); such balls cover every point and intersect every
+    separator.
+    """
+
+    centers: np.ndarray
+    radii: np.ndarray
+
+    def __post_init__(self) -> None:
+        centers = as_points(self.centers, name="centers")
+        radii = np.asarray(self.radii, dtype=np.float64)
+        if radii.shape != (centers.shape[0],):
+            raise ValueError(
+                f"radii shape {radii.shape} does not match {centers.shape[0]} centers"
+            )
+        if np.any(np.isnan(radii)) or np.any(radii < 0):
+            raise ValueError("radii must be non-negative (inf allowed, nan not)")
+        object.__setattr__(self, "centers", centers)
+        object.__setattr__(self, "radii", radii)
+
+    def __len__(self) -> int:
+        return self.centers.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.centers.shape[1]
+
+    # -- coverage ---------------------------------------------------------
+
+    def covering(self, point: np.ndarray, *, closed: bool = False) -> np.ndarray:
+        """Indices of balls whose interior (or closure) contains ``point``."""
+        sq = sq_dists_to(self.centers, point)
+        r2 = np.square(self.radii)
+        mask = sq <= r2 if closed else sq < r2
+        mask |= np.isinf(self.radii)
+        return np.flatnonzero(mask)
+
+    def ply_of(self, points: np.ndarray, *, closed: bool = False) -> np.ndarray:
+        """Ply of each query point: number of balls covering it."""
+        pts = as_points(points)
+        sq = pairwise_sq_dists(pts, self.centers)
+        r2 = np.square(self.radii)[None, :]
+        mask = sq <= r2 if closed else sq < r2
+        mask |= np.isinf(self.radii)[None, :]
+        return mask.sum(axis=1)
+
+    def max_ply_at_centers(self) -> int:
+        """Max ply over the ball centers (a practical lower bound on ply).
+
+        The true ply is a sup over all of R^d; for k-neighborhood systems
+        the Density Lemma bounds it by ``tau_d * k`` and the centers are
+        where ply concentrates, so this is the standard empirical probe.
+        """
+        if len(self) == 0:
+            return 0
+        return int(self.ply_of(self.centers).max())
+
+    # -- k-neighborhood property -------------------------------------------
+
+    def centers_inside_counts(self, *, boundary_tol: float = 1e-9) -> np.ndarray:
+        """For each ball, how many centers lie in its *open* interior.
+
+        ``boundary_tol`` shrinks the strict test relatively so that points
+        mathematically *on* the boundary (the k-th neighbor defining the
+        radius) are not miscounted as interior after the sqrt/square
+        round-trip of radii.
+        """
+        sq = pairwise_sq_dists(self.centers, self.centers)
+        r2 = np.square(self.radii)[:, None]
+        mask = sq < r2 * (1.0 - boundary_tol)
+        mask |= np.isinf(self.radii)[:, None]
+        return mask.sum(axis=1)
+
+    def is_k_neighborhood_system(self, k: int, *, boundary_tol: float = 1e-9) -> bool:
+        """True when every ball's open interior holds <= k centers.
+
+        Note the paper counts the ball's own center: B_i is "the largest
+        ball centered at p_i whose interior contains at most k-1 points
+        *other than* viewing p_i itself"; since p_i is always interior we
+        test ``counts <= k`` (self + up to k-1 others).
+        """
+        if len(self) == 0:
+            return True
+        return bool(self.centers_inside_counts(boundary_tol=boundary_tol).max() <= k)
+
+    # -- separators ---------------------------------------------------------
+
+    def classify(self, separator: Separator) -> np.ndarray:
+        """-1 interior / +1 exterior / 0 intersecting, per ball."""
+        return separator.classify_balls(self.centers, self.radii)
+
+    def intersection_number(self, separator: Separator) -> int:
+        """``iota_B(S)``: how many balls the separator cuts."""
+        return int(np.count_nonzero(self.classify(separator) == 0))
+
+    def subset(self, indices: np.ndarray) -> "BallSystem":
+        """Sub-system of the given ball indices (copying, order-preserving)."""
+        idx = np.asarray(indices)
+        return BallSystem(self.centers[idx], self.radii[idx])
+
+    def take_mask(self, mask: np.ndarray) -> "BallSystem":
+        """Sub-system selected by a boolean mask."""
+        mask = np.asarray(mask, dtype=bool)
+        return BallSystem(self.centers[mask], self.radii[mask])
+
+
+def union(a: BallSystem, b: BallSystem) -> BallSystem:
+    """Concatenate two ball systems (no dedup)."""
+    if a.dim != b.dim:
+        raise ValueError("dimension mismatch")
+    return BallSystem(
+        np.concatenate([a.centers, b.centers], axis=0),
+        np.concatenate([a.radii, b.radii]),
+    )
+
+
+BallSystem.union = staticmethod(union)  # type: ignore[attr-defined]
+__all__.append("union")

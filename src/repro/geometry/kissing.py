@@ -1,0 +1,55 @@
+"""Kissing numbers tau_d (the Density Lemma constants).
+
+Lemma 2.1 of the paper: every k-neighborhood system in R^d is
+``tau_d * k``-ply, where ``tau_d`` is the maximum number of nonoverlapping
+unit balls that can touch a central unit ball.
+
+Exact values are known only for d in {1, 2, 3, 4, 8, 24}; elsewhere we
+expose the best published bounds (enough for the Density-Lemma experiment,
+which only needs an upper bound).
+"""
+
+from __future__ import annotations
+
+__all__ = ["kissing_number", "kissing_number_bounds", "KNOWN_KISSING"]
+
+# exact values
+KNOWN_KISSING: dict[int, int] = {1: 2, 2: 6, 3: 12, 4: 24, 8: 240, 24: 196560}
+
+# (lower, upper) published bounds for small d where the value is open
+_BOUNDS: dict[int, tuple[int, int]] = {
+    5: (40, 44),
+    6: (72, 78),
+    7: (126, 134),
+    9: (306, 364),
+    10: (510, 554),
+}
+
+
+def kissing_number(d: int) -> int:
+    """Upper bound on tau_d (exact where known).
+
+    For dimensions with open values this returns the published upper
+    bound; for large d it falls back to the classical ``3^d - 1`` bound
+    (any two centers of kissing balls subtend an angle >= 60 degrees, so a
+    volume argument bounds the count by 3^d - 1).
+    """
+    if d < 1:
+        raise ValueError("dimension must be >= 1")
+    if d in KNOWN_KISSING:
+        return KNOWN_KISSING[d]
+    if d in _BOUNDS:
+        return _BOUNDS[d][1]
+    return 3**d - 1
+
+
+def kissing_number_bounds(d: int) -> tuple[int, int]:
+    """(lower, upper) bounds on tau_d."""
+    if d < 1:
+        raise ValueError("dimension must be >= 1")
+    if d in KNOWN_KISSING:
+        v = KNOWN_KISSING[d]
+        return v, v
+    if d in _BOUNDS:
+        return _BOUNDS[d]
+    return 2 * d, 3**d - 1

@@ -1,0 +1,65 @@
+"""Radon partitions and Radon points.
+
+Radon's theorem: any ``dim + 2`` points in R^dim can be split into two
+groups whose convex hulls intersect; a point in the intersection is a
+*Radon point*.  Iterating Radon points is the classical way to compute
+approximate centerpoints (Clarkson–Eppstein–Miller–Sturtivant–Teng), which
+is exactly what the MTTV separator needs on the lifted point set.
+
+Computation: stack the points as columns of the ``(dim+1, m)`` matrix with
+an all-ones last row; any nullspace vector ``alpha`` (nonzero, summing to
+zero with ``sum alpha_i x_i = 0``) yields the partition by sign, and the
+Radon point is the convex combination of the positive part::
+
+    q = sum_{alpha_i > 0} alpha_i x_i / sum_{alpha_i > 0} alpha_i
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["radon_point", "radon_partition"]
+
+
+def _affine_nullvector(points: np.ndarray) -> np.ndarray:
+    """A nonzero alpha with ``sum alpha_i = 0`` and ``sum alpha_i x_i = 0``."""
+    pts = np.asarray(points, dtype=np.float64)
+    m, dim = pts.shape
+    if m < dim + 2:
+        raise ValueError(f"need at least dim+2 = {dim + 2} points, got {m}")
+    system = np.vstack([pts.T, np.ones((1, m))])  # (dim+1, m)
+    # smallest right singular vector spans (an element of) the nullspace
+    _, s, vt = np.linalg.svd(system)
+    alpha = vt[-1]
+    if np.linalg.norm(alpha) == 0:  # pragma: no cover - svd returns unit vectors
+        raise np.linalg.LinAlgError("degenerate nullspace")
+    return alpha
+
+
+def radon_partition(points: np.ndarray, *, tol: float = 1e-12) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Radon partition of >= dim+2 points.
+
+    Returns ``(alpha, positive_mask, negative_mask)``; indices where
+    ``|alpha| <= tol`` belong to neither side (they are not needed for the
+    intersection witness).  Both sides are guaranteed non-empty.
+    """
+    alpha = _affine_nullvector(points)
+    # scale so the largest magnitude is 1, making tol meaningful
+    alpha = alpha / np.abs(alpha).max()
+    pos = alpha > tol
+    neg = alpha < -tol
+    if not pos.any() or not neg.any():
+        raise np.linalg.LinAlgError(
+            "degenerate Radon partition (points affinely dependent in a bad way)"
+        )
+    return alpha, pos, neg
+
+
+def radon_point(points: np.ndarray) -> np.ndarray:
+    """A point in the intersection of the two Radon-partition hulls."""
+    pts = np.asarray(points, dtype=np.float64)
+    alpha, pos, _ = radon_partition(pts)
+    w = alpha[pos]
+    return (w[:, None] * pts[pos]).sum(axis=0) / w.sum()

@@ -1,0 +1,45 @@
+"""Parallel vector model substrate (Blelloch scan-vector machine, simulated).
+
+The paper states its bounds in a data-parallel machine model with a SCAN
+primitive.  This subpackage simulates that machine: numpy executes the data
+movement while a structural (depth, work) ledger records what the idealised
+machine would pay, including ``max``-depth composition of parallel recursive
+calls and a configurable SCAN cost policy (unit / log / loglog).
+"""
+
+from .cost import Cost, ZERO, par, seq
+from .machine import Machine, SCAN_POLICIES
+from .scheduler import SchedulePoint, brent_time, efficiency, schedule_curve, speedup
+from . import primitives, sorting
+from .sorting import (
+    argsort_radix,
+    floyd_rivest_select,
+    parallel_k_smallest,
+    random_permutation,
+    randomized_select,
+    split_radix_sort,
+)
+from .vector import PVector
+
+__all__ = [
+    "Cost",
+    "ZERO",
+    "par",
+    "seq",
+    "Machine",
+    "SCAN_POLICIES",
+    "brent_time",
+    "speedup",
+    "efficiency",
+    "schedule_curve",
+    "SchedulePoint",
+    "primitives",
+    "sorting",
+    "argsort_radix",
+    "floyd_rivest_select",
+    "parallel_k_smallest",
+    "random_permutation",
+    "randomized_select",
+    "split_radix_sort",
+    "PVector",
+]

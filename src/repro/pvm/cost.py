@@ -1,0 +1,114 @@
+"""Depth/work cost algebra for the parallel vector model.
+
+The paper's complexity claims are stated in Blelloch's *parallel vector
+model* (a PRAM augmented with a SCAN primitive).  An algorithm in this model
+has two intrinsic costs:
+
+``depth``
+    the length of the critical path — the number of primitive vector steps
+    that must happen one after another ("parallel time" with unbounded
+    processors), and
+
+``work``
+    the total number of scalar operations across all vector steps
+    ("element count" summed over every primitive call).
+
+Both compose in exactly two ways: *sequential* composition adds both
+components; *parallel* composition adds work but takes the maximum depth.
+This module implements that algebra as a small immutable value type so
+algorithms can return and combine costs explicitly, and so that tests can
+assert algebraic laws (associativity, identity, monotonicity) with
+hypothesis.
+
+Brent's scheduling principle converts a ``Cost`` into simulated running time
+on ``p`` physical processors: ``T_p <= work / p + depth``.  That conversion
+lives in :mod:`repro.pvm.scheduler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["Cost", "ZERO", "seq", "par"]
+
+
+@dataclass(frozen=True, slots=True)
+class Cost:
+    """An immutable (depth, work) pair in the scan-vector cost model.
+
+    Parameters
+    ----------
+    depth:
+        Critical-path length in primitive vector steps.  Must be >= 0.
+    work:
+        Total scalar operations.  Must be >= 0 and >= 0 whenever depth > 0.
+
+    Notes
+    -----
+    ``Cost`` forms a commutative monoid under both compositions, with
+    ``Cost(0, 0)`` as the shared identity.  ``a | b`` (parallel) never has
+    larger depth than ``a + b`` (sequential); tests rely on this.
+    """
+
+    depth: float = 0.0
+    work: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.depth < 0 or self.work < 0:
+            raise ValueError(
+                f"cost components must be non-negative, got depth={self.depth} work={self.work}"
+            )
+
+    def then(self, other: "Cost") -> "Cost":
+        """Sequential composition: run ``self``, then ``other``."""
+        return Cost(self.depth + other.depth, self.work + other.work)
+
+    def beside(self, other: "Cost") -> "Cost":
+        """Parallel composition: run ``self`` and ``other`` concurrently."""
+        return Cost(max(self.depth, other.depth), self.work + other.work)
+
+    def __add__(self, other: "Cost") -> "Cost":
+        if not isinstance(other, Cost):
+            return NotImplemented
+        return self.then(other)
+
+    def __or__(self, other: "Cost") -> "Cost":
+        if not isinstance(other, Cost):
+            return NotImplemented
+        return self.beside(other)
+
+    def scaled(self, times: float) -> "Cost":
+        """Cost of ``times`` sequential repetitions of ``self``."""
+        if times < 0:
+            raise ValueError("repetition count must be non-negative")
+        return Cost(self.depth * times, self.work * times)
+
+    @property
+    def parallelism(self) -> float:
+        """Average parallelism work/depth (``inf`` when depth is 0 and work > 0)."""
+        if self.depth == 0:
+            return float("inf") if self.work > 0 else 0.0
+        return self.work / self.depth
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Cost(depth={self.depth:g}, work={self.work:g})"
+
+
+ZERO = Cost(0.0, 0.0)
+
+
+def seq(costs: Iterable[Cost]) -> Cost:
+    """Sequential composition of an iterable of costs (identity: ``ZERO``)."""
+    total = ZERO
+    for c in costs:
+        total = total.then(c)
+    return total
+
+
+def par(costs: Iterable[Cost]) -> Cost:
+    """Parallel composition of an iterable of costs (identity: ``ZERO``)."""
+    total = ZERO
+    for c in costs:
+        total = total.beside(c)
+    return total

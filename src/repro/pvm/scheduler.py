@@ -1,0 +1,67 @@
+"""Brent scheduling: from (depth, work) to time on p processors.
+
+The parallel vector model charges unbounded-processor costs.  Brent's
+principle maps them onto any fixed processor count::
+
+    W / p  <=  T_p  <=  W / p + D
+
+where ``W`` is work, ``D`` is depth.  We report the upper bound (a greedy
+scheduler achieves it), which is what "n processors, O(log n) time" means
+operationally in the paper: with ``p = n`` and ``W = O(n)``, ``D = O(log n)``
+the bound is ``O(log n)``.
+
+This module also produces speedup/efficiency tables used by experiment E11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .cost import Cost
+
+__all__ = ["brent_time", "speedup", "efficiency", "SchedulePoint", "schedule_curve"]
+
+
+def brent_time(cost: Cost, processors: int) -> float:
+    """Greedy-schedule upper bound ``W/p + D`` for ``cost`` on ``processors``."""
+    if processors < 1:
+        raise ValueError("processor count must be >= 1")
+    return cost.work / processors + cost.depth
+
+
+def speedup(cost: Cost, processors: int) -> float:
+    """T_1 / T_p with T_1 = work (a single processor just executes the work)."""
+    t1 = cost.work if cost.work > 0 else cost.depth
+    tp = brent_time(cost, processors)
+    return t1 / tp if tp > 0 else float("inf")
+
+
+def efficiency(cost: Cost, processors: int) -> float:
+    """Speedup per processor, in (0, 1]."""
+    return speedup(cost, processors) / processors
+
+
+@dataclass(frozen=True, slots=True)
+class SchedulePoint:
+    """One row of a scaling table: processors vs simulated time."""
+
+    processors: int
+    time: float
+    speedup: float
+    efficiency: float
+
+
+def schedule_curve(cost: Cost, processor_counts: Sequence[int]) -> List[SchedulePoint]:
+    """Brent-scheduled scaling curve over a list of processor counts."""
+    points = []
+    for p in processor_counts:
+        points.append(
+            SchedulePoint(
+                processors=p,
+                time=brent_time(cost, p),
+                speedup=speedup(cost, p),
+                efficiency=efficiency(cost, p),
+            )
+        )
+    return points

@@ -1,0 +1,210 @@
+"""Sorting, permutation and selection as scan-vector programs.
+
+Section 1 of the paper: "If we use more complicated constructions
+including random permuting, integer sorting, and selection, then all the
+algorithms presented in the paper can be implemented on a CRCW PRAM with
+only an extra O(log log) factor".  This module provides those three
+constructions in the simulated model, with their textbook scan-vector
+costs:
+
+- :func:`split_radix_sort` — Blelloch's classic radix sort: one stable
+  ``split`` (two scans + permute) per key bit; depth O(bits) scans, work
+  O(bits · n).
+- :func:`random_permutation` — draw random keys and radix-sort them (the
+  paper's "random permuting").
+- :func:`randomized_select` — quickselect with scans: each round is O(1)
+  scans and shrinks the candidate set geometrically in expectation, so
+  expected depth O(log n) scan-steps; and
+- :func:`floyd_rivest_select` — the two-pass sampling selection whose
+  expected round count is O(1) (the engine behind the paper's
+  O(log log k) k-smallest remark in §6.2).
+
+All functions execute with numpy and charge the machine ledger exactly
+what the scan-vector program would pay.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .cost import Cost
+from .machine import Machine
+
+__all__ = [
+    "split_radix_sort",
+    "argsort_radix",
+    "random_permutation",
+    "randomized_select",
+    "floyd_rivest_select",
+    "parallel_k_smallest",
+]
+
+
+def _bits_needed(keys: np.ndarray) -> int:
+    if keys.size == 0:
+        return 1
+    top = int(keys.max())
+    return max(1, top.bit_length())
+
+
+def split_radix_sort(
+    machine: Machine, keys: np.ndarray, bits: Optional[int] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stable LSD radix sort of non-negative integer keys.
+
+    Returns ``(sorted_keys, order)`` with ``sorted_keys = keys[order]``.
+    One bit per pass, each pass a stable split (scan + scan + permute):
+    depth = ``bits * (2 scans + 1 permute)``, work O(bits * n) — the
+    canonical scan-vector sort.
+    """
+    arr = np.asarray(keys)
+    if arr.ndim != 1:
+        raise ValueError("keys must be a 1-D vector")
+    if arr.size and not np.issubdtype(arr.dtype, np.integer):
+        raise TypeError("radix sort takes integer keys")
+    if arr.size and int(arr.min()) < 0:
+        raise ValueError("radix sort takes non-negative keys")
+    n = arr.shape[0]
+    nbits = bits if bits is not None else _bits_needed(arr)
+    order = np.arange(n, dtype=np.int64)
+    current = arr.copy()
+    for b in range(nbits):
+        machine.charge(machine.ewise_cost(n))  # extract the bit
+        machine.charge(machine.scan_cost(n).scaled(2.0))  # offsets of 0s and 1s
+        machine.charge(machine.permute_cost(n))
+        bit = (current >> b) & 1
+        idx = np.argsort(bit, kind="stable")
+        current = current[idx]
+        order = order[idx]
+    return current, order
+
+
+def argsort_radix(machine: Machine, keys: np.ndarray, bits: Optional[int] = None) -> np.ndarray:
+    """The permutation that stably sorts integer ``keys``."""
+    _, order = split_radix_sort(machine, keys, bits=bits)
+    return order
+
+
+def random_permutation(machine: Machine, rng: np.random.Generator, n: int) -> np.ndarray:
+    """A uniformly random permutation of range(n), by sorting random keys.
+
+    The paper's "random permuting": draw ~2 log n-bit keys (collisions are
+    broken stably and do not bias noticeably at these widths) and radix
+    sort.  Depth O(log n) scan-steps, work O(n log n).
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    bits = max(1, 2 * int(math.ceil(math.log2(max(n, 2)))))
+    machine.charge(machine.ewise_cost(n))  # draw the keys
+    keys = rng.integers(0, 1 << bits, size=n)
+    return argsort_radix(machine, keys, bits=bits)
+
+
+def randomized_select(machine: Machine, values: np.ndarray, k: int):
+    """The k-th smallest element (k is 1-based), by quickselect with scans.
+
+    Each round: pick a random pivot, three-way count with one elementwise
+    pass and scans, recurse into the surviving class.  Expected O(log n)
+    rounds of O(1) scans; work O(n) expected (geometric series).
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    n = arr.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k={k} out of range for n={n}")
+    rng = np.random.default_rng(int(abs(float(arr.sum()) * 1e6)) % (2**32))
+    current = arr
+    kk = k
+    while True:
+        m = current.shape[0]
+        if m <= 8:
+            machine.charge(machine.serial_cost(m * 3))
+            return float(np.sort(current)[kk - 1])
+        machine.charge(machine.ewise_cost(m, 2.0))
+        machine.charge(machine.scan_cost(m).scaled(2.0))
+        machine.charge(machine.permute_cost(m))
+        pivot = current[rng.integers(m)]
+        less = current[current < pivot]
+        equal_count = int((current == pivot).sum())
+        if kk <= less.shape[0]:
+            current = less
+        elif kk <= less.shape[0] + equal_count:
+            return float(pivot)
+        else:
+            kk -= less.shape[0] + equal_count
+            current = current[current > pivot]
+
+
+def floyd_rivest_select(machine: Machine, values: np.ndarray, k: int, *, _depth: int = 0):
+    """The k-th smallest element by two-pass sampling (Floyd–Rivest).
+
+    Samples ~n^{2/3} elements, selects two pivots bracketing the target
+    rank with high probability, keeps only the elements between them
+    (expected O(n^{2/3} log n) survivors), and finishes recursively.  The
+    expected number of passes is O(1) — this is the doubly-logarithmic
+    selection engine behind the paper's O(log log k) k-closest remark.
+    Charged: O(1) elementwise + scan steps per pass.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    n = arr.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k={k} out of range for n={n}")
+    if n <= 64 or _depth >= 4:
+        # constant-size residue: sort it with a scan-based network on n
+        # processors — depth O(log n), work O(n log n) — and read off rank k
+        logn = float(max(1, math.ceil(math.log2(max(n, 2)))))
+        machine.charge(Cost(logn + 1.0, float(n) * (logn + 1.0)))
+        return float(np.partition(arr, k - 1)[k - 1])
+    rng = np.random.default_rng((n * 2654435761 + k) % (2**32))
+    sample_size = max(16, int(round(n ** (2.0 / 3.0))))
+    machine.charge(machine.ewise_cost(n))  # mark the sample
+    sample = rng.choice(arr, size=sample_size, replace=False)
+    # bracket the target rank within the sample
+    ratio = k / n
+    spread = math.sqrt(sample_size) * 1.5
+    lo_rank = max(1, int(ratio * sample_size - spread))
+    hi_rank = min(sample_size, int(ratio * sample_size + spread) + 1)
+    # the two sample pivots are found by the same doubly-logarithmic
+    # recursion on the (much smaller) sample; charge that recursion's
+    # depth, O(log log sample), instead of re-simulating it
+    loglog = math.ceil(math.log2(max(2.0, math.log2(sample_size)))) + 2.0
+    machine.charge(Cost(2.0 * loglog, 2.0 * float(sample_size)))
+    lo = float(np.partition(sample, lo_rank - 1)[lo_rank - 1])
+    hi = float(np.partition(sample, hi_rank - 1)[hi_rank - 1])
+    machine.charge(machine.ewise_cost(n, 2.0))
+    machine.charge(machine.scan_cost(n).scaled(2.0))
+    machine.charge(machine.permute_cost(n))
+    below = int((arr < lo).sum())
+    middle = arr[(arr >= lo) & (arr <= hi)]
+    if below < k <= below + middle.shape[0]:
+        return floyd_rivest_select(machine, middle, k - below, _depth=_depth + 1)
+    # the sample misled us (low probability): fall back on the full array
+    machine.bump("floyd_rivest_retries")
+    return randomized_select(machine, arr, k)
+
+
+def parallel_k_smallest(machine: Machine, values: np.ndarray, k: int) -> np.ndarray:
+    """The k smallest values, sorted ascending — §6.2's k-closest step.
+
+    Select the k-th smallest with Floyd–Rivest (expected O(1) passes),
+    keep everything at most that threshold with one pack, then sort the
+    survivors (k small: one radix pass over ranks is charged as
+    ``log2(k)+1`` scan-steps, the paper's O(log log k)-ish tail is the
+    selection, not the sort, for constant k).
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    n = arr.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k={k} out of range for n={n}")
+    threshold = floyd_rivest_select(machine, arr, k)
+    machine.charge(machine.ewise_cost(n))
+    machine.charge(machine.scan_cost(n).then(machine.permute_cost(n)))
+    kept = arr[arr <= threshold]
+    # duplicates of the threshold may push us past k; keep exactly k
+    machine.charge(Cost(max(1.0, math.log2(k) + 1.0), float(kept.shape[0])))
+    out = np.sort(kept)[:k]
+    return out

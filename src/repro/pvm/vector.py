@@ -1,0 +1,204 @@
+"""PVector: a data-parallel array bound to a machine ledger.
+
+The primitives in :mod:`repro.pvm.primitives` are free functions taking an
+explicit machine; that is the right interface for algorithm internals, but
+exploratory code reads better with an array type whose *operators* charge
+the ledger automatically — the programming style of Blelloch's NESL /
+scan-vector lisp that the paper's model comes from::
+
+    v = PVector.iota(m, 8)
+    w = (v * 2 + 1).scan()        # elementwise ops + prefix sum, all charged
+    evens = v[v % 2 == 0]         # comparison + pack
+
+Every operation charges exactly what the corresponding primitive would:
+elementwise ops cost (1, n); reductions and scans cost one SCAN; boolean
+selection costs a scan plus a permute.  Mixed PVector/scalar arithmetic is
+supported; mixing vectors bound to *different* machines is an error (two
+ledgers cannot share one instruction).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+import numpy as np
+
+from . import primitives as P
+from .machine import Machine
+
+__all__ = ["PVector"]
+
+Scalar = Union[int, float, bool, np.integer, np.floating, np.bool_]
+
+
+class PVector:
+    """A 1-D vector living on a simulated scan-vector machine.
+
+    Wraps a numpy array plus the :class:`Machine` whose ledger pays for
+    operations on it.  Instances are immutable by convention: operations
+    return new vectors.
+    """
+
+    __slots__ = ("machine", "data")
+
+    def __init__(self, machine: Machine, data: np.ndarray) -> None:
+        arr = np.asarray(data)
+        if arr.ndim != 1:
+            raise ValueError(f"PVector is 1-D; got shape {arr.shape}")
+        self.machine = machine
+        self.data = arr
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_array(cls, machine: Machine, data: np.ndarray) -> "PVector":
+        """Wrap an existing host array (free: no machine charge)."""
+        return cls(machine, np.asarray(data))
+
+    @classmethod
+    def iota(cls, machine: Machine, n: int) -> "PVector":
+        """The index vector [0, 1, ..., n-1] (one elementwise step)."""
+        machine.charge(machine.ewise_cost(n))
+        return cls(machine, np.arange(n))
+
+    @classmethod
+    def full(cls, machine: Machine, n: int, value: Scalar) -> "PVector":
+        """A constant vector (the distribute primitive)."""
+        return cls(machine, P.distribute(machine, value, n))
+
+    # -- basics -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.data.shape[0])
+
+    def to_numpy(self) -> np.ndarray:
+        """The host array (free; reading results costs nothing)."""
+        return self.data
+
+    def _coerce(self, other: object) -> np.ndarray | Scalar:
+        if isinstance(other, PVector):
+            if other.machine is not self.machine:
+                raise ValueError("cannot mix vectors bound to different machines")
+            if len(other) != len(self):
+                raise ValueError(f"length mismatch: {len(self)} vs {len(other)}")
+            return other.data
+        if isinstance(other, (int, float, bool, np.integer, np.floating, np.bool_)):
+            return other
+        raise TypeError(f"unsupported operand type {type(other).__name__}")
+
+    def _ewise(self, fn: Callable[[np.ndarray], np.ndarray], steps: float = 1.0) -> "PVector":
+        out = fn(self.data)
+        self.machine.charge(self.machine.ewise_cost(len(self), steps))
+        return PVector(self.machine, out)
+
+    def _binop(self, other: object, fn) -> "PVector":
+        rhs = self._coerce(other)
+        out = fn(self.data, rhs)
+        self.machine.charge(self.machine.ewise_cost(len(self)))
+        return PVector(self.machine, out)
+
+    # -- arithmetic --------------------------------------------------------------
+
+    def __add__(self, other):
+        return self._binop(other, np.add)
+
+    def __radd__(self, other):
+        return self._binop(other, lambda a, b: np.add(b, a))
+
+    def __sub__(self, other):
+        return self._binop(other, np.subtract)
+
+    def __rsub__(self, other):
+        return self._binop(other, lambda a, b: np.subtract(b, a))
+
+    def __mul__(self, other):
+        return self._binop(other, np.multiply)
+
+    def __rmul__(self, other):
+        return self._binop(other, lambda a, b: np.multiply(b, a))
+
+    def __truediv__(self, other):
+        return self._binop(other, np.divide)
+
+    def __mod__(self, other):
+        return self._binop(other, np.mod)
+
+    def __neg__(self):
+        return self._ewise(np.negative)
+
+    def __abs__(self):
+        return self._ewise(np.abs)
+
+    # -- comparisons (produce boolean PVectors) ------------------------------------
+
+    def __lt__(self, other):
+        return self._binop(other, np.less)
+
+    def __le__(self, other):
+        return self._binop(other, np.less_equal)
+
+    def __gt__(self, other):
+        return self._binop(other, np.greater)
+
+    def __ge__(self, other):
+        return self._binop(other, np.greater_equal)
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._binop(other, np.equal)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._binop(other, np.not_equal)
+
+    __hash__ = None  # type: ignore[assignment]
+
+    # -- collective operations -------------------------------------------------------
+
+    def scan(self, op: str = "add", inclusive: bool = False) -> "PVector":
+        """Prefix scan (the model's namesake primitive)."""
+        return PVector(self.machine, P.scan(self.machine, self.data, op=op, inclusive=inclusive))
+
+    def reduce(self, op: str = "add"):
+        """Reduce to a scalar (one SCAN charge)."""
+        return P.reduce(self.machine, self.data, op=op)
+
+    def pack(self, mask: "PVector") -> "PVector":
+        """Select elements where ``mask`` is true (scan + permute)."""
+        m = self._coerce(mask)
+        return PVector(self.machine, P.pack(self.machine, self.data, np.asarray(m, dtype=bool)))
+
+    def __getitem__(self, key):
+        if isinstance(key, PVector):
+            if key.data.dtype == np.bool_:
+                return self.pack(key)
+            return self.gather(key)
+        raise TypeError("PVector indexing takes a boolean or integer PVector")
+
+    def gather(self, index: "PVector") -> "PVector":
+        """Backpermute: ``out[i] = self[index[i]]``."""
+        idx = self._coerce_index(index)
+        return PVector(self.machine, P.gather(self.machine, self.data, idx))
+
+    def permute(self, index: "PVector") -> "PVector":
+        """Forward permute: ``out[index[i]] = self[i]``."""
+        idx = self._coerce_index(index)
+        if idx.shape[0] != len(self):
+            raise ValueError("permutation must have the vector's length")
+        return PVector(self.machine, P.permute(self.machine, self.data, idx))
+
+    def _coerce_index(self, index: "PVector") -> np.ndarray:
+        if not isinstance(index, PVector):
+            raise TypeError("index must be a PVector")
+        if index.machine is not self.machine:
+            raise ValueError("cannot mix vectors bound to different machines")
+        if not np.issubdtype(index.data.dtype, np.integer):
+            raise TypeError("index vector must be integer-typed")
+        return index.data
+
+    def split(self, flags: "PVector") -> tuple["PVector", "PVector"]:
+        """Stable two-way partition by a boolean flag vector."""
+        f = np.asarray(self._coerce(flags), dtype=bool)
+        lo, hi = P.split(self.machine, self.data, f)
+        return PVector(self.machine, lo), PVector(self.machine, hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PVector(n={len(self)}, dtype={self.data.dtype})"

@@ -1,0 +1,83 @@
+"""Hyperplane cuts — the Bentley / Cole–Goodrich baseline.
+
+Bentley's multi-dimensional divide and conquer "picks the hyperplane by
+translating a fixed hyperplane until the points are divided in half".  The
+paper's critique (Section 1): the number of k-NN balls crossing such a cut
+can be Omega(n), which is exactly what experiment E8 measures against the
+sphere separator.
+
+``median_hyperplane`` reproduces the baseline cut: an axis-aligned
+hyperplane through the median coordinate.  In the scan-vector model the
+median is found by randomized selection with scans — expected O(1) rounds
+of (elementwise compare + scan); we charge a small constant number of such
+rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..geometry.points import as_points
+from ..geometry.spheres import Hyperplane
+from ..pvm.machine import Machine
+
+__all__ = ["median_hyperplane", "find_median_hyperplane"]
+
+# expected rounds of randomized selection-by-scan charged per cut
+_SELECTION_ROUNDS = 4.0
+
+
+def median_hyperplane(points: np.ndarray, axis: Optional[int] = None) -> Hyperplane:
+    """Axis-aligned hyperplane through the median, splitting points ~ in half.
+
+    ``axis=None`` picks the axis of largest spread (Bentley rotates through
+    axes level by level; largest spread is the standard robust choice and
+    any fixed rule satisfies the analysis).  The threshold is nudged to the
+    midpoint between the two middle order statistics so that, in generic
+    position, sides differ by at most one point.  Raises ``ValueError``
+    when every candidate axis is degenerate (all coordinates equal).
+    """
+    pts = as_points(points, min_points=2)
+    n, d = pts.shape
+    axes = [axis] if axis is not None else list(np.argsort(-(pts.max(0) - pts.min(0))))
+    for ax in axes:
+        col = pts[:, ax]
+        lo = np.partition(col, (n - 1) // 2)[(n - 1) // 2]
+        hi = np.partition(col, n // 2)[n // 2]
+        threshold = 0.5 * (lo + hi)
+        below = int(np.count_nonzero(col <= threshold))
+        if 0 < below < n:
+            normal = np.zeros(d)
+            normal[ax] = 1.0
+            return Hyperplane(normal, threshold)
+        # threshold may equal the min or max under heavy duplication; try
+        # pushing the plane to the other side of the tie block
+        uniq = np.unique(col)
+        if uniq.shape[0] >= 2:
+            mid = 0.5 * (uniq[0] + uniq[1]) if below == n else 0.5 * (uniq[-2] + uniq[-1])
+            below = int(np.count_nonzero(col <= mid))
+            if 0 < below < n:
+                normal = np.zeros(d)
+                normal[ax] = 1.0
+                return Hyperplane(normal, mid)
+    raise ValueError("all points identical along every axis; no hyperplane splits them")
+
+
+def find_median_hyperplane(
+    points: np.ndarray, machine: Machine, axis: Optional[int] = None
+) -> Tuple[Hyperplane, int]:
+    """Median cut with scan-vector cost accounting.
+
+    Charges ``_SELECTION_ROUNDS`` rounds of (compare + scan) over n — the
+    expected cost of randomized median selection with a SCAN primitive.
+    Returns ``(hyperplane, 1)`` (one "attempt", for symmetry with
+    :func:`repro.separators.unit_time.find_good_separator`).
+    """
+    pts = as_points(points, min_points=2)
+    n = pts.shape[0]
+    machine.charge(machine.ewise_cost(n, _SELECTION_ROUNDS))
+    machine.charge(machine.scan_cost(n).scaled(_SELECTION_ROUNDS))
+    machine.bump("hyperplane_cuts")
+    return median_hyperplane(pts, axis=axis), 1

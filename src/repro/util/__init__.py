@@ -1,0 +1,12 @@
+"""Shared utilities: RNG plumbing and argument validation."""
+
+from .rng import as_generator, spawn
+from .validation import check_in_range, check_positive_int, check_probability
+
+__all__ = [
+    "as_generator",
+    "spawn",
+    "check_in_range",
+    "check_positive_int",
+    "check_probability",
+]

@@ -1,0 +1,35 @@
+"""Seeded random-number plumbing.
+
+Every randomized component takes either a seed or a ``numpy.random.Generator``;
+this module normalises that and provides independent child streams so that
+nested algorithms (separator retries inside recursive calls) stay
+reproducible regardless of execution order.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn"]
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` (None, int, SeedSequence, or Generator) to a Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """``n`` statistically independent child generators of ``rng``."""
+    if n < 0:
+        raise ValueError("cannot spawn a negative number of streams")
+    try:
+        return list(rng.spawn(n))
+    except AttributeError:  # pragma: no cover - numpy < 1.25 fallback
+        seed_seq = rng.bit_generator._seed_seq  # type: ignore[attr-defined]
+        return [np.random.default_rng(s) for s in seed_seq.spawn(n)]

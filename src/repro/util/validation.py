@@ -1,0 +1,32 @@
+"""Small argument-validation helpers shared across the package."""
+
+from __future__ import annotations
+
+__all__ = ["check_positive_int", "check_probability", "check_in_range"]
+
+
+def check_positive_int(value: int, name: str, *, minimum: int = 1) -> int:
+    """Validate that ``value`` is an integer >= ``minimum`` and return it."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` is a probability in [0, 1] and return it."""
+    v = float(value)
+    if not 0.0 <= v <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return v
+
+
+def check_in_range(value: float, name: str, low: float, high: float, *, open_ends: bool = False) -> float:
+    """Validate that ``value`` lies in [low, high] (or (low, high)) and return it."""
+    v = float(value)
+    ok = low < v < high if open_ends else low <= v <= high
+    if not ok:
+        brackets = "()" if open_ends else "[]"
+        raise ValueError(f"{name} must be in {brackets[0]}{low}, {high}{brackets[1]}, got {value}")
+    return v

@@ -1,0 +1,41 @@
+"""Point-set generators: synthetic distributions and the adversarial
+constructions behind the paper's hyperplane-vs-sphere motivation."""
+
+from .io import WorkloadRecord, load_workload, regenerate, save_workload
+from .adversarial import concentric_shells, plane_hugger, slab_pairs
+from .synthetic import (
+    WORKLOADS,
+    annulus,
+    clustered,
+    collinear,
+    gaussian,
+    grid_jitter,
+    make_workload,
+    spiral,
+    two_moons,
+    uniform_ball,
+    uniform_cube,
+    with_duplicates,
+)
+
+__all__ = [
+    "WorkloadRecord",
+    "load_workload",
+    "regenerate",
+    "save_workload",
+    "concentric_shells",
+    "plane_hugger",
+    "slab_pairs",
+    "WORKLOADS",
+    "annulus",
+    "clustered",
+    "collinear",
+    "gaussian",
+    "grid_jitter",
+    "make_workload",
+    "spiral",
+    "two_moons",
+    "uniform_ball",
+    "uniform_cube",
+    "with_duplicates",
+]

@@ -1,0 +1,78 @@
+"""Adversarial workloads for the hyperplane-vs-sphere motivation (E8).
+
+Section 1 of the paper: "the number of edges from the k-nearest neighbor
+graph that cross the hyperplane may be as large as Omega(n)".  These
+generators realise that lower bound: point sets where *every* median
+hyperplane cut is crossed by a constant fraction of the k-NN balls, while
+a sphere separator still only cuts O(n^{(d-1)/d}).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util.rng import as_generator
+
+__all__ = ["slab_pairs", "plane_hugger", "concentric_shells"]
+
+
+def slab_pairs(n: int, d: int, seed: object = None, *, gap: float = 1e-4, spacing: float = 1.0) -> np.ndarray:
+    """n/2 tight point pairs straddling the hyperplane ``x_0 = 0``.
+
+    Pairs sit at ``x_0 = ±gap/2`` and are spread out along the remaining
+    axes with ``spacing`` between pairs, so each point's nearest neighbor
+    is its partner across the plane: the median cut at ``x_0 = 0`` crosses
+    ~n/2 nearest-neighbor balls — the Omega(n) construction.
+    """
+    rng = as_generator(seed)
+    pairs = n // 2
+    rest = np.empty((pairs, max(1, d - 1)))
+    if d == 1:
+        base = np.arange(pairs, dtype=np.float64)[:, None] * spacing
+        pts = np.concatenate([base - gap / 2, base + gap / 2], axis=0)[:, :1]
+        # 1-D: pairs along the line itself
+        return pts[:n]
+    side = int(np.ceil(pairs ** (1.0 / (d - 1))))
+    axes = [np.arange(side, dtype=np.float64) * spacing for _ in range(d - 1)]
+    mesh = np.stack(np.meshgrid(*axes, indexing="ij"), axis=-1).reshape(-1, d - 1)[:pairs]
+    mesh = mesh + rng.uniform(-0.05, 0.05, size=mesh.shape) * spacing
+    left = np.concatenate([np.full((pairs, 1), -gap / 2), mesh], axis=1)
+    right = np.concatenate([np.full((pairs, 1), +gap / 2), mesh], axis=1)
+    pts = np.concatenate([left, right], axis=0)
+    if pts.shape[0] < n:  # odd n: drop in an extra far-away point
+        extra = np.full((n - pts.shape[0], d), 10.0 * spacing * side)
+        pts = np.concatenate([pts, extra], axis=0)
+    return pts[:n]
+
+
+def plane_hugger(n: int, d: int, seed: object = None, *, thickness: float = 1e-3) -> np.ndarray:
+    """Points uniform in a razor-thin slab around ``x_0 = 0``.
+
+    Any split must cut through the slab; k-NN balls in a slab of m points
+    have radius ~ m^{-1/(d-1)} in the slab directions, so a hyperplane
+    through the slab's long direction crosses Omega(n^{(d-2)/(d-1)}) balls
+    — and the *median* cut along x_0 (the natural first cut) crosses
+    Omega(n).
+    """
+    rng = as_generator(seed)
+    pts = rng.random((n, d))
+    pts[:, 0] = (pts[:, 0] - 0.5) * thickness
+    return pts
+
+
+def concentric_shells(n: int, d: int, seed: object = None, *, shells: int = 4) -> np.ndarray:
+    """Points on nested thin shells — good for spheres, bad for planes.
+
+    A sphere separator can snap between shells (cutting ~0 balls); every
+    hyperplane through the center crosses all shells.
+    """
+    rng = as_generator(seed)
+    per = n // shells
+    parts = []
+    for s in range(shells):
+        m = per if s < shells - 1 else n - per * (shells - 1)
+        g = rng.standard_normal((m, d))
+        g /= np.linalg.norm(g, axis=1, keepdims=True)
+        radius = (s + 1.0) / shells
+        parts.append(g * radius + rng.standard_normal((m, d)) * (0.001 / shells))
+    return np.concatenate(parts, axis=0)

@@ -1,0 +1,77 @@
+"""Workload persistence: save/load point sets with provenance.
+
+Experiments should be re-runnable bit-for-bit; these helpers store points
+together with the generator name, parameters and seed that produced them,
+so a saved workload can be both reloaded and *regenerated* and the two
+checked against each other.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from .synthetic import make_workload
+
+__all__ = ["save_workload", "load_workload", "regenerate", "WorkloadRecord"]
+
+PathLike = Union[str, Path]
+
+
+class WorkloadRecord:
+    """Points plus the recipe that made them."""
+
+    __slots__ = ("points", "name", "n", "d", "seed")
+
+    def __init__(self, points: np.ndarray, name: str, n: int, d: int, seed: Optional[int]) -> None:
+        self.points = points
+        self.name = name
+        self.n = n
+        self.d = d
+        self.seed = seed
+
+    def matches_recipe(self) -> bool:
+        """True when regenerating from the stored recipe reproduces the
+        stored points exactly (seed recorded and generator unchanged)."""
+        if self.seed is None:
+            return False
+        fresh = make_workload(self.name, self.n, self.d, self.seed)
+        return fresh.shape == self.points.shape and bool(np.array_equal(fresh, self.points))
+
+
+def save_workload(
+    path: PathLike,
+    points: np.ndarray,
+    *,
+    name: str = "custom",
+    seed: Optional[int] = None,
+) -> None:
+    """Write points + provenance to an ``.npz`` file."""
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError("points must be (n, d)")
+    meta = json.dumps({"name": name, "n": int(pts.shape[0]), "d": int(pts.shape[1]), "seed": seed})
+    np.savez(path, points=pts, meta=np.frombuffer(meta.encode(), dtype=np.uint8))
+
+
+def load_workload(path: PathLike) -> WorkloadRecord:
+    """Read a workload saved by :func:`save_workload`."""
+    data = np.load(path)
+    if "points" not in data.files:
+        raise ValueError(f"{path} is not a workload file (no 'points' array)")
+    pts = np.asarray(data["points"], dtype=np.float64)
+    if "meta" in data.files:
+        meta = json.loads(bytes(data["meta"].tobytes()).decode())
+    else:
+        meta = {"name": "custom", "n": pts.shape[0], "d": pts.shape[1], "seed": None}
+    return WorkloadRecord(pts, meta["name"], meta["n"], meta["d"], meta["seed"])
+
+
+def regenerate(record: WorkloadRecord) -> np.ndarray:
+    """Re-run the stored recipe (requires a recorded seed)."""
+    if record.seed is None:
+        raise ValueError("workload has no recorded seed; cannot regenerate")
+    return make_workload(record.name, record.n, record.d, record.seed)

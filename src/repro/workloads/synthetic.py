@@ -1,0 +1,179 @@
+"""Synthetic point workloads.
+
+Generators for the distributions the experiments sweep over.  Everything
+takes an explicit seed/Generator and returns a float64 (n, d) array; names
+match the workload column of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util.rng import as_generator
+
+__all__ = [
+    "uniform_cube",
+    "uniform_ball",
+    "gaussian",
+    "clustered",
+    "grid_jitter",
+    "annulus",
+    "collinear",
+    "with_duplicates",
+    "two_moons",
+    "spiral",
+    "WORKLOADS",
+    "make_workload",
+]
+
+
+def uniform_cube(n: int, d: int, seed: object = None) -> np.ndarray:
+    """n i.i.d. uniform points in the unit cube [0, 1]^d."""
+    return as_generator(seed).random((n, d))
+
+
+def uniform_ball(n: int, d: int, seed: object = None) -> np.ndarray:
+    """n i.i.d. uniform points in the unit ball of R^d."""
+    rng = as_generator(seed)
+    g = rng.standard_normal((n, d))
+    g /= np.linalg.norm(g, axis=1, keepdims=True)
+    r = rng.random(n) ** (1.0 / d)
+    return g * r[:, None]
+
+
+def gaussian(n: int, d: int, seed: object = None, *, scale: float = 1.0) -> np.ndarray:
+    """n i.i.d. standard Gaussian points (times ``scale``)."""
+    return as_generator(seed).standard_normal((n, d)) * scale
+
+
+def clustered(
+    n: int,
+    d: int,
+    seed: object = None,
+    *,
+    clusters: int = 16,
+    spread: float = 0.01,
+) -> np.ndarray:
+    """A mixture of ``clusters`` tight Gaussian blobs in the unit cube.
+
+    Highly non-uniform density — the workload where hyperplane cuts and
+    uniform grids struggle while sphere separators keep their guarantees.
+    """
+    rng = as_generator(seed)
+    centers = rng.random((clusters, d))
+    assign = rng.integers(0, clusters, size=n)
+    return centers[assign] + rng.standard_normal((n, d)) * spread
+
+
+def grid_jitter(n: int, d: int, seed: object = None, *, jitter: float = 0.1) -> np.ndarray:
+    """~n points on a regular grid with per-point jitter (fraction of cell).
+
+    The grid side is ``ceil(n^(1/d))``; exactly n points are returned by
+    truncating the lattice enumeration.
+    """
+    rng = as_generator(seed)
+    side = int(np.ceil(n ** (1.0 / d)))
+    axes = [np.arange(side, dtype=np.float64) for _ in range(d)]
+    mesh = np.stack(np.meshgrid(*axes, indexing="ij"), axis=-1).reshape(-1, d)[:n]
+    return (mesh + 0.5 + rng.uniform(-jitter, jitter, size=(mesh.shape[0], d))) / side
+
+
+def annulus(n: int, d: int, seed: object = None, *, inner: float = 0.8) -> np.ndarray:
+    """n points in a thin spherical shell (radius in [inner, 1]).
+
+    Hollow interiors stress the centerpoint step (the "center" of the
+    data is empty space).
+    """
+    rng = as_generator(seed)
+    g = rng.standard_normal((n, d))
+    g /= np.linalg.norm(g, axis=1, keepdims=True)
+    r = (inner**d + rng.random(n) * (1 - inner**d)) ** (1.0 / d)
+    return g * r[:, None]
+
+
+def collinear(n: int, d: int, seed: object = None, *, noise: float = 0.0) -> np.ndarray:
+    """n points on (or near) a line through the cube — degenerate position."""
+    rng = as_generator(seed)
+    t = rng.random(n)
+    direction = np.ones(d) / np.sqrt(d)
+    pts = t[:, None] * direction[None, :]
+    if noise > 0:
+        pts = pts + rng.standard_normal((n, d)) * noise
+    return pts
+
+
+def with_duplicates(base: np.ndarray, fraction: float, seed: object = None) -> np.ndarray:
+    """Replace a fraction of points with exact copies of other points."""
+    rng = as_generator(seed)
+    pts = np.array(base, dtype=np.float64, copy=True)
+    n = pts.shape[0]
+    ndup = int(round(fraction * n))
+    if ndup:
+        dst = rng.choice(n, size=ndup, replace=False)
+        src = rng.integers(0, n, size=ndup)
+        pts[dst] = pts[src]
+    return pts
+
+
+def two_moons(n: int, d: int, seed: object = None, *, noise: float = 0.05) -> np.ndarray:
+    """Two interleaved half-circles (lifted to d dims by zero-padding).
+
+    The classic non-convex clustering shape; a hyperplane cannot separate
+    the moons but spheres navigate them naturally.
+    """
+    rng = as_generator(seed)
+    half = n // 2
+    t1 = rng.random(half) * np.pi
+    t2 = rng.random(n - half) * np.pi
+    upper = np.stack([np.cos(t1), np.sin(t1)], axis=1)
+    lower = np.stack([1.0 - np.cos(t2), 0.5 - np.sin(t2)], axis=1)
+    pts2 = np.concatenate([upper, lower], axis=0)
+    pts2 += rng.standard_normal(pts2.shape) * noise
+    if d == 2:
+        return pts2
+    out = np.zeros((n, d))
+    out[:, :2] = pts2
+    out[:, 2:] = rng.standard_normal((n, d - 2)) * noise
+    return out
+
+
+def spiral(n: int, d: int, seed: object = None, *, turns: float = 3.0, noise: float = 0.01) -> np.ndarray:
+    """Points along an Archimedean spiral (zero-padded above 2 dims).
+
+    A 1-dimensional manifold coiled through the plane: nearest-neighbor
+    structure follows the arc, so axis-aligned cuts cross many balls while
+    spheres can isolate whole coils.
+    """
+    rng = as_generator(seed)
+    t = np.sort(rng.random(n)) * turns * 2 * np.pi
+    r = t / (turns * 2 * np.pi)
+    pts2 = np.stack([r * np.cos(t), r * np.sin(t)], axis=1)
+    pts2 += rng.standard_normal(pts2.shape) * noise
+    if d == 2:
+        return pts2
+    out = np.zeros((n, d))
+    out[:, :2] = pts2
+    out[:, 2:] = rng.standard_normal((n, d - 2)) * noise
+    return out
+
+
+WORKLOADS = {
+    "uniform": uniform_cube,
+    "two_moons": two_moons,
+    "spiral": spiral,
+    "ball": uniform_ball,
+    "gaussian": gaussian,
+    "clustered": clustered,
+    "grid": grid_jitter,
+    "annulus": annulus,
+    "collinear": collinear,
+}
+
+
+def make_workload(name: str, n: int, d: int, seed: object = None) -> np.ndarray:
+    """Dispatch by workload name (keys of :data:`WORKLOADS`)."""
+    try:
+        gen = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}") from None
+    return gen(n, d, seed)

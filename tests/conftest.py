@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic per-test generator."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def points2d(rng: np.random.Generator) -> np.ndarray:
+    """300 uniform points in the unit square."""
+    return rng.random((300, 2))
+
+
+@pytest.fixture
+def points3d(rng: np.random.Generator) -> np.ndarray:
+    """300 uniform points in the unit cube."""
+    return rng.random((300, 3))

@@ -1,0 +1,212 @@
+"""Analysis helpers: recurrences, bounds, scaling fits."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import (
+    A_CONST,
+    RHO,
+    bernoulli_heads_bound,
+    duplication_g,
+    mgf_path_bound,
+    punting_tail_bound,
+    punting_tail_bound_corollary,
+)
+from repro.analysis.fitting import loglinear_fit, polylog_degree_estimate, power_law_fit
+from repro.analysis.recurrences import (
+    height_constant,
+    height_recurrence,
+    leaf_recurrence,
+    min_valid_m0,
+)
+
+
+class TestRecurrences:
+    def test_min_valid_m0_defining_property(self):
+        m0 = min_valid_m0(0.8, 0.6)
+        assert m0 ** (0.6 - 1.0) <= 0.1 + 1e-12
+        assert (m0 - 1) ** (0.6 - 1.0) > 0.1
+
+    def test_min_valid_m0_monotone_in_delta(self):
+        assert min_valid_m0(0.9, 0.6) >= min_valid_m0(0.7, 0.6)
+
+    def test_min_valid_m0_invalid_params(self):
+        with pytest.raises(ValueError):
+            min_valid_m0(1.5, 0.5)
+        with pytest.raises(ValueError):
+            min_valid_m0(0.5, 1.5)
+
+    def test_height_recurrence_logarithmic(self):
+        """h(n) / log2 n approaches a constant: ratios stabilise."""
+        m0 = min_valid_m0(0.8, 0.6)
+        h1 = height_recurrence(2**14, 0.8, 0.6, m0)
+        h2 = height_recurrence(2**20, 0.8, 0.6, m0)
+        # 6 extra doublings, constant per-doubling increment ~ 1/log2(1/0.8+)
+        assert h2 - h1 <= 6 * 5
+        assert h2 > h1
+
+    def test_height_constant_close_to_theory(self):
+        """For delta-splits the height constant is ~ 1/log2(1/delta)."""
+        m0 = min_valid_m0(0.8, 0.6)
+        c = height_constant(0.8, 0.6, m0)
+        assert 0.8 <= c <= 1.5 / math.log2(1 / 0.8)
+
+    def test_height_recurrence_invalid_n(self):
+        with pytest.raises(ValueError):
+            height_recurrence(0, 0.8, 0.6, 64)
+
+    def test_leaf_recurrence_linear(self):
+        """s(n) = O(n / m0): leaf count scales linearly."""
+        m0 = min_valid_m0(0.8, 0.6)
+        s1 = leaf_recurrence(20_000, 0.8, 0.6, m0)
+        s2 = leaf_recurrence(80_000, 0.8, 0.6, m0)
+        assert s2 <= 4 * s1 * 1.6
+        assert s1 <= 20_000 / m0 * 8
+
+    def test_leaf_recurrence_base(self):
+        assert leaf_recurrence(10, 0.8, 0.6, 64) == 1
+
+    def test_leaf_recurrence_diverging_params_rejected(self):
+        with pytest.raises(ValueError):
+            leaf_recurrence(10_000, 0.99, 0.99, 4)
+
+
+class TestBounds:
+    def test_constants(self):
+        assert RHO == pytest.approx(math.sqrt(math.e) / 2)
+        assert A_CONST == pytest.approx(math.exp(RHO / (1 - RHO)))
+
+    def test_tail_bound_decreases_in_c(self):
+        assert punting_tail_bound(1024, 3.0) < punting_tail_bound(1024, 2.0)
+
+    def test_tail_bound_clamped(self):
+        assert punting_tail_bound(4, 0.1) == 1.0
+
+    def test_tail_bound_formula(self):
+        n, c = 1 << 16, 4.0
+        raw = n * A_CONST * math.exp(-c * math.log(n))
+        assert punting_tail_bound(n, c) == pytest.approx(raw)
+
+    def test_tail_bound_validates_n(self):
+        with pytest.raises(ValueError):
+            punting_tail_bound(1, 2.0)
+
+    def test_corollary_threshold(self):
+        thr, bound = punting_tail_bound_corollary(1024, 2.0, 3.0)
+        assert thr == pytest.approx(2 * 5 * 10)
+        assert bound == punting_tail_bound(1024, 2.0)
+
+    def test_corollary_negative_C(self):
+        with pytest.raises(ValueError):
+            punting_tail_bound_corollary(64, 1.0, -1.0)
+
+    def test_mgf_bound_below_closed_form(self):
+        """The finite product is below e^{rho/(1-rho)} for lam = 1/2."""
+        assert mgf_path_bound(50) <= A_CONST + 1e-9
+
+    def test_mgf_bound_dominates_simulation(self):
+        """Monte-Carlo E[e^{X/2}] along a path stays below the bound."""
+        rng = np.random.default_rng(0)
+        m = 12
+        samples = []
+        for _ in range(4000):
+            total = 0.0
+            for i in range(1, m + 1):
+                if rng.random() < 2.0**-i:
+                    total += i
+            samples.append(math.exp(0.5 * total))
+        assert np.mean(samples) <= mgf_path_bound(m)
+
+    def test_mgf_bound_lam_validated(self):
+        with pytest.raises(ValueError):
+            mgf_path_bound(5, lam=1.0)
+
+    def test_duplication_g_formula(self):
+        g = duplication_g(100.0, 4, 0.5, eps=0.0)
+        assert g == pytest.approx(100 + 2.0**2 * 4 * 10.0)
+
+    def test_duplication_g_validation(self):
+        with pytest.raises(ValueError):
+            duplication_g(-1, 3, 0.5)
+        with pytest.raises(ValueError):
+            duplication_g(10, 3, 1.5)
+
+    def test_bernoulli_bound(self):
+        assert bernoulli_heads_bound(10) == 2.0**-20
+        with pytest.raises(ValueError):
+            bernoulli_heads_bound(10, factor=2.0)
+
+    def test_bernoulli_bound_empirical(self):
+        """The paper's retry process: head #i lands with probability
+        1 - 2^{-i} (deeper nodes almost never fail).  The total trial count
+        exceeding 3m must decay exponentially in m, as Theorem 3.1's
+        ``2^{-2m}`` step asserts (we verify the decay *rate* rather than
+        the exact constant, which the paper states loosely)."""
+        rng = np.random.default_rng(1)
+
+        def tail(m: int, trials: int) -> float:
+            bad = 0
+            for _ in range(trials):
+                flips = 0
+                for i in range(1, m + 1):
+                    p = 1.0 - 2.0**-i
+                    flips += 1
+                    while rng.random() >= p:
+                        flips += 1
+                return_needed = flips > 3 * m
+                bad += return_needed
+            return bad / trials
+
+        t3 = tail(3, 40_000)
+        t6 = tail(6, 40_000)
+        assert t3 <= 16 * bernoulli_heads_bound(3)
+        assert t6 <= 16 * bernoulli_heads_bound(6) + 2e-4
+        # exponential decay: six heads are far safer than three
+        assert t6 <= t3 / 4 + 2e-4
+
+
+class TestFitting:
+    def test_power_law_recovers_exponent(self):
+        x = np.array([10, 100, 1000, 10000], dtype=float)
+        fit = power_law_fit(x, 3.0 * x**0.5)
+        assert fit.exponent == pytest.approx(0.5, abs=1e-9)
+        assert fit.coeff == pytest.approx(3.0, rel=1e-9)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_power_law_validation(self):
+        with pytest.raises(ValueError):
+            power_law_fit([1.0], [1.0])
+        with pytest.raises(ValueError):
+            power_law_fit([1.0, -2.0], [1.0, 2.0])
+
+    def test_loglinear_recovers_slope(self):
+        x = np.array([2**i for i in range(4, 12)], dtype=float)
+        fit = loglinear_fit(x, 5.0 * np.log2(x) + 7.0)
+        assert fit.exponent == pytest.approx(5.0, abs=1e-9)
+        assert fit.coeff == pytest.approx(7.0, abs=1e-6)
+
+    def test_polylog_degree_distinguishes_log_and_log2(self):
+        x = np.array([2**i for i in range(6, 16)], dtype=float)
+        p_lin = polylog_degree_estimate(x, np.log2(x))
+        p_quad = polylog_degree_estimate(x, np.log2(x) ** 2)
+        assert p_lin == pytest.approx(1.0, abs=0.01)
+        assert p_quad == pytest.approx(2.0, abs=0.01)
+
+    def test_polylog_validation(self):
+        with pytest.raises(ValueError):
+            polylog_degree_estimate([1.0, 2.0], [1.0, 1.0])
+
+    @given(
+        st.floats(min_value=0.1, max_value=3.0),
+        st.floats(min_value=0.5, max_value=10.0),
+    )
+    def test_power_law_roundtrip(self, expo, coeff):
+        x = np.array([10.0, 50.0, 250.0, 1250.0])
+        fit = power_law_fit(x, coeff * x**expo)
+        assert fit.exponent == pytest.approx(expo, rel=1e-6)

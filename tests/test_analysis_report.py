@@ -1,0 +1,68 @@
+"""ASCII chart rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import Series, ascii_chart
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("a", [1, 2], [1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Series("a", [], [])
+
+
+class TestChart:
+    def test_contains_markers_and_legend(self):
+        out = ascii_chart(
+            [Series("up", [1, 2, 3], [1, 2, 3]), Series("down", [1, 2, 3], [3, 2, 1])]
+        )
+        assert "*" in out and "o" in out
+        assert "up" in out and "down" in out
+
+    def test_title_rendered(self):
+        out = ascii_chart([Series("s", [1, 2], [1, 2])], title="my chart")
+        assert out.splitlines()[0] == "my chart"
+
+    def test_dimensions(self):
+        out = ascii_chart([Series("s", [0, 1], [0, 1])], width=20, height=5)
+        plot_rows = [l for l in out.splitlines() if "|" in l]
+        assert len(plot_rows) == 5
+        inner = plot_rows[0].split("|")[1]
+        assert len(inner) == 20
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_chart([Series("s", [0.0, 1.0], [1.0, 2.0])], log_x=True)
+
+    def test_log_axis_labels_detransformed(self):
+        out = ascii_chart([Series("s", [10, 1000], [1, 2])], log_x=True)
+        assert "10" in out and "1e+03" in out
+
+    def test_constant_series_does_not_crash(self):
+        out = ascii_chart([Series("flat", [1, 2, 3], [5, 5, 5])])
+        assert "flat" in out
+
+    def test_extremes_placed_at_corners(self):
+        out = ascii_chart([Series("s", [0, 10], [0, 10])], width=10, height=4)
+        rows = [l for l in out.splitlines() if "|" in l]
+        assert rows[0].split("|")[1][-1] == "*"  # max at top right
+        assert rows[-1].split("|")[1][0] == "*"  # min at bottom left
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([Series("s", [1], [1])], width=2, height=2)
+
+    def test_no_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([])
+
+    def test_many_series_cycle_markers(self):
+        series = [Series(f"s{i}", [i + 1], [i + 1]) for i in range(10)]
+        out = ascii_chart(series)
+        assert "s9" in out

@@ -1,0 +1,131 @@
+"""Baselines: brute force (cross-checked against scipy), kd-tree, grid."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.spatial import cKDTree
+
+from repro.baselines import KDTree, brute_force_knn, grid_knn, kdtree_knn
+from repro.pvm.machine import Machine
+from repro.workloads import clustered, collinear, gaussian, uniform_cube, with_duplicates
+
+
+def scipy_reference(pts: np.ndarray, k: int) -> np.ndarray:
+    """Sorted squared k-NN distances per point via scipy (independent oracle)."""
+    tree = cKDTree(pts)
+    dists, _ = tree.query(pts, k=k + 1)
+    return np.square(dists[:, 1:])
+
+
+class TestBruteForce:
+    @pytest.mark.parametrize("d", [1, 2, 3, 5])
+    def test_against_scipy(self, d):
+        pts = uniform_cube(300, d, d)
+        out = brute_force_knn(pts, 3)
+        np.testing.assert_allclose(out.neighbor_sq_dists, scipy_reference(pts, 3), rtol=1e-9, atol=1e-12)
+
+    def test_chunking_irrelevant(self):
+        pts = uniform_cube(200, 2, 1)
+        a = brute_force_knn(pts, 2, chunk=7)
+        b = brute_force_knn(pts, 2, chunk=1000)
+        np.testing.assert_array_equal(a.neighbor_indices, b.neighbor_indices)
+
+    def test_k_too_large_pads(self):
+        pts = uniform_cube(3, 2, 2)
+        out = brute_force_knn(pts, 5)
+        assert (out.neighbor_indices[:, 2:] == -1).all()
+        assert np.isfinite(out.neighbor_sq_dists[:, :2]).all()
+
+    def test_single_point(self):
+        out = brute_force_knn(np.zeros((1, 2)), 1)
+        assert out.neighbor_indices[0, 0] == -1
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            brute_force_knn(np.zeros((2, 2)), 0)
+
+    def test_machine_charged_quadratic(self):
+        m = Machine()
+        brute_force_knn(uniform_cube(100, 2, 3), 1, machine=m)
+        assert m.total.work == 100 * 100
+        assert m.total.depth == 100
+
+    def test_duplicates(self):
+        pts = with_duplicates(uniform_cube(100, 2, 4), 0.5, 5)
+        out = brute_force_knn(pts, 1)
+        assert (out.neighbor_sq_dists[:, 0] >= 0).all()
+        # many zero-distance nearest neighbors
+        assert (out.neighbor_sq_dists[:, 0] == 0).sum() >= 40
+
+    def test_sorted_rows(self):
+        out = brute_force_knn(uniform_cube(150, 3, 6), 4)
+        assert out.validate_sorted()
+
+
+class TestKDTree:
+    @pytest.mark.parametrize("workload", [uniform_cube, clustered, gaussian, collinear])
+    @pytest.mark.parametrize("d", [2, 3])
+    def test_matches_brute_force(self, workload, d):
+        pts = workload(400, d, 10 + d)
+        assert kdtree_knn(pts, 3).same_distances(brute_force_knn(pts, 3))
+
+    @pytest.mark.parametrize("leaf_size", [1, 4, 64])
+    def test_leaf_size_irrelevant_to_result(self, leaf_size):
+        pts = uniform_cube(200, 2, 11)
+        out = kdtree_knn(pts, 2, leaf_size=leaf_size)
+        assert out.same_distances(brute_force_knn(pts, 2))
+
+    def test_duplicates(self):
+        pts = with_duplicates(uniform_cube(200, 2, 12), 0.4, 13)
+        assert kdtree_knn(pts, 2).same_distances(brute_force_knn(pts, 2))
+
+    def test_all_identical_points(self):
+        pts = np.ones((50, 2))
+        out = kdtree_knn(pts, 1)
+        assert (out.neighbor_sq_dists[:, 0] == 0).all()
+
+    def test_height_logarithmic(self):
+        tree = KDTree(uniform_cube(4096, 2, 14), leaf_size=16)
+        assert tree.height <= 12
+
+    def test_query_separate_points(self):
+        pts = uniform_cube(300, 2, 15)
+        tree = KDTree(pts)
+        queries = uniform_cube(50, 2, 16)
+        idx, sq = tree.knn(queries, 1)
+        ref = cKDTree(pts)
+        d_ref, i_ref = ref.query(queries, k=1)
+        np.testing.assert_allclose(np.sqrt(sq[:, 0]), d_ref, rtol=1e-9)
+        np.testing.assert_array_equal(idx[:, 0], i_ref)
+
+    def test_invalid_leaf_size(self):
+        with pytest.raises(ValueError):
+            KDTree(np.zeros((5, 2)), leaf_size=0)
+
+
+class TestGrid:
+    @pytest.mark.parametrize("workload", [uniform_cube, gaussian, clustered])
+    def test_matches_brute_force(self, workload):
+        pts = workload(350, 2, 20)
+        assert grid_knn(pts, 2).same_distances(brute_force_knn(pts, 2))
+
+    def test_3d(self):
+        pts = uniform_cube(250, 3, 21)
+        assert grid_knn(pts, 3).same_distances(brute_force_knn(pts, 3))
+
+    def test_single_cell_degenerate(self):
+        pts = np.random.default_rng(22).random((40, 2)) * 1e-9
+        assert grid_knn(pts, 2).same_distances(brute_force_knn(pts, 2))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            grid_knn(np.zeros((3, 2)), 0)
+
+    def test_single_point(self):
+        out = grid_knn(np.zeros((1, 2)), 1)
+        assert out.neighbor_indices[0, 0] == -1
+
+    def test_duplicates(self):
+        pts = with_duplicates(uniform_cube(150, 2, 23), 0.5, 24)
+        assert grid_knn(pts, 1).same_distances(brute_force_knn(pts, 1))

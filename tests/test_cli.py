@@ -1,0 +1,83 @@
+"""CLI subcommands, run in-process through main()."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_algo_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["knn", "--algo", "quantum"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["knn"])
+        assert args.n == 4096 and args.k == 1 and args.algo == "fast"
+
+
+class TestKnnCommand:
+    @pytest.mark.parametrize("algo", ["fast", "simple", "kdtree", "grid", "brute"])
+    def test_all_algorithms_run(self, algo, capsys):
+        rc = main(["knn", "-n", "300", "-k", "1", "--algo", algo, "--check"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "edges" in out
+        assert "OK" in out
+
+    def test_scan_policy_accepted(self, capsys):
+        assert main(["knn", "-n", "200", "--scan", "log"]) == 0
+
+    def test_save_edges(self, tmp_path, capsys):
+        out = tmp_path / "g.npz"
+        rc = main(["knn", "-n", "200", "--out", str(out)])
+        assert rc == 0
+        data = np.load(out)
+        assert data["edges"].shape[1] == 2
+        assert data["points"].shape == (200, 2)
+
+    def test_points_file_input(self, tmp_path, capsys):
+        pts = np.random.default_rng(0).random((150, 3))
+        f = tmp_path / "pts.npy"
+        np.save(f, pts)
+        rc = main(["knn", "--points-file", str(f), "-k", "2", "--check"])
+        assert rc == 0
+
+    def test_npz_points_file(self, tmp_path, capsys):
+        pts = np.random.default_rng(1).random((100, 2))
+        f = tmp_path / "pts.npz"
+        np.savez(f, points=pts)
+        assert main(["knn", "--points-file", str(f), "--check"]) == 0
+
+    def test_workload_choice(self, capsys):
+        assert main(["knn", "-n", "300", "--workload", "clustered", "--check"]) == 0
+
+
+class TestOtherCommands:
+    def test_separators(self, capsys):
+        rc = main(["separators", "-n", "400", "--draws", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MedianCut" in out and "Sphere" in out
+
+    def test_scaling(self, capsys):
+        rc = main(["scaling", "--sizes", "512", "1024"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fast depth" in out
+
+    def test_dissect(self, capsys):
+        rc = main(["dissect", "-n", "400", "--min-size", "24"])
+        assert rc == 0
+        assert "separation OK" in capsys.readouterr().out
+
+    def test_dissect_with_fill(self, capsys):
+        rc = main(["dissect", "-n", "300", "--fill"])
+        assert rc == 0
+        assert "fill-in" in capsys.readouterr().out

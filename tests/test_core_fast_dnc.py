@@ -1,0 +1,170 @@
+"""Parallel Nearest Neighborhood (Section 6): exactness everywhere, stats,
+cost profile.  The central correctness test of the whole reproduction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import brute_force_knn
+from repro.core.fast_dnc import FastDnCConfig, parallel_nearest_neighborhood
+from repro.core.punting import punted_weighted_depth
+from repro.pvm.machine import Machine
+from repro.workloads import (
+    annulus,
+    clustered,
+    collinear,
+    gaussian,
+    grid_jitter,
+    uniform_cube,
+    with_duplicates,
+)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("workload", [uniform_cube, clustered, gaussian, annulus, grid_jitter])
+    @pytest.mark.parametrize("d", [2, 3])
+    def test_matches_brute_force(self, workload, d):
+        pts = workload(500, d, 7)
+        res = parallel_nearest_neighborhood(pts, 2, seed=1)
+        assert res.system.same_distances(brute_force_knn(pts, 2))
+
+    @pytest.mark.parametrize("k", [1, 2, 4, 8])
+    def test_k_sweep(self, k):
+        pts = uniform_cube(400, 2, 8)
+        res = parallel_nearest_neighborhood(pts, k, seed=2)
+        assert res.system.same_distances(brute_force_knn(pts, k))
+
+    def test_d4(self):
+        pts = uniform_cube(400, 4, 9)
+        res = parallel_nearest_neighborhood(pts, 1, seed=3)
+        assert res.system.same_distances(brute_force_knn(pts, 1))
+
+    def test_collinear_points(self):
+        pts = collinear(300, 2, 10)
+        res = parallel_nearest_neighborhood(pts, 2, seed=4)
+        assert res.system.same_distances(brute_force_knn(pts, 2))
+
+    def test_duplicate_points(self):
+        pts = with_duplicates(uniform_cube(300, 2, 11), 0.3, 12)
+        res = parallel_nearest_neighborhood(pts, 2, seed=5)
+        assert res.system.same_distances(brute_force_knn(pts, 2))
+
+    def test_all_identical_points(self):
+        pts = np.ones((200, 2))
+        res = parallel_nearest_neighborhood(pts, 1, seed=6)
+        assert res.system.same_distances(brute_force_knn(pts, 1))
+        assert res.stats.punts_separator >= 1
+
+    def test_neighbor_indices_exact_generic_position(self):
+        """Without ties, even the index sets must match."""
+        pts = gaussian(500, 3, 13)
+        res = parallel_nearest_neighborhood(pts, 3, seed=7)
+        bf = brute_force_knn(pts, 3)
+        np.testing.assert_array_equal(res.system.neighbor_indices, bf.neighbor_indices)
+
+    def test_tiny_inputs(self):
+        for n in (1, 2, 3, 5):
+            pts = uniform_cube(n, 2, n)
+            k = 1
+            res = parallel_nearest_neighborhood(pts, k, seed=8)
+            assert res.system.same_distances(brute_force_knn(pts, k))
+
+    def test_n_below_k_plus_one_pads(self):
+        pts = uniform_cube(3, 2, 20)
+        res = parallel_nearest_neighborhood(pts, 2, seed=9)
+        assert res.system.is_complete()  # 3 points, k=2: exactly complete
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_nearest_neighborhood(uniform_cube(10, 2, 0), 0)
+        with pytest.raises(ValueError):
+            parallel_nearest_neighborhood(uniform_cube(10, 2, 0), 10)
+
+    def test_small_m0_stresses_corrections(self):
+        """A tiny base case forces many correction rounds; exactness holds."""
+        cfg = FastDnCConfig(m0=8, base_factor=2)
+        pts = uniform_cube(600, 2, 14)
+        res = parallel_nearest_neighborhood(pts, 1, seed=10, config=cfg)
+        assert res.system.same_distances(brute_force_knn(pts, 1))
+
+    def test_forced_punts_still_exact(self):
+        """iota_factor 0-ish forces the punt path at every node."""
+        cfg = FastDnCConfig(iota_factor=1e-9)
+        pts = uniform_cube(500, 2, 15)
+        res = parallel_nearest_neighborhood(pts, 1, seed=11, config=cfg)
+        assert res.stats.punts_iota > 0
+        assert res.system.same_distances(brute_force_knn(pts, 1))
+
+    def test_forced_marching_punts_still_exact(self):
+        """A tiny active cap forces marching to abort and punt."""
+        cfg = FastDnCConfig(active_factor=1e-9, active_slack=0.0)
+        pts = uniform_cube(500, 2, 16)
+        res = parallel_nearest_neighborhood(pts, 1, seed=12, config=cfg)
+        assert res.stats.punts_marching > 0
+        assert res.system.same_distances(brute_force_knn(pts, 1))
+
+
+class TestDeterminismAndStats:
+    def test_seeded_runs_identical(self):
+        pts = uniform_cube(400, 2, 17)
+        a = parallel_nearest_neighborhood(pts, 2, seed=99)
+        b = parallel_nearest_neighborhood(pts, 2, seed=99)
+        np.testing.assert_array_equal(a.system.neighbor_indices, b.system.neighbor_indices)
+        assert a.cost == b.cost
+
+    def test_stats_populated(self):
+        pts = uniform_cube(800, 2, 18)
+        res = parallel_nearest_neighborhood(pts, 1, seed=13)
+        s = res.stats
+        assert s.nodes >= 3
+        assert s.base_cases >= 2
+        assert s.separator_attempts >= s.nodes - s.base_cases - s.punts_separator
+        assert len(s.straddler_fraction) == s.nodes - s.base_cases
+        assert s.corrections_fast + s.corrections_none + s.punts >= s.nodes - s.base_cases
+
+    def test_straddler_fractions_sublinear(self):
+        pts = uniform_cube(2000, 2, 19)
+        res = parallel_nearest_neighborhood(pts, 1, seed=14)
+        for m, iota in res.stats.straddler_fraction:
+            assert iota <= max(8, 6 * m**0.75)
+
+    def test_punted_weighted_depth_small(self):
+        pts = uniform_cube(1500, 2, 20)
+        res = parallel_nearest_neighborhood(pts, 1, seed=15)
+        # Theorem 6.1 / Punting Lemma: weighted depth O(log n)
+        assert punted_weighted_depth(res.tree) <= 4 * np.log2(1500)
+
+    def test_external_machine_used(self):
+        m = Machine(scan="log")
+        pts = uniform_cube(300, 2, 21)
+        res = parallel_nearest_neighborhood(pts, 1, machine=m, seed=16)
+        assert res.machine is m
+        assert m.total.work > 0
+
+
+class TestCostProfile:
+    def test_depth_grows_slowly(self):
+        """O(log n): depth per doubling is bounded by a constant."""
+        depths = {}
+        for n in (1024, 4096, 16384):
+            pts = uniform_cube(n, 2, n)
+            res = parallel_nearest_neighborhood(pts, 1, seed=17)
+            depths[n] = res.cost.depth
+        inc1 = depths[4096] - depths[1024]
+        inc2 = depths[16384] - depths[4096]
+        # both two-doubling increments bounded and not exploding
+        assert inc2 <= max(2.0 * inc1, inc1 + 120)
+
+    def test_work_near_linear(self):
+        works = {}
+        for n in (1024, 8192):
+            pts = uniform_cube(n, 2, n + 1)
+            res = parallel_nearest_neighborhood(pts, 1, seed=18)
+            works[n] = res.cost.work
+        assert works[8192] <= works[1024] * 8 * 2.5  # near-linear with slack
+
+    def test_work_at_least_n(self):
+        pts = uniform_cube(1000, 2, 22)
+        res = parallel_nearest_neighborhood(pts, 1, seed=19)
+        assert res.cost.work >= 1000

@@ -1,0 +1,193 @@
+"""Recursive separator trees over k-NN graphs — the paper's application."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import power_law_fit
+from repro.baselines import brute_force_knn
+from repro.core.graph_separators import (
+    build_separator_tree,
+    check_separation,
+    nested_dissection_order,
+    separator_profile,
+)
+from repro.core.knn_graph import knn_graph_edges
+from repro.workloads import clustered, uniform_cube, with_duplicates
+
+
+@pytest.fixture(scope="module")
+def graph_and_tree():
+    pts = uniform_cube(1200, 2, 7)
+    system = brute_force_knn(pts, 2)
+    tree = build_separator_tree(system, seed=1)
+    return system, tree
+
+
+class TestStructure:
+    def test_root_covers_all_vertices(self, graph_and_tree):
+        system, tree = graph_and_tree
+        np.testing.assert_array_equal(np.sort(tree.vertices), np.arange(len(system)))
+
+    def test_parts_partition(self, graph_and_tree):
+        _, tree = graph_and_tree
+        for node in tree.nodes():
+            if node.is_leaf:
+                continue
+            combined = np.concatenate(
+                [node.left.vertices, node.right.vertices, node.separator_vertices]
+            )
+            np.testing.assert_array_equal(np.sort(combined), np.sort(node.vertices))
+
+    def test_height_logarithmic(self, graph_and_tree):
+        _, tree = graph_and_tree
+        assert 3 <= tree.height() <= 16
+
+    def test_leaves_small(self, graph_and_tree):
+        _, tree = graph_and_tree
+        for node in tree.nodes():
+            if node.is_leaf:
+                assert node.size <= 64 or node.separator_vertices.size == 0
+
+
+class TestSeparationProperty:
+    def test_no_cross_edges(self, graph_and_tree):
+        """The Sphere Separator Theorem's guarantee, verified exactly."""
+        system, tree = graph_and_tree
+        assert check_separation(system, tree)
+
+    @pytest.mark.parametrize("d,k", [(2, 1), (3, 2)])
+    def test_across_parameters(self, d, k):
+        pts = uniform_cube(700, d, 10 * d + k)
+        system = brute_force_knn(pts, k)
+        tree = build_separator_tree(system, seed=2)
+        assert check_separation(system, tree)
+
+    def test_clustered_graph(self):
+        pts = clustered(800, 2, 11)
+        system = brute_force_knn(pts, 1)
+        tree = build_separator_tree(system, seed=3)
+        assert check_separation(system, tree)
+
+    def test_duplicates_degrade_gracefully(self):
+        pts = with_duplicates(uniform_cube(300, 2, 12), 0.5, 13)
+        system = brute_force_knn(pts, 1)
+        tree = build_separator_tree(system, seed=4)
+        assert check_separation(system, tree)
+
+    def test_check_detects_violation(self):
+        # build a private tree: this test corrupts it in place
+        pts = uniform_cube(600, 2, 77)
+        system = brute_force_knn(pts, 2)
+        tree = build_separator_tree(system, seed=8)
+        if tree.is_leaf:
+            pytest.skip("degenerate tree")
+        # corrupt: move a separator vertex into the left part
+        node = tree
+        if node.separator_vertices.size == 0:
+            pytest.skip("no separator vertices at root")
+        stolen = node.separator_vertices[:1]
+        node.left.vertices = np.concatenate([node.left.vertices, stolen])
+        node.separator_vertices = node.separator_vertices[1:]
+        # either the partition check or the edge check must now fail, unless
+        # the stolen vertex had no cross edges -- so corrupt the right too
+        node.right.vertices = np.concatenate([node.right.vertices, stolen])
+        assert not check_separation(system, tree)
+
+
+class TestSeparatorSizes:
+    def test_profile_exponent(self):
+        """Separator sizes across scales fit ~ size^{(d-1)/d}."""
+        pts = uniform_cube(4000, 2, 14)
+        system = brute_force_knn(pts, 1)
+        tree = build_separator_tree(system, seed=5, min_size=64)
+        prof = [(m, s) for m, s in separator_profile(tree) if m >= 128 and s >= 1]
+        sizes = [m for m, _ in prof]
+        seps = [s for _, s in prof]
+        fit = power_law_fit(sizes, seps)
+        assert 0.3 <= fit.exponent <= 0.85  # around (d-1)/d = 0.5 with noise
+
+    def test_separators_sublinear(self, graph_and_tree):
+        _, tree = graph_and_tree
+        for m, s in separator_profile(tree):
+            assert s <= max(10, 6 * m**0.75)
+
+
+class TestNestedDissection:
+    def test_order_is_permutation(self, graph_and_tree):
+        system, tree = graph_and_tree
+        order = nested_dissection_order(tree)
+        np.testing.assert_array_equal(np.sort(order), np.arange(len(system)))
+
+    def test_separators_eliminated_after_their_parts(self, graph_and_tree):
+        _, tree = graph_and_tree
+        order = nested_dissection_order(tree)
+        pos = np.empty(order.shape[0], dtype=np.int64)
+        pos[order] = np.arange(order.shape[0])
+        for node in tree.nodes():
+            if node.is_leaf or node.separator_vertices.size == 0:
+                continue
+            children = np.concatenate([node.left.vertices, node.right.vertices])
+            if children.size == 0:
+                continue
+            assert pos[node.separator_vertices].min() > pos[children].max()
+
+    def test_ordering_reduces_bandwidth_vs_random(self, graph_and_tree):
+        """Sanity: the dissection ordering has lower max 'elimination
+        frontier' than a random ordering (a cheap proxy for fill)."""
+        system, tree = graph_and_tree
+        edges = knn_graph_edges(system)
+        order = nested_dissection_order(tree)
+
+        def frontier(perm: np.ndarray) -> int:
+            pos = np.empty(perm.shape[0], dtype=np.int64)
+            pos[perm] = np.arange(perm.shape[0])
+            return int(np.abs(pos[edges[:, 0]] - pos[edges[:, 1]]).max())
+
+        rng = np.random.default_rng(6)
+        rand = frontier(rng.permutation(len(system)))
+        nd = frontier(order)
+        assert nd <= rand
+
+
+class TestEliminationFill:
+    def test_path_graph_no_fill_in_order(self):
+        """Eliminating a path end-to-end creates no fill."""
+        from repro.core.graph_separators import elimination_fill
+
+        n = 20
+        edges = np.stack([np.arange(n - 1), np.arange(1, n)], axis=1)
+        assert elimination_fill(edges, np.arange(n)) == 0
+
+    def test_star_graph_center_first_fills_clique(self):
+        from repro.core.graph_separators import elimination_fill
+
+        n = 6
+        edges = np.stack([np.zeros(n - 1, dtype=int), np.arange(1, n)], axis=1)
+        # eliminating the hub first connects all leaves pairwise
+        first = elimination_fill(edges, np.arange(n))
+        assert first == (n - 1) * (n - 2) // 2
+        # hub last: leaves are degree-1, no fill
+        last = elimination_fill(edges, np.concatenate([np.arange(1, n), [0]]))
+        assert last == 0
+
+    def test_cycle_graph_fill(self):
+        from repro.core.graph_separators import elimination_fill
+
+        n = 8
+        edges = np.stack([np.arange(n), (np.arange(n) + 1) % n], axis=1)
+        # eliminating a cycle in order creates exactly n-3 fill edges
+        assert elimination_fill(edges, np.arange(n)) == n - 3
+
+    def test_nd_order_beats_random_on_grid_graph(self):
+        from repro.core.graph_separators import elimination_fill
+        from repro.workloads import grid_jitter
+
+        pts = grid_jitter(400, 2, 31)
+        system = brute_force_knn(pts, 2)
+        tree = build_separator_tree(system, seed=32, min_size=16)
+        edges = knn_graph_edges(system)
+        nd = elimination_fill(edges, nested_dissection_order(tree))
+        rnd = elimination_fill(edges, np.random.default_rng(33).permutation(400))
+        assert nd < rnd

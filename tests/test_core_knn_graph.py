@@ -1,0 +1,93 @@
+"""k-NN graph construction from neighborhood systems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import brute_force_knn
+from repro.core.knn_graph import adjacency_lists, knn_graph_edges, max_degree, to_networkx
+from repro.geometry.kissing import kissing_number
+from repro.pvm.machine import Machine
+from repro.workloads import uniform_cube
+
+
+def line_points(n: int) -> np.ndarray:
+    return np.stack([np.arange(n, dtype=float), np.zeros(n)], axis=1)
+
+
+class TestEdges:
+    def test_line_graph_k1(self):
+        """Points on a line with increasing gaps: NN graph is a path-ish."""
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [2.5, 0.0]])
+        edges = knn_graph_edges(brute_force_knn(pts, 1))
+        np.testing.assert_array_equal(edges, [[0, 1], [1, 2]])
+
+    def test_symmetric_definition(self):
+        """(i,j) present if i in kNN(j) OR j in kNN(i)."""
+        # three clustered + one distant point whose NN is in the cluster
+        pts = np.array([[0.0, 0.0], [0.1, 0.0], [0.2, 0.0], [5.0, 0.0]])
+        edges = knn_graph_edges(brute_force_knn(pts, 1))
+        assert [2, 3] in edges.tolist()  # 3's NN is 2, though 2's NN is 1
+
+    def test_rows_canonical(self):
+        pts = uniform_cube(100, 2, 0)
+        edges = knn_graph_edges(brute_force_knn(pts, 2))
+        assert (edges[:, 0] < edges[:, 1]).all()
+        assert np.unique(edges, axis=0).shape == edges.shape
+
+    def test_edge_count_bounds(self):
+        n, k = 200, 3
+        edges = knn_graph_edges(brute_force_knn(uniform_cube(n, 2, 1), k))
+        assert n * k / 2 <= edges.shape[0] <= n * k
+
+    def test_machine_charged(self):
+        m = Machine()
+        knn_graph_edges(brute_force_knn(uniform_cube(64, 2, 2), 2), machine=m)
+        assert m.total.work > 0
+
+    def test_padded_slots_ignored(self):
+        pts = np.zeros((1, 2))
+        system = brute_force_knn(pts, 1)  # padded: no neighbors exist
+        assert knn_graph_edges(system).shape == (0, 2)
+
+
+class TestDegreesAndAdjacency:
+    def test_max_degree_le_density_bound(self):
+        for d in (2, 3):
+            for k in (1, 2):
+                pts = uniform_cube(300, d, 10 * d + k)
+                deg = max_degree(brute_force_knn(pts, k))
+                # each vertex has k out-edges; in-degree bounded by the
+                # kissing-number argument
+                assert deg <= k * (kissing_number(d) + 1)
+
+    def test_adjacency_consistent_with_edges(self):
+        pts = uniform_cube(50, 2, 3)
+        system = brute_force_knn(pts, 2)
+        adj = adjacency_lists(system)
+        edges = set(map(tuple, knn_graph_edges(system)))
+        for i, nbrs in enumerate(adj):
+            for j in nbrs:
+                assert (min(i, j), max(i, j)) in edges
+
+    def test_empty_graph_degree(self):
+        assert max_degree(brute_force_knn(np.zeros((1, 2)), 1)) == 0
+
+
+class TestNetworkx:
+    def test_export(self):
+        pts = uniform_cube(40, 2, 4)
+        system = brute_force_knn(pts, 1)
+        g = to_networkx(system)
+        assert g.number_of_nodes() == 40
+        assert g.number_of_edges() == knn_graph_edges(system).shape[0]
+        assert "pos" in g.nodes[0]
+
+    def test_knn_graph_connectivity_k3(self):
+        """k=3 on uniform points: overwhelmingly one connected component."""
+        import networkx as nx
+
+        pts = uniform_cube(150, 2, 5)
+        g = to_networkx(brute_force_knn(pts, 3))
+        assert nx.number_connected_components(g) <= 3

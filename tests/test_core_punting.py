@@ -1,0 +1,121 @@
+"""Punting Lemma processes: (a,b)-tree tails and the duplication process."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import duplication_g, punting_tail_bound
+from repro.core.punting import (
+    ab_tree_trials,
+    simulate_ab_tree,
+    simulate_duplication,
+)
+
+
+class TestABTreeSimulator:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            simulate_ab_tree(100)
+        with pytest.raises(ValueError):
+            simulate_ab_tree(1)
+
+    def test_deterministic_with_seed(self):
+        assert simulate_ab_tree(256, 7) == simulate_ab_tree(256, 7)
+
+    def test_zero_b_gives_zero_depth(self):
+        assert simulate_ab_tree(64, 0, b=lambda m: 0.0) == 0.0
+
+    def test_constant_a_gives_a_log_n(self):
+        """(C, C)-tree: every node weighs C, so RD = C * log2 n exactly."""
+        rd = simulate_ab_tree(1024, 1, a=lambda m: 3.0, b=lambda m: 3.0)
+        assert rd == pytest.approx(3.0 * 10)
+
+    def test_root_always_bad(self):
+        """A (0, log m)-tree where only the root can be bad: weight is
+        either 0 or log2 n."""
+        vals = {simulate_ab_tree(2, seed) for seed in range(50)}
+        assert vals <= {0.0, 1.0}
+        assert len(vals) == 2  # both outcomes observed at n=2 (p = 1/2)
+
+    def test_rd_nonnegative_and_bounded(self):
+        for seed in range(10):
+            rd = simulate_ab_tree(512, seed)
+            assert 0 <= rd <= sum(math.log2(512 >> l) for l in range(9))
+
+
+class TestPuntingLemmaEmpirically:
+    def test_mean_rd_is_order_log_n(self):
+        """E[RD(n)]: each level contributes ~ (2^l / m) * log m ... the sum
+        is O(log n); check it stays below a small multiple of log2 n."""
+        for n in (256, 4096):
+            trials = ab_tree_trials(n, 60, 5)
+            assert trials.mean() <= 3.0 * math.log2(n)
+
+    def test_tail_below_lemma_bound(self):
+        """Lemma 4.1: empirical Pr[RD > 2c log n] <= n A e^{-c log n},
+        checked where the bound is non-vacuous."""
+        n = 1024
+        trials = ab_tree_trials(n, 400, 8)
+        for c in (1.5, 2.0, 3.0):
+            threshold = 2 * c * math.log2(n)
+            empirical = float((trials > threshold).mean())
+            bound = punting_tail_bound(n, c)
+            assert empirical <= bound + 0.02  # Monte-Carlo slack
+
+    def test_corollary_constant_shift(self):
+        """(C, log m)-tree sits about C*log2 n above the (0, log m)-tree."""
+        n = 1024
+        base = ab_tree_trials(n, 80, 9).mean()
+        shifted = ab_tree_trials(n, 80, 9, a=lambda m: 2.0).mean()
+        # bad nodes take b(m) *instead of* a(m), so the shift is C times the
+        # number of good nodes on the maximizing path: strictly between
+        # 1*log2 n and 2*log2 n here
+        assert shifted >= base + 1.0 * math.log2(n)
+        assert shifted <= base + 2.0 * math.log2(n) + 1e-9
+
+
+class TestDuplicationProcess:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            simulate_duplication(100, 5, alpha=1.5)
+        with pytest.raises(ValueError):
+            simulate_duplication(100, 5, adversary="chaotic")
+
+    def test_trace_structure(self):
+        trace = simulate_duplication(1000, 8, 1, alpha=0.9)
+        assert trace.level_totals[0] == 1000
+        assert trace.leaf_total > 0
+
+    def test_no_duplication_conserves_plus_alpha_growth(self):
+        """With beta huge (dup prob ~ 0), level totals grow only by the
+        w^alpha correction terms."""
+        trace = simulate_duplication(10_000, 6, 2, alpha=0.5, beta=50.0)
+        assert trace.duplications == 0
+        for a, b in zip(trace.level_totals, trace.level_totals[1:]):
+            assert b <= a + len(trace.level_totals) * a**0.5 + a * 0.1
+
+    def test_always_duplicate_doubles(self):
+        """beta = 0 makes every node duplicate: totals double each level."""
+        trace = simulate_duplication(100.0, 4, 3, alpha=0.9, beta=0.0, w_bar=0.0)
+        np.testing.assert_allclose(
+            trace.level_totals, [100 * 2**i for i in range(len(trace.level_totals))]
+        )
+
+    @pytest.mark.parametrize("adversary", ["half", "extreme", "random"])
+    def test_leaf_total_below_lemma_envelope(self, adversary):
+        """Lemma 6.5: X(W, K) = O(g(W) log W) with high probability."""
+        W, K, alpha = 4000.0, 10, 0.9
+        bound = duplication_g(W, K, alpha) * math.log(W)
+        bad = 0
+        for seed in range(30):
+            trace = simulate_duplication(W, K, seed, alpha=alpha, adversary=adversary)
+            if trace.leaf_total > bound:
+                bad += 1
+        assert bad <= 1  # the lemma's O(1/W^2) failure mass
+
+    def test_extreme_adversary_handles_empty_children(self):
+        trace = simulate_duplication(100.0, 6, 4, alpha=0.8, adversary="extreme")
+        assert trace.leaf_total > 0

@@ -1,0 +1,158 @@
+"""The neighborhood query structure (Section 3): correctness, shape, cost."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.recurrences import min_valid_m0
+from repro.baselines import brute_force_knn
+from repro.core.query import NeighborhoodQueryStructure, QueryConfig
+from repro.geometry.balls import BallSystem
+from repro.pvm.machine import Machine
+from repro.workloads import clustered, uniform_cube
+
+
+def knn_balls(n: int, d: int, k: int, seed: int) -> BallSystem:
+    return brute_force_knn(uniform_cube(n, d, seed), k).to_ball_system()
+
+
+class TestQueryCorrectness:
+    @pytest.mark.parametrize("d", [2, 3])
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_matches_direct_containment(self, d, k):
+        balls = knn_balls(500, d, k, seed=d * 10 + k)
+        structure = NeighborhoodQueryStructure(balls, seed=1)
+        rng = np.random.default_rng(2)
+        queries = rng.random((100, d))
+        for q in queries:
+            got = np.sort(structure.query(q))
+            want = np.sort(balls.covering(q))
+            np.testing.assert_array_equal(got, want)
+
+    def test_query_at_ball_centers(self):
+        """Each center is covered by its own ball's neighbors' balls etc.;
+        compare against direct computation exactly."""
+        balls = knn_balls(300, 2, 2, seed=3)
+        structure = NeighborhoodQueryStructure(balls, seed=4)
+        for i in range(0, 300, 37):
+            got = np.sort(structure.query(balls.centers[i]))
+            want = np.sort(balls.covering(balls.centers[i]))
+            np.testing.assert_array_equal(got, want)
+
+    def test_closed_variant(self):
+        balls = BallSystem(np.array([[0.0, 0.0]]), np.array([1.0]))
+        structure = NeighborhoodQueryStructure(balls, seed=0)
+        assert structure.query(np.array([1.0, 0.0])).size == 0
+        assert structure.query(np.array([1.0, 0.0]), closed=True).size == 1
+
+    def test_query_many_matches_single_queries(self):
+        balls = knn_balls(400, 2, 1, seed=5)
+        structure = NeighborhoodQueryStructure(balls, seed=6)
+        queries = np.random.default_rng(7).random((80, 2))
+        rows, ids = structure.query_many(queries)
+        per_point = {i: set() for i in range(80)}
+        for r, b in zip(rows, ids):
+            per_point[int(r)].add(int(b))
+        for i, q in enumerate(queries):
+            assert per_point[i] == set(structure.query(q).tolist())
+
+    def test_inf_radius_ball_found_everywhere(self):
+        centers = np.random.default_rng(8).random((50, 2))
+        radii = np.full(50, 0.01)
+        radii[7] = np.inf
+        structure = NeighborhoodQueryStructure(BallSystem(centers, radii), seed=9)
+        assert 7 in structure.query(np.array([100.0, 100.0])).tolist()
+
+
+class TestStructureShape:
+    def test_height_logarithmic(self):
+        """Lemma 3.1: height O(log n) — compare against the recurrence."""
+        heights = {}
+        for n in (256, 1024, 4096):
+            balls = knn_balls(n, 2, 1, seed=n)
+            s = NeighborhoodQueryStructure(balls, seed=1)
+            heights[n] = s.stats.height
+        # height grows by O(1) per doubling: going 256 -> 4096 (x16 = 4
+        # doublings) should add a bounded number of levels
+        assert heights[4096] - heights[256] <= 4 * 4
+        assert heights[4096] >= heights[256]
+
+    def test_space_linear(self):
+        """Lemma 3.1: total stored balls O(n) despite duplication."""
+        for n in (512, 2048):
+            balls = knn_balls(n, 2, 1, seed=n + 1)
+            s = NeighborhoodQueryStructure(balls, seed=2)
+            assert s.stats.space_ratio <= 3.0
+
+    def test_m0_condition_from_recurrence(self):
+        """The paper's m0 threshold makes the shrink condition hold; our
+        smaller practical default relies on the explicit progress check
+        instead, so here we verify the threshold itself is correct."""
+        cfg = QueryConfig()
+        mu = cfg.mu(2)
+        m0_star = min_valid_m0(0.8, mu)
+        assert m0_star ** (mu - 1.0) <= (1 - 0.8) / 2 + 1e-12
+        assert (m0_star - 1) ** (mu - 1.0) > (1 - 0.8) / 2
+
+    def test_small_input_single_leaf(self):
+        balls = knn_balls(10, 2, 1, seed=1)
+        s = NeighborhoodQueryStructure(balls, seed=1)
+        assert s.root.is_leaf
+        assert s.stats.height == 0
+
+    def test_duplications_counted(self):
+        balls = knn_balls(1000, 2, 1, seed=11)
+        s = NeighborhoodQueryStructure(balls, seed=12)
+        assert s.stats.duplications == s.stats.stored_balls - len(balls) or s.stats.duplications >= 0
+
+    def test_fallback_on_degenerate_system(self):
+        """All-identical centers: build must terminate with a fallback leaf."""
+        balls = BallSystem(np.ones((200, 2)), np.full(200, 0.5))
+        s = NeighborhoodQueryStructure(balls, seed=13, config=QueryConfig(max_attempts=4))
+        assert s.stats.fallback_leaves >= 1
+        got = s.query(np.array([1.0, 1.0]))
+        assert got.shape[0] == 200
+
+    def test_clustered_workload(self):
+        balls = brute_force_knn(clustered(800, 2, 14), 1).to_ball_system()
+        s = NeighborhoodQueryStructure(balls, seed=15)
+        q = np.random.default_rng(16).random((30, 2))
+        for point in q:
+            np.testing.assert_array_equal(
+                np.sort(s.query(point)), np.sort(balls.covering(point))
+            )
+
+
+class TestParallelConstructionCost:
+    def test_depth_logarithmic_in_n(self):
+        """Theorem 3.1: parallel build depth O(log n)."""
+        depths = {}
+        for n in (512, 4096):
+            balls = knn_balls(n, 2, 1, seed=n + 7)
+            m = Machine()
+            NeighborhoodQueryStructure(balls, machine=m, seed=3)
+            depths[n] = m.total.depth
+        # 3 extra doublings should multiply depth by far less than n ratio (8x)
+        assert depths[4096] <= depths[512] * 3
+
+    def test_work_near_linear(self):
+        works = {}
+        for n in (512, 4096):
+            balls = knn_balls(n, 2, 1, seed=n + 9)
+            m = Machine()
+            NeighborhoodQueryStructure(balls, machine=m, seed=4)
+            works[n] = m.total.work
+        assert works[4096] <= works[512] * 8 * 4  # O(n log n) at worst
+
+    def test_query_cost_charged(self):
+        balls = knn_balls(800, 2, 1, seed=21)
+        m = Machine()
+        s = NeighborhoodQueryStructure(balls, machine=m, seed=5)
+        before = m.total
+        s.query_many(np.random.default_rng(6).random((50, 2)))
+        after = m.total
+        assert after.depth > before.depth
+        assert after.work > before.work

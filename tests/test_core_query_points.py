@@ -1,0 +1,86 @@
+"""knn_query: new-point queries against the partition tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.spatial import cKDTree
+
+from repro.core import knn_query, parallel_nearest_neighborhood
+from repro.workloads import clustered, uniform_cube, with_duplicates
+
+
+@pytest.fixture(scope="module")
+def index2d():
+    pts = uniform_cube(900, 2, 41)
+    res = parallel_nearest_neighborhood(pts, 1, seed=42)
+    return res.tree, pts
+
+
+class TestExactness:
+    def test_matches_scipy(self, index2d):
+        tree, pts = index2d
+        queries = np.random.default_rng(1).random((120, 2))
+        for k in (1, 3, 7):
+            idx, sq = knn_query(tree, pts, queries, k)
+            d_ref, i_ref = cKDTree(pts).query(queries, k=k)
+            d_ref = np.atleast_2d(d_ref.T).T if k == 1 else d_ref
+            np.testing.assert_allclose(np.sqrt(sq), d_ref.reshape(sq.shape), rtol=1e-9)
+
+    def test_query_outside_bounding_box(self, index2d):
+        tree, pts = index2d
+        queries = np.array([[5.0, 5.0], [-3.0, 0.5]])
+        idx, sq = knn_query(tree, pts, queries, 2)
+        d_ref, i_ref = cKDTree(pts).query(queries, k=2)
+        np.testing.assert_allclose(np.sqrt(sq), d_ref, rtol=1e-9)
+
+    def test_query_at_data_point_finds_itself(self, index2d):
+        tree, pts = index2d
+        idx, sq = knn_query(tree, pts, pts[:5], 1)
+        np.testing.assert_array_equal(idx[:, 0], np.arange(5))
+        np.testing.assert_allclose(sq[:, 0], 0.0, atol=1e-15)
+
+    def test_3d_clustered(self):
+        pts = clustered(600, 3, 43)
+        res = parallel_nearest_neighborhood(pts, 1, seed=44)
+        queries = np.random.default_rng(2).random((50, 3))
+        idx, sq = knn_query(res.tree, pts, queries, 4)
+        d_ref, _ = cKDTree(pts).query(queries, k=4)
+        np.testing.assert_allclose(np.sqrt(sq), d_ref, rtol=1e-9)
+
+    def test_duplicated_data(self):
+        pts = with_duplicates(uniform_cube(300, 2, 45), 0.4, 46)
+        res = parallel_nearest_neighborhood(pts, 1, seed=47)
+        queries = np.random.default_rng(3).random((30, 2))
+        idx, sq = knn_query(res.tree, pts, queries, 3)
+        d_ref, _ = cKDTree(pts).query(queries, k=3)
+        np.testing.assert_allclose(np.sqrt(sq), d_ref, rtol=1e-9)
+
+
+class TestEdgeCases:
+    def test_k_exceeds_n_rejected(self, index2d):
+        tree, pts = index2d
+        with pytest.raises(ValueError):
+            knn_query(tree, pts, pts[:1], pts.shape[0] + 1)
+
+    def test_k_equals_n(self):
+        pts = uniform_cube(10, 2, 48)
+        res = parallel_nearest_neighborhood(pts, 1, seed=49)
+        idx, sq = knn_query(res.tree, pts, np.array([[0.5, 0.5]]), 10)
+        assert (idx[0] >= 0).all()
+        assert np.isfinite(sq).all()
+
+    def test_empty_queries(self, index2d):
+        tree, pts = index2d
+        idx, sq = knn_query(tree, pts, np.zeros((0, 2)), 2)
+        assert idx.shape == (0, 2)
+
+    def test_dimension_mismatch_rejected(self, index2d):
+        tree, pts = index2d
+        with pytest.raises(ValueError):
+            knn_query(tree, pts, np.zeros((2, 3)), 1)
+
+    def test_sorted_rows(self, index2d):
+        tree, pts = index2d
+        _, sq = knn_query(tree, pts, np.random.default_rng(4).random((20, 2)), 5)
+        assert (np.diff(sq, axis=1) >= 0).all()

@@ -1,0 +1,96 @@
+"""Simple Parallel Divide-and-Conquer (Section 5): exactness and the
+O(log^2 n) cost signature."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import brute_force_knn
+from repro.core.fast_dnc import parallel_nearest_neighborhood
+from repro.core.simple_dnc import SimpleDnCConfig, simple_parallel_dnc
+from repro.pvm.machine import Machine
+from repro.workloads import clustered, collinear, gaussian, uniform_cube, with_duplicates
+
+
+class TestExactness:
+    @pytest.mark.parametrize("workload", [uniform_cube, clustered, gaussian])
+    @pytest.mark.parametrize("d", [2, 3])
+    def test_matches_brute_force(self, workload, d):
+        pts = workload(500, d, 30 + d)
+        res = simple_parallel_dnc(pts, 2, seed=1)
+        assert res.system.same_distances(brute_force_knn(pts, 2))
+
+    @pytest.mark.parametrize("k", [1, 3, 6])
+    def test_k_sweep(self, k):
+        pts = uniform_cube(400, 2, 31)
+        res = simple_parallel_dnc(pts, k, seed=2)
+        assert res.system.same_distances(brute_force_knn(pts, k))
+
+    def test_duplicates(self):
+        pts = with_duplicates(uniform_cube(300, 2, 32), 0.4, 33)
+        res = simple_parallel_dnc(pts, 1, seed=3)
+        assert res.system.same_distances(brute_force_knn(pts, 1))
+
+    def test_all_identical(self):
+        pts = np.zeros((150, 2))
+        res = simple_parallel_dnc(pts, 1, seed=4)
+        assert res.system.same_distances(brute_force_knn(pts, 1))
+        assert res.stats.degenerate_cuts >= 1
+
+    def test_collinear(self):
+        pts = collinear(250, 3, 34)
+        res = simple_parallel_dnc(pts, 2, seed=5)
+        assert res.system.same_distances(brute_force_knn(pts, 2))
+
+    def test_tiny_inputs(self):
+        for n in (1, 2, 4):
+            pts = uniform_cube(n, 2, 40 + n)
+            res = simple_parallel_dnc(pts, 1, seed=6)
+            assert res.system.same_distances(brute_force_knn(pts, 1))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            simple_parallel_dnc(uniform_cube(10, 2, 0), 0)
+
+    def test_fixed_axis_config(self):
+        cfg = SimpleDnCConfig(rotate_axes=False)
+        pts = uniform_cube(400, 2, 35)
+        res = simple_parallel_dnc(pts, 1, seed=7, config=cfg)
+        assert res.system.same_distances(brute_force_knn(pts, 1))
+
+
+class TestCostSignature:
+    def test_median_cuts_give_balanced_tree(self):
+        pts = uniform_cube(1024, 2, 36)
+        res = simple_parallel_dnc(pts, 1, seed=8)
+        # 1024 points, base 64: ceil(log2(1024/64)) = 4 levels minimum
+        assert 4 <= res.tree.height() <= 7
+
+    def test_depth_grows_superlinearly_in_log_n(self):
+        """The per-doubling depth increment itself grows — the log^2 wedge."""
+        depths = {}
+        for n in (1024, 4096, 16384):
+            pts = uniform_cube(n, 3, n + 2)
+            res = simple_parallel_dnc(pts, 1, seed=9)
+            depths[n] = res.cost.depth
+        inc1 = depths[4096] - depths[1024]
+        inc2 = depths[16384] - depths[4096]
+        assert inc2 > inc1  # increments increase => superlogarithmic
+
+    def test_fast_dnc_shallower_at_scale(self):
+        """The headline comparison: sphere DnC beats hyperplane DnC in depth."""
+        pts = uniform_cube(8192, 3, 37)
+        fast = parallel_nearest_neighborhood(pts, 1, seed=10)
+        simple = simple_parallel_dnc(pts, 1, seed=10)
+        assert fast.cost.depth < simple.cost.depth
+
+    def test_machine_passthrough(self):
+        m = Machine()
+        res = simple_parallel_dnc(uniform_cube(200, 2, 38), 1, machine=m, seed=11)
+        assert res.machine is m and m.total.work > 0
+
+    def test_stats_straddlers_recorded(self):
+        pts = uniform_cube(800, 2, 39)
+        res = simple_parallel_dnc(pts, 1, seed=12)
+        assert len(res.stats.straddler_fraction) > 0

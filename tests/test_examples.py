@@ -1,0 +1,56 @@
+"""The examples must actually run — they are executable documentation."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    path = os.path.join(EXAMPLES, name)
+    proc = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        check=False,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stdout}\n{proc.stderr}"
+    return proc.stdout
+
+
+class TestFastExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "parallel depth" in out
+        assert "punts" in out
+
+    def test_separator_anatomy(self):
+        out = run_example("separator_anatomy.py")
+        assert "centerpoint" in out
+        assert "median hyperplane" in out
+
+    def test_adversarial_cuts(self):
+        out = run_example("adversarial_cuts.py")
+        assert "slab pairs" in out
+        assert "exact" in out
+
+
+@pytest.mark.slow
+class TestSlowExamples:
+    def test_parallel_scaling(self):
+        out = run_example("parallel_scaling.py", timeout=600)
+        assert "Brent-scheduled" in out
+
+    def test_point_location_service(self):
+        out = run_example("point_location_service.py", timeout=600)
+        assert "identical" in out
+
+    def test_nested_dissection(self):
+        out = run_example("nested_dissection.py", timeout=600)
+        assert "nested dissection" in out

@@ -1,0 +1,132 @@
+"""Ball systems: ply, k-neighborhood property, intersection numbers,
+and the Density Lemma (Lemma 2.1) on real k-NN systems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import brute_force_knn
+from repro.geometry.balls import BallSystem, union
+from repro.geometry.kissing import kissing_number
+from repro.geometry.spheres import Sphere
+from repro.workloads import uniform_cube
+
+
+def simple_system() -> BallSystem:
+    centers = np.array([[0.0, 0.0], [1.0, 0.0], [5.0, 5.0]])
+    radii = np.array([1.5, 1.5, 0.5])
+    return BallSystem(centers, radii)
+
+
+class TestConstruction:
+    def test_len_and_dim(self):
+        b = simple_system()
+        assert len(b) == 3 and b.dim == 2
+
+    def test_radii_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            BallSystem(np.zeros((3, 2)), np.zeros(2))
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            BallSystem(np.zeros((1, 2)), np.array([-1.0]))
+
+    def test_nan_radius_rejected(self):
+        with pytest.raises(ValueError):
+            BallSystem(np.zeros((1, 2)), np.array([np.nan]))
+
+    def test_inf_radius_allowed(self):
+        b = BallSystem(np.zeros((1, 2)), np.array([np.inf]))
+        assert np.isinf(b.radii[0])
+
+
+class TestCoverage:
+    def test_covering_open(self):
+        b = simple_system()
+        np.testing.assert_array_equal(b.covering(np.array([0.5, 0.0])), [0, 1])
+
+    def test_covering_boundary_excluded_open(self):
+        b = BallSystem(np.array([[0.0, 0.0]]), np.array([1.0]))
+        assert b.covering(np.array([1.0, 0.0])).size == 0
+        assert b.covering(np.array([1.0, 0.0]), closed=True).size == 1
+
+    def test_inf_ball_covers_everything(self):
+        b = BallSystem(np.array([[0.0, 0.0]]), np.array([np.inf]))
+        assert b.covering(np.array([1e6, 1e6])).size == 1
+
+    def test_ply_of(self):
+        b = simple_system()
+        ply = b.ply_of(np.array([[0.5, 0.0], [5.0, 5.0], [100.0, 100.0]]))
+        np.testing.assert_array_equal(ply, [2, 1, 0])
+
+    def test_max_ply_at_centers(self):
+        b = simple_system()
+        assert b.max_ply_at_centers() == 2  # each of the pair covers both centers
+
+    def test_empty_system_ply(self):
+        b = BallSystem(np.zeros((0, 2)), np.zeros(0))
+        assert b.max_ply_at_centers() == 0
+
+
+class TestKNeighborhoodProperty:
+    def test_knn_system_is_k_neighborhood(self):
+        pts = uniform_cube(120, 2, 5)
+        for k in (1, 2, 4):
+            sys_k = brute_force_knn(pts, k).to_ball_system()
+            assert sys_k.is_k_neighborhood_system(k)
+
+    def test_larger_radii_violate(self):
+        pts = uniform_cube(60, 2, 6)
+        base = brute_force_knn(pts, 1).to_ball_system()
+        inflated = BallSystem(base.centers, base.radii * 10)
+        assert not inflated.is_k_neighborhood_system(1)
+
+    def test_density_lemma(self):
+        """Lemma 2.1: a k-neighborhood system is tau_d * k ply."""
+        for d in (2, 3):
+            pts = uniform_cube(200, d, 7 + d)
+            for k in (1, 3):
+                system = brute_force_knn(pts, k).to_ball_system()
+                bound = kissing_number(d) * k
+                # probe ply at centers and at random points
+                assert system.max_ply_at_centers() <= bound
+                probes = np.random.default_rng(1).random((500, d))
+                assert system.ply_of(probes).max() <= bound
+
+    def test_empty_is_k_neighborhood(self):
+        assert BallSystem(np.zeros((0, 2)), np.zeros(0)).is_k_neighborhood_system(1)
+
+
+class TestSeparatorInteraction:
+    def test_intersection_number(self):
+        b = simple_system()
+        s = Sphere(np.array([0.0, 0.0]), 2.0)
+        # ball 0 inside (|0|+1.5 < 2 ? 1.5 < 2 yes strictly inside),
+        # ball 1 crosses (1+1.5 > 2), ball 2 outside
+        assert b.intersection_number(s) == 1
+        cls = b.classify(s)
+        np.testing.assert_array_equal(cls, [-1, 0, 1])
+
+    def test_subset_and_mask(self):
+        b = simple_system()
+        sub = b.subset(np.array([2, 0]))
+        assert len(sub) == 2
+        np.testing.assert_array_equal(sub.centers[0], [5.0, 5.0])
+        masked = b.take_mask(np.array([True, False, True]))
+        assert len(masked) == 2
+
+    def test_union(self):
+        a = simple_system()
+        b = BallSystem(np.array([[9.0, 9.0]]), np.array([1.0]))
+        u = union(a, b)
+        assert len(u) == 4
+
+    def test_union_dim_mismatch(self):
+        a = simple_system()
+        with pytest.raises(ValueError):
+            union(a, BallSystem(np.zeros((1, 3)), np.ones(1)))
+
+    def test_centers_inside_counts_self(self):
+        b = BallSystem(np.array([[0.0, 0.0]]), np.array([1.0]))
+        assert b.centers_inside_counts()[0] == 1  # own center always inside

@@ -1,0 +1,92 @@
+"""Approximate centerpoints: depth guarantees in practice."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.centerpoints import (
+    coordinate_median,
+    iterated_radon_centerpoint,
+    tukey_depth_estimate,
+)
+from repro.geometry.stereographic import lift
+from repro.workloads import annulus, clustered, uniform_cube
+
+
+class TestCoordinateMedian:
+    def test_matches_numpy(self):
+        pts = np.random.default_rng(0).random((101, 3))
+        np.testing.assert_allclose(coordinate_median(pts), np.median(pts, axis=0))
+
+
+class TestIteratedRadon:
+    def test_small_input_returns_mean(self):
+        pts = np.array([[0.0, 0.0], [2.0, 0.0]])
+        rng = np.random.default_rng(0)
+        np.testing.assert_allclose(iterated_radon_centerpoint(pts, rng), [1.0, 0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            iterated_radon_centerpoint(np.zeros((0, 2)), np.random.default_rng(0))
+
+    def test_wrong_rank_rejected(self):
+        with pytest.raises(ValueError):
+            iterated_radon_centerpoint(np.zeros(5), np.random.default_rng(0))
+
+    @pytest.mark.parametrize("workload", [uniform_cube, clustered, annulus])
+    @pytest.mark.parametrize("d", [2, 3])
+    def test_depth_on_workloads(self, workload, d):
+        """Measured Tukey depth comfortably above the n/(d+2)^2 floor."""
+        n = 600
+        pts = workload(n, d, 11)
+        rng = np.random.default_rng(1)
+        z = iterated_radon_centerpoint(pts, rng)
+        depth = tukey_depth_estimate(pts, z, rng, directions=400)
+        assert depth >= n // ((d + 2) ** 2)
+
+    def test_depth_on_lifted_sphere_points(self):
+        """The MTTV use case: centerpoint of lifted points in R^{d+1}."""
+        pts = uniform_cube(800, 2, 3)
+        y = lift(pts)
+        rng = np.random.default_rng(2)
+        z = iterated_radon_centerpoint(y, rng)
+        assert np.linalg.norm(z) < 1.0  # strictly inside the ball
+        depth = tukey_depth_estimate(y, z, rng, directions=400)
+        assert depth >= 800 // 25
+
+    def test_rounds_cap_respected(self):
+        pts = np.random.default_rng(3).random((100, 2))
+        z = iterated_radon_centerpoint(pts, np.random.default_rng(4), rounds=1)
+        assert z.shape == (2,)
+
+    def test_deterministic_given_rng_state(self):
+        pts = np.random.default_rng(5).random((100, 2))
+        z1 = iterated_radon_centerpoint(pts, np.random.default_rng(42))
+        z2 = iterated_radon_centerpoint(pts, np.random.default_rng(42))
+        np.testing.assert_array_equal(z1, z2)
+
+
+class TestTukeyDepthEstimate:
+    def test_center_of_symmetric_cloud_has_high_depth(self):
+        rng = np.random.default_rng(6)
+        pts = rng.standard_normal((500, 2))
+        depth = tukey_depth_estimate(pts, np.zeros(2), rng, directions=300)
+        assert depth > 500 * 0.4
+
+    def test_outlier_has_zero_depth(self):
+        rng = np.random.default_rng(7)
+        pts = rng.standard_normal((200, 2))
+        depth = tukey_depth_estimate(pts, np.array([100.0, 100.0]), rng, directions=100)
+        assert depth == 0
+
+    def test_invalid_direction_count(self):
+        with pytest.raises(ValueError):
+            tukey_depth_estimate(np.zeros((3, 2)), np.zeros(2), np.random.default_rng(0), directions=0)
+
+    def test_upper_bounds_true_depth_on_line(self):
+        # colinear points: true depth of the median is ceil(n/2)
+        pts = np.linspace(0, 1, 21)[:, None] * np.ones((1, 2))
+        rng = np.random.default_rng(8)
+        depth = tukey_depth_estimate(pts, pts[10], rng, directions=500)
+        assert depth <= 11

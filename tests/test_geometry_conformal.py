@@ -1,0 +1,137 @@
+"""Conformal maps: rotation, centering dilation, and circle transport —
+the correctness core of the MTTV separator pull-back."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.centerpoints import iterated_radon_centerpoint, tukey_depth_estimate
+from repro.geometry.conformal import ConformalMap, rotation_to_pole
+from repro.geometry.stereographic import SphereCap, circle_to_separator, lift
+from repro.separators.greatcircle import random_great_circle
+from repro.workloads import uniform_cube
+
+
+class TestRotationToPole:
+    @given(st.integers(0, 300), st.integers(2, 5))
+    def test_maps_unit_vector_to_pole(self, seed, m):
+        rng = np.random.default_rng(seed)
+        u = rng.standard_normal(m)
+        u /= np.linalg.norm(u)
+        q = rotation_to_pole(u)
+        pole = np.zeros(m)
+        pole[-1] = 1.0
+        np.testing.assert_allclose(q @ u, pole, atol=1e-9)
+
+    @given(st.integers(0, 300), st.integers(2, 5))
+    def test_orthogonal(self, seed, m):
+        rng = np.random.default_rng(seed)
+        u = rng.standard_normal(m)
+        q = rotation_to_pole(u / np.linalg.norm(u))
+        np.testing.assert_allclose(q @ q.T, np.eye(m), atol=1e-10)
+
+    def test_pole_itself_gives_identity(self):
+        q = rotation_to_pole(np.array([0.0, 0.0, 1.0]))
+        np.testing.assert_array_equal(q, np.eye(3))
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            rotation_to_pole(np.zeros(3))
+
+    def test_householder_is_involution(self):
+        u = np.array([1.0, 2.0, 2.0]) / 3.0
+        q = rotation_to_pole(u)
+        np.testing.assert_allclose(q @ q, np.eye(3), atol=1e-12)
+
+
+class TestConformalMapConstruction:
+    def test_centering_at_origin_is_identity(self):
+        cmap = ConformalMap.centering(np.zeros(3))
+        assert cmap.delta == 1.0
+        np.testing.assert_array_equal(cmap.rotation, np.eye(3))
+
+    def test_centering_clamps_outside_points(self):
+        cmap = ConformalMap.centering(np.array([2.0, 0.0, 0.0]))
+        assert 0 < cmap.delta <= 1.0
+
+    def test_delta_formula(self):
+        r = 0.5
+        cmap = ConformalMap.centering(np.array([0.0, 0.0, r]))
+        assert cmap.delta == pytest.approx(np.sqrt((1 - r) / (1 + r)))
+
+    def test_non_orthogonal_rotation_rejected(self):
+        with pytest.raises(ValueError):
+            ConformalMap(np.ones((3, 3)), 0.5)
+
+    def test_bad_delta_rejected(self):
+        with pytest.raises(ValueError):
+            ConformalMap(np.eye(3), 0.0)
+
+
+class TestPointTransport:
+    @given(st.integers(0, 200))
+    @settings(max_examples=50)
+    def test_points_stay_on_sphere(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.standard_normal((50, 2))
+        y = lift(pts)
+        z = iterated_radon_centerpoint(y, rng)
+        cmap = ConformalMap.centering(z)
+        ty = cmap.apply_to_sphere_points(y)
+        np.testing.assert_allclose(np.linalg.norm(ty, axis=1), 1.0, rtol=1e-8)
+
+    def test_centering_moves_centerpoint_to_origin(self):
+        """After the map, the image point set has a centerpoint near 0 —
+        the property that makes every great circle a balanced split."""
+        pts = uniform_cube(1000, 2, 9)
+        y = lift(pts)
+        rng = np.random.default_rng(10)
+        z = iterated_radon_centerpoint(y, rng)
+        cmap = ConformalMap.centering(z)
+        ty = cmap.apply_to_sphere_points(y)
+        depth = tukey_depth_estimate(ty, np.zeros(3), rng, directions=300)
+        assert depth >= 1000 // 8  # well above the n/(d+2) = n/4-ish target scale
+
+    def test_identity_map_returns_input(self):
+        cmap = ConformalMap(np.eye(3), 1.0)
+        y = lift(np.random.default_rng(0).random((10, 2)))
+        np.testing.assert_array_equal(cmap.apply_to_sphere_points(y), y)
+
+
+class TestCircleTransport:
+    """The key property: classifying points through the transform equals
+    classifying them against the pulled-back explicit separator."""
+
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    def test_pull_back_consistency(self, d):
+        rng = np.random.default_rng(100 + d)
+        pts = rng.random((400, d)) * 2 - 1
+        y = lift(pts)
+        z = iterated_radon_centerpoint(y, rng)
+        cmap = ConformalMap.centering(z)
+        ty = cmap.apply_to_sphere_points(y)
+        mismatches = 0
+        for trial in range(20):
+            circle = random_great_circle(rng, d + 1)
+            transformed_side = np.sign(circle.side_of(ty))
+            try:
+                original = cmap.pull_back_circle(circle)
+                sep = circle_to_separator(original)
+            except ValueError:
+                continue
+            explicit_side = sep.side_of_points(pts).astype(float)
+            agree = (np.sign(explicit_side) == transformed_side).mean()
+            flip = (np.sign(explicit_side) == -transformed_side).mean()
+            if max(agree, flip) < 0.995:
+                mismatches += 1
+        assert mismatches == 0
+
+    def test_pull_back_of_identity_map_is_same_circle(self):
+        cmap = ConformalMap(np.eye(3), 1.0)
+        circle = SphereCap(np.array([0.3, 0.4, 0.5]), 0.0)
+        back = cmap.pull_back_circle(circle)
+        np.testing.assert_allclose(np.abs(back.normal @ circle.normal), 1.0, atol=1e-9)
+        assert back.offset == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,170 @@
+"""Point utilities: validation, distance kernels, k-smallest selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.geometry.points import (
+    as_points,
+    bounding_box,
+    chunked_pairs,
+    diameter_upper_bound,
+    kth_smallest_per_row,
+    pairwise_sq_dists,
+    sq_dists_to,
+)
+
+point_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 40), st.integers(1, 5)),
+    elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+
+
+class TestAsPoints:
+    def test_accepts_lists(self):
+        out = as_points([[1, 2], [3, 4]])
+        assert out.dtype == np.float64 and out.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            as_points(np.zeros(5))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            as_points(np.zeros((2, 2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            as_points([[np.nan, 0.0]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            as_points([[np.inf, 0.0]])
+
+    def test_min_points_enforced(self):
+        with pytest.raises(ValueError):
+            as_points(np.zeros((1, 2)), min_points=2)
+
+    def test_contiguous_output(self):
+        arr = np.asfortranarray(np.random.default_rng(0).random((5, 3)))
+        assert as_points(arr).flags["C_CONTIGUOUS"]
+
+
+class TestDistances:
+    @given(point_arrays)
+    def test_pairwise_matches_naive(self, pts):
+        sq = pairwise_sq_dists(pts, pts)
+        naive = ((pts[:, None, :] - pts[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_allclose(sq, naive, rtol=1e-7, atol=1e-6)
+
+    @given(point_arrays)
+    def test_pairwise_diag_zero(self, pts):
+        sq = pairwise_sq_dists(pts, pts)
+        np.testing.assert_allclose(np.diag(sq), 0.0, atol=1e-6)
+
+    @given(point_arrays)
+    def test_pairwise_nonnegative(self, pts):
+        assert (pairwise_sq_dists(pts, pts) >= 0).all()
+
+    @given(point_arrays)
+    def test_sq_dists_to_matches_row(self, pts):
+        q = pts[0]
+        np.testing.assert_allclose(
+            sq_dists_to(pts, q), pairwise_sq_dists(pts, q[None, :])[:, 0], rtol=1e-7, atol=1e-6
+        )
+
+    def test_rectangular_shapes(self):
+        a = np.zeros((3, 2))
+        b = np.ones((5, 2))
+        assert pairwise_sq_dists(a, b).shape == (3, 5)
+
+
+class TestBoundingBox:
+    def test_box_and_diameter(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0], [1.0, 1.0]])
+        lo, hi = bounding_box(pts)
+        np.testing.assert_array_equal(lo, [0, 0])
+        np.testing.assert_array_equal(hi, [3, 4])
+        assert diameter_upper_bound(pts) == pytest.approx(5.0)
+
+    @given(point_arrays)
+    def test_diameter_bound_dominates_true_diameter(self, pts):
+        sq = pairwise_sq_dists(pts, pts)
+        true = np.sqrt(sq.max())
+        # the GEMM kernel's cancellation error is absolute at the scale of
+        # the squared coordinates; sqrt amplifies it near zero, so allow a
+        # coordinate-scaled absolute slack on top of the relative one
+        scale = 1.0 + np.abs(pts).max()
+        assert diameter_upper_bound(pts) >= true * (1 - 1e-9) - 1e-6 * scale
+
+
+class TestChunkedPairs:
+    def test_covers_range_without_overlap(self):
+        spans = list(chunked_pairs(10, 3))
+        assert spans == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_single_chunk(self):
+        assert list(chunked_pairs(5, 100)) == [(0, 5)]
+
+    def test_zero_n(self):
+        assert list(chunked_pairs(0, 4)) == []
+
+    def test_invalid_chunk(self):
+        with pytest.raises(ValueError):
+            list(chunked_pairs(5, 0))
+
+
+class TestKthSmallest:
+    def test_small_example(self):
+        sq = np.array([[4.0, 1.0, 3.0, 2.0]])
+        idx, vals = kth_smallest_per_row(sq, 2)
+        np.testing.assert_array_equal(idx, [[1, 3]])
+        np.testing.assert_array_equal(vals, [[1.0, 2.0]])
+
+    def test_k_equals_width_full_sort(self):
+        sq = np.array([[3.0, 1.0, 2.0]])
+        idx, vals = kth_smallest_per_row(sq, 3)
+        np.testing.assert_array_equal(idx, [[1, 2, 0]])
+        np.testing.assert_array_equal(vals, [[1.0, 2.0, 3.0]])
+
+    def test_tie_broken_by_column(self):
+        sq = np.array([[1.0, 1.0, 1.0, 0.5]])
+        idx, _ = kth_smallest_per_row(sq, 2)
+        assert idx[0, 0] == 3
+        assert idx[0, 1] in (0, 1, 2)
+
+    def test_out_of_range_k(self):
+        with pytest.raises(ValueError):
+            kth_smallest_per_row(np.zeros((2, 3)), 4)
+        with pytest.raises(ValueError):
+            kth_smallest_per_row(np.zeros((2, 3)), 0)
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 20), st.integers(2, 15)),
+            elements=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        ),
+        st.data(),
+    )
+    def test_values_match_full_sort(self, sq, data):
+        k = data.draw(st.integers(min_value=1, max_value=sq.shape[1]))
+        _, vals = kth_smallest_per_row(sq, k)
+        expected = np.sort(sq, axis=1)[:, :k]
+        np.testing.assert_allclose(vals, expected)
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 20), st.integers(2, 15)),
+            elements=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        )
+    )
+    def test_rows_sorted_ascending(self, sq):
+        _, vals = kth_smallest_per_row(sq, min(3, sq.shape[1]))
+        assert (np.diff(vals, axis=1) >= 0).all()

@@ -1,0 +1,69 @@
+"""Radon partitions: the defining algebraic identities and hull membership."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.radon import radon_partition, radon_point
+
+
+def random_points(seed: int, m: int, dim: int) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal((m, dim))
+
+
+class TestRadonPartition:
+    @given(st.integers(0, 500), st.integers(1, 4))
+    @settings(max_examples=100)
+    def test_affine_dependence_identities(self, seed, dim):
+        pts = random_points(seed, dim + 2, dim)
+        alpha, pos, neg = radon_partition(pts)
+        assert abs(alpha.sum()) < 1e-8
+        np.testing.assert_allclose((alpha[:, None] * pts).sum(axis=0), 0.0, atol=1e-7)
+        assert pos.any() and neg.any()
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            radon_partition(np.zeros((3, 2)))
+
+    def test_extra_points_allowed(self):
+        pts = random_points(1, 7, 2)
+        alpha, pos, neg = radon_partition(pts)
+        assert alpha.shape == (7,)
+
+
+class TestRadonPoint:
+    @given(st.integers(0, 500), st.integers(1, 4))
+    @settings(max_examples=100)
+    def test_point_in_both_hulls(self, seed, dim):
+        """The Radon point is a convex combination of both sign classes."""
+        pts = random_points(seed, dim + 2, dim)
+        alpha, pos, neg = radon_partition(pts)
+        q = radon_point(pts)
+        wp = alpha[pos]
+        qp = (wp[:, None] * pts[pos]).sum(axis=0) / wp.sum()
+        wn = -alpha[neg]
+        qn = (wn[:, None] * pts[neg]).sum(axis=0) / wn.sum()
+        np.testing.assert_allclose(q, qp, atol=1e-7)
+        np.testing.assert_allclose(q, qn, atol=1e-6)
+
+    def test_classic_square_example(self):
+        # four points of a square in R^2: Radon point is the center
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        q = radon_point(pts)
+        np.testing.assert_allclose(q, [0.5, 0.5], atol=1e-8)
+
+    def test_triangle_with_interior_point(self):
+        # point inside a triangle: Radon point is that interior point
+        pts = np.array([[0.0, 0.0], [4.0, 0.0], [0.0, 4.0], [1.0, 1.0]])
+        q = radon_point(pts)
+        np.testing.assert_allclose(q, [1.0, 1.0], atol=1e-8)
+
+    @given(st.integers(0, 200))
+    def test_inside_bounding_box(self, seed):
+        pts = random_points(seed, 5, 3)
+        q = radon_point(pts)
+        assert (q >= pts.min(axis=0) - 1e-9).all()
+        assert (q <= pts.max(axis=0) + 1e-9).all()

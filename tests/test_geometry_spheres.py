@@ -1,0 +1,171 @@
+"""Spheres and hyperplanes: classification semantics and conventions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.spheres import Hyperplane, SideCounts, Sphere
+
+finite = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+def random_sphere(seed: int, d: int = 2) -> Sphere:
+    rng = np.random.default_rng(seed)
+    return Sphere(rng.standard_normal(d), float(rng.random() + 0.5))
+
+
+class TestSphereConstruction:
+    def test_basic(self):
+        s = Sphere(np.array([1.0, 2.0]), 3.0)
+        assert s.dim == 2 and s.radius == 3.0
+
+    def test_zero_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Sphere(np.zeros(2), 0.0)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Sphere(np.zeros(2), -1.0)
+
+    def test_inf_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Sphere(np.zeros(2), np.inf)
+
+    def test_nonfinite_center_rejected(self):
+        with pytest.raises(ValueError):
+            Sphere(np.array([np.nan, 0.0]), 1.0)
+
+    def test_matrix_center_rejected(self):
+        with pytest.raises(ValueError):
+            Sphere(np.zeros((2, 2)), 1.0)
+
+    def test_scaled(self):
+        s = Sphere(np.zeros(2), 2.0).scaled(1.5)
+        assert s.radius == 3.0
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ValueError):
+            Sphere(np.zeros(2), 1.0).scaled(0.0)
+
+
+class TestSpherePointClassification:
+    def test_interior_exterior(self):
+        s = Sphere(np.zeros(2), 1.0)
+        pts = np.array([[0.0, 0.0], [2.0, 0.0]])
+        np.testing.assert_array_equal(s.side_of_points(pts), [-1, 1])
+
+    def test_boundary_counts_interior(self):
+        s = Sphere(np.zeros(2), 1.0)
+        assert s.side_of_points(np.array([[1.0, 0.0]]))[0] == -1
+
+    def test_signed_distance(self):
+        s = Sphere(np.zeros(2), 1.0)
+        np.testing.assert_allclose(
+            s.signed_distance(np.array([[0.0, 0.0], [3.0, 0.0]])), [-1.0, 2.0]
+        )
+
+    def test_dim_mismatch_rejected(self):
+        s = Sphere(np.zeros(2), 1.0)
+        with pytest.raises(ValueError):
+            s.side_of_points(np.zeros((3, 3)))
+
+    def test_contains_closed(self):
+        s = Sphere(np.zeros(2), 1.0)
+        assert s.contains(np.array([1.0, 0.0]))
+        assert not s.contains(np.array([1.0, 1.0]))
+
+    @given(st.integers(0, 1000))
+    def test_side_consistent_with_signed_distance(self, seed):
+        s = random_sphere(seed, 3)
+        pts = np.random.default_rng(seed).standard_normal((20, 3)) * 2
+        side = s.side_of_points(pts)
+        sd = s.signed_distance(pts)
+        assert ((side > 0) == (sd > 0)).all()
+
+
+class TestSphereBallClassification:
+    def test_three_way(self):
+        s = Sphere(np.zeros(2), 2.0)
+        centers = np.array([[0.0, 0.0], [5.0, 0.0], [2.0, 0.0]])
+        radii = np.array([1.0, 1.0, 1.0])
+        np.testing.assert_array_equal(s.classify_balls(centers, radii), [-1, 1, 0])
+
+    def test_inf_radius_always_cut(self):
+        s = Sphere(np.zeros(2), 2.0)
+        out = s.classify_balls(np.array([[10.0, 0.0]]), np.array([np.inf]))
+        assert out[0] == 0
+
+    def test_tangent_ball_counts_cut(self):
+        s = Sphere(np.zeros(2), 2.0)
+        out = s.classify_balls(np.array([[3.0, 0.0]]), np.array([1.0]))
+        assert out[0] == 0
+
+    def test_radii_shape_mismatch_rejected(self):
+        s = Sphere(np.zeros(2), 2.0)
+        with pytest.raises(ValueError):
+            s.classify_balls(np.zeros((2, 2)), np.zeros(3))
+
+    @given(st.integers(0, 500))
+    def test_cut_iff_band_overlap(self, seed):
+        rng = np.random.default_rng(seed)
+        s = random_sphere(seed)
+        centers = rng.standard_normal((30, 2)) * 2
+        radii = rng.random(30)
+        cls = s.classify_balls(centers, radii)
+        sd = np.abs(np.linalg.norm(centers - s.center, axis=1) - s.radius)
+        assert ((cls == 0) == (sd <= radii)).all()
+
+    @given(st.integers(0, 500))
+    def test_interior_ball_implies_interior_center(self, seed):
+        rng = np.random.default_rng(seed)
+        s = random_sphere(seed)
+        centers = rng.standard_normal((30, 2)) * 2
+        radii = rng.random(30)
+        cls = s.classify_balls(centers, radii)
+        side = s.side_of_points(centers)
+        assert (side[cls == -1] == -1).all()
+        assert (side[cls == 1] == 1).all()
+
+
+class TestHyperplane:
+    def test_normalisation(self):
+        h = Hyperplane(np.array([0.0, 2.0]), 4.0)
+        np.testing.assert_allclose(h.normal, [0, 1])
+        assert h.offset == pytest.approx(2.0)
+
+    def test_zero_normal_rejected(self):
+        with pytest.raises(ValueError):
+            Hyperplane(np.zeros(2), 1.0)
+
+    def test_sides(self):
+        h = Hyperplane(np.array([1.0, 0.0]), 0.5)
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, 3.0]])
+        np.testing.assert_array_equal(h.side_of_points(pts), [-1, 1, -1])
+
+    def test_on_plane_goes_interior(self):
+        h = Hyperplane(np.array([1.0, 0.0]), 0.0)
+        assert h.side_of_points(np.array([[0.0, 5.0]]))[0] == -1
+
+    def test_ball_classification(self):
+        h = Hyperplane(np.array([1.0, 0.0]), 0.0)
+        centers = np.array([[-2.0, 0.0], [2.0, 0.0], [0.5, 0.0]])
+        radii = np.array([1.0, 1.0, 1.0])
+        np.testing.assert_array_equal(h.classify_balls(centers, radii), [-1, 1, 0])
+
+    def test_inf_ball_cut(self):
+        h = Hyperplane(np.array([1.0, 0.0]), 0.0)
+        assert h.classify_balls(np.array([[9.0, 0.0]]), np.array([np.inf]))[0] == 0
+
+    def test_dim_mismatch(self):
+        h = Hyperplane(np.array([1.0, 0.0]), 0.0)
+        with pytest.raises(ValueError):
+            h.side_of_points(np.zeros((2, 3)))
+
+
+class TestSideCounts:
+    def test_total(self):
+        sc = SideCounts(3, 4, 5)
+        assert sc.total == 12

@@ -1,0 +1,172 @@
+"""Stereographic lift/projection and the circle <-> separator duality."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.spheres import Hyperplane, Sphere
+from repro.geometry.stereographic import (
+    SphereCap,
+    circle_to_separator,
+    lift,
+    project,
+    separator_to_circle,
+)
+
+coords = st.floats(min_value=-20, max_value=20, allow_nan=False)
+
+
+class TestLiftProject:
+    @given(st.lists(st.tuples(coords, coords), min_size=1, max_size=40))
+    def test_roundtrip(self, pts):
+        arr = np.array(pts, dtype=np.float64)
+        np.testing.assert_allclose(project(lift(arr)), arr, rtol=1e-8, atol=1e-8)
+
+    @given(st.lists(st.tuples(coords, coords, coords), min_size=1, max_size=40))
+    def test_lift_lands_on_unit_sphere(self, pts):
+        y = lift(np.array(pts, dtype=np.float64))
+        np.testing.assert_allclose(np.linalg.norm(y, axis=1), 1.0, rtol=1e-10)
+
+    def test_origin_maps_to_south_pole(self):
+        y = lift(np.zeros((1, 2)))
+        np.testing.assert_allclose(y[0], [0, 0, -1])
+
+    def test_far_points_approach_north_pole(self):
+        y = lift(np.array([[1e8, 0.0]]))
+        assert y[0, -1] > 1 - 1e-7
+
+    def test_single_point_1d_api(self):
+        p = np.array([1.0, 2.0])
+        assert lift(p).shape == (3,)
+        np.testing.assert_allclose(project(lift(p)), p)
+
+    def test_project_pole_rejected(self):
+        with pytest.raises(ValueError):
+            project(np.array([[0.0, 0.0, 1.0]]))
+
+
+class TestSphereCap:
+    def test_normalises(self):
+        c = SphereCap(np.array([0.0, 0.0, 2.0]), 1.0)
+        np.testing.assert_allclose(c.normal, [0, 0, 1])
+        assert c.offset == pytest.approx(0.5)
+
+    def test_offset_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SphereCap(np.array([0.0, 0.0, 1.0]), 1.5)
+
+    def test_zero_normal_rejected(self):
+        with pytest.raises(ValueError):
+            SphereCap(np.zeros(3), 0.0)
+
+    def test_side_of(self):
+        c = SphereCap(np.array([0.0, 0.0, 1.0]), 0.0)
+        y = np.array([[0.0, 0.0, 0.5], [0.0, 0.0, -0.5]])
+        np.testing.assert_array_equal(c.side_of(y), [1, -1])
+
+
+class TestDuality:
+    @given(
+        st.tuples(coords, coords),
+        st.floats(min_value=0.1, max_value=30, allow_nan=False),
+    )
+    @settings(max_examples=200)
+    def test_sphere_roundtrip(self, center, radius):
+        s = Sphere(np.array(center, dtype=np.float64), radius)
+        back = circle_to_separator(separator_to_circle(s))
+        assert isinstance(back, Sphere)
+        np.testing.assert_allclose(back.center, s.center, rtol=1e-7, atol=1e-7)
+        assert back.radius == pytest.approx(s.radius, rel=1e-7)
+
+    @given(
+        st.tuples(coords, coords).filter(lambda t: abs(t[0]) + abs(t[1]) > 1e-6),
+        st.floats(min_value=-10, max_value=10, allow_nan=False),
+    )
+    def test_hyperplane_roundtrip(self, normal, offset):
+        h = Hyperplane(np.array(normal, dtype=np.float64), offset)
+        back = circle_to_separator(separator_to_circle(h), degenerate_eps=1e-7)
+        # a hyperplane may come back as a huge sphere (numerics); compare by
+        # classification of probe points instead of representation
+        rng = np.random.default_rng(0)
+        pts = rng.standard_normal((50, 2)) * 3
+        if isinstance(back, Hyperplane):
+            np.testing.assert_array_equal(back.side_of_points(pts), h.side_of_points(pts))
+        else:
+            agree = (back.side_of_points(pts) == h.side_of_points(pts)).mean()
+            flipped = (back.side_of_points(pts) != h.side_of_points(pts)).mean()
+            assert max(agree, flipped) > 0.95
+
+    @given(st.integers(0, 300))
+    def test_sphere_membership_matches_circle_side(self, seed):
+        """Points inside the pulled-back sphere sit on one side of the circle."""
+        rng = np.random.default_rng(seed)
+        s = Sphere(rng.standard_normal(2), float(rng.random() * 2 + 0.2))
+        circle = separator_to_circle(s)
+        pts = rng.standard_normal((100, 2)) * 3
+        inside = s.side_of_points(pts) < 0
+        sides = circle.side_of(lift(pts))
+        # all interior points on one strict side, all exterior on the other
+        interior_sides = set(np.sign(sides[inside]).astype(int))
+        exterior_sides = set(np.sign(sides[~inside]).astype(int))
+        interior_sides.discard(0)
+        exterior_sides.discard(0)
+        assert not (interior_sides & exterior_sides)
+
+    def test_circle_through_pole_gives_hyperplane(self):
+        # normal orthogonal-ish so that a_{d+1} == b
+        cap = SphereCap(np.array([1.0, 0.0, 0.0]), 0.0)
+        sep = circle_to_separator(cap)
+        assert isinstance(sep, Hyperplane)
+
+    def test_degenerate_axis_circle_rejected(self):
+        cap = SphereCap(np.array([0.0, 0.0, 1.0]), 0.0)
+        # normal along pole axis with b == a_{d+1} - gamma == 1 != 0: this is
+        # the equator, whose preimage is the unit sphere in the plane
+        sep = circle_to_separator(cap)
+        assert isinstance(sep, Sphere)
+        np.testing.assert_allclose(sep.center, [0, 0], atol=1e-12)
+        assert sep.radius == pytest.approx(1.0)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            separator_to_circle("not a separator")  # type: ignore[arg-type]
+
+
+class TestDegenerateBranches:
+    @given(
+        st.tuples(coords, coords, coords).filter(lambda t: sum(abs(v) for v in t) > 1e-3),
+        st.floats(min_value=-0.999, max_value=0.999, allow_nan=False),
+    )
+    @settings(max_examples=200)
+    def test_every_valid_cap_pulls_back(self, normal, offset):
+        """Mathematically, every circle on S^d (|b| < 1) has a real
+        sphere/hyperplane preimage; the ValueError branch in
+        circle_to_separator is purely a float-rounding guard and must not
+        fire for well-conditioned caps."""
+        unit = np.array(normal, dtype=np.float64)
+        unit /= np.linalg.norm(unit)
+        cap = SphereCap(unit, offset)
+        sep = circle_to_separator(cap)
+        assert isinstance(sep, (Sphere, Hyperplane))
+
+    def test_pulled_back_sphere_lies_on_the_circle(self):
+        """Points of the preimage sphere lift onto the cap's plane."""
+        cap = SphereCap(np.array([0.3, -0.5, 0.4]), 0.2)
+        sep = circle_to_separator(cap)
+        assert isinstance(sep, Sphere)
+        rng = np.random.default_rng(0)
+        angles = rng.random(32) * 2 * np.pi
+        ring = sep.center[None, :] + sep.radius * np.stack(
+            [np.cos(angles), np.sin(angles)], axis=1
+        )
+        lifted = lift(ring)
+        np.testing.assert_allclose(lifted @ cap.normal, cap.offset, atol=1e-9)
+
+    def test_degenerate_eps_pole_circle_hyperplane(self):
+        # gamma within eps -> treated as a hyperplane when head is nonzero
+        cap = SphereCap(np.array([0.6, 0.8, 0.5]), 0.5)
+        sep = circle_to_separator(cap, degenerate_eps=1e-6)
+        assert isinstance(sep, Hyperplane)

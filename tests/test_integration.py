@@ -1,0 +1,147 @@
+"""End-to-end integration: the full pipeline of the paper, cross-module."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import power_law_fit
+from repro.baselines import brute_force_knn, kdtree_knn
+from repro.core import (
+    knn_graph_edges,
+    parallel_nearest_neighborhood,
+    punted_weighted_depth,
+    simple_parallel_dnc,
+)
+from repro.geometry.kissing import kissing_number
+from repro.pvm.machine import Machine
+from repro.pvm.scheduler import brent_time, speedup
+from repro.separators.mttv import MTTVSeparatorSampler
+from repro.separators.quality import ball_split
+from repro.workloads import clustered, slab_pairs, uniform_cube
+
+
+class TestFullPipeline:
+    def test_points_to_graph(self):
+        """Points -> k-neighborhood system -> k-NN graph, all exact."""
+        pts = uniform_cube(600, 2, 1)
+        res = parallel_nearest_neighborhood(pts, 2, seed=2)
+        edges = knn_graph_edges(res.system)
+        ref_edges = knn_graph_edges(brute_force_knn(pts, 2))
+        np.testing.assert_array_equal(edges, ref_edges)
+
+    def test_output_is_nicely_embedded_graph(self):
+        """The produced graph's neighborhood system has bounded ply —
+        the 'nicely embedded' property the paper builds on."""
+        pts = uniform_cube(500, 2, 3)
+        res = parallel_nearest_neighborhood(pts, 1, seed=4)
+        balls = res.system.to_ball_system()
+        assert balls.is_k_neighborhood_system(1)
+        assert balls.max_ply_at_centers() <= kissing_number(2)
+
+    def test_separator_of_own_output_is_small(self):
+        """Close the loop: the k-NN balls our algorithm computes admit a
+        small sphere separator, as Theorem 2.1 promises."""
+        n = 2000
+        pts = uniform_cube(n, 2, 5)
+        res = parallel_nearest_neighborhood(pts, 1, seed=6)
+        balls = res.system.to_ball_system()
+        sampler = MTTVSeparatorSampler(pts, seed=7)
+        iotas = [ball_split(sampler.draw(), balls).intersection_number for _ in range(20)]
+        assert np.median(iotas) <= 6 * n ** 0.5
+
+    def test_three_algorithms_agree(self):
+        pts = clustered(700, 3, 8)
+        k = 3
+        a = parallel_nearest_neighborhood(pts, k, seed=9).system
+        b = simple_parallel_dnc(pts, k, seed=10).system
+        c = kdtree_knn(pts, k)
+        d = brute_force_knn(pts, k)
+        for other in (b, c, d):
+            assert a.same_distances(other)
+
+
+class TestScanPolicyEffect:
+    def test_log_scan_increases_depth_only(self):
+        pts = uniform_cube(1000, 2, 11)
+        unit = parallel_nearest_neighborhood(pts, 1, machine=Machine("unit"), seed=12)
+        log = parallel_nearest_neighborhood(pts, 1, machine=Machine("log"), seed=12)
+        assert log.cost.depth > unit.cost.depth
+        assert log.cost.work == unit.cost.work
+        assert log.system.same_distances(unit.system)
+
+    def test_loglog_between(self):
+        pts = uniform_cube(1000, 2, 13)
+        depths = {}
+        for policy in ("unit", "loglog", "log"):
+            res = parallel_nearest_neighborhood(pts, 1, machine=Machine(policy), seed=14)
+            depths[policy] = res.cost.depth
+        assert depths["unit"] <= depths["loglog"] <= depths["log"]
+
+
+class TestBrentScheduling:
+    def test_n_processor_time_near_depth(self):
+        """With p = n the Brent time is depth + O(work/n) = O(depth)."""
+        n = 4096
+        pts = uniform_cube(n, 2, 15)
+        res = parallel_nearest_neighborhood(pts, 1, seed=16)
+        t = brent_time(res.cost, n)
+        assert t <= 2.5 * res.cost.depth + res.cost.work / n
+
+    def test_speedup_grows_then_saturates(self):
+        pts = uniform_cube(2048, 2, 17)
+        res = parallel_nearest_neighborhood(pts, 1, seed=18)
+        s = [speedup(res.cost, p) for p in (1, 8, 64, 512, 4096)]
+        assert all(b >= a - 1e-9 for a, b in zip(s, s[1:]))
+        assert s[-1] <= res.cost.parallelism + 1e-9
+
+
+class TestAdversarialComparison:
+    def test_sphere_beats_hyperplane_on_slab_pairs(self):
+        """The paper's motivation, end to end: on the Omega(n) construction
+        the hyperplane-based algorithm must do asymptotically more
+        correction work; measure via ball-crossings of the first cut."""
+        n = 1024
+        pts = slab_pairs(n, 2, 19)
+        balls = brute_force_knn(pts, 1).to_ball_system()
+        from repro.separators.hyperplane import median_hyperplane
+
+        plane_cut = median_hyperplane(pts, axis=0)
+        plane_iota = balls.intersection_number(plane_cut)
+        sampler = MTTVSeparatorSampler(pts, seed=20)
+        sphere_iotas = [
+            ball_split(sampler.draw(), balls).intersection_number for _ in range(30)
+        ]
+        assert plane_iota >= 0.9 * n
+        assert np.median(sphere_iotas) <= plane_iota / 4
+
+    def test_exactness_on_adversarial_input(self):
+        pts = slab_pairs(512, 2, 21)
+        res = parallel_nearest_neighborhood(pts, 1, seed=22)
+        assert res.system.same_distances(brute_force_knn(pts, 1))
+
+
+class TestDepthScalingShapes:
+    @pytest.mark.slow
+    def test_fast_dnc_depth_fits_log_not_log2(self):
+        ns = [1 << 10, 1 << 12, 1 << 14]
+        fast_depths, simple_depths = [], []
+        for n in ns:
+            pts = uniform_cube(n, 2, n)
+            fast_depths.append(parallel_nearest_neighborhood(pts, 1, seed=23).cost.depth)
+            simple_depths.append(simple_parallel_dnc(pts, 1, seed=23).cost.depth)
+        # compare growth exponents in log n space
+        lx = [math.log2(n) for n in ns]
+        fit_fast = power_law_fit(lx, fast_depths)
+        fit_simple = power_law_fit(lx, simple_depths)
+        assert fit_fast.exponent < fit_simple.exponent
+
+    def test_weighted_depth_scales_logarithmically(self):
+        vals = {}
+        for n in (512, 4096):
+            pts = uniform_cube(n, 2, n + 3)
+            res = parallel_nearest_neighborhood(pts, 1, seed=24)
+            vals[n] = punted_weighted_depth(res.tree)
+        assert vals[4096] <= max(4 * math.log2(4096), 3 * vals[512] + 10)

@@ -1,0 +1,164 @@
+"""Property-based end-to-end tests: hypothesis drives whole algorithms.
+
+These are the strongest invariants in the suite: for *arbitrary* small
+point multisets (duplicates, collinear degeneracies, wild coordinate
+scales — whatever hypothesis invents), the parallel algorithms must agree
+with brute force, the query structure must agree with direct containment,
+and marching must find exactly the containment pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import brute_force_knn, kdtree_knn
+from repro.core import (
+    NeighborhoodQueryStructure,
+    QueryConfig,
+    march_balls,
+    parallel_nearest_neighborhood,
+    simple_parallel_dnc,
+)
+from repro.core.fast_dnc import FastDnCConfig
+from repro.geometry.balls import BallSystem
+
+# small point clouds with adversarial freedom: repeats, tight clusters,
+# large offsets; coordinates kept within a sane float range
+coords = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, width=32)
+
+
+@st.composite
+def point_sets(draw, min_points: int = 2, max_points: int = 60, dims=(1, 2, 3)):
+    d = draw(st.sampled_from(dims))
+    n = draw(st.integers(min_points, max_points))
+    base = draw(
+        st.lists(st.tuples(*[coords] * d), min_size=n, max_size=n)
+    )
+    pts = np.array(base, dtype=np.float64)
+    # optionally duplicate some rows to create exact ties
+    if draw(st.booleans()) and n >= 4:
+        src = draw(st.integers(0, n - 1))
+        dst = draw(st.integers(0, n - 1))
+        pts[dst] = pts[src]
+    return pts
+
+
+end_to_end_settings = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestFastDnCProperty:
+    @given(point_sets(), st.integers(1, 4), st.integers(0, 3))
+    @end_to_end_settings
+    def test_matches_brute_force(self, pts, k, seed):
+        k = min(k, pts.shape[0] - 1)
+        if k < 1:
+            return
+        res = parallel_nearest_neighborhood(pts, k, seed=seed)
+        ref = brute_force_knn(pts, k)
+        assert res.system.same_distances(ref, rtol=1e-7, atol=1e-7)
+
+    @given(point_sets(max_points=40), st.integers(0, 3))
+    @end_to_end_settings
+    def test_small_base_case_config(self, pts, seed):
+        cfg = FastDnCConfig(m0=8, base_factor=2)
+        res = parallel_nearest_neighborhood(pts, 1, seed=seed, config=cfg)
+        assert res.system.same_distances(brute_force_knn(pts, 1), rtol=1e-7, atol=1e-7)
+
+    @given(point_sets(max_points=40))
+    @end_to_end_settings
+    def test_partition_tree_invariant(self, pts):
+        res = parallel_nearest_neighborhood(pts, 1, seed=0)
+        assert res.tree.check_partition()
+
+    @given(point_sets(max_points=40))
+    @end_to_end_settings
+    def test_cost_is_positive_and_finite(self, pts):
+        res = parallel_nearest_neighborhood(pts, 1, seed=0)
+        assert res.cost.depth > 0 and np.isfinite(res.cost.depth)
+        assert res.cost.work >= pts.shape[0]
+
+
+class TestSimpleDnCProperty:
+    @given(point_sets(), st.integers(1, 3), st.integers(0, 3))
+    @end_to_end_settings
+    def test_matches_brute_force(self, pts, k, seed):
+        k = min(k, pts.shape[0] - 1)
+        if k < 1:
+            return
+        res = simple_parallel_dnc(pts, k, seed=seed)
+        assert res.system.same_distances(brute_force_knn(pts, k), rtol=1e-7, atol=1e-7)
+
+
+class TestKDTreeProperty:
+    @given(point_sets(), st.integers(1, 4))
+    @end_to_end_settings
+    def test_matches_brute_force(self, pts, k):
+        k = min(k, pts.shape[0] - 1)
+        if k < 1:
+            return
+        assert kdtree_knn(pts, k).same_distances(brute_force_knn(pts, k), rtol=1e-7, atol=1e-7)
+
+
+@st.composite
+def ball_systems(draw, max_balls: int = 50):
+    d = draw(st.sampled_from((2, 3)))
+    n = draw(st.integers(2, max_balls))
+    centers = np.array(
+        draw(st.lists(st.tuples(*[coords] * d), min_size=n, max_size=n)),
+        dtype=np.float64,
+    )
+    radii = np.array(
+        draw(st.lists(st.floats(0.01, 50.0), min_size=n, max_size=n)),
+        dtype=np.float64,
+    )
+    return BallSystem(centers, radii)
+
+
+class TestQueryStructureProperty:
+    @given(ball_systems(), st.integers(0, 3))
+    @end_to_end_settings
+    def test_query_equals_direct_containment(self, balls, seed):
+        structure = NeighborhoodQueryStructure(
+            balls, seed=seed, config=QueryConfig(m0=8)
+        )
+        rng = np.random.default_rng(seed)
+        queries = rng.uniform(-120, 120, size=(20, balls.dim))
+        for q in queries:
+            np.testing.assert_array_equal(
+                np.sort(structure.query(q)), np.sort(balls.covering(q))
+            )
+
+    @given(ball_systems())
+    @end_to_end_settings
+    def test_query_at_centers(self, balls):
+        structure = NeighborhoodQueryStructure(balls, seed=1, config=QueryConfig(m0=8))
+        for i in range(0, len(balls), 7):
+            q = balls.centers[i]
+            np.testing.assert_array_equal(
+                np.sort(structure.query(q)), np.sort(balls.covering(q))
+            )
+
+
+class TestMarchingProperty:
+    @given(point_sets(min_points=20, max_points=60, dims=(2,)), st.integers(0, 3))
+    @end_to_end_settings
+    def test_march_finds_exact_containment_pairs(self, pts, seed):
+        res = parallel_nearest_neighborhood(pts, 1, seed=seed)
+        rng = np.random.default_rng(seed)
+        nb = 6
+        centers = pts[rng.integers(0, pts.shape[0], nb)] + rng.standard_normal((nb, pts.shape[1]))
+        radii = rng.uniform(0.1, 30.0, nb)
+        result = march_balls(res.tree, pts, centers, radii)
+        assert result.succeeded
+        got = {(int(b), int(p)) for b, p in zip(result.ball_rows, result.point_ids)}
+        diff = pts[None, :, :] - centers[:, None, :]
+        sq = np.einsum("bnd,bnd->bn", diff, diff)
+        want = {(int(b), int(p)) for b, p in zip(*np.nonzero(sq < np.square(radii)[:, None]))}
+        assert got == want

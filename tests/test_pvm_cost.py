@@ -1,0 +1,113 @@
+"""Unit and property tests for the (depth, work) cost algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pvm.cost import ZERO, Cost, par, seq
+
+costs = st.builds(
+    Cost,
+    depth=st.floats(min_value=0, max_value=1e9, allow_nan=False),
+    work=st.floats(min_value=0, max_value=1e9, allow_nan=False),
+)
+
+
+class TestConstruction:
+    def test_zero_identity_values(self):
+        assert ZERO.depth == 0 and ZERO.work == 0
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            Cost(-1, 0)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            Cost(0, -5)
+
+    def test_frozen(self):
+        c = Cost(1, 2)
+        with pytest.raises(AttributeError):
+            c.depth = 3  # type: ignore[misc]
+
+
+class TestComposition:
+    def test_then_adds_both(self):
+        assert Cost(2, 10).then(Cost(3, 7)) == Cost(5, 17)
+
+    def test_beside_takes_max_depth(self):
+        assert Cost(2, 10).beside(Cost(3, 7)) == Cost(3, 17)
+
+    def test_operator_aliases(self):
+        a, b = Cost(1, 4), Cost(2, 5)
+        assert a + b == a.then(b)
+        assert (a | b) == a.beside(b)
+
+    def test_scaled(self):
+        assert Cost(2, 3).scaled(4) == Cost(8, 12)
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Cost(1, 1).scaled(-1)
+
+    def test_seq_of_list(self):
+        assert seq([Cost(1, 1), Cost(2, 2), Cost(3, 3)]) == Cost(6, 6)
+
+    def test_par_of_list(self):
+        assert par([Cost(1, 1), Cost(2, 2), Cost(3, 3)]) == Cost(3, 6)
+
+    def test_seq_empty_is_zero(self):
+        assert seq([]) == ZERO
+
+    def test_par_empty_is_zero(self):
+        assert par([]) == ZERO
+
+
+class TestParallelism:
+    def test_ratio(self):
+        assert Cost(2, 10).parallelism == 5.0
+
+    def test_zero_depth_positive_work_is_inf(self):
+        assert Cost(0, 10).parallelism == float("inf")
+
+    def test_zero_cost_is_zero(self):
+        assert ZERO.parallelism == 0.0
+
+
+class TestAlgebraicLaws:
+    @given(costs, costs)
+    def test_then_commutes(self, a, b):
+        assert a.then(b) == b.then(a)
+
+    @given(costs, costs)
+    def test_beside_commutes(self, a, b):
+        assert a.beside(b) == b.beside(a)
+
+    @given(costs, costs, costs)
+    def test_then_associative(self, a, b, c):
+        lhs = a.then(b).then(c)
+        rhs = a.then(b.then(c))
+        assert lhs.depth == pytest.approx(rhs.depth)
+        assert lhs.work == pytest.approx(rhs.work)
+
+    @given(costs, costs, costs)
+    def test_beside_associative(self, a, b, c):
+        lhs = a.beside(b).beside(c)
+        rhs = a.beside(b.beside(c))
+        assert lhs.depth == pytest.approx(rhs.depth)
+        assert lhs.work == pytest.approx(rhs.work)
+
+    @given(costs)
+    def test_zero_is_identity_for_both(self, a):
+        assert a.then(ZERO) == a
+        assert a.beside(ZERO) == a
+
+    @given(costs, costs)
+    def test_parallel_never_deeper_than_sequential(self, a, b):
+        assert a.beside(b).depth <= a.then(b).depth
+
+    @given(costs, costs)
+    def test_work_conserved_under_both(self, a, b):
+        assert a.beside(b).work == a.then(b).work

@@ -1,0 +1,81 @@
+"""Brent scheduling: bounds, monotonicity, curve structure."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pvm.cost import Cost
+from repro.pvm.scheduler import brent_time, efficiency, schedule_curve, speedup
+
+costs = st.builds(
+    Cost,
+    depth=st.floats(min_value=0.1, max_value=1e6, allow_nan=False),
+    work=st.floats(min_value=0.1, max_value=1e9, allow_nan=False),
+)
+
+
+class TestBrentTime:
+    def test_formula(self):
+        assert brent_time(Cost(10, 1000), 10) == 110.0
+
+    def test_one_processor_is_work_plus_depth(self):
+        assert brent_time(Cost(5, 100), 1) == 105.0
+
+    def test_invalid_processor_count(self):
+        with pytest.raises(ValueError):
+            brent_time(Cost(1, 1), 0)
+
+    @given(costs, st.integers(min_value=1, max_value=10_000))
+    def test_never_below_depth(self, c, p):
+        assert brent_time(c, p) >= c.depth
+
+    @given(costs, st.integers(min_value=1, max_value=10_000))
+    def test_never_below_work_over_p(self, c, p):
+        assert brent_time(c, p) >= c.work / p
+
+    @given(costs, st.integers(min_value=1, max_value=5_000))
+    def test_monotone_in_processors(self, c, p):
+        assert brent_time(c, p + 1) <= brent_time(c, p)
+
+
+class TestSpeedup:
+    def test_perfect_when_depth_negligible(self):
+        s = speedup(Cost(1, 1_000_000), 100)
+        assert s == pytest.approx(100, rel=1e-3)
+
+    def test_capped_by_parallelism(self):
+        c = Cost(10, 1000)  # parallelism 100
+        assert speedup(c, 10**6) <= c.parallelism + 1e-9
+
+    @given(costs, st.integers(min_value=1, max_value=10_000))
+    def test_speedup_at_most_p(self, c, p):
+        assert speedup(c, p) <= p + 1e-9
+
+    @given(costs)
+    def test_single_processor_speedup_below_one(self, c):
+        assert speedup(c, 1) <= 1.0 + 1e-9
+
+
+class TestEfficiency:
+    @given(costs, st.integers(min_value=1, max_value=1000))
+    def test_in_unit_interval(self, c, p):
+        e = efficiency(c, p)
+        assert 0 < e <= 1.0 + 1e-9
+
+    @given(costs, st.integers(min_value=1, max_value=500))
+    def test_decreases_with_processors(self, c, p):
+        assert efficiency(c, p + 1) <= efficiency(c, p) + 1e-12
+
+
+class TestCurve:
+    def test_points_align_with_inputs(self):
+        c = Cost(8, 800)
+        pts = schedule_curve(c, [1, 2, 4, 8])
+        assert [p.processors for p in pts] == [1, 2, 4, 8]
+        assert pts[0].time == pytest.approx(808)
+        assert pts[-1].time == pytest.approx(108)
+
+    def test_empty_curve(self):
+        assert schedule_curve(Cost(1, 1), []) == []

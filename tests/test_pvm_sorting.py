@@ -1,0 +1,162 @@
+"""Scan-vector sorting, permutation and selection (the paper's §1 remark)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.pvm import Machine
+from repro.pvm.sorting import (
+    argsort_radix,
+    floyd_rivest_select,
+    parallel_k_smallest,
+    random_permutation,
+    randomized_select,
+    split_radix_sort,
+)
+
+int_keys = hnp.arrays(
+    dtype=np.int64,
+    shape=st.integers(0, 300),
+    elements=st.integers(0, 10_000),
+)
+float_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 300),
+    elements=st.floats(-1e6, 1e6, allow_nan=False),
+)
+
+
+class TestRadixSort:
+    @given(int_keys)
+    def test_sorts_correctly(self, keys):
+        sorted_keys, order = split_radix_sort(Machine(), keys)
+        np.testing.assert_array_equal(sorted_keys, np.sort(keys))
+        np.testing.assert_array_equal(keys[order], sorted_keys)
+
+    def test_stability(self):
+        keys = np.array([2, 1, 2, 1, 2])
+        _, order = split_radix_sort(Machine(), keys)
+        # equal keys keep input order
+        np.testing.assert_array_equal(order, [1, 3, 0, 2, 4])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            split_radix_sort(Machine(), np.array([-1, 2]))
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            split_radix_sort(Machine(), np.array([1.5]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            split_radix_sort(Machine(), np.zeros((2, 2), dtype=int))
+
+    def test_cost_linear_per_bit(self):
+        m = Machine()
+        split_radix_sort(m, np.arange(256)[::-1].copy(), bits=8)
+        # 8 passes x (1 ewise + 2 scans + 1 permute) over 256 elements
+        assert m.total.depth == 8 * 4
+        assert m.total.work == 8 * 4 * 256
+
+    def test_argsort_radix(self):
+        keys = np.array([5, 1, 4])
+        np.testing.assert_array_equal(argsort_radix(Machine(), keys), [1, 2, 0])
+
+
+class TestRandomPermutation:
+    def test_is_permutation(self):
+        perm = random_permutation(Machine(), np.random.default_rng(0), 500)
+        np.testing.assert_array_equal(np.sort(perm), np.arange(500))
+
+    def test_empty(self):
+        assert random_permutation(Machine(), np.random.default_rng(0), 0).size == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            random_permutation(Machine(), np.random.default_rng(0), -1)
+
+    def test_roughly_uniform_first_element(self):
+        rng = np.random.default_rng(1)
+        firsts = [random_permutation(Machine(), rng, 8)[0] for _ in range(400)]
+        counts = np.bincount(firsts, minlength=8)
+        assert counts.min() > 20  # every value appears often
+
+    def test_depth_logarithmic(self):
+        m = Machine()
+        random_permutation(m, np.random.default_rng(2), 1024)
+        # 2*log2(1024) = 20 bits -> 20 passes of constant depth
+        assert m.total.depth <= 20 * 4 + 1
+
+
+class TestSelection:
+    @given(float_arrays, st.data())
+    @settings(max_examples=60)
+    def test_randomized_select_matches_sort(self, arr, data):
+        k = data.draw(st.integers(1, arr.shape[0]))
+        got = randomized_select(Machine(), arr, k)
+        assert got == np.sort(arr)[k - 1]
+
+    @given(float_arrays, st.data())
+    @settings(max_examples=60)
+    def test_floyd_rivest_matches_sort(self, arr, data):
+        k = data.draw(st.integers(1, arr.shape[0]))
+        got = floyd_rivest_select(Machine(), arr, k)
+        assert got == np.sort(arr)[k - 1]
+
+    def test_select_bounds_checked(self):
+        for fn in (randomized_select, floyd_rivest_select):
+            with pytest.raises(ValueError):
+                fn(Machine(), np.arange(5, dtype=float), 0)
+            with pytest.raises(ValueError):
+                fn(Machine(), np.arange(5, dtype=float), 6)
+
+    def test_floyd_rivest_duplicates(self):
+        arr = np.array([3.0] * 100 + [1.0] * 100 + [2.0] * 100)
+        assert floyd_rivest_select(Machine(), arr, 150) == 2.0
+
+    def test_floyd_rivest_depth_sublinear(self):
+        """The expected-O(1)-pass property: depth grows far slower than n."""
+        depths = {}
+        for n in (1_000, 100_000):
+            m = Machine()
+            rng = np.random.default_rng(3)
+            floyd_rivest_select(m, rng.random(n), n // 2)
+            depths[n] = m.total.depth
+        assert depths[100_000] <= depths[1_000] * 3
+
+    def test_randomized_select_median_large(self):
+        rng = np.random.default_rng(4)
+        arr = rng.random(10_001)
+        assert randomized_select(Machine(), arr, 5001) == np.median(arr)
+
+
+class TestParallelKSmallest:
+    @given(float_arrays, st.data())
+    @settings(max_examples=60)
+    def test_matches_sorted_prefix(self, arr, data):
+        k = data.draw(st.integers(1, arr.shape[0]))
+        got = parallel_k_smallest(Machine(), arr, k)
+        np.testing.assert_array_equal(got, np.sort(arr)[:k])
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            parallel_k_smallest(Machine(), np.arange(3, dtype=float), 4)
+
+    def test_threshold_duplicates(self):
+        arr = np.array([1.0, 2.0, 2.0, 2.0, 3.0])
+        np.testing.assert_array_equal(
+            parallel_k_smallest(Machine(), arr, 2), [1.0, 2.0]
+        )
+
+    def test_depth_nearly_flat_in_n(self):
+        """§6.2's point: k smallest of n costs ~O(1) passes, not O(log n)."""
+        depths = {}
+        for n in (1_000, 64_000):
+            m = Machine()
+            parallel_k_smallest(m, np.random.default_rng(5).random(n), 8)
+            depths[n] = m.total.depth
+        assert depths[64_000] <= depths[1_000] * 3

@@ -1,0 +1,147 @@
+"""PVector: operator semantics and automatic cost charging."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pvm import Machine, PVector
+from repro.pvm.cost import Cost
+
+
+@pytest.fixture
+def m() -> Machine:
+    return Machine()
+
+
+class TestConstruction:
+    def test_iota(self, m):
+        v = PVector.iota(m, 5)
+        np.testing.assert_array_equal(v.to_numpy(), [0, 1, 2, 3, 4])
+        assert m.total == Cost(1, 5)
+
+    def test_full(self, m):
+        v = PVector.full(m, 4, 7.0)
+        np.testing.assert_array_equal(v.to_numpy(), [7, 7, 7, 7])
+
+    def test_from_array_is_free(self, m):
+        PVector.from_array(m, np.arange(100))
+        assert m.total == Cost(0, 0)
+
+    def test_2d_rejected(self, m):
+        with pytest.raises(ValueError):
+            PVector(m, np.zeros((2, 2)))
+
+    def test_len(self, m):
+        assert len(PVector.from_array(m, np.arange(9))) == 9
+
+
+class TestArithmetic:
+    def test_vector_scalar(self, m):
+        v = PVector.from_array(m, np.array([1.0, 2.0]))
+        np.testing.assert_array_equal((v * 3 + 1).to_numpy(), [4, 7])
+        assert m.total == Cost(2, 4)  # two elementwise steps over 2 elements
+
+    def test_vector_vector(self, m):
+        a = PVector.from_array(m, np.array([1.0, 2.0, 3.0]))
+        b = PVector.from_array(m, np.array([10.0, 20.0, 30.0]))
+        np.testing.assert_array_equal((a + b).to_numpy(), [11, 22, 33])
+
+    def test_reflected_ops(self, m):
+        v = PVector.from_array(m, np.array([1.0, 2.0]))
+        np.testing.assert_array_equal((10 - v).to_numpy(), [9, 8])
+        np.testing.assert_array_equal((2 * v).to_numpy(), [2, 4])
+
+    def test_negation_and_abs(self, m):
+        v = PVector.from_array(m, np.array([-1.0, 2.0]))
+        np.testing.assert_array_equal((-v).to_numpy(), [1, -2])
+        np.testing.assert_array_equal(abs(v).to_numpy(), [1, 2])
+
+    def test_division_and_mod(self, m):
+        v = PVector.from_array(m, np.array([7.0, 8.0]))
+        np.testing.assert_array_equal((v / 2).to_numpy(), [3.5, 4])
+        np.testing.assert_array_equal((v % 3).to_numpy(), [1, 2])
+
+    def test_length_mismatch_rejected(self, m):
+        a = PVector.from_array(m, np.arange(3))
+        b = PVector.from_array(m, np.arange(4))
+        with pytest.raises(ValueError):
+            _ = a + b
+
+    def test_cross_machine_rejected(self, m):
+        other = Machine()
+        a = PVector.from_array(m, np.arange(3))
+        b = PVector.from_array(other, np.arange(3))
+        with pytest.raises(ValueError):
+            _ = a + b
+
+    def test_unsupported_operand(self, m):
+        v = PVector.from_array(m, np.arange(3))
+        with pytest.raises(TypeError):
+            _ = v + "text"
+
+
+class TestCollectives:
+    def test_scan_matches_primitive(self, m):
+        v = PVector.from_array(m, np.arange(1, 6, dtype=float))
+        np.testing.assert_array_equal(v.scan(inclusive=True).to_numpy(), [1, 3, 6, 10, 15])
+
+    def test_reduce(self, m):
+        v = PVector.from_array(m, np.arange(10, dtype=float))
+        assert v.reduce() == 45.0
+        assert v.reduce("max") == 9.0
+
+    def test_pack_and_boolean_indexing(self, m):
+        v = PVector.from_array(m, np.arange(6))
+        evens = v[v % 2 == 0]
+        np.testing.assert_array_equal(evens.to_numpy(), [0, 2, 4])
+
+    def test_gather_via_integer_indexing(self, m):
+        v = PVector.from_array(m, np.array([10.0, 20.0, 30.0]))
+        idx = PVector.from_array(m, np.array([2, 0]))
+        np.testing.assert_array_equal(v[idx].to_numpy(), [30, 10])
+
+    def test_permute_roundtrip(self, m):
+        v = PVector.from_array(m, np.arange(5, dtype=float))
+        perm = PVector.from_array(m, np.array([4, 3, 2, 1, 0]))
+        np.testing.assert_array_equal(v.permute(perm).gather(perm).to_numpy(), v.to_numpy())
+
+    def test_permute_length_checked(self, m):
+        v = PVector.from_array(m, np.arange(5, dtype=float))
+        short = PVector.from_array(m, np.array([0, 1]))
+        with pytest.raises(ValueError):
+            v.permute(short)
+
+    def test_float_index_rejected(self, m):
+        v = PVector.from_array(m, np.arange(5, dtype=float))
+        fidx = PVector.from_array(m, np.array([0.0, 1.0]))
+        with pytest.raises(TypeError):
+            v.gather(fidx)
+
+    def test_split(self, m):
+        v = PVector.from_array(m, np.arange(6))
+        lo, hi = v.split(v >= 3)
+        np.testing.assert_array_equal(lo.to_numpy(), [0, 1, 2])
+        np.testing.assert_array_equal(hi.to_numpy(), [3, 4, 5])
+
+    def test_getitem_wrong_key(self, m):
+        v = PVector.from_array(m, np.arange(4))
+        with pytest.raises(TypeError):
+            _ = v[0]
+
+
+class TestCostAccounting:
+    def test_pipeline_charges_expected_total(self, m):
+        v = PVector.iota(m, 8)  # (1, 8)
+        w = (v * 2).scan()      # ewise (1, 8) + scan (1, 8)
+        _ = w.reduce()          # scan (1, 8)
+        assert m.total == Cost(4, 32)
+
+    @given(st.integers(1, 50))
+    def test_ewise_work_scales_with_n(self, n):
+        m = Machine()
+        v = PVector.from_array(m, np.arange(n, dtype=float))
+        _ = v + 1
+        assert m.total == Cost(1, n)

@@ -1,0 +1,82 @@
+"""Median hyperplane cuts (the Bentley baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pvm.machine import Machine
+from repro.separators.hyperplane import find_median_hyperplane, median_hyperplane
+from repro.workloads import uniform_cube
+
+
+class TestMedianHyperplane:
+    def test_splits_roughly_in_half(self):
+        pts = uniform_cube(1001, 2, 0)
+        h = median_hyperplane(pts)
+        side = h.side_of_points(pts)
+        below = int((side < 0).sum())
+        assert abs(below - 500) <= 1
+
+    def test_explicit_axis(self):
+        pts = uniform_cube(100, 3, 1)
+        h = median_hyperplane(pts, axis=2)
+        np.testing.assert_allclose(np.abs(h.normal), [0, 0, 1])
+
+    def test_picks_widest_axis_by_default(self):
+        rng = np.random.default_rng(2)
+        pts = np.stack([rng.random(100) * 100, rng.random(100)], axis=1)
+        h = median_hyperplane(pts)
+        assert abs(h.normal[0]) == pytest.approx(1.0)
+
+    def test_even_and_odd_counts(self):
+        for n in (10, 11):
+            pts = uniform_cube(n, 2, n)
+            h = median_hyperplane(pts)
+            side = h.side_of_points(pts)
+            assert 0 < (side < 0).sum() < n
+
+    def test_heavy_duplication_still_splits(self):
+        pts = np.concatenate([np.zeros((90, 2)), np.ones((10, 2))])
+        h = median_hyperplane(pts)
+        side = h.side_of_points(pts)
+        assert 0 < (side < 0).sum() < 100
+
+    def test_identical_points_rejected(self):
+        with pytest.raises(ValueError):
+            median_hyperplane(np.ones((50, 2)))
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError):
+            median_hyperplane(np.zeros((1, 2)))
+
+    def test_duplicate_block_at_max(self):
+        col = np.concatenate([np.zeros(5), np.full(95, 7.0)])
+        pts = np.stack([col, np.zeros(100)], axis=1)
+        h = median_hyperplane(pts, axis=0)
+        side = h.side_of_points(pts)
+        assert 0 < (side < 0).sum() < 100
+
+
+class TestFindMedianHyperplane:
+    def test_charges_selection_cost(self):
+        pts = uniform_cube(512, 2, 3)
+        m = Machine()
+        _, attempts = find_median_hyperplane(pts, m)
+        assert attempts == 1
+        assert m.total.depth == pytest.approx(8.0)  # 4 compare + 4 scan rounds
+        assert m.total.work == pytest.approx(8 * 512)
+        assert m.counters["hyperplane_cuts"] == 1
+
+    def test_depth_constant_in_n_unit_scan(self):
+        depths = []
+        for n in (256, 4096):
+            m = Machine()
+            find_median_hyperplane(uniform_cube(n, 2, n), m)
+            depths.append(m.total.depth)
+        assert depths[0] == depths[1]
+
+    def test_log_scan_policy_scales_depth(self):
+        m = Machine(scan="log")
+        find_median_hyperplane(uniform_cube(1024, 2, 4), m)
+        assert m.total.depth == pytest.approx(4 + 4 * 10)

@@ -1,0 +1,123 @@
+"""The MTTV sphere separator: distributional quality and internal consistency."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import brute_force_knn
+from repro.geometry.spheres import Hyperplane, Sphere
+from repro.separators.greatcircle import random_great_circle, random_unit_vector
+from repro.separators.mttv import MTTVSeparatorSampler, default_sample_size, mttv_separator
+from repro.separators.quality import ball_split, default_delta, point_split
+from repro.workloads import annulus, clustered, uniform_cube
+
+
+class TestGreatCircle:
+    def test_unit_vector_is_unit(self):
+        v = random_unit_vector(np.random.default_rng(0), 5)
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_unit_vector_dim_validated(self):
+        with pytest.raises(ValueError):
+            random_unit_vector(np.random.default_rng(0), 0)
+
+    def test_great_circle_has_zero_offset(self):
+        c = random_great_circle(np.random.default_rng(1), 4)
+        assert c.offset == 0.0
+
+    def test_isotropy(self):
+        """Mean of many normals is near zero (uniformity smoke test)."""
+        rng = np.random.default_rng(2)
+        vs = np.array([random_unit_vector(rng, 3) for _ in range(2000)])
+        assert np.linalg.norm(vs.mean(axis=0)) < 0.08
+
+
+class TestSamplerBasics:
+    def test_draw_returns_separator(self, points2d):
+        sampler = MTTVSeparatorSampler(points2d, seed=0)
+        sep = sampler.draw()
+        assert isinstance(sep, (Sphere, Hyperplane))
+        assert sep.dim == 2
+
+    def test_seeded_determinism(self, points2d):
+        a = MTTVSeparatorSampler(points2d, seed=42).draw()
+        b = MTTVSeparatorSampler(points2d, seed=42).draw()
+        assert type(a) is type(b)
+        if isinstance(a, Sphere):
+            np.testing.assert_allclose(a.center, b.center)
+            assert a.radius == b.radius
+
+    def test_sample_size_variant(self, points2d):
+        sampler = MTTVSeparatorSampler(points2d, seed=1, sample_size=32)
+        assert isinstance(sampler.draw(), (Sphere, Hyperplane))
+
+    def test_median_centerpoint_variant(self, points2d):
+        sampler = MTTVSeparatorSampler(points2d, seed=2, centerpoint="median")
+        assert isinstance(sampler.draw(), (Sphere, Hyperplane))
+
+    def test_unknown_centerpoint_rejected(self, points2d):
+        with pytest.raises(ValueError):
+            MTTVSeparatorSampler(points2d, centerpoint="karcher")
+
+    def test_default_sample_size_constant_in_n(self):
+        assert default_sample_size(2) == default_sample_size(2)
+        assert default_sample_size(3) > default_sample_size(2)
+
+    def test_convenience_function(self, points3d):
+        sep = mttv_separator(points3d, seed=3)
+        assert sep.dim == 3
+
+
+class TestSplitQuality:
+    """The separator theorem's delta-split, checked in distribution."""
+
+    @pytest.mark.parametrize("d", [2, 3])
+    @pytest.mark.parametrize("workload", [uniform_cube, clustered, annulus])
+    def test_median_split_ratio_below_target(self, d, workload):
+        pts = workload(1500, d, 17)
+        sampler = MTTVSeparatorSampler(pts, seed=5)
+        ratios = []
+        for _ in range(30):
+            sep = sampler.draw()
+            ratios.append(point_split(sep, pts).split_ratio)
+        target = default_delta(d, 0.049)
+        # at least half the draws meet the paper's target ratio
+        assert np.median(ratios) <= target
+
+    def test_explicit_matches_transform_classification(self, points2d):
+        """The pulled-back separator classifies exactly like the sign test
+        through the conformal transform (up to a global flip)."""
+        sampler = MTTVSeparatorSampler(points2d, seed=7)
+        rng = sampler.rng
+        from repro.separators.greatcircle import random_great_circle as rgc
+
+        for _ in range(10):
+            circle = rgc(rng, 3)
+            try:
+                original = sampler.map.pull_back_circle(circle)
+                from repro.geometry.stereographic import circle_to_separator
+
+                sep = circle_to_separator(original)
+            except ValueError:
+                continue
+            via_transform = sampler.side_via_transform(points2d, circle)
+            explicit = sep.side_of_points(points2d)
+            agree = (via_transform == explicit).mean()
+            assert agree > 0.99 or agree < 0.01
+
+
+class TestIntersectionNumberScaling:
+    def test_sublinear_cuts_on_knn_balls(self):
+        """iota ~ n^{(d-1)/d}: doubling n should far less than double iota."""
+        rng_seed = 23
+        iotas = {}
+        for n in (1000, 4000):
+            pts = uniform_cube(n, 2, rng_seed)
+            balls = brute_force_knn(pts, 1).to_ball_system()
+            sampler = MTTVSeparatorSampler(pts, seed=31)
+            vals = [ball_split(sampler.draw(), balls).intersection_number for _ in range(20)]
+            iotas[n] = float(np.median(vals))
+        # sqrt scaling predicts x2 when n x4; allow generous slack vs linear (x4)
+        assert iotas[4000] <= iotas[1000] * 3.0
+        assert iotas[4000] >= 1.0

@@ -1,0 +1,97 @@
+"""Separator quality measures: splits, intersection numbers, targets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.balls import BallSystem
+from repro.geometry.spheres import Hyperplane, Sphere
+from repro.separators.quality import (
+    ball_split,
+    default_delta,
+    is_good_point_split,
+    point_split,
+)
+
+
+class TestDefaultDelta:
+    def test_paper_values(self):
+        assert default_delta(2, 0.0) == pytest.approx(3 / 4)
+        assert default_delta(3, 0.0) == pytest.approx(4 / 5)
+
+    def test_epsilon_added(self):
+        assert default_delta(2, 0.05) == pytest.approx(0.8)
+
+    def test_epsilon_range_enforced(self):
+        with pytest.raises(ValueError):
+            default_delta(2, 0.3)  # >= 1/(d+2) = 0.25
+        with pytest.raises(ValueError):
+            default_delta(2, -0.1)
+
+    def test_dimension_validated(self):
+        with pytest.raises(ValueError):
+            default_delta(0)
+
+
+class TestPointSplit:
+    def test_counts(self):
+        s = Sphere(np.zeros(2), 1.0)
+        pts = np.array([[0.0, 0.0], [0.5, 0.0], [2.0, 0.0], [3.0, 0.0]])
+        rep = point_split(s, pts)
+        assert rep.interior_points == 2
+        assert rep.exterior_points == 2
+        assert rep.split_ratio == 0.5
+        assert rep.ball_counts is None
+
+    def test_empty(self):
+        rep = point_split(Sphere(np.zeros(2), 1.0), np.zeros((0, 2)))
+        assert rep.split_ratio == 0.0
+
+    def test_lopsided_ratio(self):
+        s = Sphere(np.zeros(2), 10.0)
+        pts = np.random.default_rng(0).random((10, 2))
+        rep = point_split(s, pts)
+        assert rep.split_ratio == 1.0
+
+
+class TestBallSplit:
+    def test_intersection_number_surfaces(self):
+        s = Sphere(np.zeros(2), 2.0)
+        balls = BallSystem(
+            np.array([[0.0, 0.0], [5.0, 0.0], [2.0, 0.0]]),
+            np.array([1.0, 1.0, 1.0]),
+        )
+        rep = ball_split(s, balls)
+        assert rep.intersection_number == 1
+        assert rep.ball_counts.interior == 1
+        assert rep.ball_counts.exterior == 1
+        assert rep.ball_counts.total == 3
+
+    def test_works_for_hyperplane(self):
+        h = Hyperplane(np.array([1.0, 0.0]), 0.0)
+        balls = BallSystem(np.array([[-3.0, 0.0], [0.1, 0.0]]), np.array([1.0, 1.0]))
+        rep = ball_split(h, balls)
+        assert rep.intersection_number == 1
+
+
+class TestIsGood:
+    def test_balanced_accepted(self):
+        s = Sphere(np.array([0.5, 0.5]), 0.4)
+        pts = np.random.default_rng(1).random((200, 2))
+        rep = point_split(s, pts)
+        assert is_good_point_split(s, pts, delta=max(0.8, rep.split_ratio + 0.01))
+
+    def test_empty_side_rejected(self):
+        s = Sphere(np.zeros(2), 0.001)
+        pts = np.random.default_rng(2).random((50, 2)) + 5
+        assert not is_good_point_split(s, pts, delta=0.99)
+
+    def test_single_point_rejected(self):
+        s = Sphere(np.zeros(2), 1.0)
+        assert not is_good_point_split(s, np.array([[0.0, 0.0]]), delta=0.9)
+
+    def test_ratio_above_delta_rejected(self):
+        s = Sphere(np.zeros(2), 1.0)
+        pts = np.concatenate([np.zeros((9, 2)), np.full((1, 2), 5.0)])
+        assert not is_good_point_split(s, pts, delta=0.8)

@@ -1,0 +1,40 @@
+"""Large-scale stress runs (marked slow; excluded from the quick suite)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.spatial import cKDTree
+
+from repro.core import knn_query, parallel_nearest_neighborhood
+from repro.workloads import clustered, uniform_cube
+
+
+@pytest.mark.slow
+class TestScale:
+    def test_fast_dnc_exact_at_32k(self):
+        n = 1 << 15
+        pts = uniform_cube(n, 2, 99)
+        res = parallel_nearest_neighborhood(pts, 1, seed=100)
+        d_ref, _ = cKDTree(pts).query(pts, k=2)
+        np.testing.assert_allclose(res.system.radii, d_ref[:, 1], rtol=1e-9)
+        # depth stays in the O(log n) regime
+        assert res.cost.depth < 40 * np.log2(n)
+
+    def test_clustered_16k_k4(self):
+        n = 1 << 14
+        pts = clustered(n, 2, 101)
+        res = parallel_nearest_neighborhood(pts, 4, seed=102)
+        d_ref, _ = cKDTree(pts).query(pts, k=5)
+        np.testing.assert_allclose(
+            np.sqrt(res.system.neighbor_sq_dists), d_ref[:, 1:], rtol=1e-9
+        )
+
+    def test_query_index_at_scale(self):
+        n = 1 << 14
+        pts = uniform_cube(n, 2, 103)
+        res = parallel_nearest_neighborhood(pts, 1, seed=104)
+        queries = np.random.default_rng(105).random((500, 2))
+        idx, sq = knn_query(res.tree, pts, queries, 5)
+        d_ref, _ = cKDTree(pts).query(queries, k=5)
+        np.testing.assert_allclose(np.sqrt(sq), d_ref, rtol=1e-9)

@@ -1,0 +1,71 @@
+"""RNG plumbing and validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util import as_generator, check_in_range, check_positive_int, check_probability, spawn
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = as_generator(7).random(3)
+        b = as_generator(7).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_sequence(self):
+        ss = np.random.SeedSequence(5)
+        assert isinstance(as_generator(ss), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_independent(self):
+        rng = np.random.default_rng(1)
+        kids = spawn(rng, 3)
+        assert len(kids) == 3
+        streams = [k.random(4).tolist() for k in kids]
+        assert streams[0] != streams[1] != streams[2]
+
+    def test_zero_children(self):
+        assert spawn(np.random.default_rng(0), 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(np.random.default_rng(0), -1)
+
+
+class TestValidation:
+    def test_positive_int(self):
+        assert check_positive_int(3, "x") == 3
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+        with pytest.raises(TypeError):
+            check_positive_int(2.5, "x")  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")  # bools are not counts
+
+    def test_positive_int_minimum(self):
+        assert check_positive_int(5, "x", minimum=5) == 5
+        with pytest.raises(ValueError):
+            check_positive_int(4, "x", minimum=5)
+
+    def test_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        assert check_probability(0, "p") == 0.0
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+
+    def test_in_range(self):
+        assert check_in_range(2.0, "v", 1.0, 3.0) == 2.0
+        with pytest.raises(ValueError):
+            check_in_range(1.0, "v", 1.0, 3.0, open_ends=True)
+        with pytest.raises(ValueError):
+            check_in_range(5.0, "v", 1.0, 3.0)

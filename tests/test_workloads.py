@@ -1,0 +1,223 @@
+"""Workload generators: shapes, determinism, and the adversarial properties
+the E8 experiment relies on."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import brute_force_knn
+from repro.geometry.balls import BallSystem
+from repro.geometry.spheres import Hyperplane
+from repro.workloads import (
+    WORKLOADS,
+    annulus,
+    clustered,
+    collinear,
+    concentric_shells,
+    gaussian,
+    grid_jitter,
+    make_workload,
+    plane_hugger,
+    slab_pairs,
+    uniform_ball,
+    uniform_cube,
+    with_duplicates,
+)
+
+
+class TestShapesAndDeterminism:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    @pytest.mark.parametrize("d", [2, 3])
+    def test_shape_and_seed(self, name, d):
+        a = make_workload(name, 200, d, 42)
+        b = make_workload(name, 200, d, 42)
+        c = make_workload(name, 200, d, 43)
+        assert a.shape == (200, d)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+        assert np.isfinite(a).all()
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_workload("fractal", 10, 2)
+
+    def test_uniform_cube_in_bounds(self):
+        pts = uniform_cube(500, 3, 0)
+        assert (pts >= 0).all() and (pts <= 1).all()
+
+    def test_uniform_ball_in_ball(self):
+        pts = uniform_ball(500, 3, 1)
+        assert (np.linalg.norm(pts, axis=1) <= 1 + 1e-12).all()
+
+    def test_annulus_radii(self):
+        pts = annulus(500, 2, 2, inner=0.8)
+        r = np.linalg.norm(pts, axis=1)
+        assert (r >= 0.8 - 1e-9).all() and (r <= 1 + 1e-9).all()
+
+    def test_grid_jitter_count(self):
+        assert grid_jitter(97, 2, 3).shape == (97, 2)
+
+    def test_collinear_on_line(self):
+        pts = collinear(100, 3, 4)
+        # all points multiples of (1,1,1)/sqrt(3): cross-coordinates equal
+        assert np.allclose(pts[:, 0], pts[:, 1])
+
+    def test_clustered_spread(self):
+        pts = clustered(400, 2, 5, clusters=4, spread=0.001)
+        nn = brute_force_knn(pts, 1)
+        assert np.median(nn.radii) < 0.01
+
+    def test_with_duplicates_fraction(self):
+        base = uniform_cube(100, 2, 6)
+        pts = with_duplicates(base, 0.5, 7)
+        _, counts = np.unique(pts, axis=0, return_counts=True)
+        assert (counts > 1).sum() > 10
+
+    def test_gaussian_scale(self):
+        pts = gaussian(2000, 2, 8, scale=2.0)
+        assert 1.5 < pts.std() < 2.5
+
+
+class TestAdversarialProperties:
+    def test_slab_pairs_nn_across_plane(self):
+        """Each point's nearest neighbor is its partner across x0=0, so the
+        median hyperplane cut crosses ~n/2 nearest-neighbor balls."""
+        n = 512
+        pts = slab_pairs(n, 2, 0)
+        system = brute_force_knn(pts, 1)
+        balls = system.to_ball_system()
+        cut = Hyperplane(np.array([1.0, 0.0]), 0.0)
+        crossed = balls.intersection_number(cut)
+        assert crossed >= 0.9 * n  # Omega(n), as the paper argues
+
+    def test_slab_pairs_partner_structure(self):
+        n = 256
+        pts = slab_pairs(n, 3, 1)
+        system = brute_force_knn(pts, 1)
+        pairs = n // 2
+        partners = system.neighbor_indices[:pairs, 0]
+        # the i-th left point's NN is the i-th right point
+        np.testing.assert_array_equal(partners, np.arange(pairs) + pairs)
+
+    def test_slab_pairs_odd_n(self):
+        assert slab_pairs(101, 2, 2).shape == (101, 2)
+
+    def test_plane_hugger_thin(self):
+        pts = plane_hugger(300, 3, 3, thickness=1e-4)
+        assert np.abs(pts[:, 0]).max() <= 1e-4
+
+    def test_plane_hugger_median_cut_crosses_many(self):
+        n = 400
+        pts = plane_hugger(n, 2, 4)
+        balls = brute_force_knn(pts, 1).to_ball_system()
+        cut = Hyperplane(np.array([1.0, 0.0]), 0.0)
+        assert balls.intersection_number(cut) >= 0.5 * n
+
+    def test_concentric_shells_count(self):
+        pts = concentric_shells(403, 2, 5)
+        assert pts.shape == (403, 2)
+
+    def test_concentric_shells_plane_through_center_crosses_all_shells(self):
+        pts = concentric_shells(400, 2, 6)
+        balls = brute_force_knn(pts, 1).to_ball_system()
+        plane = Hyperplane(np.array([1.0, 0.0]), 0.0)
+        # the plane meets all 4 shells: it must cross balls on each
+        assert balls.intersection_number(plane) >= 8
+
+
+class TestWorkloadIO:
+    def test_roundtrip(self, tmp_path):
+        from repro.workloads import load_workload, save_workload
+
+        pts = uniform_cube(50, 2, 9)
+        f = tmp_path / "w.npz"
+        save_workload(f, pts, name="uniform", seed=9)
+        rec = load_workload(f)
+        np.testing.assert_array_equal(rec.points, pts)
+        assert rec.name == "uniform" and rec.seed == 9
+
+    def test_recipe_matches(self, tmp_path):
+        from repro.workloads import load_workload, save_workload
+
+        pts = clustered(40, 3, 11)
+        f = tmp_path / "w.npz"
+        save_workload(f, pts, name="clustered", seed=11)
+        assert load_workload(f).matches_recipe()
+
+    def test_recipe_mismatch_detected(self, tmp_path):
+        from repro.workloads import load_workload, save_workload
+
+        pts = uniform_cube(40, 2, 1)
+        f = tmp_path / "w.npz"
+        save_workload(f, pts + 1.0, name="uniform", seed=1)  # tampered
+        assert not load_workload(f).matches_recipe()
+
+    def test_regenerate(self, tmp_path):
+        from repro.workloads import load_workload, regenerate, save_workload
+
+        pts = gaussian(30, 2, 5)
+        f = tmp_path / "w.npz"
+        save_workload(f, pts, name="gaussian", seed=5)
+        np.testing.assert_array_equal(regenerate(load_workload(f)), pts)
+
+    def test_no_seed_cannot_regenerate(self, tmp_path):
+        from repro.workloads import load_workload, regenerate, save_workload
+
+        f = tmp_path / "w.npz"
+        save_workload(f, np.zeros((3, 2)))
+        rec = load_workload(f)
+        assert not rec.matches_recipe()
+        with pytest.raises(ValueError):
+            regenerate(rec)
+
+    def test_bad_shape_rejected(self, tmp_path):
+        from repro.workloads import save_workload
+
+        with pytest.raises(ValueError):
+            save_workload(tmp_path / "w.npz", np.zeros(5))
+
+    def test_non_workload_file_rejected(self, tmp_path):
+        from repro.workloads import load_workload
+
+        f = tmp_path / "other.npz"
+        np.savez(f, stuff=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_workload(f)
+
+
+class TestManifoldWorkloads:
+    def test_two_moons_shape_and_dims(self):
+        from repro.workloads import two_moons
+
+        for d in (2, 3, 4):
+            pts = two_moons(151, d, 1)
+            assert pts.shape == (151, d)
+
+    def test_spiral_radius_grows_with_angle(self):
+        from repro.workloads import spiral
+
+        pts = spiral(400, 2, 2, noise=0.0)
+        r = np.linalg.norm(pts, axis=1)
+        # points are generated in angle order: radius is monotone-ish
+        assert r[-1] > r[0]
+        assert (np.diff(r) >= -1e-6).mean() > 0.95
+
+    def test_fast_dnc_exact_on_manifolds(self):
+        from repro.core import parallel_nearest_neighborhood
+        from repro.workloads import spiral, two_moons
+
+        for gen in (two_moons, spiral):
+            pts = gen(350, 2, 3)
+            res = parallel_nearest_neighborhood(pts, 2, seed=4)
+            assert res.system.same_distances(brute_force_knn(pts, 2))
+
+    def test_spiral_nn_follows_arc(self):
+        from repro.workloads import spiral
+
+        pts = spiral(500, 2, 5, noise=0.0)
+        nn = brute_force_knn(pts, 1)
+        # points were generated sorted by arc parameter: nearest neighbor is
+        # overwhelmingly an arc-adjacent point
+        adj = np.abs(nn.neighbor_indices[:, 0] - np.arange(500))
+        assert (adj <= 2).mean() > 0.9
