@@ -20,7 +20,7 @@ from repro.pvm import Machine
 from repro.separators import MTTVSeparatorSampler, point_split
 from repro.workloads import clustered, uniform_cube
 
-from common import table_bench, write_table
+from common import bench_seed, table_bench, write_table
 
 N = 4096
 
@@ -30,13 +30,13 @@ def test_a1_k_aware_iota_budget():
     """Ablate the k^{1/d} factor in the punt threshold (E10's finding)."""
     rows = []
     for k in (4, 8, 16):
-        pts = uniform_cube(N, 2, 60 + k)
+        pts = uniform_cube(N, 2, bench_seed(60 + k))
         aware = parallel_nearest_neighborhood(
-            pts, k, machine=Machine(), seed=1, config=FastDnCConfig()
+            pts, k, machine=Machine(), seed=bench_seed(1), config=FastDnCConfig()
         )
         # simulate a k-blind budget by shrinking iota_factor by k^{1/d}
         blind = parallel_nearest_neighborhood(
-            pts, k, machine=Machine(), seed=1,
+            pts, k, machine=Machine(), seed=bench_seed(1),
             config=FastDnCConfig(iota_factor=3.0 / k ** 0.5,
                                  active_factor=4.0 / k ** 0.5),
         )
@@ -57,9 +57,9 @@ def test_a1_centerpoint_method():
     """Radon-point centerpoints vs coordinatewise medians."""
     rows = []
     for name, gen in (("uniform", uniform_cube), ("clustered", clustered)):
-        pts = gen(N, 2, 71)
+        pts = gen(N, 2, bench_seed(71))
         for method in ("radon", "median"):
-            sampler = MTTVSeparatorSampler(pts, seed=2, centerpoint=method)
+            sampler = MTTVSeparatorSampler(pts, seed=bench_seed(2), centerpoint=method)
             ratios = [point_split(sampler.draw(), pts).split_ratio for _ in range(30)]
             rows.append(
                 (name, method, f"{np.median(ratios):.3f}", f"{np.max(ratios):.3f}",
@@ -77,9 +77,9 @@ def test_a1_centerpoint_method():
 def test_a1_sample_size():
     """Unit-time sample size: how small can the centerpoint sample be?"""
     rows = []
-    pts = uniform_cube(N, 2, 72)
+    pts = uniform_cube(N, 2, bench_seed(72))
     for size in (16, 32, 64, 128, None):
-        sampler = MTTVSeparatorSampler(pts, seed=3, sample_size=size)
+        sampler = MTTVSeparatorSampler(pts, seed=bench_seed(3), sample_size=size)
         ratios = [point_split(sampler.draw(), pts).split_ratio for _ in range(30)]
         rows.append(
             (size if size else "all", f"{np.median(ratios):.3f}",
@@ -97,10 +97,10 @@ def test_a1_sample_size():
 def test_a1_base_case_size():
     """m0: bigger leaves trade depth against quadratic leaf work."""
     rows = []
-    pts = uniform_cube(N, 2, 73)
+    pts = uniform_cube(N, 2, bench_seed(73))
     for m0 in (16, 32, 64, 128, 256):
         res = parallel_nearest_neighborhood(
-            pts, 1, machine=Machine(), seed=4, config=FastDnCConfig(m0=m0)
+            pts, 1, machine=Machine(), seed=bench_seed(4), config=FastDnCConfig(base_case_size=m0)
         )
         rows.append(
             (m0, f"{res.cost.depth:.0f}", f"{res.cost.work / N:.0f}",
@@ -115,5 +115,5 @@ def test_a1_base_case_size():
 
 
 def test_bench_radon_vs_median_centerpoint(benchmark):
-    pts = uniform_cube(N, 2, 74)
-    benchmark(lambda: MTTVSeparatorSampler(pts, seed=5, centerpoint="radon"))
+    pts = uniform_cube(N, 2, bench_seed(74))
+    benchmark(lambda: MTTVSeparatorSampler(pts, seed=bench_seed(5), centerpoint="radon"))

@@ -17,7 +17,7 @@ from repro.core import parallel_nearest_neighborhood
 from repro.pvm import Machine, brent_time, schedule_curve
 from repro.workloads import uniform_cube
 
-from common import table_bench, write_table
+from common import bench_seed, table_bench, write_table
 
 N = 16384
 
@@ -25,7 +25,7 @@ N = 16384
 @table_bench
 def test_e11_speedup_curve():
     pts = uniform_cube(N, 2, 1)
-    res = parallel_nearest_neighborhood(pts, 1, machine=Machine(), seed=2)
+    res = parallel_nearest_neighborhood(pts, 1, machine=Machine(), seed=bench_seed(2))
     rows = []
     for pt in schedule_curve(res.cost, [1, 4, 16, 64, 256, 1024, 4096, N, 4 * N]):
         rows.append(
@@ -46,7 +46,7 @@ def test_e11_scan_policies():
     pts = uniform_cube(8192, 2, 3)
     base = None
     for policy in ("unit", "loglog", "log"):
-        res = parallel_nearest_neighborhood(pts, 1, machine=Machine(policy), seed=4)
+        res = parallel_nearest_neighborhood(pts, 1, machine=Machine(policy), seed=bench_seed(4))
         if base is None:
             base = res.cost.depth
         rows.append(
@@ -66,7 +66,7 @@ def test_e11_p_equals_n_is_log_n():
     rows = []
     for n in (1024, 4096, 16384):
         pts = uniform_cube(n, 2, n)
-        res = parallel_nearest_neighborhood(pts, 1, machine=Machine(), seed=5)
+        res = parallel_nearest_neighborhood(pts, 1, machine=Machine(), seed=bench_seed(5))
         tp = brent_time(res.cost, n)
         rows.append((n, f"{tp:.0f}", f"{tp / math.log2(n):.1f}"))
     write_table(
@@ -79,5 +79,5 @@ def test_e11_p_equals_n_is_log_n():
 
 def test_bench_schedule_curve(benchmark):
     pts = uniform_cube(2048, 2, 6)
-    res = parallel_nearest_neighborhood(pts, 1, seed=7)
+    res = parallel_nearest_neighborhood(pts, 1, seed=bench_seed(7))
     benchmark(lambda: schedule_curve(res.cost, [1, 16, 256, 2048]))

@@ -25,7 +25,7 @@ from repro.core import (
 )
 from repro.workloads import grid_jitter, uniform_cube
 
-from common import table_bench, write_table
+from common import bench_seed, table_bench, write_table
 
 
 @table_bench
@@ -33,8 +33,8 @@ def test_e12_separator_profile():
     rows = []
     for d in (2, 3):
         pts = uniform_cube(4096, d, 80 + d)
-        system = parallel_nearest_neighborhood(pts, 1, seed=1).system
-        tree = build_separator_tree(system, seed=2, min_size=64)
+        system = parallel_nearest_neighborhood(pts, 1, seed=bench_seed(1)).system
+        tree = build_separator_tree(system, seed=bench_seed(2), min_size=64)
         assert check_separation(system, tree)
         prof = [(m, s) for m, s in separator_profile(tree) if m >= 128 and s >= 1]
         fit = power_law_fit([m for m, _ in prof], [s for _, s in prof])
@@ -58,7 +58,7 @@ def test_e12_nested_dissection_fill():
         pts = grid_jitter(n, 2, 90 + n)
         system = brute_force_knn(pts, 2)
         edges = knn_graph_edges(system)
-        tree = build_separator_tree(system, seed=3, min_size=24)
+        tree = build_separator_tree(system, seed=bench_seed(3), min_size=24)
         nd = elimination_fill(edges, nested_dissection_order(tree))
         ident = elimination_fill(edges, np.arange(n))
         rnd = elimination_fill(edges, np.random.default_rng(4).permutation(n))
@@ -77,4 +77,4 @@ def test_e12_nested_dissection_fill():
 def test_bench_separator_tree(benchmark):
     pts = uniform_cube(2048, 2, 95)
     system = brute_force_knn(pts, 1)
-    benchmark(lambda: build_separator_tree(system, seed=5))
+    benchmark(lambda: build_separator_tree(system, seed=bench_seed(5)))

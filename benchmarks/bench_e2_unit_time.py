@@ -15,7 +15,7 @@ from repro.pvm import Machine
 from repro.separators import find_good_separator
 from repro.workloads import annulus, clustered, uniform_cube
 
-from common import table_bench, write_table
+from common import bench_seed, table_bench, write_table
 
 
 @table_bench
@@ -68,6 +68,6 @@ def test_bench_find_good_separator(benchmark, n):
     pts = uniform_cube(n, 2, 3)
 
     def run():
-        return find_good_separator(pts, Machine(), seed=4)
+        return find_good_separator(pts, Machine(), seed=bench_seed(4))
 
     benchmark(run)

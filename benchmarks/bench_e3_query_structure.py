@@ -19,7 +19,7 @@ from repro.core import NeighborhoodQueryStructure, QueryConfig
 from repro.pvm import Machine
 from repro.workloads import uniform_cube
 
-from common import table_bench, write_table
+from common import bench_seed, table_bench, write_table
 
 
 def build(n: int, d: int, k: int, seed: int, machine=None):
@@ -89,7 +89,7 @@ def test_e3_query_time():
 @pytest.mark.parametrize("n", [1024, 4096])
 def test_bench_build(benchmark, n):
     balls = brute_force_knn(uniform_cube(n, 2, 9), 1).to_ball_system()
-    benchmark(lambda: NeighborhoodQueryStructure(balls, seed=10))
+    benchmark(lambda: NeighborhoodQueryStructure(balls, seed=bench_seed(10)))
 
 
 def test_bench_query_many(benchmark):

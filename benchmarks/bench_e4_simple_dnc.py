@@ -17,7 +17,7 @@ from repro.core import simple_parallel_dnc
 from repro.pvm import Machine
 from repro.workloads import uniform_cube
 
-from common import table_bench, write_table
+from common import bench_seed, record_bench_run, table_bench, write_table
 
 SIZES = [1024, 2048, 4096, 8192, 16384]
 
@@ -28,7 +28,11 @@ def test_e4_depth_table():
     depths = []
     prev = None
     for n in SIZES:
-        res = simple_parallel_dnc(uniform_cube(n, 3, n), 1, machine=Machine(), seed=1)
+        machine = Machine()
+        res = simple_parallel_dnc(
+            uniform_cube(n, 3, bench_seed(n)), 1, machine=machine, seed=bench_seed(1)
+        )
+        record_bench_run("e4_simple_dnc", machine, params={"n": n, "d": 3, "k": 1})
         depths.append(res.cost.depth)
         inc = "" if prev is None else f"{res.cost.depth - prev:+.0f}"
         rows.append(
@@ -49,5 +53,5 @@ def test_e4_depth_table():
 
 @pytest.mark.parametrize("n", [2048, 8192])
 def test_bench_simple_dnc(benchmark, n):
-    pts = uniform_cube(n, 2, 5)
-    benchmark(lambda: simple_parallel_dnc(pts, 1, seed=6))
+    pts = uniform_cube(n, 2, bench_seed(5))
+    benchmark(lambda: simple_parallel_dnc(pts, 1, seed=bench_seed(6)))

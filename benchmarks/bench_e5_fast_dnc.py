@@ -17,7 +17,7 @@ from repro.core import parallel_nearest_neighborhood, simple_parallel_dnc
 from repro.pvm import Machine
 from repro.workloads import uniform_cube
 
-from common import table_bench, write_chart, write_table
+from common import bench_seed, record_bench_run, table_bench, write_chart, write_table
 
 SIZES = [1024, 2048, 4096, 8192, 16384]
 
@@ -28,7 +28,11 @@ def test_e5_depth_and_work_table():
     depths, works = [], []
     prev = None
     for n in SIZES:
-        res = parallel_nearest_neighborhood(uniform_cube(n, 3, n), 1, machine=Machine(), seed=1)
+        machine = Machine()
+        res = parallel_nearest_neighborhood(
+            uniform_cube(n, 3, bench_seed(n)), 1, machine=machine, seed=bench_seed(1)
+        )
+        record_bench_run("e5_fast_dnc", machine, params={"n": n, "d": 3, "k": 1})
         depths.append(res.cost.depth)
         works.append(res.cost.work)
         inc = "" if prev is None else f"{res.cost.depth - prev:+.0f}"
@@ -53,9 +57,9 @@ def test_e5_depth_and_work_table():
 def test_e5_head_to_head():
     rows = []
     for n in (2048, 8192, 16384):
-        pts = uniform_cube(n, 3, n + 5)
-        fast = parallel_nearest_neighborhood(pts, 1, machine=Machine(), seed=2)
-        simple = simple_parallel_dnc(pts, 1, machine=Machine(), seed=2)
+        pts = uniform_cube(n, 3, bench_seed(n + 5))
+        fast = parallel_nearest_neighborhood(pts, 1, machine=Machine(), seed=bench_seed(2))
+        simple = simple_parallel_dnc(pts, 1, machine=Machine(), seed=bench_seed(2))
         rows.append(
             (n, f"{fast.cost.depth:.0f}", f"{simple.cost.depth:.0f}",
              f"{simple.cost.depth / fast.cost.depth:.2f}x",
@@ -86,5 +90,5 @@ def test_e5_head_to_head():
 
 @pytest.mark.parametrize("n", [2048, 8192])
 def test_bench_fast_dnc(benchmark, n):
-    pts = uniform_cube(n, 2, 7)
-    benchmark(lambda: parallel_nearest_neighborhood(pts, 1, seed=8))
+    pts = uniform_cube(n, 2, bench_seed(7))
+    benchmark(lambda: parallel_nearest_neighborhood(pts, 1, seed=bench_seed(8)))

@@ -18,7 +18,7 @@ from repro.analysis import punting_tail_bound
 from repro.core import ab_tree_trials, parallel_nearest_neighborhood, punted_weighted_depth, simulate_ab_tree
 from repro.workloads import uniform_cube
 
-from common import table_bench, write_table
+from common import bench_seed, table_bench, write_table
 
 TRIALS = 300
 
@@ -73,7 +73,7 @@ def test_e6_real_tree_weighted_depth():
     for n in (1024, 4096, 16384):
         pts = uniform_cube(n, 2, n + 2)
         for label, cfg in (("default", FastDnCConfig()), ("stressed", stressed)):
-            res = parallel_nearest_neighborhood(pts, 1, seed=3, config=cfg)
+            res = parallel_nearest_neighborhood(pts, 1, seed=bench_seed(3), config=cfg)
             wd = punted_weighted_depth(res.tree)
             rows.append(
                 (n, label, res.stats.punts, f"{wd:.1f}", f"{2 * math.log2(n):.1f}",

@@ -18,7 +18,7 @@ from repro.analysis import duplication_g
 from repro.core import parallel_nearest_neighborhood, simulate_duplication
 from repro.workloads import clustered, uniform_cube
 
-from common import table_bench, write_table
+from common import bench_seed, table_bench, write_table
 
 
 @table_bench
@@ -26,7 +26,7 @@ def test_e7_level_actives_real_runs():
     rows = []
     for name, gen in (("uniform", uniform_cube), ("clustered", clustered)):
         for n in (4096, 16384):
-            res = parallel_nearest_neighborhood(gen(n, 2, n), 1, seed=4)
+            res = parallel_nearest_neighborhood(gen(n, 2, n), 1, seed=bench_seed(4))
             # profile of the largest marches (root-level corrections)
             biggest = sorted(res.stats.marching_level_active, key=lambda t: -t[0])[:3]
             for m, profile in biggest:
@@ -91,7 +91,7 @@ def test_e7_duplication_probability_knob():
 
 def test_bench_march_heavy(benchmark):
     pts = uniform_cube(8192, 2, 9)
-    res = parallel_nearest_neighborhood(pts, 1, seed=10)
+    res = parallel_nearest_neighborhood(pts, 1, seed=bench_seed(10))
     from repro.core import march_balls
 
     rng = np.random.default_rng(11)
@@ -115,7 +115,7 @@ def test_e7_lemma64_unrelated_system():
         pts_p = uniform_cube(n, 2, n + 50)          # separator input P
         pts_b = uniform_cube(n, 2, n + 51)          # unrelated system B
         balls = brute_force_knn(pts_b, 1).to_ball_system()
-        sampler = MTTVSeparatorSampler(pts_p, seed=7)
+        sampler = MTTVSeparatorSampler(pts_p, seed=bench_seed(7))
         iotas = np.array([
             ball_split(sampler.draw(), balls).intersection_number for _ in range(40)
         ])

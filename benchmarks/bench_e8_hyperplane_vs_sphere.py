@@ -19,13 +19,13 @@ from repro.pvm import Machine
 from repro.separators import MTTVSeparatorSampler, ball_split, median_hyperplane
 from repro.workloads import plane_hugger, slab_pairs, uniform_cube
 
-from common import table_bench, write_table
+from common import bench_seed, table_bench, write_table
 
 
 def crossings(pts: np.ndarray, k: int = 1, draws: int = 15) -> tuple[int, float]:
     balls = brute_force_knn(pts, k).to_ball_system()
     plane_iota = balls.intersection_number(median_hyperplane(pts, axis=0))
-    sampler = MTTVSeparatorSampler(pts, seed=3)
+    sampler = MTTVSeparatorSampler(pts, seed=bench_seed(3))
     sphere = float(np.median([
         ball_split(sampler.draw(), balls).intersection_number for _ in range(draws)
     ]))
@@ -60,8 +60,8 @@ def test_e8_downstream_cost():
     rows = []
     for n in (1024, 4096):
         pts = slab_pairs(n, 2, n + 1)
-        fast = parallel_nearest_neighborhood(pts, 1, machine=Machine(), seed=5)
-        simple = simple_parallel_dnc(pts, 1, machine=Machine(), seed=5)
+        fast = parallel_nearest_neighborhood(pts, 1, machine=Machine(), seed=bench_seed(5))
+        simple = simple_parallel_dnc(pts, 1, machine=Machine(), seed=bench_seed(5))
         assert fast.system.same_distances(simple.system)
         rows.append(
             (n, f"{fast.cost.depth:.0f}", f"{simple.cost.depth:.0f}",

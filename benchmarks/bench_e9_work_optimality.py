@@ -18,7 +18,7 @@ from repro.core import parallel_nearest_neighborhood
 from repro.pvm import Machine
 from repro.workloads import clustered, uniform_cube
 
-from common import table_bench, write_table
+from common import bench_seed, table_bench, write_table
 
 
 @table_bench
@@ -27,7 +27,7 @@ def test_e9_work_scaling():
     works = []
     ns = [1024, 2048, 4096, 8192, 16384]
     for n in ns:
-        res = parallel_nearest_neighborhood(uniform_cube(n, 2, n), 1, machine=Machine(), seed=1)
+        res = parallel_nearest_neighborhood(uniform_cube(n, 2, n), 1, machine=Machine(), seed=bench_seed(1))
         works.append(res.cost.work)
         rows.append((n, f"{res.cost.work:.3g}", f"{res.cost.work / n:.0f}",
                      f"{n * n:.3g}"))
@@ -49,7 +49,7 @@ def test_e9_wall_clock_and_agreement():
         pts = gen(n, 2, 12)
 
         t0 = time.perf_counter()
-        fast = parallel_nearest_neighborhood(pts, k, seed=2)
+        fast = parallel_nearest_neighborhood(pts, k, seed=bench_seed(2))
         t_fast = time.perf_counter() - t0
 
         t0 = time.perf_counter()
@@ -85,7 +85,7 @@ def test_e9_wall_clock_and_agreement():
 def test_bench_all_knn(benchmark, algo):
     pts = uniform_cube(4096, 2, 13)
     fn = {
-        "fast_dnc": lambda: parallel_nearest_neighborhood(pts, 2, seed=3),
+        "fast_dnc": lambda: parallel_nearest_neighborhood(pts, 2, seed=bench_seed(3)),
         "kdtree": lambda: kdtree_knn(pts, 2),
         "grid": lambda: grid_knn(pts, 2),
         "brute": lambda: brute_force_knn(pts, 2),

@@ -14,9 +14,9 @@ from __future__ import annotations
 
 import math
 
+import repro
 from repro.analysis import loglinear_fit
-from repro.core import parallel_nearest_neighborhood, simple_parallel_dnc
-from repro.pvm import Machine, schedule_curve
+from repro.pvm import schedule_curve
 from repro.workloads import uniform_cube
 
 
@@ -30,8 +30,8 @@ def main() -> None:
     last_fast = None
     for n in sizes:
         pts = uniform_cube(n, d, seed=n)
-        fast = parallel_nearest_neighborhood(pts, k, machine=Machine(), seed=1)
-        simple = simple_parallel_dnc(pts, k, machine=Machine(), seed=1)
+        fast = repro.all_knn(pts, k, method="fast", seed=1)
+        simple = repro.all_knn(pts, k, method="simple", seed=1)
         fast_depths.append(fast.cost.depth)
         simple_depths.append(simple.cost.depth)
         last_fast = fast

@@ -13,8 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro
 from repro.baselines import brute_force_knn
-from repro.core import knn_graph_edges, parallel_nearest_neighborhood
 from repro.pvm import Machine, brent_time
 from repro.workloads import uniform_cube
 
@@ -25,12 +25,12 @@ def main() -> None:
 
     # --- run the paper's algorithm on a simulated scan-vector machine ----
     machine = Machine(scan="unit")  # the paper's unit-time SCAN model
-    result = parallel_nearest_neighborhood(points, k, machine=machine, seed=42)
+    result = repro.all_knn(points, k, method="fast", machine=machine, seed=42)
 
     # --- the answer is exact --------------------------------------------
     reference = brute_force_knn(points, k)
     assert result.system.same_distances(reference), "must match brute force"
-    edges = knn_graph_edges(result.system)
+    edges = result.edges()
     print(f"k-NN graph of n={n} points (d={d}, k={k}): {edges.shape[0]} edges")
 
     # --- the cost ledger is the point of the exercise --------------------

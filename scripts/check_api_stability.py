@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""API stability lint: diff the live ``repro.api`` surface against the
+checked-in ``docs/api_surface.txt``.
+
+The facade (:mod:`repro.api`) is the repository's compatibility promise:
+its functions, their keyword signatures, the result classes and their
+public methods/properties.  This script renders that surface as sorted
+text lines and compares them to the committed snapshot, so any signature
+change shows up as a reviewable diff — and an *unreviewed* change fails
+the test suite (``tests/test_public_api.py`` runs :func:`check`).
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_api_stability.py          # lint
+    PYTHONPATH=src python scripts/check_api_stability.py --update # resnapshot
+"""
+
+from __future__ import annotations
+
+import difflib
+import inspect
+import os
+import sys
+from typing import List
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SURFACE_PATH = os.path.join(REPO_ROOT, "docs", "api_surface.txt")
+
+
+def _signature(obj) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):  # pragma: no cover - builtins only
+        return "(...)"
+
+
+def describe_api() -> List[str]:
+    """Render the ``repro.api`` public surface as sorted text lines."""
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    import repro
+    import repro.api as api
+
+    lines = [f"repro.__all__: {', '.join(sorted(repro.__all__))}"]
+    for name in sorted(api.__all__):
+        obj = getattr(api, name)
+        if inspect.isclass(obj):
+            lines.append(f"repro.api.{name} (class)")
+            for attr in sorted(vars(obj)):
+                if attr.startswith("_"):
+                    continue
+                member = inspect.getattr_static(obj, attr)
+                if isinstance(member, property):
+                    lines.append(f"repro.api.{name}.{attr} (property)")
+                elif callable(member):
+                    lines.append(f"repro.api.{name}.{attr}{_signature(member)}")
+            for fname in sorted(getattr(obj, "__dataclass_fields__", {})):
+                if not fname.startswith("_"):
+                    lines.append(f"repro.api.{name}.{fname} (field)")
+        elif callable(obj):
+            lines.append(f"repro.api.{name}{_signature(obj)}")
+        else:
+            lines.append(f"repro.api.{name} (value)")
+    return lines
+
+
+def check() -> List[str]:
+    """Return a unified-diff line list; empty means the surface is stable."""
+    current = describe_api()
+    try:
+        with open(SURFACE_PATH) as fh:
+            pinned = fh.read().splitlines()
+    except FileNotFoundError:
+        return [f"missing snapshot {SURFACE_PATH}; run with --update"]
+    return list(
+        difflib.unified_diff(pinned, current, "docs/api_surface.txt", "live repro.api", lineterm="")
+    )
+
+
+def main(argv: List[str]) -> int:
+    if "--update" in argv:
+        os.makedirs(os.path.dirname(SURFACE_PATH), exist_ok=True)
+        with open(SURFACE_PATH, "w") as fh:
+            fh.write("\n".join(describe_api()) + "\n")
+        print(f"wrote {SURFACE_PATH}")
+        return 0
+    diff = check()
+    if diff:
+        print("repro.api surface drifted from docs/api_surface.txt:")
+        print("\n".join(diff))
+        print("\nIf the change is intentional, rerun with --update and commit the diff.")
+        return 1
+    print("repro.api surface matches docs/api_surface.txt")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

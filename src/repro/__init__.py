@@ -20,21 +20,33 @@ Public surface (see README for a tour):
   process simulators (Sec. 4);
 - :mod:`repro.baselines` — brute force, kd-tree and grid all-kNN;
 - :mod:`repro.workloads` — synthetic and adversarial point generators;
-- :mod:`repro.analysis` — recurrences, probability bounds, scaling fits.
+- :mod:`repro.analysis` — recurrences, probability bounds, scaling fits;
+- :mod:`repro.obs` — tracing spans, metrics registry, trace exports;
+- :mod:`repro.api` — the stable facade: :func:`~repro.api.all_knn`,
+  :func:`~repro.api.build_index`, :func:`~repro.api.run_traced` — all
+  re-exported here at the package root.
 """
 
-from . import analysis, baselines, core, geometry, pvm, separators, util, workloads
+from . import analysis, api, baselines, core, geometry, obs, pvm, separators, util, workloads
+from .api import KNNIndex, KNNResult, all_knn, build_index, run_traced
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
+    "api",
     "baselines",
     "core",
     "geometry",
+    "obs",
     "pvm",
     "separators",
     "util",
     "workloads",
+    "KNNIndex",
+    "KNNResult",
+    "all_knn",
+    "build_index",
+    "run_traced",
     "__version__",
 ]

@@ -1,0 +1,284 @@
+"""Stable top-level facade: the repository's algorithms behind one door.
+
+The subpackages expose every building block of the reproduction; this
+module exposes the three things most users actually want, with consistent
+names and signatures that the ``scripts/check_api_stability.py`` lint
+pins against ``docs/api_surface.txt``:
+
+- :func:`all_knn` — the exact all-k-nearest-neighbors problem, by any
+  method (``"fast"`` = Section 6 sphere-separator DnC, ``"simple"`` =
+  Section 5 hyperplane DnC, ``"query"`` = build the fast partition tree
+  then re-answer every point through the Section 3 query machinery,
+  ``"brute"`` = the all-pairs baseline), returning a uniform
+  :class:`KNNResult`;
+- :func:`build_index` — build once, query forever: a :class:`KNNIndex`
+  wrapping the partition tree (+ lazily, the neighborhood query
+  structure) whose :meth:`KNNIndex.query` answers exact k-NN for *new*
+  points via :func:`repro.core.query_points.knn_query`;
+- :func:`run_traced` — :func:`all_knn` under the observability layer,
+  returning ``(result, tracer)`` with the run's span tree.
+
+Everything here is re-exported from the package root, so the quickstart
+is simply::
+
+    import repro
+    result = repro.all_knn(points, k=2, method="fast")
+    index = repro.build_index(points, k=2)
+    idx, sq = index.query(new_points)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .baselines import brute_force_knn
+from .core import (
+    FastDnCConfig,
+    FastDnCResult,
+    SimpleDnCConfig,
+    SimpleDnCResult,
+    KNeighborhoodSystem,
+    NeighborhoodQueryStructure,
+    PartitionNode,
+    knn_graph_edges,
+    knn_query,
+    parallel_nearest_neighborhood,
+    simple_parallel_dnc,
+)
+from .geometry.points import as_points
+from .obs import Tracer
+from .pvm import Cost, Machine
+
+__all__ = ["KNNResult", "KNNIndex", "all_knn", "build_index", "run_traced"]
+
+METHODS = ("fast", "simple", "query", "brute")
+
+ConfigLike = Union[FastDnCConfig, SimpleDnCConfig, None]
+
+
+@dataclass
+class KNNResult:
+    """Uniform output bundle of :func:`all_knn`, whatever the method.
+
+    ``indices``/``sq_dists`` are the (n, k) neighbor arrays;
+    ``system`` is the full :class:`~repro.core.neighborhood.KNeighborhoodSystem`;
+    ``machine`` holds the (depth, work) ledger of the run; ``tree`` is the
+    partition tree when the method builds one (``None`` for ``"brute"``);
+    ``stats`` is the per-algorithm stats view (``None`` for ``"brute"``).
+    """
+
+    system: KNeighborhoodSystem
+    machine: Machine
+    method: str
+    tree: Optional[PartitionNode] = None
+    stats: Optional[object] = None
+    k: int = 1
+
+    @property
+    def indices(self) -> np.ndarray:
+        """(n, k) neighbor indices, sorted by distance then index."""
+        return self.system.neighbor_indices
+
+    @property
+    def sq_dists(self) -> np.ndarray:
+        """(n, k) squared neighbor distances."""
+        return self.system.neighbor_sq_dists
+
+    @property
+    def cost(self) -> Cost:
+        """The run's aggregate (depth, work) cost ledger."""
+        return self.machine.total
+
+    def edges(self) -> np.ndarray:
+        """The k-NN graph as a deduplicated undirected (E, 2) edge list."""
+        return knn_graph_edges(self.system)
+
+
+@dataclass
+class KNNIndex:
+    """A built k-NN index: partition tree + query structures over points.
+
+    Produced by :func:`build_index`; ``query`` answers exact k-nearest
+    data points for arbitrary query rows by descending the partition tree
+    and marching the candidate balls (Lemma 6.3 reachability), exactly as
+    :func:`repro.core.query_points.knn_query` does.
+    """
+
+    points: np.ndarray
+    tree: PartitionNode
+    k: int
+    machine: Machine
+    _structure: Optional[NeighborhoodQueryStructure] = field(default=None, repr=False)
+    _system: Optional[KNeighborhoodSystem] = field(default=None, repr=False)
+
+    def query(self, queries: np.ndarray, k: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact k nearest data points per query row.
+
+        Parameters
+        ----------
+        queries:
+            (q, d) query points (need not be data points).
+        k:
+            Neighbors per query; defaults to the ``k`` the index was
+            built with.
+
+        Returns
+        -------
+        (indices, sq_dists):
+            Each (q, k), sorted ascending by (distance, index).
+        """
+        kk = self.k if k is None else k
+        return knn_query(self.tree, self.points, queries, kk)
+
+    def covering(self, point: np.ndarray) -> np.ndarray:
+        """Data-point ids whose k-NN ball strictly contains ``point``.
+
+        Lazily builds the Section 3 neighborhood query structure over the
+        index's k-NN ball system on first use.
+        """
+        if self._structure is None:
+            assert self._system is not None
+            self._structure = NeighborhoodQueryStructure(
+                self._system.to_ball_system(), machine=None
+            )
+        return self._structure.query(point)
+
+
+def _resolve_config(method: str, config: ConfigLike) -> ConfigLike:
+    if config is not None:
+        return config
+    if method in ("fast", "query"):
+        return FastDnCConfig()
+    if method == "simple":
+        return SimpleDnCConfig()
+    return None
+
+
+def all_knn(
+    points: np.ndarray,
+    k: int = 1,
+    *,
+    method: str = "fast",
+    config: ConfigLike = None,
+    machine: Optional[Machine] = None,
+    seed: object = None,
+) -> KNNResult:
+    """Exact all-k-nearest-neighbors of ``points``, as a :class:`KNNResult`.
+
+    Parameters
+    ----------
+    points:
+        (n, d) input points.
+    k:
+        Neighbors per point, ``1 <= k < n``.
+    method:
+        ``"fast"`` (Section 6 sphere-separator DnC, the O(log n)
+        headline), ``"simple"`` (Section 5 hyperplane DnC, O(log^2 n)),
+        ``"query"`` (build the fast partition tree, then answer every
+        point through the tree-query path — exercises the Section 3
+        machinery end to end), or ``"brute"`` (all-pairs baseline).
+    config:
+        Method config (:class:`~repro.core.fast_dnc.FastDnCConfig` for
+        ``fast``/``query``, :class:`~repro.core.simple_dnc.SimpleDnCConfig`
+        for ``simple``); defaults are the paper's parameters.
+    machine:
+        Cost ledger to charge; a fresh unit-scan machine by default.
+    seed:
+        RNG seed; ``None`` falls back to ``config.seed``.
+
+    Returns
+    -------
+    KNNResult
+        With exact neighbor lists (validated against brute force in the
+        test suite), the cost ledger, and method stats.
+    """
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
+    pts = as_points(points, min_points=1)
+    if machine is None:
+        machine = Machine()
+    config = _resolve_config(method, config)
+    if method == "fast":
+        res: Union[FastDnCResult, SimpleDnCResult] = parallel_nearest_neighborhood(
+            pts, k, machine=machine, seed=seed, config=config
+        )
+        return KNNResult(system=res.system, machine=machine, method=method,
+                         tree=res.tree, stats=res.stats, k=k)
+    if method == "simple":
+        res = simple_parallel_dnc(pts, k, machine=machine, seed=seed, config=config)
+        return KNNResult(system=res.system, machine=machine, method=method,
+                         tree=res.tree, stats=res.stats, k=k)
+    if method == "brute":
+        system = brute_force_knn(pts, k, machine=machine)
+        return KNNResult(system=system, machine=machine, method=method, k=k)
+    # method == "query": build the fast tree, then re-answer every point
+    # through the partition-tree query path (self-matches dropped).
+    res = parallel_nearest_neighborhood(pts, k, machine=machine, seed=seed, config=config)
+    with machine.span("api.requery", n=int(pts.shape[0]), k=k):
+        idx, sq = knn_query(res.tree, pts, pts, min(k + 1, pts.shape[0]))
+    n = pts.shape[0]
+    out_idx = np.full((n, k), -1, dtype=np.int64)
+    out_sq = np.full((n, k), np.inf)
+    for i in range(n):
+        keep = idx[i] != i
+        ids = idx[i][keep][:k]
+        out_idx[i, : ids.shape[0]] = ids
+        out_sq[i, : ids.shape[0]] = sq[i][keep][: ids.shape[0]]
+    system = KNeighborhoodSystem(pts, k, out_idx, out_sq)
+    return KNNResult(system=system, machine=machine, method=method,
+                     tree=res.tree, stats=res.stats, k=k)
+
+
+def build_index(
+    points: np.ndarray,
+    k: int = 1,
+    *,
+    config: Optional[FastDnCConfig] = None,
+    machine: Optional[Machine] = None,
+    seed: object = None,
+) -> KNNIndex:
+    """Build a reusable exact k-NN index over ``points``.
+
+    Runs the fast algorithm once (charging ``machine``) and wraps the
+    resulting partition tree + neighborhood system as a :class:`KNNIndex`
+    whose :meth:`KNNIndex.query` serves exact k-NN for new points.
+    """
+    pts = as_points(points, min_points=1)
+    if machine is None:
+        machine = Machine()
+    if config is None:
+        config = FastDnCConfig()
+    res = parallel_nearest_neighborhood(pts, k, machine=machine, seed=seed, config=config)
+    return KNNIndex(points=pts, tree=res.tree, k=k, machine=machine, _system=res.system)
+
+
+def run_traced(
+    points: np.ndarray,
+    k: int = 1,
+    *,
+    method: str = "fast",
+    config: ConfigLike = None,
+    machine: Optional[Machine] = None,
+    seed: object = None,
+) -> Tuple[KNNResult, Tracer]:
+    """:func:`all_knn` under tracing; returns ``(result, tracer)``.
+
+    A fresh :class:`~repro.obs.spans.Tracer` is attached to the machine
+    (replacing any existing one), the whole run is wrapped in a root
+    ``"run"`` span, and the tracer is verified against the ledger: the
+    root span's (depth, work) equals ``result.cost`` exactly, as does the
+    per-level exclusive-work decomposition.
+    """
+    if machine is None:
+        machine = Machine()
+    pre = machine.total
+    tracer = machine.enable_tracing()
+    with machine.span("run", method=method, n=int(np.asarray(points).shape[0]), k=k):
+        result = all_knn(points, k, method=method, config=config, machine=machine, seed=seed)
+    if pre.depth == 0 and pre.work == 0:
+        # fresh ledger: the root span must reproduce it exactly
+        tracer.check_against(machine.total)
+    return result, tracer

@@ -13,6 +13,13 @@ Subcommands
     Depth/work sweep of the fast vs simple algorithm over problem sizes.
 ``repro dissect``
     Recursive separator tree + nested dissection fill report.
+``repro trace``
+    Run an algorithm under the observability layer: print the ASCII
+    flame summary and per-level (depth, work) breakdown, verify the span
+    tree against the cost ledger, and optionally write a Chrome-trace
+    JSON with ``--trace-out``.
+
+``--trace-out PATH`` is also accepted by ``knn`` and ``scaling``.
 
 Entry points: ``repro`` (console script) or ``python -m repro``.
 """
@@ -40,38 +47,58 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workload name (uniform, ball, gaussian, clustered, grid, annulus, collinear)")
         p.add_argument("--points-file", default=None,
                        help=".npz/.npy file with an (n, d) float array (overrides --workload)")
-        p.add_argument("-n", type=int, default=4096, help="number of points")
-        p.add_argument("-d", type=int, default=2, help="dimension")
+        p.add_argument("-n", "--n", type=int, default=4096, help="number of points")
+        p.add_argument("-d", "--d", type=int, default=2, help="dimension")
         p.add_argument("--seed", type=int, default=0, help="random seed")
 
     knn = sub.add_parser("knn", help="compute the exact k-NN graph")
     add_workload_args(knn)
-    knn.add_argument("-k", type=int, default=1, help="neighbors per point")
+    knn.add_argument("-k", "--k", type=int, default=1, help="neighbors per point")
     knn.add_argument("--algo", default="fast",
-                     choices=["fast", "simple", "kdtree", "grid", "brute"])
+                     choices=["fast", "simple", "query", "kdtree", "grid", "brute"])
     knn.add_argument("--scan", default="unit", choices=["unit", "loglog", "log"],
                      help="SCAN cost policy of the simulated machine")
     knn.add_argument("--check", action="store_true", help="verify against brute force")
     knn.add_argument("--out", default=None, help="save edges to this .npz file")
+    knn.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="record a span trace and write Chrome-trace JSON here")
 
     seps = sub.add_parser("separators", help="separator quality report")
     add_workload_args(seps)
-    seps.add_argument("-k", type=int, default=1)
+    seps.add_argument("-k", "--k", type=int, default=1)
     seps.add_argument("--draws", type=int, default=10)
 
     scaling = sub.add_parser("scaling", help="fast vs simple depth sweep")
     scaling.add_argument("--sizes", type=int, nargs="+",
                          default=[1024, 2048, 4096, 8192])
-    scaling.add_argument("-d", type=int, default=2)
-    scaling.add_argument("-k", type=int, default=1)
+    scaling.add_argument("-d", "--d", type=int, default=2)
+    scaling.add_argument("-k", "--k", type=int, default=1)
     scaling.add_argument("--seed", type=int, default=0)
+    scaling.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="write a Chrome-trace JSON of the largest fast run")
 
     dissect = sub.add_parser("dissect", help="separator tree + nested dissection")
     add_workload_args(dissect)
-    dissect.add_argument("-k", type=int, default=2)
+    dissect.add_argument("-k", "--k", type=int, default=2)
     dissect.add_argument("--min-size", type=int, default=32)
     dissect.add_argument("--fill", action="store_true",
                          help="also count elimination fill (slow for large n)")
+
+    trace = sub.add_parser(
+        "trace", help="run an algorithm under tracing; print + export the span tree"
+    )
+    trace.add_argument("target", choices=["knn"],
+                       help="what to trace (currently: the all-kNN computation)")
+    add_workload_args(trace)
+    trace.add_argument("-k", "--k", type=int, default=1, help="neighbors per point")
+    trace.add_argument("--method", default="fast", choices=["fast", "simple", "query"],
+                       help="algorithm to run (see repro.api.all_knn)")
+    trace.add_argument("--scan", default="unit", choices=["unit", "loglog", "log"],
+                       help="SCAN cost policy of the simulated machine")
+    trace.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write the Chrome-trace JSON here")
+    trace.add_argument("--flame-width", type=int, default=40,
+                       help="bar width of the ASCII flame summary")
     return parser
 
 
@@ -85,29 +112,40 @@ def _load_points(args: argparse.Namespace) -> np.ndarray:
     return make_workload(args.workload, args.n, args.d, args.seed)
 
 
+def _write_trace_file(path: str, tracer, machine, **meta) -> None:
+    from .obs import write_trace
+
+    write_trace(path, tracer, total=machine.total,
+                metrics=machine.metrics.to_dict(), meta=meta)
+    print(f"wrote trace {path}")
+
+
 def _cmd_knn(args: argparse.Namespace) -> int:
+    from .api import all_knn, run_traced
     from .baselines import brute_force_knn, grid_knn, kdtree_knn
-    from .core import knn_graph_edges, parallel_nearest_neighborhood, simple_parallel_dnc
+    from .core import knn_graph_edges
     from .pvm import Machine, brent_time
 
     pts = _load_points(args)
     n = pts.shape[0]
     machine = Machine(scan=args.scan)
-    if args.algo == "fast":
-        result = parallel_nearest_neighborhood(pts, args.k, machine=machine, seed=args.seed)
-        system, stats = result.system, result.stats
-    elif args.algo == "simple":
-        result = simple_parallel_dnc(pts, args.k, machine=machine, seed=args.seed)
+    simulated = args.algo in ("fast", "simple", "query", "brute")
+    stats = None
+    if simulated:
+        if args.trace_out:
+            result, tracer = run_traced(pts, args.k, method=args.algo,
+                                        machine=machine, seed=args.seed)
+        else:
+            result, tracer = all_knn(pts, args.k, method=args.algo,
+                                     machine=machine, seed=args.seed), None
         system, stats = result.system, result.stats
     elif args.algo == "kdtree":
-        system, stats = kdtree_knn(pts, args.k), None
-    elif args.algo == "grid":
-        system, stats = grid_knn(pts, args.k), None
+        system, tracer = kdtree_knn(pts, args.k), None
     else:
-        system, stats = brute_force_knn(pts, args.k, machine=machine), None
+        system, tracer = grid_knn(pts, args.k), None
     edges = knn_graph_edges(system)
     print(f"{args.algo}: n={n} d={pts.shape[1]} k={args.k} -> {edges.shape[0]} edges")
-    if args.algo in ("fast", "simple", "brute"):
+    if simulated:
         cost = machine.total
         print(f"simulated cost: depth={cost.depth:.0f} work={cost.work:.0f} "
               f"T_n={brent_time(cost, n):.0f}")
@@ -115,6 +153,9 @@ def _cmd_knn(args: argparse.Namespace) -> int:
             print(f"  phase {name:<8} work={c.work:.0f}")
     if stats is not None and hasattr(stats, "punts"):
         print(f"punts={stats.punts} separator_draws={stats.separator_attempts}")
+    if tracer is not None and args.trace_out:
+        _write_trace_file(args.trace_out, tracer, machine, command="knn",
+                          algo=args.algo, n=n, d=int(pts.shape[1]), k=args.k)
     if args.check:
         ref = brute_force_knn(pts, args.k)
         ok = system.same_distances(ref)
@@ -151,16 +192,27 @@ def _cmd_separators(args: argparse.Namespace) -> int:
 
 
 def _cmd_scaling(args: argparse.Namespace) -> int:
-    from .core import parallel_nearest_neighborhood, simple_parallel_dnc
+    from .api import all_knn, run_traced
     from .pvm import Machine
     from .workloads import uniform_cube
 
     rows = []
+    largest = max(args.sizes)
     print(f"{'n':>8} {'fast depth':>11} {'simple depth':>13} {'ratio':>6}")
     for n in args.sizes:
         pts = uniform_cube(n, args.d, args.seed + n)
-        fast = parallel_nearest_neighborhood(pts, args.k, machine=Machine(), seed=args.seed)
-        simple = simple_parallel_dnc(pts, args.k, machine=Machine(), seed=args.seed)
+        fast_machine = Machine()
+        if args.trace_out and n == largest:
+            fast, tracer = run_traced(pts, args.k, method="fast",
+                                      machine=fast_machine, seed=args.seed)
+            _write_trace_file(args.trace_out, tracer, fast_machine,
+                              command="scaling", algo="fast", n=n,
+                              d=args.d, k=args.k)
+        else:
+            fast = all_knn(pts, args.k, method="fast", machine=fast_machine,
+                           seed=args.seed)
+        simple = all_knn(pts, args.k, method="simple", machine=Machine(),
+                         seed=args.seed)
         rows.append((n, fast.cost.depth, simple.cost.depth))
         print(f"{n:>8} {fast.cost.depth:>11.0f} {simple.cost.depth:>13.0f} "
               f"{simple.cost.depth / fast.cost.depth:>5.2f}x")
@@ -203,6 +255,37 @@ def _cmd_dissect(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .api import run_traced
+    from .pvm import Machine, brent_time
+
+    pts = _load_points(args)
+    n, d = pts.shape
+    machine = Machine(scan=args.scan)
+    result, tracer = run_traced(pts, args.k, method=args.method,
+                                machine=machine, seed=args.seed)
+    cost = result.cost
+    root = tracer.root
+    print(f"trace {args.target}: method={args.method} n={n} d={d} k={args.k}")
+    print(f"spans={tracer.span_count()}  "
+          f"root (depth={root.cost.depth:.2f}, work={root.cost.work:.0f})  "
+          f"ledger (depth={cost.depth:.2f}, work={cost.work:.0f})  "
+          f"T_n={brent_time(cost, n):.0f}")
+    print("span tree vs cost ledger: EXACT (root cost and per-level work verified)")
+    print()
+    print(tracer.flame_summary(width=args.flame_width))
+    print()
+    print(f"{'level':>5} {'spans':>6} {'incl work':>12} {'excl work':>12} {'max depth':>10}")
+    for row in tracer.per_level_breakdown():
+        print(f"{row['level']:>5} {row['spans']:>6} {row['inclusive_work']:>12.0f} "
+              f"{row['exclusive_work']:>12.0f} {row['max_depth']:>10.2f}")
+    if args.trace_out:
+        print()
+        _write_trace_file(args.trace_out, tracer, machine, command="trace",
+                          method=args.method, n=int(n), d=int(d), k=int(args.k))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -211,6 +294,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "separators": _cmd_separators,
         "scaling": _cmd_scaling,
         "dissect": _cmd_dissect,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -11,6 +11,7 @@ from .graph_separators import (
     nested_dissection_order,
     separator_profile,
 )
+from .config import CommonConfig, supports_renamed_fields
 from .correction import MarchResult, apply_candidate_pairs, march_balls, query_correction_pairs
 from .fast_dnc import (
     FastDnCConfig,
@@ -40,6 +41,8 @@ __all__ = [
     "elimination_fill",
     "nested_dissection_order",
     "separator_profile",
+    "CommonConfig",
+    "supports_renamed_fields",
     "MarchResult",
     "apply_candidate_pairs",
     "march_balls",

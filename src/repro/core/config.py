@@ -1,0 +1,134 @@
+"""Shared configuration surface for the algorithm config dataclasses.
+
+Historically the three config dataclasses (:class:`FastDnCConfig`,
+:class:`SimpleDnCConfig`, :class:`QueryConfig`) grew inconsistent knobs:
+the brute-force/leaf threshold was called ``m0`` everywhere but meant two
+different things, randomness was threaded through per-function ``seed``
+arguments only, and the separator-budget helpers (``mu``,
+``iota_budget``) were duplicated.  :class:`CommonConfig` unifies them:
+
+- ``base_case_size`` is the canonical name for the subproblem size at or
+  below which a node is solved exhaustively / becomes a leaf (the old
+  ``m0``).  The old name still works — both as a constructor keyword and
+  as a read property — with a :class:`DeprecationWarning`.
+- ``seed`` is a config-level default RNG seed.  Algorithm entry points
+  still accept an explicit ``seed=``; when it is omitted (``None``), the
+  config's seed is used, so a config object fully determines a run.
+- ``mu`` / ``iota_budget`` are defined once, with the ``k``-aware budget
+  (``k^{1/d}``-scaled) that the fast algorithm needs; passing ``k=1``
+  reproduces the query structure's classic budget.
+
+Renamed-field compatibility is applied with the
+:func:`supports_renamed_fields` class decorator, which rewrites legacy
+constructor keywords (warning once per call site) before the frozen
+dataclass ``__init__`` runs.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..util.rng import as_generator
+
+__all__ = ["CommonConfig", "supports_renamed_fields", "RENAMED_CONFIG_FIELDS"]
+
+# old constructor keyword / attribute -> canonical dataclass field
+RENAMED_CONFIG_FIELDS = {"m0": "base_case_size"}
+
+
+def supports_renamed_fields(cls):
+    """Class decorator: accept legacy constructor keywords with a warning.
+
+    Wraps the (data)class ``__init__`` so that deprecated keyword names in
+    :data:`RENAMED_CONFIG_FIELDS` are rewritten to their canonical field,
+    emitting a :class:`DeprecationWarning`.  Passing both the old and the
+    new name is a ``TypeError``.  ``functools.wraps`` keeps the original
+    signature visible to :func:`inspect.signature`.
+    """
+    orig_init = cls.__init__
+
+    @functools.wraps(orig_init)
+    def __init__(self, *args, **kwargs):
+        for old, new in RENAMED_CONFIG_FIELDS.items():
+            if old in kwargs:
+                if new in kwargs:
+                    raise TypeError(
+                        f"{cls.__name__}() got both deprecated {old!r} and {new!r}"
+                    )
+                warnings.warn(
+                    f"{cls.__name__}({old}=...) is deprecated; use {new}=...",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                kwargs[new] = kwargs.pop(old)
+        orig_init(self, *args, **kwargs)
+
+    cls.__init__ = __init__
+    return cls
+
+
+@dataclass(frozen=True)
+class CommonConfig:
+    """Mixin of the knobs every algorithm config shares.
+
+    Parameters
+    ----------
+    base_case_size:
+        Subproblems of at most this many points are solved exhaustively
+        (divide and conquer) or become leaves (query structure).  The
+        deprecated alias ``m0`` is still accepted.
+    seed:
+        Default RNG seed (or ``numpy`` Generator) used when the algorithm
+        entry point is not given an explicit ``seed=``.  ``None`` means
+        fresh OS entropy, as before.
+    """
+
+    base_case_size: int = 64
+    seed: object = None
+
+    # -- deprecated aliases ----------------------------------------------
+
+    @property
+    def m0(self) -> int:
+        """Deprecated alias for :attr:`base_case_size` (warns on read)."""
+        warnings.warn(
+            f"{type(self).__name__}.m0 is deprecated; use base_case_size",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.base_case_size
+
+    # -- shared derived quantities ---------------------------------------
+
+    def rng(self, seed: object = None) -> np.random.Generator:
+        """Resolve an RNG: explicit ``seed`` wins, else the config's seed."""
+        return as_generator(seed if seed is not None else self.seed)
+
+    def mu(self, d: int) -> float:
+        """Separator-theorem exponent ``(d-1)/d`` plus the config's slack."""
+        slack = getattr(self, "mu_slack", 0.10)
+        return min(0.98, (d - 1) / d + slack)
+
+    def iota_budget(self, m: int, d: int, k: int = 1) -> float:
+        """Straddler budget ``iota_factor * k^{1/d} * m^mu``.
+
+        The separator theorem's bound is ``O(k^{1/d} n^{(d-1)/d})``; the
+        budget must carry the ``k`` factor or large-``k`` runs punt
+        spuriously.  ``k=1`` reproduces the query structure's budget.
+        """
+        factor = getattr(self, "iota_factor", 3.0)
+        return max(4.0, factor * k ** (1.0 / d) * m ** self.mu(d))
+
+    def base_size(self, k: int) -> int:
+        """Brute-force threshold ``max(base_case_size, base_factor*(k+1))``.
+
+        Large enough that no recursive subproblem ever has fewer than
+        ``k+1`` points on both sides of a split.
+        """
+        factor = getattr(self, "base_factor", 1)
+        return max(self.base_case_size, factor * (k + 1))

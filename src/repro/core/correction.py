@@ -189,6 +189,17 @@ def query_correction_pairs(
     """
     if len(straddlers) == 0 or opposite_points.shape[0] == 0:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
-    structure = NeighborhoodQueryStructure(straddlers, machine=machine, seed=seed, config=config)
-    point_rows, ball_rows = structure.query_many(opposite_points)
+    if machine is not None:
+        with machine.span(
+            "correct.query",
+            straddlers=len(straddlers),
+            opposite=int(opposite_points.shape[0]),
+        ):
+            structure = NeighborhoodQueryStructure(
+                straddlers, machine=machine, seed=seed, config=config
+            )
+            point_rows, ball_rows = structure.query_many(opposite_points)
+    else:
+        structure = NeighborhoodQueryStructure(straddlers, machine=machine, seed=seed, config=config)
+        point_rows, ball_rows = structure.query_many(opposite_points)
     return ball_rows, opposite_ids[point_rows]

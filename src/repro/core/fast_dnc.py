@@ -36,10 +36,11 @@ import numpy as np
 from ..geometry.balls import BallSystem
 from ..geometry.points import as_points, kth_smallest_per_row, pairwise_sq_dists_direct
 from ..geometry.spheres import Hyperplane, Sphere
+from ..obs.metrics import MetricsView
 from ..pvm.cost import Cost
 from ..pvm.machine import Machine
 from ..separators.unit_time import SeparatorFailure, find_good_separator
-from ..util.rng import as_generator
+from .config import CommonConfig, supports_renamed_fields
 from .correction import apply_candidate_pairs, march_balls, query_correction_pairs
 from .neighborhood import KNeighborhoodSystem
 from .partition_tree import PartitionNode
@@ -50,23 +51,26 @@ __all__ = ["FastDnCConfig", "FastDnCStats", "FastDnCResult", "parallel_nearest_n
 SeparatorLike = Union[Sphere, Hyperplane]
 
 
+@supports_renamed_fields
 @dataclass(frozen=True)
-class FastDnCConfig:
+class FastDnCConfig(CommonConfig):
     """Parameters of the fast algorithm.
 
     ``mu`` (via ``mu_slack``) is the straddler-budget exponent of the
     separator theorem, ``(d-1)/d + slack``; a node whose straddler count
     exceeds ``iota_factor * m^mu`` punts immediately.  The marching cap is
     ``active_factor * m^active_exponent`` with ``active_exponent =
-    mu + active_slack`` (Lemma 6.2's ``m^(1-eta)``).  ``m0`` and
-    ``base_factor`` set the brute-force base-case threshold
-    ``max(m0, base_factor * (k+1))`` — large enough that no recursive
-    subproblem ever has fewer than k+1 points on both sides of a split.
-    ``fc_depth`` is the constant depth charged for a successful Fast
-    Correction (the paper's constant number of label-and-scan phases).
+    mu + active_slack`` (Lemma 6.2's ``m^(1-eta)``).  ``base_case_size``
+    (deprecated alias ``m0``) and ``base_factor`` set the brute-force
+    base-case threshold ``max(base_case_size, base_factor * (k+1))`` —
+    large enough that no recursive subproblem ever has fewer than k+1
+    points on both sides of a split.  ``fc_depth`` is the constant depth
+    charged for a successful Fast Correction (the paper's constant number
+    of label-and-scan phases).  ``base_case_size``, ``seed``, ``mu``,
+    ``iota_budget`` and ``base_size`` come from
+    :class:`~repro.core.config.CommonConfig`.
     """
 
-    m0: int = 64
     base_factor: int = 4
     epsilon: float = 0.05
     mu_slack: float = 0.10
@@ -76,41 +80,40 @@ class FastDnCConfig:
     max_attempts: int = 48
     sample_size: Optional[int] = None
     fc_depth: float = 4.0
-    query: QueryConfig = field(default_factory=QueryConfig)
-
-    def mu(self, d: int) -> float:
-        return min(0.98, (d - 1) / d + self.mu_slack)
-
-    def iota_budget(self, m: int, d: int, k: int = 1) -> float:
-        # the separator theorem's bound is O(k^{1/d} n^{(d-1)/d}); the
-        # budget must carry the k factor or large-k runs punt spuriously
-        return max(4.0, self.iota_factor * k ** (1.0 / d) * m ** self.mu(d))
+    query: QueryConfig = field(default_factory=lambda: QueryConfig())
 
     def active_cap(self, m: int, d: int, k: int = 1) -> float:
         expo = min(0.99, self.mu(d) + self.active_slack)
         return max(8.0, self.active_factor * k ** (1.0 / d) * m**expo)
 
-    def base_size(self, k: int) -> int:
-        return max(self.m0, self.base_factor * (k + 1))
 
+class FastDnCStats(MetricsView):
+    """Event counts and probabilistic traces of one run.
 
-@dataclass
-class FastDnCStats:
-    """Event counts and probabilistic traces of one run."""
+    A thin view over a :class:`~repro.obs.metrics.Metrics` registry (keys
+    namespaced ``fast.*``); the historical attribute surface — ``nodes``,
+    ``base_cases``, ``separator_attempts``, ``punts_iota``,
+    ``punts_marching``, ``punts_separator``, ``straddler_fraction``,
+    ``marching_level_active``, ``corrections_fast``, ``corrections_none``
+    — is unchanged.
+    """
 
-    nodes: int = 0
-    base_cases: int = 0
-    separator_attempts: int = 0
-    punts_iota: int = 0
-    punts_marching: int = 0
-    punts_separator: int = 0
-    straddler_fraction: List[Tuple[int, int]] = field(default_factory=list)
-    marching_level_active: List[Tuple[int, List[int]]] = field(default_factory=list)
-    corrections_fast: int = 0
-    corrections_none: int = 0
+    _NS = "fast"
+    _COUNTER_FIELDS = (
+        "nodes",
+        "base_cases",
+        "separator_attempts",
+        "punts_iota",
+        "punts_marching",
+        "punts_separator",
+        "corrections_fast",
+        "corrections_none",
+    )
+    _SERIES_FIELDS = ("straddler_fraction", "marching_level_active")
 
     @property
     def punts(self) -> int:
+        """Total punt events (iota + marching + separator failures)."""
         return self.punts_iota + self.punts_marching + self.punts_separator
 
 
@@ -151,7 +154,7 @@ def parallel_nearest_neighborhood(
         Cost ledger; a fresh unit-scan :class:`Machine` by default.
     seed:
         RNG or seed (cost-only randomness; the output is deterministic
-        up to distance ties).
+        up to distance ties).  ``None`` falls back to ``config.seed``.
     config:
         :class:`FastDnCConfig`.
 
@@ -167,8 +170,8 @@ def parallel_nearest_neighborhood(
         raise ValueError(f"k must satisfy 1 <= k < n, got k={k}, n={n}")
     if machine is None:
         machine = Machine()
-    rng = as_generator(seed)
-    stats = FastDnCStats()
+    rng = config.rng(seed)
+    stats = FastDnCStats(metrics=machine.metrics)
     nbr_idx = np.full((n, k), -1, dtype=np.int64)
     nbr_sq = np.full((n, k), np.inf)
     base = config.base_size(k)
@@ -213,6 +216,7 @@ class _Runner:
         """
         m = ids.shape[0]
         self.stats.base_cases += 1
+        self.machine.metrics.observe("fast.base_case_sizes", m)
         with self.machine.section("base"):
             self.machine.charge(Cost(float(m), float(m) * float(m)))
         if m <= 1:
@@ -230,7 +234,11 @@ class _Runner:
 
     # -- recursion -------------------------------------------------------------
 
-    def solve(self, ids: np.ndarray) -> PartitionNode:
+    def solve(self, ids: np.ndarray, level: int = 0) -> PartitionNode:
+        with self.machine.span("fast.node", level=level, m=int(ids.shape[0])) as span:
+            return self._solve(ids, level, span)
+
+    def _solve(self, ids: np.ndarray, level: int, span) -> PartitionNode:
         m = ids.shape[0]
         self.stats.nodes += 1
         if m <= self.base:
@@ -248,10 +256,14 @@ class _Runner:
                     sample_size=self.config.sample_size,
                 )
             self.stats.separator_attempts += attempts
+            if span is not None:
+                span.attrs["separator_attempts"] = attempts
         except SeparatorFailure:
             # pathological multiset (e.g. almost all points identical):
             # solve this subproblem exhaustively — correctness first.
             self.stats.punts_separator += 1
+            if span is not None:
+                span.attrs["punted"] = True
             self.brute_force(ids)
             return PartitionNode(indices=ids)
         side = separator.side_of_points(sub)
@@ -262,14 +274,17 @@ class _Runner:
         children: List[Optional[PartitionNode]] = [None, None]
         with self.machine.parallel() as par:
             with par.branch():
-                children[0] = self.solve(in_ids)
+                children[0] = self.solve(in_ids, level + 1)
             with par.branch():
-                children[1] = self.solve(ex_ids)
+                children[1] = self.solve(ex_ids, level + 1)
         node = PartitionNode(
             indices=ids, separator=separator, left=children[0], right=children[1]
         )
         with self.machine.section("correct"):
             self.correct(node, in_ids, ex_ids)
+        if span is not None:
+            span.attrs["iota"] = node.meta.get("iota", 0)
+            span.attrs["punted"] = node.meta.get("punted", False)
         return node
 
     # -- correction --------------------------------------------------------------
@@ -321,29 +336,34 @@ class _Runner:
         centers = self.points[straddlers]
         radii = np.sqrt(self.nbr_sq[straddlers, -1])
         cap = self.config.active_cap(m, self.dim, self.k)
-        result = march_balls(
-            opposite_tree, self.points, centers, radii, active_cap=cap
-        )
-        self.stats.marching_level_active.append((m, list(result.level_active)))
-        if not result.succeeded:
-            self.stats.punts_marching += 1
-            opposite_ids = opposite_tree.indices
-            self._query_correct(straddlers, opposite_ids)
-            return False
-        # constant-depth charge for the label-and-scan phases (Lemma 6.3),
-        # plus the k-selection step (O(log log k) for k > 1, Section 6.2)
-        select_depth = 1.0 if self.k == 1 else 1.0 + math.log2(math.log2(self.k) + 2.0)
-        work = float(result.label_tests + result.leaf_tests + result.pairs * (self.k + 1))
-        self.machine.charge(Cost(self.config.fc_depth + select_depth, max(work, 1.0)))
-        apply_candidate_pairs(
-            self.points,
-            self.nbr_idx,
-            self.nbr_sq,
-            straddlers,
-            result.ball_rows,
-            result.point_ids,
-            self.k,
-        )
+        with self.machine.span(
+            "correct.march", m=int(m), straddlers=int(straddlers.shape[0])
+        ) as span:
+            result = march_balls(
+                opposite_tree, self.points, centers, radii, active_cap=cap
+            )
+            self.stats.marching_level_active.append((m, list(result.level_active)))
+            if span is not None:
+                span.attrs["succeeded"] = result.succeeded
+            if not result.succeeded:
+                self.stats.punts_marching += 1
+                opposite_ids = opposite_tree.indices
+                self._query_correct(straddlers, opposite_ids)
+                return False
+            # constant-depth charge for the label-and-scan phases (Lemma 6.3),
+            # plus the k-selection step (O(log log k) for k > 1, Section 6.2)
+            select_depth = 1.0 if self.k == 1 else 1.0 + math.log2(math.log2(self.k) + 2.0)
+            work = float(result.label_tests + result.leaf_tests + result.pairs * (self.k + 1))
+            self.machine.charge(Cost(self.config.fc_depth + select_depth, max(work, 1.0)))
+            apply_candidate_pairs(
+                self.points,
+                self.nbr_idx,
+                self.nbr_sq,
+                straddlers,
+                result.ball_rows,
+                result.point_ids,
+                self.k,
+            )
         return True
 
     def _query_correct(self, straddlers: np.ndarray, opposite_ids: np.ndarray) -> None:
@@ -351,26 +371,32 @@ class _Runner:
         Querying of Section 3.3), O(log m) depth."""
         if straddlers.shape[0] == 0 or opposite_ids.shape[0] == 0:
             return
-        radii = np.sqrt(self.nbr_sq[straddlers, -1])
-        system = BallSystem(self.points[straddlers], radii)
-        ball_rows, point_ids = query_correction_pairs(
-            system,
-            self.points[opposite_ids],
-            opposite_ids,
-            self.machine,
-            self.rng,
-            self.config.query,
-        )
-        select_depth = 1.0 if self.k == 1 else 1.0 + math.log2(math.log2(self.k) + 2.0)
-        self.machine.charge(
-            Cost(select_depth, float(max(1, point_ids.shape[0] * (self.k + 1))))
-        )
-        apply_candidate_pairs(
-            self.points,
-            self.nbr_idx,
-            self.nbr_sq,
-            straddlers,
-            ball_rows,
-            point_ids,
-            self.k,
-        )
+        self.machine.metrics.inc("fast.punt_corrections")
+        with self.machine.span(
+            "correct.punt",
+            straddlers=int(straddlers.shape[0]),
+            opposite=int(opposite_ids.shape[0]),
+        ):
+            radii = np.sqrt(self.nbr_sq[straddlers, -1])
+            system = BallSystem(self.points[straddlers], radii)
+            ball_rows, point_ids = query_correction_pairs(
+                system,
+                self.points[opposite_ids],
+                opposite_ids,
+                self.machine,
+                self.rng,
+                self.config.query,
+            )
+            select_depth = 1.0 if self.k == 1 else 1.0 + math.log2(math.log2(self.k) + 2.0)
+            self.machine.charge(
+                Cost(select_depth, float(max(1, point_ids.shape[0] * (self.k + 1))))
+            )
+            apply_candidate_pairs(
+                self.points,
+                self.nbr_idx,
+                self.nbr_sq,
+                straddlers,
+                ball_rows,
+                point_ids,
+                self.k,
+            )

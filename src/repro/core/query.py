@@ -34,53 +34,61 @@ import numpy as np
 from ..geometry.balls import BallSystem
 from ..geometry.points import as_points
 from ..geometry.spheres import Hyperplane, Sphere
+from ..obs.metrics import MetricsView
 from ..pvm.cost import Cost
 from ..pvm.machine import Machine
 from ..separators.quality import default_delta, is_good_point_split
 from ..separators.unit_time import UnitTimeSeparator
 from ..util.rng import as_generator
+from .config import CommonConfig, supports_renamed_fields
 
 __all__ = ["QueryConfig", "QueryStats", "QueryNode", "NeighborhoodQueryStructure"]
 
 SeparatorLike = Union[Sphere, Hyperplane]
 
 
+@supports_renamed_fields
 @dataclass(frozen=True)
-class QueryConfig:
+class QueryConfig(CommonConfig):
     """Tuning knobs of the search-structure build.
 
-    ``m0`` is the leaf capacity of Lemma 3.1 (any constant large enough
-    that ``m^mu <= (1-delta)/2 * m`` for ``m > m0`` works; 32 is
-    comfortable for d <= 4).  ``mu`` defaults to the separator theorem's
-    exponent ``(d-1)/d`` plus slack; ``iota_factor`` is the constant in
-    the iota budget ``iota_factor * m^mu``.
+    ``base_case_size`` (deprecated alias ``m0``) is the leaf capacity of
+    Lemma 3.1 (any constant large enough that ``m^mu <= (1-delta)/2 * m``
+    for ``m > base_case_size`` works; 32 is comfortable for d <= 4).
+    ``mu`` defaults to the separator theorem's exponent ``(d-1)/d`` plus
+    slack; ``iota_factor`` is the constant in the iota budget
+    ``iota_factor * m^mu``.  ``base_case_size``, ``seed``, ``mu`` and
+    ``iota_budget`` come from :class:`~repro.core.config.CommonConfig`.
     """
 
-    m0: int = 32
+    base_case_size: int = 32
     epsilon: float = 0.05
     mu_slack: float = 0.10
     iota_factor: float = 3.0
     max_attempts: int = 24
     sample_size: Optional[int] = None
 
-    def mu(self, d: int) -> float:
-        return min(0.98, (d - 1) / d + self.mu_slack)
 
-    def iota_budget(self, m: int, d: int) -> float:
-        return max(4.0, self.iota_factor * m ** self.mu(d))
+class QueryStats(MetricsView):
+    """Build/shape statistics used by experiment E3.
 
+    A thin view over a :class:`~repro.obs.metrics.Metrics` registry (keys
+    namespaced ``query.*``); each structure owns a private registry so
+    multiple builds on one machine do not clobber each other.  Attribute
+    surface unchanged: ``n_balls``, ``height``, ``leaves``,
+    ``stored_balls``, ``attempts``, ``fallback_leaves``, ``duplications``.
+    """
 
-@dataclass
-class QueryStats:
-    """Build/shape statistics used by experiment E3."""
-
-    n_balls: int = 0
-    height: int = 0
-    leaves: int = 0
-    stored_balls: int = 0
-    attempts: int = 0
-    fallback_leaves: int = 0
-    duplications: int = 0
+    _NS = "query"
+    _COUNTER_FIELDS = (
+        "n_balls",
+        "height",
+        "leaves",
+        "stored_balls",
+        "attempts",
+        "fallback_leaves",
+        "duplications",
+    )
 
     @property
     def space_ratio(self) -> float:
@@ -135,9 +143,13 @@ class NeighborhoodQueryStructure:
         self.config = config
         self.machine = machine
         self.stats = QueryStats(n_balls=len(balls))
-        self._rng = as_generator(seed)
+        self._rng = config.rng(seed)
         ids = np.arange(len(balls), dtype=np.int64)
-        self.root = self._build(ids)
+        if machine is not None:
+            with machine.span("query.build", n_balls=len(balls)):
+                self.root = self._build(ids)
+        else:
+            self.root = self._build(ids)
         self.stats.height = self.root.height()
         for leaf in self._leaves(self.root):
             self.stats.leaves += 1
@@ -152,7 +164,7 @@ class NeighborhoodQueryStructure:
     def _build(self, ids: np.ndarray) -> QueryNode:
         m = ids.shape[0]
         cfg = self.config
-        if m <= cfg.m0:
+        if m <= cfg.base_case_size:
             return QueryNode(ball_ids=ids)
         centers = self.balls.centers[ids]
         radii = self.balls.radii[ids]
@@ -261,6 +273,20 @@ class NeighborhoodQueryStructure:
         rows = np.arange(pts.shape[0], dtype=np.int64)
         out_rows: List[np.ndarray] = []
         out_balls: List[np.ndarray] = []
+        machine = self.machine
+        if machine is not None and machine.tracer is not None:
+            with machine.span("query.probe", n_points=int(pts.shape[0])):
+                return self._query_many_impl(pts, rows, out_rows, out_balls, closed)
+        return self._query_many_impl(pts, rows, out_rows, out_balls, closed)
+
+    def _query_many_impl(
+        self,
+        pts: np.ndarray,
+        rows: np.ndarray,
+        out_rows: List[np.ndarray],
+        out_balls: List[np.ndarray],
+        closed: bool,
+    ) -> Tuple[np.ndarray, np.ndarray]:
         machine = self.machine
 
         def descend(node: QueryNode, prows: np.ndarray) -> None:

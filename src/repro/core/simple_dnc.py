@@ -24,10 +24,11 @@ import numpy as np
 
 from ..geometry.balls import BallSystem
 from ..geometry.points import as_points, kth_smallest_per_row, pairwise_sq_dists_direct
+from ..obs.metrics import MetricsView
 from ..pvm.cost import Cost
 from ..pvm.machine import Machine
 from ..separators.hyperplane import find_median_hyperplane
-from ..util.rng import as_generator
+from .config import CommonConfig, supports_renamed_fields
 from .correction import apply_candidate_pairs, query_correction_pairs
 from .neighborhood import KNeighborhoodSystem
 from .partition_tree import PartitionNode
@@ -36,28 +37,32 @@ from .query import QueryConfig
 __all__ = ["SimpleDnCConfig", "SimpleDnCStats", "SimpleDnCResult", "simple_parallel_dnc"]
 
 
+@supports_renamed_fields
 @dataclass(frozen=True)
-class SimpleDnCConfig:
+class SimpleDnCConfig(CommonConfig):
     """Parameters of the simple algorithm (see :class:`FastDnCConfig` for
-    the shared meanings of ``m0``/``base_factor``)."""
+    the shared meanings of ``base_case_size``/``base_factor``;
+    ``base_case_size``, ``seed`` and ``base_size`` come from
+    :class:`~repro.core.config.CommonConfig`, and the deprecated ``m0``
+    alias still works)."""
 
-    m0: int = 64
     base_factor: int = 4
     rotate_axes: bool = True
-    query: QueryConfig = field(default_factory=QueryConfig)
-
-    def base_size(self, k: int) -> int:
-        return max(self.m0, self.base_factor * (k + 1))
+    query: QueryConfig = field(default_factory=lambda: QueryConfig())
 
 
-@dataclass
-class SimpleDnCStats:
-    """Event counts of one run."""
+class SimpleDnCStats(MetricsView):
+    """Event counts of one run.
 
-    nodes: int = 0
-    base_cases: int = 0
-    degenerate_cuts: int = 0
-    straddler_fraction: List[tuple[int, int]] = field(default_factory=list)
+    A thin view over a :class:`~repro.obs.metrics.Metrics` registry (keys
+    namespaced ``simple.*``); the attribute surface — ``nodes``,
+    ``base_cases``, ``degenerate_cuts``, ``straddler_fraction`` — is
+    unchanged.
+    """
+
+    _NS = "simple"
+    _COUNTER_FIELDS = ("nodes", "base_cases", "degenerate_cuts")
+    _SERIES_FIELDS = ("straddler_fraction",)
 
 
 @dataclass
@@ -94,8 +99,8 @@ def simple_parallel_dnc(
         raise ValueError(f"k must satisfy 1 <= k < n, got k={k}, n={n}")
     if machine is None:
         machine = Machine()
-    rng = as_generator(seed)
-    stats = SimpleDnCStats()
+    rng = config.rng(seed)
+    stats = SimpleDnCStats(metrics=machine.metrics)
     nbr_idx = np.full((n, k), -1, dtype=np.int64)
     nbr_sq = np.full((n, k), np.inf)
     base = config.base_size(k)
@@ -103,6 +108,7 @@ def simple_parallel_dnc(
     def brute(ids: np.ndarray) -> None:
         m = ids.shape[0]
         stats.base_cases += 1
+        machine.metrics.observe("simple.base_case_sizes", m)
         with machine.section("base"):
             machine.charge(Cost(float(m), float(m) * float(m)))
         if m <= 1:
@@ -143,6 +149,10 @@ def simple_parallel_dnc(
             )
 
     def solve(ids: np.ndarray, depth_level: int) -> PartitionNode:
+        with machine.span("simple.node", level=depth_level, m=int(ids.shape[0])):
+            return _solve(ids, depth_level)
+
+    def _solve(ids: np.ndarray, depth_level: int) -> PartitionNode:
         m = ids.shape[0]
         stats.nodes += 1
         if m <= base:

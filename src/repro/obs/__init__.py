@@ -1,0 +1,31 @@
+"""Observability layer: tracing spans, metrics registry, exports.
+
+The paper's claims are (depth, work) statements measured on the simulated
+scan-vector machine; this subpackage makes those measurements *legible*.
+It provides:
+
+- :class:`~repro.obs.spans.Tracer` / :class:`~repro.obs.spans.Span` — a
+  span tree recorded through ``Machine.span(name, **attrs)`` with exact
+  per-region :class:`~repro.pvm.cost.Cost`, wall time and attributes
+  (recursion level, subproblem size, punt flags), exportable as
+  Chrome-trace JSON or an ASCII flame summary;
+- :class:`~repro.obs.metrics.Metrics` — a counter/gauge/series registry
+  that backs the per-algorithm stats objects and exports ``to_dict()``;
+- :func:`~repro.obs.spans.write_trace` — one-call trace file writer used
+  by ``repro trace`` and the ``--trace-out`` CLI flags.
+
+Tracing is strictly passive: it never charges the machine ledger, and a
+machine without a tracer records nothing (zero entries, identical costs).
+"""
+
+from .metrics import Metrics, MetricsView
+from .spans import Span, Tracer, span_tree_from_dict, write_trace
+
+__all__ = [
+    "Metrics",
+    "MetricsView",
+    "Span",
+    "Tracer",
+    "span_tree_from_dict",
+    "write_trace",
+]

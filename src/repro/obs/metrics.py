@@ -1,0 +1,185 @@
+"""Counter / gauge / series registry for run-level observability.
+
+A :class:`Metrics` object is a flat, namespaced bag of numbers describing
+*what happened* during a run — separator retries, straddler counts per
+recursion level, punt events, base-case sizes — as opposed to the
+(depth, work) ledger of :mod:`repro.pvm.cost`, which describes *what it
+cost*.  Three kinds of entries:
+
+``counters``
+    monotone event counts (``inc``), e.g. ``fast.punts_iota``;
+``gauges``
+    last-write-wins values (``set_gauge``), e.g. ``query.height``;
+``series``
+    append-only sample lists (``observe``), e.g. per-node
+    ``(m, iota)`` straddler samples.
+
+The legacy per-algorithm stats dataclasses (``FastDnCStats``,
+``SimpleDnCStats``, ``QueryStats``) are now thin views over a registry:
+:class:`MetricsView` generates read/write properties per declared field so
+``stats.punts_iota += 1`` still works while the value lives in the shared
+registry and exports uniformly through :meth:`Metrics.to_dict`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["Metrics", "MetricsView"]
+
+
+class Metrics:
+    """Namespaced registry of counters, gauges and sample series."""
+
+    __slots__ = ("counters", "gauges", "series")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.series: Dict[str, List[Any]] = {}
+
+    # -- writers ---------------------------------------------------------
+
+    def inc(self, name: str, by: float = 1) -> None:
+        """Increment counter ``name`` by ``by`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + by
+
+    def set_counter(self, name: str, value: float) -> None:
+        """Overwrite counter ``name`` (used by the stats-view setters)."""
+        self.counters[name] = value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: Any) -> None:
+        """Append ``value`` to the sample series ``name``."""
+        self.series.setdefault(name, []).append(value)
+
+    # -- readers ---------------------------------------------------------
+
+    def counter(self, name: str, default: float = 0) -> float:
+        """Current value of counter ``name`` (``default`` if never touched)."""
+        return self.counters.get(name, default)
+
+    def gauge(self, name: str, default: float = 0) -> float:
+        """Current value of gauge ``name`` (``default`` if never set)."""
+        return self.gauges.get(name, default)
+
+    def samples(self, name: str) -> List[Any]:
+        """The live sample list for ``name`` (created empty on first read)."""
+        return self.series.setdefault(name, [])
+
+    # -- export ----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot: ``{"counters": .., "gauges": .., "series": ..}``.
+
+        Series entries are shallow-copied; tuples inside become lists when
+        the caller round-trips through ``json``, so consumers should not
+        rely on tuple-ness.
+        """
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "series": {k: list(v) for k, v in self.series.items()},
+        }
+
+    def merge(self, other: "Metrics") -> None:
+        """Fold ``other`` into this registry (counters add, gauges overwrite,
+        series extend)."""
+        for k, v in other.counters.items():
+            self.inc(k, v)
+        self.gauges.update(other.gauges)
+        for k, v in other.series.items():
+            self.samples(k).extend(v)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Metrics(counters={len(self.counters)}, gauges={len(self.gauges)}, "
+            f"series={len(self.series)})"
+        )
+
+
+def _counter_property(namespace: str, name: str) -> property:
+    key = f"{namespace}.{name}"
+
+    def fget(self: "MetricsView") -> int:
+        return int(self.metrics.counter(key))
+
+    def fset(self: "MetricsView", value: float) -> None:
+        self.metrics.set_counter(key, int(value))
+
+    return property(fget, fset, doc=f"Counter ``{key}`` (view).")
+
+
+def _gauge_property(namespace: str, name: str) -> property:
+    key = f"{namespace}.{name}"
+
+    def fget(self: "MetricsView") -> float:
+        return self.metrics.gauge(key)
+
+    def fset(self: "MetricsView", value: float) -> None:
+        self.metrics.set_gauge(key, value)
+
+    return property(fget, fset, doc=f"Gauge ``{key}`` (view).")
+
+
+def _series_property(namespace: str, name: str) -> property:
+    key = f"{namespace}.{name}"
+
+    def fget(self: "MetricsView") -> List[Any]:
+        return self.metrics.samples(key)
+
+    def fset(self: "MetricsView", value: List[Any]) -> None:
+        self.metrics.series[key] = list(value)
+
+    return property(fget, fset, doc=f"Sample series ``{key}`` (view).")
+
+
+class MetricsView:
+    """Base for stats classes that are thin views over a :class:`Metrics`.
+
+    Subclasses declare ``_NS`` (the key namespace) plus ``_COUNTER_FIELDS``,
+    ``_GAUGE_FIELDS`` and ``_SERIES_FIELDS``; matching read/write properties
+    are generated automatically, so existing attribute-style access
+    (``stats.nodes += 1``, ``stats.straddler_fraction.append(..)``) keeps
+    working unchanged while the data lives in the registry.
+    """
+
+    _NS = ""
+    _COUNTER_FIELDS: Tuple[str, ...] = ()
+    _GAUGE_FIELDS: Tuple[str, ...] = ()
+    _SERIES_FIELDS: Tuple[str, ...] = ()
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        for f in cls._COUNTER_FIELDS:
+            setattr(cls, f, _counter_property(cls._NS, f))
+        for f in cls._GAUGE_FIELDS:
+            setattr(cls, f, _gauge_property(cls._NS, f))
+        for f in cls._SERIES_FIELDS:
+            setattr(cls, f, _series_property(cls._NS, f))
+
+    def __init__(self, metrics: Metrics | None = None, **fields: Any) -> None:
+        self.metrics = metrics if metrics is not None else Metrics()
+        known = self._COUNTER_FIELDS + self._GAUGE_FIELDS + self._SERIES_FIELDS
+        for name, value in fields.items():
+            if name not in known:
+                raise TypeError(
+                    f"{type(self).__name__} has no field {name!r} (known: {sorted(known)})"
+                )
+            setattr(self, name, value)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict snapshot of the declared fields."""
+        out: Dict[str, Any] = {}
+        for f in self._COUNTER_FIELDS + self._GAUGE_FIELDS:
+            out[f] = getattr(self, f)
+        for f in self._SERIES_FIELDS:
+            out[f] = list(getattr(self, f))
+        return out
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v!r}" for k, v in self.to_dict().items())
+        return f"{type(self).__name__}({body})"

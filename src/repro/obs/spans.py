@@ -1,0 +1,334 @@
+"""Hierarchical tracing of simulated runs: spans, trace trees, exports.
+
+A *span* is a named region of a program run on the simulated machine.  It
+records the region's inclusive :class:`~repro.pvm.cost.Cost` (measured on
+the machine's own frame stack, so it is exact under nested parallel
+blocks), the enclosing frame's cost at entry (the "ledger position" where
+the region started), wall-clock bounds, and free-form attributes such as
+recursion level, subproblem size or punt flags.  Spans nest, forming a
+tree per traced run.
+
+Exports:
+
+- :meth:`Tracer.to_dict` / :func:`span_tree_from_dict` — lossless JSON
+  round trip of the span tree;
+- :meth:`Tracer.to_chrome_trace` — a ``{"traceEvents": [...]}`` object
+  loadable in ``chrome://tracing`` / Perfetto (wall-clock timeline, with
+  simulated depth/work in each event's ``args``);
+- :meth:`Tracer.flame_summary` — an ASCII flame-style rollup aggregated
+  by span-name path (work share, counts, wall time);
+- :meth:`Tracer.per_level_breakdown` — per-tree-level inclusive/exclusive
+  work sums.  Work is additive under both sequential and parallel
+  composition, so the exclusive sums across levels add up to the root
+  work *exactly*; :meth:`Tracer.check_against` asserts that identity
+  against a machine's aggregate ledger.
+
+Invariant (kept by :meth:`repro.pvm.machine.Machine.span`): tracing never
+charges the ledger — a traced run and an untraced run of the same seeded
+algorithm produce identical ``Cost`` totals.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..pvm.cost import Cost, ZERO
+
+__all__ = ["Span", "Tracer", "span_tree_from_dict", "write_trace"]
+
+
+@dataclass
+class Span:
+    """One traced region: name, attributes, cost and wall-clock bounds.
+
+    ``cost`` is the region's inclusive (depth, work); ``cost_enter`` is the
+    enclosing frame's accumulated cost when the region started (so
+    ``cost_exit = cost_enter.then(cost)`` is the frame's cost when it
+    ended).  ``wall_start`` / ``wall_end`` are seconds relative to the
+    tracer's epoch.
+    """
+
+    name: str
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    cost: Cost = ZERO
+    cost_enter: Cost = ZERO
+    wall_start: float = 0.0
+    wall_end: float = 0.0
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def cost_exit(self) -> Cost:
+        """Enclosing frame's cost at region exit (entry snapshot + region)."""
+        return self.cost_enter.then(self.cost)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock duration of the region in seconds."""
+        return max(0.0, self.wall_end - self.wall_start)
+
+    @property
+    def exclusive_work(self) -> float:
+        """Work charged in this region but not in any child span.
+
+        Work is additive under both compositions, so this is exact:
+        ``cost.work - sum(child.cost.work)``.
+        """
+        return self.cost.work - sum(c.cost.work for c in self.children)
+
+    def walk(self, level: int = 0) -> Iterator[Tuple[int, "Span"]]:
+        """Yield ``(tree_level, span)`` pairs in pre-order."""
+        yield level, self
+        for child in self.children:
+            yield from child.walk(level + 1)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict (recursive; inverse of :func:`span_tree_from_dict`)."""
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "depth": self.cost.depth,
+            "work": self.cost.work,
+            "enter_depth": self.cost_enter.depth,
+            "enter_work": self.cost_enter.work,
+            "wall_start": self.wall_start,
+            "wall_end": self.wall_end,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+def span_tree_from_dict(data: Dict[str, Any]) -> Span:
+    """Rebuild a :class:`Span` tree from :meth:`Span.to_dict` output."""
+    return Span(
+        name=data["name"],
+        attrs=dict(data.get("attrs", {})),
+        cost=Cost(data.get("depth", 0.0), data.get("work", 0.0)),
+        cost_enter=Cost(data.get("enter_depth", 0.0), data.get("enter_work", 0.0)),
+        wall_start=data.get("wall_start", 0.0),
+        wall_end=data.get("wall_end", 0.0),
+        children=[span_tree_from_dict(c) for c in data.get("children", [])],
+    )
+
+
+class Tracer:
+    """Collects a span tree for one (or more) traced runs on a machine.
+
+    Attach to a machine at construction (``Machine(tracer=Tracer())``) or
+    later (``machine.tracer = Tracer()``); every
+    :meth:`~repro.pvm.machine.Machine.span` region then records here.
+    Top-level spans (opened while no other span is active) become roots.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    # -- recording (called by Machine.span) -------------------------------
+
+    def start(self, name: str, attrs: Dict[str, Any], cost_enter: Cost) -> Span:
+        """Open a span; it becomes the parent of spans opened before stop."""
+        span = Span(
+            name=name,
+            attrs=attrs,
+            cost_enter=cost_enter,
+            wall_start=self._clock() - self._epoch,
+        )
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def stop(self, span: Span, cost: Cost) -> None:
+        """Close the innermost open span, recording its inclusive cost."""
+        popped = self._stack.pop()
+        if popped is not span:  # pragma: no cover - misuse guard
+            raise RuntimeError(
+                f"span stack corrupted: closing {span.name!r} but {popped.name!r} is innermost"
+            )
+        span.cost = cost
+        span.wall_end = self._clock() - self._epoch
+
+    @property
+    def root(self) -> Optional[Span]:
+        """The single root span, when exactly one top-level span exists."""
+        return self.roots[0] if len(self.roots) == 1 else None
+
+    def span_count(self) -> int:
+        """Total number of recorded spans."""
+        return sum(1 for root in self.roots for _ in root.walk())
+
+    # -- analysis ----------------------------------------------------------
+
+    def per_level_breakdown(self) -> List[Dict[str, float]]:
+        """Aggregate spans by tree level.
+
+        Returns one row per level with ``spans``, ``inclusive_work``,
+        ``exclusive_work`` and ``max_depth`` (the largest inclusive span
+        depth on that level).  Because work is additive, the exclusive-work
+        column sums to the root's total work exactly — the per-level view
+        is a lossless decomposition of the ledger's work.
+        """
+        rows: List[Dict[str, float]] = []
+        for root in self.roots:
+            for level, span in root.walk():
+                while len(rows) <= level:
+                    rows.append(
+                        {"level": len(rows), "spans": 0, "inclusive_work": 0.0,
+                         "exclusive_work": 0.0, "max_depth": 0.0}
+                    )
+                row = rows[level]
+                row["spans"] += 1
+                row["inclusive_work"] += span.cost.work
+                row["exclusive_work"] += span.exclusive_work
+                row["max_depth"] = max(row["max_depth"], span.cost.depth)
+        return rows
+
+    def check_against(self, total: Cost, *, tol: float = 1e-6) -> None:
+        """Assert the span tree is consistent with an aggregate ledger.
+
+        Requires a single root span wrapping the whole run.  Checks that
+        (1) the root's inclusive cost equals ``total`` exactly, (2) the
+        per-level exclusive work sums reconstruct ``total.work``, and
+        (3) every span's children respect work additivity and the depth
+        upper bound.  Raises ``ValueError`` on any violation.
+        """
+        root = self.root
+        if root is None:
+            raise ValueError(f"expected exactly one root span, have {len(self.roots)}")
+        if abs(root.cost.depth - total.depth) > tol or abs(root.cost.work - total.work) > tol:
+            raise ValueError(
+                f"root span cost {root.cost} != machine total {total}"
+            )
+        level_sum = sum(r["exclusive_work"] for r in self.per_level_breakdown())
+        if abs(level_sum - total.work) > tol * max(1.0, total.work):
+            raise ValueError(
+                f"per-level exclusive work {level_sum} != ledger work {total.work}"
+            )
+        for _, span in root.walk():
+            child_work = sum(c.cost.work for c in span.children)
+            if child_work > span.cost.work + tol * max(1.0, span.cost.work):
+                raise ValueError(
+                    f"span {span.name!r}: children work {child_work} exceeds "
+                    f"inclusive work {span.cost.work}"
+                )
+            for c in span.children:
+                if c.cost.depth > span.cost.depth + tol:
+                    raise ValueError(
+                        f"span {span.name!r}: child {c.name!r} depth {c.cost.depth} "
+                        f"exceeds parent depth {span.cost.depth}"
+                    )
+
+    # -- exports -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full trace as a JSON-ready dict: span tree + summary."""
+        return {
+            "format": "repro-trace-v1",
+            "spans": [root.to_dict() for root in self.roots],
+            "span_count": self.span_count(),
+            "levels": self.per_level_breakdown(),
+        }
+
+    def to_chrome_trace(self, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Chrome-trace object (``chrome://tracing`` / Perfetto loadable).
+
+        Events are complete ("X") slices on one thread, timed by wall
+        clock; the simulated (depth, work) and span attributes ride in
+        each event's ``args``.  Extra top-level keys (the span tree under
+        ``spanTree``) are permitted by the Chrome trace format and ignored
+        by viewers.
+        """
+        events: List[Dict[str, Any]] = []
+        for root in self.roots:
+            for _, span in root.walk():
+                events.append(
+                    {
+                        "name": span.name,
+                        "ph": "X",
+                        "pid": 0,
+                        "tid": 0,
+                        "ts": span.wall_start * 1e6,
+                        "dur": max(0.0, span.wall_seconds) * 1e6,
+                        "args": {
+                            "depth": span.cost.depth,
+                            "work": span.cost.work,
+                            **span.attrs,
+                        },
+                    }
+                )
+        out: Dict[str, Any] = {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "spanTree": [root.to_dict() for root in self.roots],
+        }
+        if extra:
+            out["otherData"] = extra
+        return out
+
+    def flame_summary(self, *, width: int = 40, max_levels: int = 12) -> str:
+        """ASCII flame-style rollup: spans aggregated by name path.
+
+        Sibling spans with the same name merge (count shown); the bar is
+        each path's share of the root's total work.  Levels deeper than
+        ``max_levels`` are elided with a ``...`` marker.
+        """
+        total_work = sum(r.cost.work for r in self.roots) or 1.0
+        lines = [f"{'span':<44} {'count':>6} {'work':>12} {'work%':>6}  {'wall_ms':>9}"]
+
+        def aggregate(spans: Sequence[Span]) -> List[Tuple[str, List[Span]]]:
+            groups: Dict[str, List[Span]] = {}
+            for s in spans:
+                groups.setdefault(s.name, []).append(s)
+            return list(groups.items())
+
+        def emit(spans: Sequence[Span], indent: int) -> None:
+            if indent >= max_levels:
+                lines.append("  " * indent + "...")
+                return
+            for name, group in aggregate(spans):
+                work = sum(s.cost.work for s in group)
+                wall = sum(s.wall_seconds for s in group)
+                share = work / total_work
+                label = ("  " * indent + name)[:44]
+                bar = "#" * max(0, round(share * width))
+                lines.append(
+                    f"{label:<44} {len(group):>6} {work:>12.0f} {share:>6.1%}  "
+                    f"{wall * 1e3:>9.2f}  {bar}"
+                )
+                children = [c for s in group for c in s.children]
+                if children:
+                    emit(children, indent + 1)
+
+        emit(self.roots, 0)
+        return "\n".join(lines)
+
+
+def write_trace(
+    path: str,
+    tracer: Tracer,
+    *,
+    total: Optional[Cost] = None,
+    metrics: Optional[Dict[str, Any]] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write a trace JSON file (Chrome-trace compatible, self-describing).
+
+    The file is a Chrome trace object with ``traceEvents`` plus a full
+    ``spanTree``, per-level breakdown, the machine's aggregate ``total``
+    and any run ``metrics`` under ``otherData``.
+    """
+    extra: Dict[str, Any] = dict(meta or {})
+    if total is not None:
+        extra["total"] = {"depth": total.depth, "work": total.work}
+    if metrics is not None:
+        extra["metrics"] = metrics
+    payload = tracer.to_chrome_trace(extra=extra)
+    payload["levels"] = tracer.per_level_breakdown()
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1)

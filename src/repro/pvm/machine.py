@@ -37,8 +37,10 @@ from __future__ import annotations
 
 import math
 from contextlib import contextmanager
-from typing import Callable, Iterator, List, Sequence
+from typing import Any, Callable, Iterator, List, Optional, Sequence
 
+from ..obs.metrics import Metrics
+from ..obs.spans import Span, Tracer
 from .cost import Cost, ZERO
 
 __all__ = ["Machine", "ScanPolicy", "SCAN_POLICIES"]
@@ -119,7 +121,13 @@ class Machine:
     28.0
     """
 
-    def __init__(self, scan: ScanPolicy = "unit") -> None:
+    def __init__(
+        self,
+        scan: ScanPolicy = "unit",
+        *,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
         if scan not in SCAN_POLICIES:
             raise ValueError(f"unknown scan policy {scan!r}; choose from {sorted(SCAN_POLICIES)}")
         self.scan_policy = scan
@@ -128,6 +136,8 @@ class Machine:
         self._stack: List[_Frame] = [self._root]
         self.counters: dict[str, int] = {}
         self.sections: dict[str, Cost] = {}
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None else Metrics()
 
     # -- accounting ------------------------------------------------------
 
@@ -143,8 +153,53 @@ class Machine:
         self._stack[-1].charge(cost)
 
     def bump(self, counter: str, by: int = 1) -> None:
-        """Increment a named event counter (separator retries, punts, ...)."""
+        """Increment a named event counter (separator retries, punts, ...).
+
+        Counts accumulate both in the legacy :attr:`counters` dict and,
+        namespaced as ``machine.<counter>``, in the :attr:`metrics`
+        registry so they export uniformly with the rest of the run.
+        """
         self.counters[counter] = self.counters.get(counter, 0) + by
+        self.metrics.inc(f"machine.{counter}", by)
+
+    def enable_tracing(self) -> Tracer:
+        """Attach (and return) a fresh :class:`~repro.obs.spans.Tracer`.
+
+        Subsequent :meth:`span` and :meth:`section` regions record into
+        it.  Tracing is passive: the ledger is unchanged by attachment.
+        """
+        self.tracer = Tracer()
+        return self.tracer
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Optional[Span]]:
+        """Record a named region in the attached tracer.
+
+        The region's inclusive cost is measured on its own frame (exact
+        under nested :meth:`parallel` blocks) and then charged to the
+        enclosing frame sequentially — accounting is identical to running
+        the region inline, so tracing never changes the ledger.  With no
+        tracer attached this is a no-op that yields ``None`` and records
+        nothing.
+
+        Keyword arguments become span attributes (recursion level,
+        subproblem size, punt flags, ...).
+        """
+        tracer = self.tracer
+        if tracer is None:
+            yield None
+            return
+        frame = _Frame()
+        enter = self._stack[-1].cost
+        self._stack.append(frame)
+        handle = tracer.start(name, attrs, enter)
+        try:
+            yield handle
+        finally:
+            popped = self._stack.pop()
+            assert popped is frame
+            tracer.stop(handle, frame.cost)
+            self._stack[-1].charge(frame.cost)
 
     @contextmanager
     def parallel(self) -> Iterator[_ParallelBlock]:
@@ -164,15 +219,20 @@ class Machine:
         per phase) without changing the global accounting — the region's
         cost still flows to the enclosing frame exactly as if untagged.
         Sections may repeat (costs add) and nest (each level records its
-        own region's full cost).
+        own region's full cost).  With a tracer attached, each section
+        occurrence additionally records as a span of the same name.
         """
         frame = _Frame()
+        enter = self._stack[-1].cost
         self._stack.append(frame)
+        handle = self.tracer.start(name, {}, enter) if self.tracer is not None else None
         try:
             yield
         finally:
             popped = self._stack.pop()
             assert popped is frame
+            if handle is not None:
+                self.tracer.stop(handle, frame.cost)
             self.sections[name] = self.sections.get(name, ZERO).then(frame.cost)
             self._stack[-1].charge(frame.cost)
 

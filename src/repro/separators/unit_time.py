@@ -113,16 +113,22 @@ def find_good_separator(
     d = pts.shape[1]
     target = default_delta(d, epsilon) if delta is None else float(delta)
     unit = UnitTimeSeparator(pts, seed=seed, sample_size=sample_size, centerpoint=centerpoint)
-    for attempt in range(1, max_attempts + 1):
-        try:
-            candidate = unit.attempt(machine)
-        except RuntimeError:
-            machine.bump("separator_draw_failures")
-            continue
-        if is_good_point_split(candidate, pts, target):
-            return candidate, attempt
-        if attempt % refresh_every == 0:
-            unit.refresh()
+    with machine.span("separator.search", n=int(pts.shape[0]), d=d) as span:
+        for attempt in range(1, max_attempts + 1):
+            try:
+                candidate = unit.attempt(machine)
+            except RuntimeError:
+                machine.bump("separator_draw_failures")
+                continue
+            if is_good_point_split(candidate, pts, target):
+                if span is not None:
+                    span.attrs["attempts"] = attempt
+                return candidate, attempt
+            if attempt % refresh_every == 0:
+                unit.refresh()
+        if span is not None:
+            span.attrs["attempts"] = max_attempts
+            span.attrs["failed"] = True
     raise SeparatorFailure(
         f"no {target:.3f}-splitting separator in {max_attempts} attempts "
         f"(n={pts.shape[0]}, d={d})"

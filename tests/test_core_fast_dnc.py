@@ -83,7 +83,7 @@ class TestExactness:
 
     def test_small_m0_stresses_corrections(self):
         """A tiny base case forces many correction rounds; exactness holds."""
-        cfg = FastDnCConfig(m0=8, base_factor=2)
+        cfg = FastDnCConfig(base_case_size=8, base_factor=2)
         pts = uniform_cube(600, 2, 14)
         res = parallel_nearest_neighborhood(pts, 1, seed=10, config=cfg)
         assert res.system.same_distances(brute_force_knn(pts, 1))

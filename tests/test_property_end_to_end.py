@@ -67,7 +67,7 @@ class TestFastDnCProperty:
     @given(point_sets(max_points=40), st.integers(0, 3))
     @end_to_end_settings
     def test_small_base_case_config(self, pts, seed):
-        cfg = FastDnCConfig(m0=8, base_factor=2)
+        cfg = FastDnCConfig(base_case_size=8, base_factor=2)
         res = parallel_nearest_neighborhood(pts, 1, seed=seed, config=cfg)
         assert res.system.same_distances(brute_force_knn(pts, 1), rtol=1e-7, atol=1e-7)
 
@@ -126,7 +126,7 @@ class TestQueryStructureProperty:
     @end_to_end_settings
     def test_query_equals_direct_containment(self, balls, seed):
         structure = NeighborhoodQueryStructure(
-            balls, seed=seed, config=QueryConfig(m0=8)
+            balls, seed=seed, config=QueryConfig(base_case_size=8)
         )
         rng = np.random.default_rng(seed)
         queries = rng.uniform(-120, 120, size=(20, balls.dim))
@@ -138,7 +138,7 @@ class TestQueryStructureProperty:
     @given(ball_systems())
     @end_to_end_settings
     def test_query_at_centers(self, balls):
-        structure = NeighborhoodQueryStructure(balls, seed=1, config=QueryConfig(m0=8))
+        structure = NeighborhoodQueryStructure(balls, seed=1, config=QueryConfig(base_case_size=8))
         for i in range(0, len(balls), 7):
             q = balls.centers[i]
             np.testing.assert_array_equal(

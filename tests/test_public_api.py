@@ -1,8 +1,12 @@
-"""Public API surface: exports resolve, __all__ lists are truthful."""
+"""Public API surface: exports resolve, __all__ lists are truthful, the
+``repro.api`` facade keeps its pinned signature surface, and deprecated
+config spellings keep working (with a warning)."""
 
 from __future__ import annotations
 
 import importlib
+import importlib.util
+import os
 
 import pytest
 
@@ -18,6 +22,8 @@ PACKAGES = [
     "repro.analysis",
     "repro.workloads",
     "repro.util",
+    "repro.obs",
+    "repro.api",
 ]
 
 
@@ -44,6 +50,12 @@ class TestExports:
         from repro.separators import mttv_separator  # noqa: F401
         from repro.baselines import brute_force_knn  # noqa: F401
 
+    def test_facade_reexported_at_package_root(self):
+        import repro.api as api
+
+        for name in ("all_knn", "build_index", "run_traced", "KNNResult", "KNNIndex"):
+            assert getattr(repro, name) is getattr(api, name)
+
     @pytest.mark.parametrize("name", PACKAGES)
     def test_module_docstrings_present(self, name):
         mod = importlib.import_module(name)
@@ -60,3 +72,88 @@ class TestDocstringCoverage:
             if callable(obj) and not (obj.__doc__ and obj.__doc__.strip()):
                 undocumented.append(symbol)
         assert not undocumented, f"{name}: missing docstrings on {undocumented}"
+
+
+class TestFacadeSurface:
+    """The facade's call surface, pinned in code (see also the snapshot lint)."""
+
+    def test_all_knn_signature(self):
+        import inspect
+
+        sig = inspect.signature(repro.all_knn)
+        assert list(sig.parameters) == ["points", "k", "method", "config", "machine", "seed"]
+        assert sig.parameters["method"].kind is inspect.Parameter.KEYWORD_ONLY
+        assert sig.parameters["method"].default == "fast"
+
+    def test_methods_tuple(self):
+        from repro.api import METHODS
+
+        assert METHODS == ("fast", "simple", "query", "brute")
+
+    def test_result_and_index_attributes(self):
+        from repro.workloads import uniform_cube
+
+        pts = uniform_cube(64, 2, 1)
+        res = repro.all_knn(pts, 2, seed=0)
+        assert res.indices.shape == (64, 2)
+        assert res.sq_dists.shape == (64, 2)
+        assert res.cost.work > 0
+        assert res.edges().shape[1] == 2
+        index = repro.build_index(pts, 2, seed=0)
+        idx, sq = index.query(pts[:5])
+        assert idx.shape == (5, 2) and sq.shape == (5, 2)
+
+
+class TestAPIStabilityLint:
+    """scripts/check_api_stability.py agrees with docs/api_surface.txt."""
+
+    @pytest.fixture()
+    def lint(self):
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        path = os.path.join(root, "scripts", "check_api_stability.py")
+        spec = importlib.util.spec_from_file_location("check_api_stability", path)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return mod
+
+    def test_surface_snapshot_is_current(self, lint):
+        diff = lint.check()
+        assert not diff, (
+            "repro.api drifted from docs/api_surface.txt:\n" + "\n".join(diff)
+            + "\nIf intentional: PYTHONPATH=src python scripts/check_api_stability.py --update"
+        )
+
+
+class TestDeprecatedConfigNames:
+    """Renamed config fields: old spellings still work, warning once."""
+
+    def test_m0_constructor_kwarg(self):
+        from repro.core import FastDnCConfig, SimpleDnCConfig
+
+        with pytest.warns(DeprecationWarning, match="m0"):
+            cfg = FastDnCConfig(m0=17)
+        assert cfg.base_case_size == 17
+        with pytest.warns(DeprecationWarning, match="m0"):
+            cfg2 = SimpleDnCConfig(m0=9)
+        assert cfg2.base_case_size == 9
+
+    def test_m0_read_property(self):
+        from repro.core import FastDnCConfig
+
+        cfg = FastDnCConfig(base_case_size=21)
+        with pytest.warns(DeprecationWarning, match="m0"):
+            assert cfg.m0 == 21
+
+    def test_both_spellings_rejected(self):
+        from repro.core import FastDnCConfig
+
+        with pytest.raises(TypeError):
+            FastDnCConfig(m0=8, base_case_size=16)
+
+    def test_configs_share_common_base(self):
+        from repro.core import CommonConfig, FastDnCConfig, QueryConfig, SimpleDnCConfig
+
+        for cls in (FastDnCConfig, SimpleDnCConfig, QueryConfig):
+            assert issubclass(cls, CommonConfig)
+            cfg = cls(seed=3)
+            assert cfg.rng().integers(0, 10) == cls(seed=3).rng().integers(0, 10)
