@@ -59,7 +59,9 @@ def describe_api() -> List[str]:
         elif callable(obj):
             lines.append(f"repro.api.{name}{_signature(obj)}")
         else:
-            lines.append(f"repro.api.{name} (value)")
+            # pin constant values (METHODS, ENGINES) so adding/removing a
+            # method or engine shows up as a reviewable diff
+            lines.append(f"repro.api.{name} = {obj!r}")
     return lines
 
 

@@ -28,9 +28,9 @@ Public surface (see README for a tour):
 """
 
 from . import analysis, api, baselines, core, geometry, obs, pvm, separators, util, workloads
-from .api import KNNIndex, KNNResult, all_knn, build_index, run_traced
+from .api import ENGINES, METHODS, KNNIndex, KNNResult, all_knn, build_index, run_traced
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "analysis",
@@ -48,5 +48,7 @@ __all__ = [
     "all_knn",
     "build_index",
     "run_traced",
+    "METHODS",
+    "ENGINES",
     "__version__",
 ]

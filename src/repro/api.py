@@ -29,13 +29,14 @@ is simply::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple, Union
 
 import numpy as np
 
 from .baselines import brute_force_knn
 from .core import (
+    ENGINES,
     FastDnCConfig,
     FastDnCResult,
     SimpleDnCConfig,
@@ -52,7 +53,15 @@ from .geometry.points import as_points
 from .obs import Tracer
 from .pvm import Cost, Machine
 
-__all__ = ["KNNResult", "KNNIndex", "all_knn", "build_index", "run_traced"]
+__all__ = [
+    "KNNResult",
+    "KNNIndex",
+    "all_knn",
+    "build_index",
+    "run_traced",
+    "METHODS",
+    "ENGINES",
+]
 
 METHODS = ("fast", "simple", "query", "brute")
 
@@ -147,14 +156,17 @@ class KNNIndex:
         return self._structure.query(point)
 
 
-def _resolve_config(method: str, config: ConfigLike) -> ConfigLike:
-    if config is not None:
-        return config
-    if method in ("fast", "query"):
-        return FastDnCConfig()
-    if method == "simple":
-        return SimpleDnCConfig()
-    return None
+def _resolve_config(method: str, config: ConfigLike, engine: Optional[str]) -> ConfigLike:
+    if engine is not None and engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    if config is None:
+        if method in ("fast", "query"):
+            config = FastDnCConfig()
+        elif method == "simple":
+            config = SimpleDnCConfig()
+    if config is not None and engine is not None and config.engine != engine:
+        config = replace(config, engine=engine)
+    return config
 
 
 def all_knn(
@@ -165,6 +177,7 @@ def all_knn(
     config: ConfigLike = None,
     machine: Optional[Machine] = None,
     seed: object = None,
+    engine: Optional[str] = None,
 ) -> KNNResult:
     """Exact all-k-nearest-neighbors of ``points``, as a :class:`KNNResult`.
 
@@ -188,6 +201,11 @@ def all_knn(
         Cost ledger to charge; a fresh unit-scan machine by default.
     seed:
         RNG seed; ``None`` falls back to ``config.seed``.
+    engine:
+        Execution engine for the DnC methods: ``"recursive"``
+        (node-at-a-time) or ``"frontier"`` (level-synchronous batched —
+        same output and ledger, lower wall-clock; see ``docs/engines.md``).
+        ``None`` keeps ``config.engine``; ignored by ``"brute"``.
 
     Returns
     -------
@@ -200,7 +218,7 @@ def all_knn(
     pts = as_points(points, min_points=1)
     if machine is None:
         machine = Machine()
-    config = _resolve_config(method, config)
+    config = _resolve_config(method, config, engine)
     if method == "fast":
         res: Union[FastDnCResult, SimpleDnCResult] = parallel_nearest_neighborhood(
             pts, k, machine=machine, seed=seed, config=config
@@ -239,18 +257,19 @@ def build_index(
     config: Optional[FastDnCConfig] = None,
     machine: Optional[Machine] = None,
     seed: object = None,
+    engine: Optional[str] = None,
 ) -> KNNIndex:
     """Build a reusable exact k-NN index over ``points``.
 
     Runs the fast algorithm once (charging ``machine``) and wraps the
     resulting partition tree + neighborhood system as a :class:`KNNIndex`
     whose :meth:`KNNIndex.query` serves exact k-NN for new points.
+    ``engine`` selects the execution engine as in :func:`all_knn`.
     """
     pts = as_points(points, min_points=1)
     if machine is None:
         machine = Machine()
-    if config is None:
-        config = FastDnCConfig()
+    config = _resolve_config("fast", config, engine)
     res = parallel_nearest_neighborhood(pts, k, machine=machine, seed=seed, config=config)
     return KNNIndex(points=pts, tree=res.tree, k=k, machine=machine, _system=res.system)
 
@@ -263,6 +282,7 @@ def run_traced(
     config: ConfigLike = None,
     machine: Optional[Machine] = None,
     seed: object = None,
+    engine: Optional[str] = None,
 ) -> Tuple[KNNResult, Tracer]:
     """:func:`all_knn` under tracing; returns ``(result, tracer)``.
 
@@ -270,14 +290,19 @@ def run_traced(
     (replacing any existing one), the whole run is wrapped in a root
     ``"run"`` span, and the tracer is verified against the ledger: the
     root span's (depth, work) equals ``result.cost`` exactly, as does the
-    per-level exclusive-work decomposition.
+    per-level exclusive-work decomposition.  ``engine`` selects the
+    execution engine as in :func:`all_knn` (the frontier engine emits
+    per-level ``frontier.level`` spans instead of per-node spans).
     """
     if machine is None:
         machine = Machine()
     pre = machine.total
     tracer = machine.enable_tracing()
     with machine.span("run", method=method, n=int(np.asarray(points).shape[0]), k=k):
-        result = all_knn(points, k, method=method, config=config, machine=machine, seed=seed)
+        result = all_knn(
+            points, k, method=method, config=config, machine=machine, seed=seed,
+            engine=engine,
+        )
     if pre.depth == 0 and pre.work == 0:
         # fresh ledger: the root span must reproduce it exactly
         tracer.check_against(machine.total)

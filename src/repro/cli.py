@@ -58,6 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["fast", "simple", "query", "kdtree", "grid", "brute"])
     knn.add_argument("--scan", default="unit", choices=["unit", "loglog", "log"],
                      help="SCAN cost policy of the simulated machine")
+    knn.add_argument("--engine", default=None, choices=["recursive", "frontier"],
+                     help="DnC execution engine (same output; frontier batches "
+                          "whole tree levels — see docs/engines.md)")
     knn.add_argument("--check", action="store_true", help="verify against brute force")
     knn.add_argument("--out", default=None, help="save edges to this .npz file")
     knn.add_argument("--trace-out", default=None, metavar="PATH",
@@ -74,6 +77,8 @@ def build_parser() -> argparse.ArgumentParser:
     scaling.add_argument("-d", "--d", type=int, default=2)
     scaling.add_argument("-k", "--k", type=int, default=1)
     scaling.add_argument("--seed", type=int, default=0)
+    scaling.add_argument("--engine", default=None, choices=["recursive", "frontier"],
+                         help="DnC execution engine for both algorithms")
     scaling.add_argument("--trace-out", default=None, metavar="PATH",
                          help="write a Chrome-trace JSON of the largest fast run")
 
@@ -95,6 +100,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="algorithm to run (see repro.api.all_knn)")
     trace.add_argument("--scan", default="unit", choices=["unit", "loglog", "log"],
                        help="SCAN cost policy of the simulated machine")
+    trace.add_argument("--engine", default=None, choices=["recursive", "frontier"],
+                       help="DnC execution engine (frontier emits per-level "
+                            "spans instead of per-node spans)")
     trace.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write the Chrome-trace JSON here")
     trace.add_argument("--flame-width", type=int, default=40,
@@ -134,10 +142,12 @@ def _cmd_knn(args: argparse.Namespace) -> int:
     if simulated:
         if args.trace_out:
             result, tracer = run_traced(pts, args.k, method=args.algo,
-                                        machine=machine, seed=args.seed)
+                                        machine=machine, seed=args.seed,
+                                        engine=args.engine)
         else:
             result, tracer = all_knn(pts, args.k, method=args.algo,
-                                     machine=machine, seed=args.seed), None
+                                     machine=machine, seed=args.seed,
+                                     engine=args.engine), None
         system, stats = result.system, result.stats
     elif args.algo == "kdtree":
         system, tracer = kdtree_knn(pts, args.k), None
@@ -204,15 +214,16 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
         fast_machine = Machine()
         if args.trace_out and n == largest:
             fast, tracer = run_traced(pts, args.k, method="fast",
-                                      machine=fast_machine, seed=args.seed)
+                                      machine=fast_machine, seed=args.seed,
+                                      engine=args.engine)
             _write_trace_file(args.trace_out, tracer, fast_machine,
                               command="scaling", algo="fast", n=n,
                               d=args.d, k=args.k)
         else:
             fast = all_knn(pts, args.k, method="fast", machine=fast_machine,
-                           seed=args.seed)
+                           seed=args.seed, engine=args.engine)
         simple = all_knn(pts, args.k, method="simple", machine=Machine(),
-                         seed=args.seed)
+                         seed=args.seed, engine=args.engine)
         rows.append((n, fast.cost.depth, simple.cost.depth))
         print(f"{n:>8} {fast.cost.depth:>11.0f} {simple.cost.depth:>13.0f} "
               f"{simple.cost.depth / fast.cost.depth:>5.2f}x")
@@ -263,7 +274,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     n, d = pts.shape
     machine = Machine(scan=args.scan)
     result, tracer = run_traced(pts, args.k, method=args.method,
-                                machine=machine, seed=args.seed)
+                                machine=machine, seed=args.seed,
+                                engine=args.engine)
     cost = result.cost
     root = tracer.root
     print(f"trace {args.target}: method={args.method} n={n} d={d} k={args.k}")

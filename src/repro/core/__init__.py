@@ -11,8 +11,14 @@ from .graph_separators import (
     nested_dissection_order,
     separator_profile,
 )
-from .config import CommonConfig, supports_renamed_fields
-from .correction import MarchResult, apply_candidate_pairs, march_balls, query_correction_pairs
+from .config import ENGINES, CommonConfig, supports_renamed_fields
+from .correction import (
+    MarchResult,
+    apply_candidate_pairs,
+    apply_candidate_pairs_batch,
+    march_balls,
+    query_correction_pairs,
+)
 from .fast_dnc import (
     FastDnCConfig,
     FastDnCResult,
@@ -42,9 +48,11 @@ __all__ = [
     "nested_dissection_order",
     "separator_profile",
     "CommonConfig",
+    "ENGINES",
     "supports_renamed_fields",
     "MarchResult",
     "apply_candidate_pairs",
+    "apply_candidate_pairs_batch",
     "march_balls",
     "query_correction_pairs",
     "FastDnCConfig",

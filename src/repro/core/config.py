@@ -35,10 +35,16 @@ import numpy as np
 
 from ..util.rng import as_generator
 
-__all__ = ["CommonConfig", "supports_renamed_fields", "RENAMED_CONFIG_FIELDS"]
+__all__ = ["CommonConfig", "supports_renamed_fields", "RENAMED_CONFIG_FIELDS", "ENGINES"]
 
 # old constructor keyword / attribute -> canonical dataclass field
 RENAMED_CONFIG_FIELDS = {"m0": "base_case_size"}
+
+#: Execution engines for the divide-and-conquer runners.  ``recursive`` is
+#: the node-at-a-time Python recursion; ``frontier`` processes each tree
+#: level as one segmented batch (see :mod:`repro.core.frontier`).  Both
+#: produce identical neighborhoods and ledgers on a shared seed.
+ENGINES = ("recursive", "frontier")
 
 
 def supports_renamed_fields(cls):
@@ -86,10 +92,23 @@ class CommonConfig:
         Default RNG seed (or ``numpy`` Generator) used when the algorithm
         entry point is not given an explicit ``seed=``.  ``None`` means
         fresh OS entropy, as before.
+    engine:
+        How the divide-and-conquer recursion is executed: ``"recursive"``
+        (node-at-a-time Python recursion) or ``"frontier"``
+        (level-synchronous batched passes).  The two engines produce
+        identical results on a shared seed; ``frontier`` is the fast path
+        for large inputs.
     """
 
     base_case_size: int = 64
     seed: object = None
+    engine: str = "recursive"
+
+    def __post_init__(self):
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
 
     # -- deprecated aliases ----------------------------------------------
 

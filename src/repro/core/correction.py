@@ -36,7 +36,13 @@ from .neighborhood import merge_neighbor_lists
 from .partition_tree import PartitionNode
 from .query import NeighborhoodQueryStructure, QueryConfig
 
-__all__ = ["MarchResult", "march_balls", "apply_candidate_pairs", "query_correction_pairs"]
+__all__ = [
+    "MarchResult",
+    "march_balls",
+    "apply_candidate_pairs",
+    "apply_candidate_pairs_batch",
+    "query_correction_pairs",
+]
 
 
 @dataclass
@@ -169,6 +175,79 @@ def apply_candidate_pairs(
             changed += 1
         nbr_idx[g] = new_idx
         nbr_sq[g] = new_sq
+    return changed
+
+
+def apply_candidate_pairs_batch(
+    points: np.ndarray,
+    nbr_idx: np.ndarray,
+    nbr_sq: np.ndarray,
+    owners: np.ndarray,
+    cands: np.ndarray,
+    k: int,
+) -> int:
+    """Fully vectorised :func:`apply_candidate_pairs` over global pairs.
+
+    ``owners[i]`` is the global point whose list candidate ``cands[i]``
+    may enter.  Per owner the result is bitwise identical to
+    :func:`merge_neighbor_lists` (dedupe by id keeping the smallest
+    distance, order by (distance, id), take the k best, pad with
+    ``-1``/``inf``) — no distance is ever recomputed differently, only
+    copied — so the frontier engine can defer every correction of one tree
+    level (whose owners are disjoint across same-level nodes) into a
+    single call.  Returns the number of owners whose lists changed.
+    """
+    if owners.shape[0] == 0:
+        return 0
+    keep = owners != cands
+    owners, cands = owners[keep], cands[keep]
+    if owners.shape[0] == 0:
+        return 0
+    diff = points[owners] - points[cands]
+    cand_sq = np.einsum("ij,ij->i", diff, diff)
+    uniq_owners = np.unique(owners)
+    t = uniq_owners.shape[0]
+    cur_idx = nbr_idx[uniq_owners]
+    cur_sq = nbr_sq[uniq_owners]
+    # one flat pool of (owner-row, candidate id, squared distance) holding
+    # both the current lists and the new candidates
+    pool_rows = np.concatenate(
+        [np.repeat(np.arange(t), k), np.searchsorted(uniq_owners, owners)]
+    )
+    pool_ids = np.concatenate([cur_idx.ravel(), cands])
+    pool_sq = np.concatenate([cur_sq.ravel(), cand_sq])
+    real = pool_ids >= 0
+    pool_rows, pool_ids, pool_sq = pool_rows[real], pool_ids[real], pool_sq[real]
+    # collapse duplicate (owner, id) entries to their smallest distance
+    order = np.lexsort((pool_sq, pool_ids, pool_rows))
+    pool_rows, pool_ids, pool_sq = pool_rows[order], pool_ids[order], pool_sq[order]
+    first = np.concatenate(
+        ([True], (pool_rows[1:] != pool_rows[:-1]) | (pool_ids[1:] != pool_ids[:-1]))
+    )
+    pool_rows, pool_ids, pool_sq = pool_rows[first], pool_ids[first], pool_sq[first]
+    # order survivors by (distance, id) within each owner, keep the k best
+    order = np.lexsort((pool_ids, pool_sq, pool_rows))
+    pool_rows, pool_ids, pool_sq = pool_rows[order], pool_ids[order], pool_sq[order]
+    starts = np.searchsorted(pool_rows, np.arange(t))
+    rank = np.arange(pool_rows.shape[0]) - starts[pool_rows]
+    keep = rank < k
+    pool_rows, pool_ids, pool_sq, rank = (
+        pool_rows[keep],
+        pool_ids[keep],
+        pool_sq[keep],
+        rank[keep],
+    )
+    new_idx = np.full((t, k), -1, dtype=np.int64)
+    new_sq = np.full((t, k), np.inf)
+    new_idx[pool_rows, rank] = pool_ids
+    new_sq[pool_rows, rank] = pool_sq
+    changed = int(
+        np.count_nonzero(
+            np.any(new_idx != cur_idx, axis=1) | np.any(new_sq != cur_sq, axis=1)
+        )
+    )
+    nbr_idx[uniq_owners] = new_idx
+    nbr_sq[uniq_owners] = new_sq
     return changed
 
 

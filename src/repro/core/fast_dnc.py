@@ -34,15 +34,18 @@ from typing import List, Optional, Tuple, Union
 import numpy as np
 
 from ..geometry.balls import BallSystem
-from ..geometry.points import as_points, kth_smallest_per_row, pairwise_sq_dists_direct
+from ..geometry.points import as_points
 from ..geometry.spheres import Hyperplane, Sphere
 from ..obs.metrics import MetricsView
 from ..pvm.cost import Cost
 from ..pvm.machine import Machine
+from ..separators.quality import default_delta
 from ..separators.unit_time import SeparatorFailure, find_good_separator
+from ..util.recursion import estimated_tree_levels, recursion_guard
+from ..util.rng import path_rng, seed_sequence_root
 from .config import CommonConfig, supports_renamed_fields
 from .correction import apply_candidate_pairs, march_balls, query_correction_pairs
-from .neighborhood import KNeighborhoodSystem
+from .neighborhood import KNeighborhoodSystem, brute_force_neighbors
 from .partition_tree import PartitionNode
 from .query import QueryConfig
 
@@ -170,26 +173,44 @@ def parallel_nearest_neighborhood(
         raise ValueError(f"k must satisfy 1 <= k < n, got k={k}, n={n}")
     if machine is None:
         machine = Machine()
-    rng = config.rng(seed)
+    root_ss = seed_sequence_root(seed if seed is not None else config.seed)
     stats = FastDnCStats(metrics=machine.metrics)
     nbr_idx = np.full((n, k), -1, dtype=np.int64)
     nbr_sq = np.full((n, k), np.inf)
     base = config.base_size(k)
-    runner = _Runner(pts, k, machine, rng, config, stats, nbr_idx, nbr_sq, base)
-    tree = runner.solve(np.arange(n, dtype=np.int64))
+    ids = np.arange(n, dtype=np.int64)
+    if config.engine == "frontier":
+        from .frontier import run_fast_frontier
+
+        tree = run_fast_frontier(
+            pts, k, machine, root_ss, config, stats, nbr_idx, nbr_sq, base
+        )
+    else:
+        runner = _Runner(pts, k, machine, root_ss, config, stats, nbr_idx, nbr_sq, base)
+        levels = estimated_tree_levels(n, base, default_delta(d, config.epsilon))
+        with recursion_guard(levels):
+            tree = runner.solve(ids)
     system = KNeighborhoodSystem(pts, k, nbr_idx, nbr_sq)
     return FastDnCResult(system=system, tree=tree, stats=stats, machine=machine)
 
 
 class _Runner:
-    """Recursion state shared across the divide and conquer."""
+    """Recursion state shared across the divide and conquer.
+
+    Randomness is *per node*: each partition-tree node derives its own
+    generator from the run's seed root and the node's 0/1 path
+    (:func:`~repro.util.rng.path_rng`), so the stream a node consumes does
+    not depend on traversal order.  The frontier engine
+    (:mod:`repro.core.frontier`) derives the same streams, which is what
+    makes the two engines produce identical runs from identical seeds.
+    """
 
     def __init__(
         self,
         points: np.ndarray,
         k: int,
         machine: Machine,
-        rng: np.random.Generator,
+        root_ss: np.random.SeedSequence,
         config: FastDnCConfig,
         stats: FastDnCStats,
         nbr_idx: np.ndarray,
@@ -199,7 +220,7 @@ class _Runner:
         self.points = points
         self.k = k
         self.machine = machine
-        self.rng = rng
+        self.root_ss = root_ss
         self.config = config
         self.stats = stats
         self.nbr_idx = nbr_idx
@@ -219,38 +240,28 @@ class _Runner:
         self.machine.metrics.observe("fast.base_case_sizes", m)
         with self.machine.section("base"):
             self.machine.charge(Cost(float(m), float(m) * float(m)))
-        if m <= 1:
-            return
-        sub = self.points[ids]
-        sq = pairwise_sq_dists_direct(sub, sub)
-        np.fill_diagonal(sq, np.inf)
-        kk = min(self.k, m - 1)
-        local_idx, local_sq = kth_smallest_per_row(sq, kk)
-        self.nbr_idx[ids, :kk] = ids[local_idx]
-        self.nbr_sq[ids, :kk] = local_sq
-        if kk < self.k:
-            self.nbr_idx[ids, kk:] = -1
-            self.nbr_sq[ids, kk:] = np.inf
+        brute_force_neighbors(self.points, ids, self.k, self.nbr_idx, self.nbr_sq)
 
     # -- recursion -------------------------------------------------------------
 
-    def solve(self, ids: np.ndarray, level: int = 0) -> PartitionNode:
+    def solve(self, ids: np.ndarray, level: int = 0, path: Tuple[int, ...] = ()) -> PartitionNode:
         with self.machine.span("fast.node", level=level, m=int(ids.shape[0])) as span:
-            return self._solve(ids, level, span)
+            return self._solve(ids, level, path, span)
 
-    def _solve(self, ids: np.ndarray, level: int, span) -> PartitionNode:
+    def _solve(self, ids: np.ndarray, level: int, path: Tuple[int, ...], span) -> PartitionNode:
         m = ids.shape[0]
         self.stats.nodes += 1
         if m <= self.base:
             self.brute_force(ids)
             return PartitionNode(indices=ids)
+        rng = path_rng(self.root_ss, path)
         sub = self.points[ids]
         try:
             with self.machine.section("divide"):
                 separator, attempts = find_good_separator(
                     sub,
                     self.machine,
-                    seed=self.rng,
+                    seed=rng,
                     epsilon=self.config.epsilon,
                     max_attempts=self.config.max_attempts,
                     sample_size=self.config.sample_size,
@@ -274,14 +285,14 @@ class _Runner:
         children: List[Optional[PartitionNode]] = [None, None]
         with self.machine.parallel() as par:
             with par.branch():
-                children[0] = self.solve(in_ids, level + 1)
+                children[0] = self.solve(in_ids, level + 1, path + (0,))
             with par.branch():
-                children[1] = self.solve(ex_ids, level + 1)
+                children[1] = self.solve(ex_ids, level + 1, path + (1,))
         node = PartitionNode(
             indices=ids, separator=separator, left=children[0], right=children[1]
         )
         with self.machine.section("correct"):
-            self.correct(node, in_ids, ex_ids)
+            self.correct(node, in_ids, ex_ids, rng)
         if span is not None:
             span.attrs["iota"] = node.meta.get("iota", 0)
             span.attrs["punted"] = node.meta.get("punted", False)
@@ -289,7 +300,13 @@ class _Runner:
 
     # -- correction --------------------------------------------------------------
 
-    def correct(self, node: PartitionNode, in_ids: np.ndarray, ex_ids: np.ndarray) -> None:
+    def correct(
+        self,
+        node: PartitionNode,
+        in_ids: np.ndarray,
+        ex_ids: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
         """Fix straddling balls of both sides (Correction of Section 6.1)."""
         sep = node.separator
         assert sep is not None
@@ -313,11 +330,11 @@ class _Runner:
         if iota >= self.config.iota_budget(m, d, self.k):
             self.stats.punts_iota += 1
             node.meta["punted"] = True
-            self._query_correct(straddle_in, ex_ids)
-            self._query_correct(straddle_ex, in_ids)
+            self._query_correct(straddle_in, ex_ids, rng)
+            self._query_correct(straddle_ex, in_ids, rng)
             return
-        ok_a = self._fast_correct(node, straddle_in, node.right, m)
-        ok_b = self._fast_correct(node, straddle_ex, node.left, m)
+        ok_a = self._fast_correct(node, straddle_in, node.right, m, rng)
+        ok_b = self._fast_correct(node, straddle_ex, node.left, m, rng)
         if ok_a and ok_b:
             self.stats.corrections_fast += 1
         else:
@@ -329,6 +346,7 @@ class _Runner:
         straddlers: np.ndarray,
         opposite_tree: Optional[PartitionNode],
         m: int,
+        rng: np.random.Generator,
     ) -> bool:
         """Fast Correction of Section 6.2; returns False when it punted."""
         if straddlers.shape[0] == 0 or opposite_tree is None:
@@ -348,7 +366,7 @@ class _Runner:
             if not result.succeeded:
                 self.stats.punts_marching += 1
                 opposite_ids = opposite_tree.indices
-                self._query_correct(straddlers, opposite_ids)
+                self._query_correct(straddlers, opposite_ids, rng)
                 return False
             # constant-depth charge for the label-and-scan phases (Lemma 6.3),
             # plus the k-selection step (O(log log k) for k > 1, Section 6.2)
@@ -366,7 +384,9 @@ class _Runner:
             )
         return True
 
-    def _query_correct(self, straddlers: np.ndarray, opposite_ids: np.ndarray) -> None:
+    def _query_correct(
+        self, straddlers: np.ndarray, opposite_ids: np.ndarray, rng: np.random.Generator
+    ) -> None:
         """Punt path: query-structure correction (Parallel Neighborhood
         Querying of Section 3.3), O(log m) depth."""
         if straddlers.shape[0] == 0 or opposite_ids.shape[0] == 0:
@@ -384,7 +404,7 @@ class _Runner:
                 self.points[opposite_ids],
                 opposite_ids,
                 self.machine,
-                self.rng,
+                rng,
                 self.config.query,
             )
             select_depth = 1.0 if self.k == 1 else 1.0 + math.log2(math.log2(self.k) + 2.0)

@@ -1,0 +1,683 @@
+"""Frontier engine: level-synchronous batched execution of the recursion.
+
+The recursive engines execute the divide and conquer node-at-a-time, so
+wall-clock cost is O(#nodes) Python interpreter overhead even though the
+cost ledger reports O(log n) depth.  This module restructures the
+*executed* shape to match the *accounted* shape: each level of the
+partition tree is one **frontier** — a segmented vector of point ids plus
+segment offsets — and the whole frontier advances with batched numpy
+passes:
+
+- separator search runs in lockstep rounds across every active segment,
+  with sampler construction (the iterated-Radon centerpoint SVDs — the
+  dominant cost) batched via :func:`~repro.separators.batch.prepare_samplers`
+  and candidate evaluation batched via
+  :func:`~repro.separators.batch.batched_side_of_points`;
+- the divide step is one :func:`~repro.pvm.primitives.segmented_split`
+  over the concatenated ids of the level;
+- base cases resolve segment-by-segment as the frontier reaches them;
+- the same :class:`~repro.core.partition_tree.PartitionNode` tree is then
+  reconstructed and correction runs level-by-level bottom-up.
+
+Equivalence contract
+--------------------
+A frontier run is *indistinguishable* from a recursive run with the same
+seed: identical neighbor arrays, identical partition tree, and an
+identical (depth, work) ledger.  Three mechanisms make this exact:
+
+1. **Per-node RNG** — both engines derive each node's generator from the
+   seed root and the node's 0/1 path (:func:`~repro.util.rng.path_rng`),
+   so streams don't depend on traversal order.
+2. **Bit-stable batching** — every batched numpy pass is bitwise equal to
+   its per-node counterpart (row-local sphere tests; stacked LAPACK SVDs;
+   integer segmented splits).  Hyperplane candidates, whose BLAS product
+   is not batch-stable, are evaluated per segment.
+3. **Analytic per-node cost folds** — the frontier never charges the
+   machine while executing; it replays each node's charge sequence as a
+   local Cost fold (punt-path costs are captured on a sub-machine seeded
+   with the fold so far, keeping float association identical to the
+   recursive engine's untraced frames), composes the folds bottom-up with
+   the same ``pre . (left || right) . post`` algebra, and charges the
+   root's total once.
+
+Observability differs by design: instead of one span per node, the
+frontier emits one ``frontier.level`` span per level and phase (``build``
+then ``correct``) with segment-count and straddler attributes; phase
+totals still accumulate in ``machine.sections`` via
+:meth:`~repro.pvm.machine.Machine.attribute`.  See ``docs/engines.md``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..geometry.balls import BallSystem
+from ..geometry.spheres import Sphere
+from ..pvm.cost import Cost, ZERO
+from ..pvm.machine import Machine
+from ..pvm.primitives import segmented_split
+from ..separators.batch import (
+    batched_side_of_points,
+    prepare_samplers,
+    side_split_is_good,
+)
+from ..separators.hyperplane import _SELECTION_ROUNDS, median_hyperplane
+from ..separators.quality import default_delta
+from ..separators.unit_time import _ATTEMPT_SERIAL_COST
+from ..util.rng import path_rng
+from .correction import (
+    apply_candidate_pairs,
+    apply_candidate_pairs_batch,
+    march_balls,
+    query_correction_pairs,
+)
+from .neighborhood import brute_force_neighbors
+from .partition_tree import PartitionNode
+
+__all__ = ["run_fast_frontier", "run_simple_frontier"]
+
+# Mirrors the ``refresh_every`` default of
+# :func:`repro.separators.unit_time.find_good_separator`.
+_REFRESH_EVERY = 16
+
+
+@dataclass
+class _Seg:
+    """One frontier segment = one partition-tree node in flight.
+
+    ``ids`` is a view into the level's flat id vector; ``pre_cost`` folds
+    the node's divide/base charges in recursion order, ``post_cost`` its
+    correction charges, and ``total_cost`` the composed subtree cost.
+    """
+
+    ids: np.ndarray
+    level: int
+    path: Tuple[int, ...]
+    rng: Optional[np.random.Generator] = None
+    separator: object = None
+    side: Optional[np.ndarray] = None
+    attempts: int = 0
+    is_leaf: bool = False
+    pre_cost: Cost = ZERO
+    post_cost: Cost = ZERO
+    total_cost: Cost = ZERO
+    left: Optional["_Seg"] = None
+    right: Optional["_Seg"] = None
+    node: Optional[PartitionNode] = None
+
+
+class _FrontierBase:
+    """Shared frontier machinery: level loop, tree linking, cost algebra."""
+
+    _NS = ""
+
+    def __init__(
+        self, points, k, machine, root_ss, config, stats, nbr_idx, nbr_sq, base
+    ) -> None:
+        self.points = points
+        self.k = k
+        self.machine = machine
+        self.root_ss = root_ss
+        self.config = config
+        self.stats = stats
+        self.nbr_idx = nbr_idx
+        self.nbr_sq = nbr_sq
+        self.base = base
+        self.dim = points.shape[1]
+        self.select_depth = 1.0 if k == 1 else 1.0 + math.log2(math.log2(k) + 2.0)
+
+    # -- level loop ------------------------------------------------------
+
+    def run(self) -> PartitionNode:
+        n = self.points.shape[0]
+        root = _Seg(ids=np.arange(n, dtype=np.int64), level=0, path=())
+        frontier: List[_Seg] = [root]
+        levels: List[List[_Seg]] = []
+        while frontier:
+            levels.append(frontier)
+            lvl = frontier[0].level
+            points_at_level = int(sum(s.ids.shape[0] for s in frontier))
+            with self.machine.span(
+                "frontier.level",
+                phase="build",
+                level=lvl,
+                segments=len(frontier),
+                points=points_at_level,
+            ) as span:
+                frontier = self._build_level(frontier, span)
+        self._link_nodes(levels)
+        self._correct_levels(levels)
+        with self.machine.span("frontier.total"):
+            self.machine.charge(self._compose_costs(levels))
+        return root.node
+
+    def _rng_of(self, seg: _Seg) -> np.random.Generator:
+        if seg.rng is None:
+            seg.rng = path_rng(self.root_ss, seg.path)
+        return seg.rng
+
+    def _leaf(self, seg: _Seg) -> None:
+        """Resolve a segment as a base case (mirrors the recursive brute)."""
+        m = seg.ids.shape[0]
+        seg.is_leaf = True
+        self.stats.base_cases += 1
+        self.machine.metrics.observe(f"{self._NS}.base_case_sizes", m)
+        base_cost = Cost(float(m), float(m) * float(m))
+        seg.pre_cost = seg.pre_cost.then(base_cost)
+        self.machine.attribute("base", base_cost)
+        brute_force_neighbors(self.points, seg.ids, self.k, self.nbr_idx, self.nbr_sq)
+
+    def _split_segments(self, split_segs: List[_Seg]) -> List[_Seg]:
+        """Divide every accepted segment at once: one segmented split over
+        the level's concatenated ids (interior = flag False keeps the
+        recursive engine's stable ``ids[side < 0]`` / ``ids[side > 0]``
+        ordering bit-for-bit)."""
+        lengths = np.array([s.ids.shape[0] for s in split_segs], dtype=np.int64)
+        flat_ids = np.concatenate([s.ids for s in split_segs])
+        flags = np.concatenate([s.side > 0 for s in split_segs])
+        seg_ids = np.repeat(np.arange(len(split_segs)), lengths)
+        out, false_counts = segmented_split(None, flat_ids, flags, seg_ids)
+        offsets = np.concatenate(([0], np.cumsum(lengths)))
+        children: List[_Seg] = []
+        for j, seg in enumerate(split_segs):
+            lo, hi = int(offsets[j]), int(offsets[j + 1])
+            cut = lo + int(false_counts[j])
+            seg.left = _Seg(ids=out[lo:cut], level=seg.level + 1, path=seg.path + (0,))
+            seg.right = _Seg(ids=out[cut:hi], level=seg.level + 1, path=seg.path + (1,))
+            children.append(seg.left)
+            children.append(seg.right)
+        return children
+
+    def _link_nodes(self, levels: List[List[_Seg]]) -> None:
+        for level_segs in reversed(levels):
+            for seg in level_segs:
+                if seg.is_leaf:
+                    seg.node = PartitionNode(indices=seg.ids)
+                else:
+                    seg.node = PartitionNode(
+                        indices=seg.ids,
+                        separator=seg.separator,
+                        left=seg.left.node,
+                        right=seg.right.node,
+                    )
+
+    def _correct_levels(self, levels: List[List[_Seg]]) -> None:
+        """Bottom-up correction sweep: children always correct before their
+        parent reads the (updated) neighbor radii, exactly as in the
+        recursive post-order; same-level segments are index-disjoint."""
+        for level_segs in reversed(levels):
+            internal = [s for s in level_segs if not s.is_leaf]
+            if not internal:
+                continue
+            with self.machine.span(
+                "frontier.level",
+                phase="correct",
+                level=internal[0].level,
+                segments=len(internal),
+            ) as span:
+                straddlers = 0
+                for seg in internal:
+                    straddlers += self._correct_node(seg)
+                    self.machine.attribute("correct", seg.post_cost)
+                if span is not None:
+                    span.attrs["straddlers"] = int(straddlers)
+
+    def _compose_costs(self, levels: List[List[_Seg]]) -> Cost:
+        """Fold per-node costs bottom-up with the recursion's algebra:
+        ``pre . (left || right) . post`` per internal node."""
+        for level_segs in reversed(levels):
+            for seg in level_segs:
+                if seg.is_leaf:
+                    seg.total_cost = seg.pre_cost
+                else:
+                    branches = ZERO.beside(seg.left.total_cost).beside(seg.right.total_cost)
+                    seg.total_cost = seg.pre_cost.then(branches).then(seg.post_cost)
+        return levels[0][0].total_cost
+
+    # -- punt-path capture ----------------------------------------------
+
+    def _captured_query_pairs(self, cost: Cost, system: BallSystem, opposite_ids, rng):
+        """Run the query-structure correction on a sub-machine seeded with
+        the node's cost fold so far.
+
+        Seeding keeps the float association of subsequent charges identical
+        to the recursive engine, where they fold flat into the same frame.
+        The sub-machine shares the metrics registry; its counters are
+        merged back directly (not via ``bump``, which would double-count
+        the metrics side).
+        """
+        sub = Machine(scan=self.machine.scan_policy, metrics=self.machine.metrics)
+        sub.charge(cost)
+        ball_rows, point_ids = query_correction_pairs(
+            system, self.points[opposite_ids], opposite_ids, sub, rng, self.config.query
+        )
+        for key, value in sub.counters.items():
+            self.machine.counters[key] = self.machine.counters.get(key, 0) + value
+        return sub, ball_rows, point_ids
+
+    # -- subclass hooks --------------------------------------------------
+
+    def _build_level(self, segs: List[_Seg], span) -> List[_Seg]:
+        raise NotImplementedError
+
+    def _correct_node(self, seg: _Seg) -> int:
+        raise NotImplementedError
+
+
+class _FastFrontier(_FrontierBase):
+    """Frontier execution of Section 6's Parallel Nearest Neighborhood."""
+
+    _NS = "fast"
+
+    def _build_level(self, segs: List[_Seg], span) -> List[_Seg]:
+        active: List[_Seg] = []
+        for seg in segs:
+            self.stats.nodes += 1
+            if seg.ids.shape[0] <= self.base:
+                self._leaf(seg)
+            else:
+                active.append(seg)
+        if span is not None:
+            span.attrs["base_segments"] = len(segs) - len(active)
+        if not active:
+            return []
+        self._find_separators(active)
+        split_segs = [s for s in active if s.separator is not None]
+        for seg in active:
+            if seg.separator is None:
+                # pathological multiset: brute-force this segment, exactly
+                # like the recursive SeparatorFailure handler.
+                self.stats.punts_separator += 1
+                self._leaf(seg)
+        if span is not None:
+            span.attrs["separator_failures"] = len(active) - len(split_segs)
+        if not split_segs:
+            return []
+        for seg in split_segs:
+            m = seg.ids.shape[0]
+            seg.pre_cost = (
+                seg.pre_cost
+                .then(self.machine.ewise_cost(m, 2.0))
+                .then(self.machine.scan_cost(m).then(self.machine.permute_cost(m)))
+            )
+        return self._split_segments(split_segs)
+
+    def _find_separators(self, active: List[_Seg]) -> None:
+        """Lockstep replication of ``find_good_separator`` across segments.
+
+        Round ``r`` performs attempt ``r`` of every still-searching
+        segment: the per-attempt charges fold into each segment's divide
+        cost in the recursive order, draw failures skip the refresh check
+        (as the recursive ``continue`` does), candidate quality is
+        evaluated in one batched pass, and every 16th attempt the failed
+        segments rebuild their samplers together.  Each segment consumes
+        only its own per-node generator, so acceptance happens at exactly
+        the attempt the recursive engine would accept.
+        """
+        machine = self.machine
+        config = self.config
+        target = default_delta(self.dim, config.epsilon)
+        subs = [self.points[seg.ids] for seg in active]
+        samplers = prepare_samplers(
+            subs, [self._rng_of(seg) for seg in active], sample_size=config.sample_size
+        )
+        divide: List[Cost] = [ZERO] * len(active)
+        searching = list(range(len(active)))
+        for attempt in range(1, config.max_attempts + 1):
+            if not searching:
+                break
+            drew: List[int] = []
+            candidates: List[object] = []
+            for i in searching:
+                m = subs[i].shape[0]
+                divide[i] = (
+                    divide[i]
+                    .then(machine.serial_cost(_ATTEMPT_SERIAL_COST))
+                    .then(machine.ewise_cost(m, 3.0))
+                    .then(machine.scan_cost(m))
+                )
+                machine.bump("separator_attempts")
+                try:
+                    candidate = samplers[i].draw()
+                except RuntimeError:
+                    machine.bump("separator_draw_failures")
+                    continue
+                drew.append(i)
+                candidates.append(candidate)
+            accepted = set()
+            if drew:
+                sides = batched_side_of_points(candidates, [subs[i] for i in drew])
+                for i, candidate, side in zip(drew, candidates, sides):
+                    if side_split_is_good(side, target):
+                        seg = active[i]
+                        seg.separator = candidate
+                        seg.side = side
+                        seg.attempts = attempt
+                        self.stats.separator_attempts += attempt
+                        accepted.add(i)
+            searching = [i for i in searching if i not in accepted]
+            if attempt % _REFRESH_EVERY == 0:
+                # only segments that drew (and failed quality) this round
+                # reach the recursive engine's refresh line
+                refresh = [i for i in searching if i in set(drew)]
+                if refresh:
+                    rebuilt = prepare_samplers(
+                        [subs[i] for i in refresh],
+                        [self._rng_of(active[i]) for i in refresh],
+                        sample_size=config.sample_size,
+                    )
+                    for i, sampler in zip(refresh, rebuilt):
+                        samplers[i] = sampler
+        for i, seg in enumerate(active):
+            seg.pre_cost = seg.pre_cost.then(divide[i])
+            machine.attribute("divide", divide[i])
+
+    # -- correction (mirrors _Runner.correct) ----------------------------
+
+    def _correct_levels(self, levels: List[List[_Seg]]) -> None:
+        """Level-batched override: classify every segment's balls against
+        its separator in one pass, run the per-node correction decisions,
+        and defer all candidate-pair merges to one vectorised flush.
+
+        Deferring within a level is bitwise-safe because same-level nodes
+        hold disjoint index sets: every read a correction performs (ball
+        radii, straddler lists) touches only rows its own node owns, which
+        no other same-level node's merge can alter.  The flush still
+        happens before the parent level runs, preserving the recursive
+        post-order's child-before-parent dependency.
+        """
+        for level_segs in reversed(levels):
+            internal = [s for s in level_segs if not s.is_leaf]
+            if not internal:
+                continue
+            with self.machine.span(
+                "frontier.level",
+                phase="correct",
+                level=internal[0].level,
+                segments=len(internal),
+            ) as span:
+                classified = self._classify_level(internal)
+                self._pending_owners: List[np.ndarray] = []
+                self._pending_cands: List[np.ndarray] = []
+                straddlers = 0
+                for seg, (cls_in, cls_ex) in zip(internal, classified):
+                    straddlers += self._correct_node(seg, cls_in, cls_ex)
+                    self.machine.attribute("correct", seg.post_cost)
+                self._flush_level_pairs()
+                if span is not None:
+                    span.attrs["straddlers"] = int(straddlers)
+
+    def _classify_level(self, internal: List[_Seg]):
+        """Both-side ball classification for every internal segment of one
+        level, sphere separators batched into a single flat pass.
+
+        The sphere test (``|center - c| - r`` against the ball radius) is
+        row-local, so the batched result is bitwise identical to per-node
+        :meth:`~repro.geometry.spheres.Sphere.classify_balls`; the rare
+        hyperplane separator falls back to the per-node call.
+        """
+        classified = [None] * len(internal)
+        sides: List[Tuple[int, np.ndarray]] = []
+        for j, seg in enumerate(internal):
+            sep = seg.node.separator
+            if isinstance(sep, Sphere):
+                sides.append((j, seg.left.ids))
+                sides.append((j, seg.right.ids))
+            else:
+                classified[j] = (
+                    sep.classify_balls(
+                        self.points[seg.left.ids],
+                        np.sqrt(self.nbr_sq[seg.left.ids, -1]),
+                    ),
+                    sep.classify_balls(
+                        self.points[seg.right.ids],
+                        np.sqrt(self.nbr_sq[seg.right.ids, -1]),
+                    ),
+                )
+        if sides:
+            lengths = np.array([ids.shape[0] for _, ids in sides], dtype=np.int64)
+            flat_ids = np.concatenate([ids for _, ids in sides])
+            centers = np.stack(
+                [internal[j].node.separator.center for j, _ in sides], axis=0
+            )
+            sep_radii = np.array(
+                [internal[j].node.separator.radius for j, _ in sides], dtype=np.float64
+            )
+            rows = np.repeat(np.arange(len(sides)), lengths)
+            ball_radii = np.sqrt(self.nbr_sq[flat_ids, -1])
+            s = np.linalg.norm(self.points[flat_ids] - centers[rows], axis=1)
+            s -= sep_radii[rows]
+            cls_flat = np.zeros(flat_ids.shape[0], dtype=np.int8)
+            finite = np.isfinite(ball_radii)
+            cls_flat[finite & (s < -ball_radii)] = -1
+            cls_flat[finite & (s > ball_radii)] = 1
+            bounds = np.concatenate(([0], np.cumsum(lengths)))
+            for pair in range(0, len(sides), 2):
+                j = sides[pair][0]
+                classified[j] = (
+                    cls_flat[bounds[pair] : bounds[pair + 1]],
+                    cls_flat[bounds[pair + 1] : bounds[pair + 2]],
+                )
+        return classified
+
+    def _flush_level_pairs(self) -> None:
+        if self._pending_owners:
+            apply_candidate_pairs_batch(
+                self.points,
+                self.nbr_idx,
+                self.nbr_sq,
+                np.concatenate(self._pending_owners),
+                np.concatenate(self._pending_cands),
+                self.k,
+            )
+        self._pending_owners = []
+        self._pending_cands = []
+
+    def _correct_node(self, seg: _Seg, cls_in: np.ndarray, cls_ex: np.ndarray) -> int:
+        node = seg.node
+        m = node.size
+        machine = self.machine
+        in_ids = seg.left.ids
+        ex_ids = seg.right.ids
+        cost = ZERO.then(machine.ewise_cost(m, 2.0)).then(machine.scan_cost(m))
+        straddle_in = in_ids[cls_in == 0]
+        straddle_ex = ex_ids[cls_ex == 0]
+        iota = straddle_in.shape[0] + straddle_ex.shape[0]
+        self.stats.straddler_fraction.append((m, iota))
+        node.meta["iota"] = iota
+        node.meta["punted"] = False
+        if iota == 0:
+            self.stats.corrections_none += 1
+            seg.post_cost = cost
+            return iota
+        if iota >= self.config.iota_budget(m, self.dim, self.k):
+            self.stats.punts_iota += 1
+            node.meta["punted"] = True
+            cost = self._query_correct(cost, straddle_in, ex_ids, self._rng_of(seg))
+            cost = self._query_correct(cost, straddle_ex, in_ids, self._rng_of(seg))
+            seg.post_cost = cost
+            return iota
+        cost, ok_a = self._fast_correct(cost, seg, straddle_in, node.right, m)
+        cost, ok_b = self._fast_correct(cost, seg, straddle_ex, node.left, m)
+        if ok_a and ok_b:
+            self.stats.corrections_fast += 1
+        else:
+            node.meta["punted"] = True
+        seg.post_cost = cost
+        return iota
+
+    def _fast_correct(
+        self,
+        cost: Cost,
+        seg: _Seg,
+        straddlers: np.ndarray,
+        opposite_tree: Optional[PartitionNode],
+        m: int,
+    ) -> Tuple[Cost, bool]:
+        if straddlers.shape[0] == 0 or opposite_tree is None:
+            return cost, True
+        centers = self.points[straddlers]
+        radii = np.sqrt(self.nbr_sq[straddlers, -1])
+        cap = self.config.active_cap(m, self.dim, self.k)
+        result = march_balls(opposite_tree, self.points, centers, radii, active_cap=cap)
+        self.stats.marching_level_active.append((m, list(result.level_active)))
+        if not result.succeeded:
+            self.stats.punts_marching += 1
+            cost = self._query_correct(
+                cost, straddlers, opposite_tree.indices, self._rng_of(seg)
+            )
+            return cost, False
+        work = float(result.label_tests + result.leaf_tests + result.pairs * (self.k + 1))
+        cost = cost.then(Cost(self.config.fc_depth + self.select_depth, max(work, 1.0)))
+        self._pending_owners.append(straddlers[result.ball_rows])
+        self._pending_cands.append(result.point_ids)
+        return cost, True
+
+    def _query_correct(
+        self, cost: Cost, straddlers: np.ndarray, opposite_ids: np.ndarray, rng
+    ) -> Cost:
+        if straddlers.shape[0] == 0 or opposite_ids.shape[0] == 0:
+            return cost
+        self.machine.metrics.inc("fast.punt_corrections")
+        radii = np.sqrt(self.nbr_sq[straddlers, -1])
+        system = BallSystem(self.points[straddlers], radii)
+        sub, ball_rows, point_ids = self._captured_query_pairs(
+            cost, system, opposite_ids, rng
+        )
+        sub.charge(
+            Cost(self.select_depth, float(max(1, point_ids.shape[0] * (self.k + 1))))
+        )
+        self._pending_owners.append(straddlers[ball_rows])
+        self._pending_cands.append(point_ids)
+        return sub.total
+
+
+class _SimpleFrontier(_FrontierBase):
+    """Frontier execution of Section 5's Simple Parallel DnC."""
+
+    _NS = "simple"
+
+    def _build_level(self, segs: List[_Seg], span) -> List[_Seg]:
+        machine = self.machine
+        active: List[_Seg] = []
+        for seg in segs:
+            self.stats.nodes += 1
+            if seg.ids.shape[0] <= self.base:
+                self._leaf(seg)
+            else:
+                active.append(seg)
+        if span is not None:
+            span.attrs["base_segments"] = len(segs) - len(active)
+        split_segs: List[_Seg] = []
+        for seg in active:
+            m = seg.ids.shape[0]
+            sub = self.points[seg.ids]
+            axis = seg.level % self.dim if self.config.rotate_axes else None
+            divide = ZERO
+            plane = None
+            # the recursive engine retries with axis=None on failure —
+            # charging and bumping per attempt even when the first attempt
+            # already had axis=None
+            for try_axis in (axis, None):
+                attempt_cost = machine.ewise_cost(m, _SELECTION_ROUNDS).then(
+                    machine.scan_cost(m).scaled(_SELECTION_ROUNDS)
+                )
+                divide = divide.then(attempt_cost)
+                machine.bump("hyperplane_cuts")
+                try:
+                    plane = median_hyperplane(sub, axis=try_axis)
+                    break
+                except ValueError:
+                    plane = None
+            if plane is None:
+                seg.pre_cost = seg.pre_cost.then(divide)
+                machine.attribute("divide", divide)
+                self.stats.degenerate_cuts += 1
+                self._leaf(seg)
+                continue
+            side = plane.side_of_points(sub)
+            divide = (
+                divide
+                .then(machine.ewise_cost(m, 2.0))
+                .then(machine.scan_cost(m).then(machine.permute_cost(m)))
+            )
+            seg.pre_cost = seg.pre_cost.then(divide)
+            machine.attribute("divide", divide)
+            interior = int(np.count_nonzero(side < 0))
+            if interior == 0 or interior == m:
+                self.stats.degenerate_cuts += 1
+                self._leaf(seg)
+                continue
+            seg.separator = plane
+            seg.side = side
+            split_segs.append(seg)
+        if not split_segs:
+            return []
+        return self._split_segments(split_segs)
+
+    def _correct_node(self, seg: _Seg) -> int:
+        node = seg.node
+        sep = node.separator
+        m = node.size
+        machine = self.machine
+        cost = ZERO
+        total_straddlers = 0
+        in_ids, ex_ids = seg.left.ids, seg.right.ids
+        for straddle_side, opposite in ((in_ids, ex_ids), (ex_ids, in_ids)):
+            if straddle_side.shape[0] == 0 or opposite.shape[0] == 0:
+                continue
+            radii = np.sqrt(self.nbr_sq[straddle_side, -1])
+            cls = sep.classify_balls(self.points[straddle_side], radii)
+            cost = cost.then(machine.ewise_cost(straddle_side.shape[0], 2.0))
+            straddlers = straddle_side[cls == 0]
+            self.stats.straddler_fraction.append((m, int(straddlers.shape[0])))
+            if straddlers.shape[0] == 0:
+                continue
+            total_straddlers += int(straddlers.shape[0])
+            system = BallSystem(
+                self.points[straddlers], np.sqrt(self.nbr_sq[straddlers, -1])
+            )
+            sub, ball_rows, point_ids = self._captured_query_pairs(
+                cost, system, opposite, self._rng_of(seg)
+            )
+            sub.charge(
+                Cost(self.select_depth, float(max(1, point_ids.shape[0] * (self.k + 1))))
+            )
+            apply_candidate_pairs(
+                self.points,
+                self.nbr_idx,
+                self.nbr_sq,
+                straddlers,
+                ball_rows,
+                point_ids,
+                self.k,
+            )
+            cost = sub.total
+        seg.post_cost = cost
+        return total_straddlers
+
+
+def run_fast_frontier(
+    points, k, machine, root_ss, config, stats, nbr_idx, nbr_sq, base
+) -> PartitionNode:
+    """Frontier-engine drive of the fast algorithm; same contract (and,
+    seed-for-seed, the same output and ledger) as the recursive
+    ``_Runner`` in :mod:`repro.core.fast_dnc`."""
+    return _FastFrontier(
+        points, k, machine, root_ss, config, stats, nbr_idx, nbr_sq, base
+    ).run()
+
+
+def run_simple_frontier(
+    points, k, machine, root_ss, config, stats, nbr_idx, nbr_sq, base
+) -> PartitionNode:
+    """Frontier-engine drive of the simple algorithm; same contract (and,
+    seed-for-seed, the same output and ledger) as the recursive closures
+    in :mod:`repro.core.simple_dnc`."""
+    return _SimpleFrontier(
+        points, k, machine, root_ss, config, stats, nbr_idx, nbr_sq, base
+    ).run()

@@ -22,9 +22,38 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..geometry.balls import BallSystem
-from ..geometry.points import as_points
+from ..geometry.points import as_points, kth_smallest_per_row, pairwise_sq_dists_direct
 
-__all__ = ["KNeighborhoodSystem", "merge_neighbor_lists"]
+__all__ = ["KNeighborhoodSystem", "merge_neighbor_lists", "brute_force_neighbors"]
+
+
+def brute_force_neighbors(
+    points: np.ndarray,
+    ids: np.ndarray,
+    k: int,
+    nbr_idx: np.ndarray,
+    nbr_sq: np.ndarray,
+) -> None:
+    """All-pairs k nearest within ``points[ids]``, written into the global
+    ``(nbr_idx, nbr_sq)`` arrays — the shared base-case kernel of both
+    divide-and-conquer engines.
+
+    Rows with fewer than ``k`` candidates are padded with ``-1`` / ``inf``.
+    Cost accounting and statistics are the caller's responsibility.
+    """
+    m = ids.shape[0]
+    if m <= 1:
+        return
+    sub = points[ids]
+    sq = pairwise_sq_dists_direct(sub, sub)
+    np.fill_diagonal(sq, np.inf)
+    kk = min(k, m - 1)
+    local_idx, local_sq = kth_smallest_per_row(sq, kk)
+    nbr_idx[ids, :kk] = ids[local_idx]
+    nbr_sq[ids, :kk] = local_sq
+    if kk < k:
+        nbr_idx[ids, kk:] = -1
+        nbr_sq[ids, kk:] = np.inf
 
 
 @dataclass(frozen=True)

@@ -53,25 +53,42 @@ class PartitionNode:
         return int(self.indices.shape[0])
 
     def height(self) -> int:
-        """Length (in edges) of the longest root-leaf path."""
-        if self.is_leaf:
-            return 0
-        return 1 + max(self.left.height(), self.right.height())  # type: ignore[union-attr]
+        """Length (in edges) of the longest root-leaf path.
+
+        Iterative (explicit stack): degenerate workloads can produce trees
+        far deeper than Python's recursion limit.
+        """
+        best = 0
+        stack = [(self, 0)]
+        while stack:
+            node, depth = stack.pop()
+            if node.is_leaf:
+                best = max(best, depth)
+            else:
+                stack.append((node.left, depth + 1))  # type: ignore[arg-type]
+                stack.append((node.right, depth + 1))  # type: ignore[arg-type]
+        return best
 
     def leaves(self) -> Iterator["PartitionNode"]:
-        """All leaves, left to right."""
-        if self.is_leaf:
-            yield self
-        else:
-            yield from self.left.leaves()  # type: ignore[union-attr]
-            yield from self.right.leaves()  # type: ignore[union-attr]
+        """All leaves, left to right (iterative, deep-tree safe)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield node
+            else:
+                stack.append(node.right)  # type: ignore[arg-type]
+                stack.append(node.left)  # type: ignore[arg-type]
 
     def nodes(self) -> Iterator["PartitionNode"]:
-        """All nodes, preorder."""
-        yield self
-        if not self.is_leaf:
-            yield from self.left.nodes()  # type: ignore[union-attr]
-            yield from self.right.nodes()  # type: ignore[union-attr]
+        """All nodes, preorder (iterative, deep-tree safe)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.append(node.right)  # type: ignore[arg-type]
+                stack.append(node.left)  # type: ignore[arg-type]
 
     def leaf_of_point(self, point: np.ndarray) -> "PartitionNode":
         """Descend by point-in-sphere tests to the leaf owning ``point``.

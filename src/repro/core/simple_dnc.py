@@ -23,16 +23,23 @@ from typing import List, Optional
 import numpy as np
 
 from ..geometry.balls import BallSystem
-from ..geometry.points import as_points, kth_smallest_per_row, pairwise_sq_dists_direct
+from ..geometry.points import as_points
 from ..obs.metrics import MetricsView
 from ..pvm.cost import Cost
 from ..pvm.machine import Machine
 from ..separators.hyperplane import find_median_hyperplane
+from ..util.recursion import estimated_tree_levels, recursion_guard
+from ..util.rng import path_rng, seed_sequence_root
 from .config import CommonConfig, supports_renamed_fields
 from .correction import apply_candidate_pairs, query_correction_pairs
-from .neighborhood import KNeighborhoodSystem
+from .neighborhood import KNeighborhoodSystem, brute_force_neighbors
 from .partition_tree import PartitionNode
 from .query import QueryConfig
+
+# Depth-bound ratio for the recursion guard: median cuts are balanced in
+# general position, but tie-pushing under heavy duplication can leave most
+# of a segment on one side; 0.9 covers that regime with a still-log bound.
+_GUARD_SPLIT_RATIO = 0.9
 
 __all__ = ["SimpleDnCConfig", "SimpleDnCStats", "SimpleDnCResult", "simple_parallel_dnc"]
 
@@ -99,11 +106,20 @@ def simple_parallel_dnc(
         raise ValueError(f"k must satisfy 1 <= k < n, got k={k}, n={n}")
     if machine is None:
         machine = Machine()
-    rng = config.rng(seed)
+    root_ss = seed_sequence_root(seed if seed is not None else config.seed)
     stats = SimpleDnCStats(metrics=machine.metrics)
     nbr_idx = np.full((n, k), -1, dtype=np.int64)
     nbr_sq = np.full((n, k), np.inf)
     base = config.base_size(k)
+
+    if config.engine == "frontier":
+        from .frontier import run_simple_frontier
+
+        tree = run_simple_frontier(
+            pts, k, machine, root_ss, config, stats, nbr_idx, nbr_sq, base
+        )
+        system = KNeighborhoodSystem(pts, k, nbr_idx, nbr_sq)
+        return SimpleDnCResult(system=system, tree=tree, stats=stats, machine=machine)
 
     def brute(ids: np.ndarray) -> None:
         m = ids.shape[0]
@@ -111,19 +127,16 @@ def simple_parallel_dnc(
         machine.metrics.observe("simple.base_case_sizes", m)
         with machine.section("base"):
             machine.charge(Cost(float(m), float(m) * float(m)))
-        if m <= 1:
-            return
-        sub = pts[ids]
-        sq = pairwise_sq_dists_direct(sub, sub)
-        np.fill_diagonal(sq, np.inf)
-        kk = min(k, m - 1)
-        local_idx, local_sq = kth_smallest_per_row(sq, kk)
-        nbr_idx[ids, :kk] = ids[local_idx]
-        nbr_sq[ids, :kk] = local_sq
+        brute_force_neighbors(pts, ids, k, nbr_idx, nbr_sq)
 
     select_depth = 1.0 if k == 1 else 1.0 + math.log2(math.log2(k) + 2.0)
 
-    def correct(node: PartitionNode, in_ids: np.ndarray, ex_ids: np.ndarray) -> None:
+    def correct(
+        node: PartitionNode,
+        in_ids: np.ndarray,
+        ex_ids: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
         sep = node.separator
         assert sep is not None
         m = node.size
@@ -148,11 +161,11 @@ def simple_parallel_dnc(
                 pts, nbr_idx, nbr_sq, straddlers, ball_rows, point_ids, k
             )
 
-    def solve(ids: np.ndarray, depth_level: int) -> PartitionNode:
+    def solve(ids: np.ndarray, depth_level: int, path: tuple) -> PartitionNode:
         with machine.span("simple.node", level=depth_level, m=int(ids.shape[0])):
-            return _solve(ids, depth_level)
+            return _solve(ids, depth_level, path)
 
-    def _solve(ids: np.ndarray, depth_level: int) -> PartitionNode:
+    def _solve(ids: np.ndarray, depth_level: int, path: tuple) -> PartitionNode:
         m = ids.shape[0]
         stats.nodes += 1
         if m <= base:
@@ -182,14 +195,16 @@ def simple_parallel_dnc(
         children: List[Optional[PartitionNode]] = [None, None]
         with machine.parallel() as par:
             with par.branch():
-                children[0] = solve(in_ids, depth_level + 1)
+                children[0] = solve(in_ids, depth_level + 1, path + (0,))
             with par.branch():
-                children[1] = solve(ex_ids, depth_level + 1)
+                children[1] = solve(ex_ids, depth_level + 1, path + (1,))
         node = PartitionNode(indices=ids, separator=plane, left=children[0], right=children[1])
         with machine.section("correct"):
-            correct(node, in_ids, ex_ids)
+            correct(node, in_ids, ex_ids, path_rng(root_ss, path))
         return node
 
-    tree = solve(np.arange(n, dtype=np.int64), 0)
+    levels = estimated_tree_levels(n, base, _GUARD_SPLIT_RATIO)
+    with recursion_guard(levels):
+        tree = solve(np.arange(n, dtype=np.int64), 0, ())
     system = KNeighborhoodSystem(pts, k, nbr_idx, nbr_sq)
     return SimpleDnCResult(system=system, tree=tree, stats=stats, machine=machine)

@@ -24,7 +24,7 @@ like ordinary numpy while the ledger still reflects the idealised machine.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -38,7 +38,9 @@ __all__ = [
     "reduce",
     "segmented_reduce",
     "pack",
+    "segmented_pack",
     "split",
+    "segmented_split",
     "permute",
     "gather",
     "scatter",
@@ -155,15 +157,26 @@ def reduce(machine: Machine, x: np.ndarray, op: str = "add"):
     raise ValueError(f"unsupported reduce op {op!r}")
 
 
-def segmented_reduce(machine: Machine, x: np.ndarray, segment_ids: np.ndarray) -> np.ndarray:
-    """Sum of each segment, one output per segment (ids non-decreasing)."""
+_REDUCEAT_UFUNCS = {"add": np.add, "max": np.maximum, "min": np.minimum}
+
+
+def segmented_reduce(
+    machine: Machine, x: np.ndarray, segment_ids: np.ndarray, op: str = "add"
+) -> np.ndarray:
+    """Reduce each segment to one output (ids non-decreasing).
+
+    ``op`` is ``add`` (default, the historical behavior), ``max``, or
+    ``min`` — matching :func:`reduce`.
+    """
     x = np.asarray(x)
     seg = np.asarray(segment_ids)
+    if op not in _REDUCEAT_UFUNCS:
+        raise ValueError(f"unsupported reduce op {op!r}")
     machine.charge(machine.scan_cost(_n_of(x)))
     if x.shape[0] == 0:
         return x.copy()
     starts = np.flatnonzero(np.concatenate(([True], seg[1:] != seg[:-1])))
-    totals = np.add.reduceat(x, starts, axis=0)
+    totals = _REDUCEAT_UFUNCS[op].reduceat(x, starts, axis=0)
     return totals
 
 
@@ -191,6 +204,86 @@ def split(machine: Machine, x: np.ndarray, flags: np.ndarray) -> Tuple[np.ndarra
     n = _n_of(x)
     machine.charge(machine.scan_cost(n).then(machine.permute_cost(n)))
     return x[~flags], x[flags]
+
+
+def _segment_layout(seg: np.ndarray, n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """(starts, lengths) of the segments of a non-decreasing id vector."""
+    if np.any(seg[1:] < seg[:-1]):
+        raise ValueError("segment_ids must be non-decreasing")
+    starts = np.flatnonzero(np.concatenate(([True], seg[1:] != seg[:-1])))
+    lengths = np.diff(np.append(starts, n))
+    return starts, lengths
+
+
+def segmented_split(
+    machine: Optional[Machine], x: np.ndarray, flags: np.ndarray, segment_ids: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stable two-way partition *within* each segment, all segments at once.
+
+    Returns ``(out, false_counts)``: ``out`` has each segment reordered to
+    its flag-False elements followed by its flag-True elements (relative
+    order preserved — Blelloch's segmented split), and ``false_counts``
+    gives the per-segment False count, i.e. the boundary offset of each
+    segment's True part.  This is the frontier engine's divide step: one
+    call splits every node of a tree level.
+
+    Costs one scan plus one permute on the full vector, like :func:`split`.
+    ``machine`` may be ``None`` to run uncharged (the frontier engine
+    accounts per node analytically so its ledger matches the recursion's).
+    """
+    x = np.asarray(x)
+    flags = np.asarray(flags, dtype=bool)
+    seg = np.asarray(segment_ids)
+    n = _n_of(x)
+    if flags.shape[0] != n or seg.shape[0] != n:
+        raise ValueError("x, flags and segment_ids must have equal length")
+    if machine is not None:
+        machine.charge(machine.scan_cost(n).then(machine.permute_cost(n)))
+    if n == 0:
+        return x.copy(), np.zeros(0, dtype=np.int64)
+    starts, lengths = _segment_layout(seg, n)
+    true_ = flags.astype(np.int64)
+    false_ = 1 - true_
+    false_counts = np.add.reduceat(false_, starts)
+    # exclusive within-segment rank among same-flag elements
+    inc_t = np.cumsum(true_)
+    inc_f = np.cumsum(false_)
+    base_t = np.repeat(inc_t[starts] - true_[starts], lengths)
+    base_f = np.repeat(inc_f[starts] - false_[starts], lengths)
+    rank_t = inc_t - base_t - true_
+    rank_f = inc_f - base_f - false_
+    seg_start = np.repeat(starts, lengths)
+    seg_false = np.repeat(false_counts, lengths)
+    dest = np.where(flags, seg_start + seg_false + rank_t, seg_start + rank_f)
+    out = np.empty_like(x)
+    out[dest] = x
+    return out, false_counts
+
+
+def segmented_pack(
+    machine: Optional[Machine], x: np.ndarray, mask: np.ndarray, segment_ids: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Select masked elements segment-by-segment, all segments at once.
+
+    Returns ``(packed, counts)``: the surviving elements in order (segment
+    layout preserved implicitly) and the per-segment survivor count, from
+    which the packed vector's new segment offsets follow by a prefix sum.
+    Same charge as :func:`pack`; ``machine`` may be ``None`` (see
+    :func:`segmented_split`).
+    """
+    x = np.asarray(x)
+    mask = np.asarray(mask, dtype=bool)
+    seg = np.asarray(segment_ids)
+    n = _n_of(x)
+    if mask.shape[0] != n or seg.shape[0] != n:
+        raise ValueError("x, mask and segment_ids must have equal length")
+    if machine is not None:
+        machine.charge(machine.scan_cost(n).then(machine.permute_cost(n)))
+    if n == 0:
+        return x.copy(), np.zeros(0, dtype=np.int64)
+    starts, _ = _segment_layout(seg, n)
+    counts = np.add.reduceat(mask.astype(np.int64), starts)
+    return x[mask], counts
 
 
 def permute(machine: Machine, x: np.ndarray, index: np.ndarray) -> np.ndarray:

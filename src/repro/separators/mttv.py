@@ -36,7 +36,7 @@ from ..geometry.stereographic import SphereCap, circle_to_separator, lift
 from ..util.rng import as_generator
 from .greatcircle import random_great_circle
 
-__all__ = ["MTTVSeparatorSampler", "mttv_separator", "default_sample_size"]
+__all__ = ["MTTVSeparatorSampler", "mttv_separator", "default_sample_size", "sampled_lift"]
 
 SeparatorLike = Union[Sphere, Hyperplane]
 
@@ -49,6 +49,26 @@ def default_sample_size(d: int) -> int:
     ``8 (d+2)^2`` which keeps the Radon iteration cheap in fixed d).
     """
     return 8 * (d + 2) ** 2
+
+
+def sampled_lift(
+    points: np.ndarray, rng: np.random.Generator, sample_size: Optional[int]
+) -> np.ndarray:
+    """Stage one of sampler construction: (sub)sample, then lift to S^d.
+
+    When ``sample_size`` is given and smaller than ``n``, a uniform sample
+    without replacement is drawn from ``rng`` (one ``choice`` call — the
+    only RNG consumption of this stage).
+    """
+    n = points.shape[0]
+    if sample_size is not None and sample_size < 1:
+        raise ValueError("sample_size must be >= 1")
+    if sample_size is not None and sample_size < n:
+        idx = rng.choice(n, size=sample_size, replace=False)
+        base = points[idx]
+    else:
+        base = points
+    return lift(base)
 
 
 @dataclass
@@ -83,23 +103,47 @@ class MTTVSeparatorSampler:
         self.points = pts
         self.rng = as_generator(self.seed)
         self.dim = pts.shape[1]
-        n = pts.shape[0]
-        if self.sample_size is not None and self.sample_size < 1:
-            raise ValueError("sample_size must be >= 1")
-        if self.sample_size is not None and self.sample_size < n:
-            idx = self.rng.choice(n, size=self.sample_size, replace=False)
-            base = pts[idx]
-        else:
-            base = pts
-        lifted = lift(base)
+        lifted = sampled_lift(pts, self.rng, self.sample_size)
         if self.centerpoint == "radon":
             z = iterated_radon_centerpoint(lifted, self.rng)
         elif self.centerpoint == "median":
             z = coordinate_median(lifted)
         else:
             raise ValueError(f"unknown centerpoint method {self.centerpoint!r}")
+        self._finish(z)
+
+    def _finish(self, z: np.ndarray) -> None:
         self.center_estimate = z
         self.map = ConformalMap.centering(z)
+
+    @classmethod
+    def from_center_estimate(
+        cls,
+        points: np.ndarray,
+        seed: object,
+        z: np.ndarray,
+        *,
+        sample_size: Optional[int] = None,
+        centerpoint: str = "radon",
+    ) -> "MTTVSeparatorSampler":
+        """Assemble a sampler around a precomputed lifted-space centerpoint.
+
+        The frontier engine computes the centerpoints of many subproblems
+        in one batched pass (:func:`iterated_radon_centerpoint_many`) and
+        then finishes construction here; ``z`` must be exactly what
+        ``__post_init__`` would have computed for the same arguments, so
+        the assembled sampler is indistinguishable from a directly
+        constructed one.
+        """
+        sampler = cls.__new__(cls)
+        sampler.points = as_points(points, min_points=1)
+        sampler.seed = seed
+        sampler.sample_size = sample_size
+        sampler.centerpoint = centerpoint
+        sampler.rng = as_generator(seed)
+        sampler.dim = sampler.points.shape[1]
+        sampler._finish(z)
+        return sampler
 
     def draw(self, *, max_retries: int = 16) -> SeparatorLike:
         """One candidate separator: a random great circle pulled back to R^d.

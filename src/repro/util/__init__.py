@@ -1,11 +1,16 @@
-"""Shared utilities: RNG plumbing and argument validation."""
+"""Shared utilities: RNG plumbing, recursion headroom, argument validation."""
 
-from .rng import as_generator, spawn
+from .recursion import estimated_tree_levels, recursion_guard
+from .rng import as_generator, path_rng, seed_sequence_root, spawn
 from .validation import check_in_range, check_positive_int, check_probability
 
 __all__ = [
     "as_generator",
     "spawn",
+    "seed_sequence_root",
+    "path_rng",
+    "recursion_guard",
+    "estimated_tree_levels",
     "check_in_range",
     "check_positive_int",
     "check_probability",

@@ -1,0 +1,77 @@
+"""Recursion-depth headroom for the node-at-a-time engines.
+
+The recursive engines (:mod:`repro.core.fast_dnc`, :mod:`repro.core.simple_dnc`)
+descend one Python frame chain per partition-tree path.  Adversarial
+workloads — long collinear chains, heavy duplication, extreme ``epsilon`` —
+can drive the tree deep enough to blow through CPython's default
+recursion limit (1000) even though the algorithm itself is fine.
+
+:func:`recursion_guard` raises :func:`sys.setrecursionlimit` for the
+duration of a solve when the estimated frame need exceeds the current
+limit, and restores it afterwards.  It only ever *raises* the limit
+(never lowers it below the ambient setting), and it sizes the raise from
+an analytic bound on the tree depth rather than a blanket huge constant.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from contextlib import contextmanager
+
+__all__ = ["recursion_guard", "estimated_tree_levels"]
+
+# Measured ceiling on Python frames consumed per partition-tree level by
+# the recursive engines (solve frame, context managers, separator search,
+# nested query-structure builds); generous so the estimate errs safe.
+FRAMES_PER_LEVEL = 24
+
+# Frames reserved beyond the estimate for whatever the caller is nested in.
+_SLACK = 256
+
+
+def estimated_tree_levels(n: int, base: int, ratio: float) -> int:
+    """Upper bound on tree depth when each split keeps at most ``ratio`` of
+    the points on its larger side.
+
+    For the fast engine ``ratio`` is the separator quality ``delta`` — a
+    theorem-backed guarantee.  A ``ratio`` outside ``(0, 1)`` (degenerate
+    configuration) falls back to the trivial linear bound: every split
+    strictly shrinks both sides, so depth never exceeds ``n``.
+    """
+    base = max(base, 1)
+    if n <= base:
+        return 1
+    if not 0.0 < ratio < 1.0:
+        return n
+    levels = math.log(n / base) / math.log(1.0 / ratio)
+    return min(n, int(math.ceil(levels)) + 2)
+
+
+def _stack_depth() -> int:
+    frame = sys._getframe()
+    depth = 0
+    while frame is not None:
+        depth += 1
+        frame = frame.f_back
+    return depth
+
+
+@contextmanager
+def recursion_guard(levels: int):
+    """Temporarily ensure headroom for ``levels`` tree levels of recursion.
+
+    No-op when the current limit already suffices; otherwise raises the
+    interpreter recursion limit for the ``with`` body and restores the
+    previous value on exit.
+    """
+    needed = _stack_depth() + max(levels, 1) * FRAMES_PER_LEVEL + _SLACK
+    current = sys.getrecursionlimit()
+    if needed <= current:
+        yield
+        return
+    sys.setrecursionlimit(needed)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(current)

@@ -12,7 +12,7 @@ from typing import Union
 
 import numpy as np
 
-__all__ = ["as_generator", "spawn"]
+__all__ = ["as_generator", "spawn", "seed_sequence_root", "path_rng"]
 
 SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
@@ -22,6 +22,39 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def seed_sequence_root(seed: SeedLike = None) -> np.random.SeedSequence:
+    """Normalise ``seed`` into a :class:`~numpy.random.SeedSequence` root.
+
+    The root anchors a tree of per-node generators (see :func:`path_rng`):
+    both execution engines derive the generator of a partition-tree node
+    from the root and the node's 0/1 path alone, so the RNG stream a node
+    sees is independent of traversal order — the keystone of the
+    recursive/frontier engine-equivalence guarantee.
+
+    ``None`` draws fresh OS entropy (once, here).  A ``Generator`` is
+    consumed for a single 64-bit integer to derive the root, keeping runs
+    that share a generator statistically independent.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        return np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    return np.random.SeedSequence(seed)
+
+
+def path_rng(root: np.random.SeedSequence, path: tuple = ()) -> np.random.Generator:
+    """Generator for the tree node addressed by ``path`` (0/1 steps) under ``root``.
+
+    Implemented with SeedSequence spawn keys: the node's key is the root's
+    spawn key extended by the path, so distinct nodes get provably distinct,
+    well-mixed streams and the same node always gets the same stream.
+    """
+    node = np.random.SeedSequence(
+        entropy=root.entropy, spawn_key=tuple(root.spawn_key) + tuple(path)
+    )
+    return np.random.default_rng(node)
 
 
 def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:

@@ -1,0 +1,112 @@
+"""CommonConfig: shared knobs, engine validation, renamed-field shims.
+
+``tests/test_public_api.py`` covers the deprecation behavior as seen
+through the package facade; this file tests :mod:`repro.core.config`
+itself — the base dataclass, the engine gate, and the derived budget
+helpers the algorithms share.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import CommonConfig, ENGINES, FastDnCConfig, QueryConfig, SimpleDnCConfig
+from repro.core.config import RENAMED_CONFIG_FIELDS, supports_renamed_fields
+
+ALL_CONFIGS = [FastDnCConfig, SimpleDnCConfig, QueryConfig]
+
+
+class TestEngineField:
+    def test_engines_constant(self):
+        assert ENGINES == ("recursive", "frontier")
+
+    @pytest.mark.parametrize("cls", ALL_CONFIGS + [CommonConfig])
+    def test_default_is_recursive(self, cls):
+        assert cls().engine == "recursive"
+
+    @pytest.mark.parametrize("cls", ALL_CONFIGS + [CommonConfig])
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_valid_engines_accepted(self, cls, engine):
+        assert cls(engine=engine).engine == engine
+
+    @pytest.mark.parametrize("cls", ALL_CONFIGS + [CommonConfig])
+    @pytest.mark.parametrize("bad", ["warp", "", "Recursive", "FRONTIER", None])
+    def test_invalid_engines_rejected(self, cls, bad):
+        with pytest.raises(ValueError, match="engine"):
+            cls(engine=bad)
+
+    def test_error_message_lists_choices(self):
+        with pytest.raises(ValueError, match="recursive.*frontier"):
+            CommonConfig(engine="batched")
+
+
+class TestRenamedFields:
+    def test_registry_shape(self):
+        assert RENAMED_CONFIG_FIELDS == {"m0": "base_case_size"}
+
+    @pytest.mark.parametrize("cls", ALL_CONFIGS)
+    def test_m0_kwarg_forwards_with_warning(self, cls):
+        with pytest.warns(DeprecationWarning, match="m0"):
+            cfg = cls(m0=23)
+        assert cfg.base_case_size == 23
+
+    @pytest.mark.parametrize("cls", ALL_CONFIGS + [CommonConfig])
+    def test_m0_property_warns_on_read(self, cls):
+        cfg = cls(base_case_size=11)
+        with pytest.warns(DeprecationWarning, match="m0"):
+            assert cfg.m0 == 11
+
+    @pytest.mark.parametrize("cls", ALL_CONFIGS)
+    def test_both_spellings_rejected(self, cls):
+        with pytest.raises(TypeError, match="m0"):
+            cls(m0=8, base_case_size=16)
+
+    def test_canonical_spelling_never_warns(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cfg = FastDnCConfig(base_case_size=32)
+            assert cfg.base_case_size == 32
+
+    def test_decorator_on_fresh_class(self):
+        from dataclasses import dataclass
+
+        @supports_renamed_fields
+        @dataclass(frozen=True)
+        class Demo:
+            base_case_size: int = 4
+
+        with pytest.warns(DeprecationWarning):
+            assert Demo(m0=7).base_case_size == 7
+
+
+class TestSharedHelpers:
+    def test_rng_explicit_seed_wins(self):
+        cfg = CommonConfig(seed=1)
+        a = cfg.rng(99).integers(0, 1 << 30)
+        b = np.random.default_rng(99).integers(0, 1 << 30)
+        assert a == b
+
+    def test_rng_falls_back_to_config_seed(self):
+        cfg = CommonConfig(seed=5)
+        assert cfg.rng().integers(0, 1 << 30) == np.random.default_rng(5).integers(0, 1 << 30)
+
+    def test_mu_monotone_in_dimension(self):
+        cfg = CommonConfig()
+        mus = [cfg.mu(d) for d in (1, 2, 3, 8)]
+        assert mus == sorted(mus)
+        assert all(m <= 0.98 for m in mus)
+
+    def test_iota_budget_carries_k_factor(self):
+        cfg = FastDnCConfig()
+        assert cfg.iota_budget(10_000, 2, k=4) == pytest.approx(
+            2.0 * cfg.iota_budget(10_000, 2, k=1)
+        )
+        assert cfg.iota_budget(2, 2) >= 4.0  # floor
+
+    def test_base_size_floor(self):
+        cfg = CommonConfig(base_case_size=4)
+        assert cfg.base_size(k=10) >= 11
+        assert CommonConfig(base_case_size=64).base_size(k=1) == 64

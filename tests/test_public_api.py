@@ -81,14 +81,30 @@ class TestFacadeSurface:
         import inspect
 
         sig = inspect.signature(repro.all_knn)
-        assert list(sig.parameters) == ["points", "k", "method", "config", "machine", "seed"]
+        assert list(sig.parameters) == [
+            "points", "k", "method", "config", "machine", "seed", "engine",
+        ]
         assert sig.parameters["method"].kind is inspect.Parameter.KEYWORD_ONLY
         assert sig.parameters["method"].default == "fast"
+        assert sig.parameters["engine"].kind is inspect.Parameter.KEYWORD_ONLY
+        assert sig.parameters["engine"].default is None
 
     def test_methods_tuple(self):
         from repro.api import METHODS
 
         assert METHODS == ("fast", "simple", "query", "brute")
+
+    def test_engines_tuple(self):
+        from repro.api import ENGINES
+
+        assert ENGINES == ("recursive", "frontier")
+        assert repro.ENGINES is ENGINES
+
+    def test_unknown_engine_rejected(self):
+        from repro.workloads import uniform_cube
+
+        with pytest.raises(ValueError, match="engine"):
+            repro.all_knn(uniform_cube(32, 2, 0), 1, engine="warp")
 
     def test_result_and_index_attributes(self):
         from repro.workloads import uniform_cube
