@@ -13,8 +13,13 @@ any other value re-runs the whole suite on a fresh random universe.
 
 Observability: machine-bearing benchmarks call :func:`record_bench_run`
 after a run, which appends the run's per-phase (depth, work) breakdown and
-metrics to ``benchmarks/results/<name>_obs.json`` and one summary line per
-run to the repo-level ``BENCH_obs.json``.
+a **compact** metrics summary (full counters and gauges; series reduced to
+``{count, min, max, mean}``) to ``benchmarks/results/<name>_obs.json`` and
+the repo-level ``BENCH_obs.json``.  The raw, unsummarized metric series
+can grow to tens of thousands of lines per experiment, so full dumps are
+opt-in: run with ``--trace-full`` (or ``REPRO_TRACE_FULL=1``) and each
+record is additionally appended, unsummarized, to the gitignored
+``*_obs_full.json`` siblings of those files.
 """
 
 from __future__ import annotations
@@ -31,6 +36,15 @@ BENCH_SEED_ENV = "REPRO_BENCH_SEED"
 
 #: Repo-level rollup of every recorded benchmark run.
 BENCH_OBS_PATH = os.path.join(os.path.dirname(os.path.dirname(__file__)), "BENCH_obs.json")
+
+#: Environment variable that enables full (unsummarized) obs dumps; the
+#: pytest ``--trace-full`` flag sets it (see ``benchmarks/conftest.py``).
+TRACE_FULL_ENV = "REPRO_TRACE_FULL"
+
+
+def trace_full_enabled() -> bool:
+    """Whether full obs dumps are requested (``--trace-full`` / env var)."""
+    return os.environ.get(TRACE_FULL_ENV, "").strip() not in ("", "0", "false")
 
 
 def bench_seed(offset: int = 0) -> int:
@@ -56,11 +70,16 @@ def record_bench_run(
 
     - ``benchmarks/results/<name>_obs.json`` — a list of run records, each
       with the aggregate (depth, work), the per-phase section breakdown
-      (``machine.sections``) and the machine's metrics registry;
+      (``machine.sections``) and a compact summary of the machine's
+      metrics registry (see :func:`compact_metrics`);
     - repo-level ``BENCH_obs.json`` — the same records across *all*
       experiments, keyed by experiment name.
 
-    Returns the record that was appended.
+    With :func:`trace_full_enabled`, the unsummarized record (raw metric
+    series included) is additionally appended to the gitignored
+    ``<name>_obs_full.json`` / ``BENCH_obs_full.json`` siblings.
+
+    Returns the (compact) record that was appended.
     """
     total = machine.total
     record: Dict[str, Any] = {
@@ -73,15 +92,49 @@ def record_bench_run(
             phase: {"depth": cost.depth, "work": cost.work}
             for phase, cost in sorted(machine.sections.items())
         },
-        "metrics": machine.metrics.to_dict(),
     }
     if extra:
         record.update(extra)
+    full_metrics = machine.metrics.to_dict()
     os.makedirs(RESULTS_DIR, exist_ok=True)
+    if trace_full_enabled():
+        full_record = dict(record, metrics=full_metrics)
+        _append_json_list(
+            os.path.join(RESULTS_DIR, f"{name}_obs_full.json"), full_record
+        )
+        _append_json_list(
+            BENCH_OBS_PATH.replace("BENCH_obs.json", "BENCH_obs_full.json"),
+            full_record,
+        )
+    record["metrics"] = compact_metrics(full_metrics)
     per_file = os.path.join(RESULTS_DIR, f"{name}_obs.json")
     _append_json_list(per_file, record)
     _append_json_list(BENCH_OBS_PATH, record)
     return record
+
+
+def compact_metrics(metrics: Dict[str, Any]) -> Dict[str, Any]:
+    """Summarize a ``Metrics.to_dict()`` payload for committed results.
+
+    Counters and gauges are small and pass through unchanged; each metric
+    *series* (which grows with every node of every run) is reduced to
+    ``{"count": N}`` plus ``min``/``max``/``mean`` when the samples are
+    plain numbers (structured samples — e.g. ``(m, iota)`` pairs — keep
+    only the count).
+    """
+    series = {}
+    for key, values in metrics.get("series", {}).items():
+        summary: Dict[str, Any] = {"count": len(values)}
+        if values and all(isinstance(v, (int, float)) for v in values):
+            summary["min"] = min(values)
+            summary["max"] = max(values)
+            summary["mean"] = sum(values) / len(values)
+        series[key] = summary
+    return {
+        "counters": dict(metrics.get("counters", {})),
+        "gauges": dict(metrics.get("gauges", {})),
+        "series": series,
+    }
 
 
 def _append_json_list(path: str, record: Dict[str, Any]) -> None:

@@ -1,6 +1,22 @@
-"""Make the shared `common` helper importable when pytest runs from the repo root."""
+"""Make the shared `common` helper importable when pytest runs from the repo
+root, and register the ``--trace-full`` flag for unsummarized obs dumps."""
 
 import os
 import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-full",
+        action="store_true",
+        default=False,
+        help="also write full (unsummarized) observability dumps to the "
+             "gitignored *_obs_full.json files",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--trace-full", default=False):
+        os.environ["REPRO_TRACE_FULL"] = "1"

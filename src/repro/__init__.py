@@ -22,15 +22,17 @@ Public surface (see README for a tour):
 - :mod:`repro.workloads` — synthetic and adversarial point generators;
 - :mod:`repro.analysis` — recurrences, probability bounds, scaling fits;
 - :mod:`repro.obs` — tracing spans, metrics registry, trace exports;
+- :mod:`repro.parallel` — the multiprocess frontier backend: shared-memory
+  buffers, shard planning, the worker pool (``engine="frontier-mp"``);
 - :mod:`repro.api` — the stable facade: :func:`~repro.api.all_knn`,
   :func:`~repro.api.build_index`, :func:`~repro.api.run_traced` — all
   re-exported here at the package root.
 """
 
-from . import analysis, api, baselines, core, geometry, obs, pvm, separators, util, workloads
+from . import analysis, api, baselines, core, geometry, obs, parallel, pvm, separators, util, workloads
 from .api import ENGINES, METHODS, KNNIndex, KNNResult, all_knn, build_index, run_traced
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "analysis",
@@ -39,6 +41,7 @@ __all__ = [
     "core",
     "geometry",
     "obs",
+    "parallel",
     "pvm",
     "separators",
     "util",

@@ -156,9 +156,16 @@ class KNNIndex:
         return self._structure.query(point)
 
 
-def _resolve_config(method: str, config: ConfigLike, engine: Optional[str]) -> ConfigLike:
+def _resolve_config(
+    method: str,
+    config: ConfigLike,
+    engine: Optional[str],
+    workers: Optional[int] = None,
+) -> ConfigLike:
     if engine is not None and engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     if config is None:
         if method in ("fast", "query"):
             config = FastDnCConfig()
@@ -166,6 +173,8 @@ def _resolve_config(method: str, config: ConfigLike, engine: Optional[str]) -> C
             config = SimpleDnCConfig()
     if config is not None and engine is not None and config.engine != engine:
         config = replace(config, engine=engine)
+    if config is not None and workers is not None and config.workers != workers:
+        config = replace(config, workers=workers)
     return config
 
 
@@ -178,6 +187,7 @@ def all_knn(
     machine: Optional[Machine] = None,
     seed: object = None,
     engine: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> KNNResult:
     """Exact all-k-nearest-neighbors of ``points``, as a :class:`KNNResult`.
 
@@ -203,9 +213,13 @@ def all_knn(
         RNG seed; ``None`` falls back to ``config.seed``.
     engine:
         Execution engine for the DnC methods: ``"recursive"``
-        (node-at-a-time) or ``"frontier"`` (level-synchronous batched —
-        same output and ledger, lower wall-clock; see ``docs/engines.md``).
+        (node-at-a-time), ``"frontier"`` (level-synchronous batched) or
+        ``"frontier-mp"`` (frontier batches on worker processes) — same
+        output and ledger, different wall-clock; see ``docs/engines.md``.
         ``None`` keeps ``config.engine``; ignored by ``"brute"``.
+    workers:
+        Worker-process count for ``"frontier-mp"`` (``None`` = one per
+        CPU); ignored by the serial engines.
 
     Returns
     -------
@@ -218,7 +232,7 @@ def all_knn(
     pts = as_points(points, min_points=1)
     if machine is None:
         machine = Machine()
-    config = _resolve_config(method, config, engine)
+    config = _resolve_config(method, config, engine, workers)
     if method == "fast":
         res: Union[FastDnCResult, SimpleDnCResult] = parallel_nearest_neighborhood(
             pts, k, machine=machine, seed=seed, config=config
@@ -258,18 +272,20 @@ def build_index(
     machine: Optional[Machine] = None,
     seed: object = None,
     engine: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> KNNIndex:
     """Build a reusable exact k-NN index over ``points``.
 
     Runs the fast algorithm once (charging ``machine``) and wraps the
     resulting partition tree + neighborhood system as a :class:`KNNIndex`
     whose :meth:`KNNIndex.query` serves exact k-NN for new points.
-    ``engine`` selects the execution engine as in :func:`all_knn`.
+    ``engine``/``workers`` select the execution engine as in
+    :func:`all_knn`.
     """
     pts = as_points(points, min_points=1)
     if machine is None:
         machine = Machine()
-    config = _resolve_config("fast", config, engine)
+    config = _resolve_config("fast", config, engine, workers)
     res = parallel_nearest_neighborhood(pts, k, machine=machine, seed=seed, config=config)
     return KNNIndex(points=pts, tree=res.tree, k=k, machine=machine, _system=res.system)
 
@@ -283,6 +299,7 @@ def run_traced(
     machine: Optional[Machine] = None,
     seed: object = None,
     engine: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> Tuple[KNNResult, Tracer]:
     """:func:`all_knn` under tracing; returns ``(result, tracer)``.
 
@@ -290,9 +307,11 @@ def run_traced(
     (replacing any existing one), the whole run is wrapped in a root
     ``"run"`` span, and the tracer is verified against the ledger: the
     root span's (depth, work) equals ``result.cost`` exactly, as does the
-    per-level exclusive-work decomposition.  ``engine`` selects the
-    execution engine as in :func:`all_knn` (the frontier engine emits
-    per-level ``frontier.level`` spans instead of per-node spans).
+    per-level exclusive-work decomposition.  ``engine``/``workers``
+    select the execution engine as in :func:`all_knn` (the frontier
+    engines emit per-level ``frontier.level`` spans instead of per-node
+    spans; ``frontier-mp`` additionally emits per-worker
+    ``frontier.shard`` spans).
     """
     if machine is None:
         machine = Machine()
@@ -301,7 +320,7 @@ def run_traced(
     with machine.span("run", method=method, n=int(np.asarray(points).shape[0]), k=k):
         result = all_knn(
             points, k, method=method, config=config, machine=machine, seed=seed,
-            engine=engine,
+            engine=engine, workers=workers,
         )
     if pre.depth == 0 and pre.work == 0:
         # fresh ledger: the root span must reproduce it exactly

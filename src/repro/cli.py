@@ -36,11 +36,20 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .core import ENGINES
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Separator based parallel divide and conquer (Frieze-Miller-Teng, SPAA 1992)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_engine_args(p: argparse.ArgumentParser, help_suffix: str) -> None:
+        p.add_argument("--engine", default=None, choices=list(ENGINES),
+                       help=f"DnC execution engine (same output; {help_suffix}")
+        p.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker processes for --engine frontier-mp "
+                            "(default: one per CPU)")
 
     def add_workload_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--workload", default="uniform",
@@ -58,9 +67,8 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["fast", "simple", "query", "kdtree", "grid", "brute"])
     knn.add_argument("--scan", default="unit", choices=["unit", "loglog", "log"],
                      help="SCAN cost policy of the simulated machine")
-    knn.add_argument("--engine", default=None, choices=["recursive", "frontier"],
-                     help="DnC execution engine (same output; frontier batches "
-                          "whole tree levels — see docs/engines.md)")
+    add_engine_args(knn, "frontier batches whole tree levels, frontier-mp "
+                         "runs them on worker processes — see docs/engines.md)")
     knn.add_argument("--check", action="store_true", help="verify against brute force")
     knn.add_argument("--out", default=None, help="save edges to this .npz file")
     knn.add_argument("--trace-out", default=None, metavar="PATH",
@@ -77,8 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
     scaling.add_argument("-d", "--d", type=int, default=2)
     scaling.add_argument("-k", "--k", type=int, default=1)
     scaling.add_argument("--seed", type=int, default=0)
-    scaling.add_argument("--engine", default=None, choices=["recursive", "frontier"],
-                         help="DnC execution engine for both algorithms")
+    add_engine_args(scaling, "used for both algorithms)")
     scaling.add_argument("--trace-out", default=None, metavar="PATH",
                          help="write a Chrome-trace JSON of the largest fast run")
 
@@ -100,9 +107,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="algorithm to run (see repro.api.all_knn)")
     trace.add_argument("--scan", default="unit", choices=["unit", "loglog", "log"],
                        help="SCAN cost policy of the simulated machine")
-    trace.add_argument("--engine", default=None, choices=["recursive", "frontier"],
-                       help="DnC execution engine (frontier emits per-level "
-                            "spans instead of per-node spans)")
+    add_engine_args(trace, "the frontier engines emit per-level spans "
+                           "instead of per-node spans)")
     trace.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write the Chrome-trace JSON here")
     trace.add_argument("--flame-width", type=int, default=40,
@@ -143,11 +149,11 @@ def _cmd_knn(args: argparse.Namespace) -> int:
         if args.trace_out:
             result, tracer = run_traced(pts, args.k, method=args.algo,
                                         machine=machine, seed=args.seed,
-                                        engine=args.engine)
+                                        engine=args.engine, workers=args.workers)
         else:
             result, tracer = all_knn(pts, args.k, method=args.algo,
                                      machine=machine, seed=args.seed,
-                                     engine=args.engine), None
+                                     engine=args.engine, workers=args.workers), None
         system, stats = result.system, result.stats
     elif args.algo == "kdtree":
         system, tracer = kdtree_knn(pts, args.k), None
@@ -215,15 +221,15 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
         if args.trace_out and n == largest:
             fast, tracer = run_traced(pts, args.k, method="fast",
                                       machine=fast_machine, seed=args.seed,
-                                      engine=args.engine)
+                                      engine=args.engine, workers=args.workers)
             _write_trace_file(args.trace_out, tracer, fast_machine,
                               command="scaling", algo="fast", n=n,
                               d=args.d, k=args.k)
         else:
             fast = all_knn(pts, args.k, method="fast", machine=fast_machine,
-                           seed=args.seed, engine=args.engine)
+                           seed=args.seed, engine=args.engine, workers=args.workers)
         simple = all_knn(pts, args.k, method="simple", machine=Machine(),
-                         seed=args.seed, engine=args.engine)
+                         seed=args.seed, engine=args.engine, workers=args.workers)
         rows.append((n, fast.cost.depth, simple.cost.depth))
         print(f"{n:>8} {fast.cost.depth:>11.0f} {simple.cost.depth:>13.0f} "
               f"{simple.cost.depth / fast.cost.depth:>5.2f}x")
@@ -275,7 +281,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     machine = Machine(scan=args.scan)
     result, tracer = run_traced(pts, args.k, method=args.method,
                                 machine=machine, seed=args.seed,
-                                engine=args.engine)
+                                engine=args.engine, workers=args.workers)
     cost = result.cost
     root = tracer.root
     print(f"trace {args.target}: method={args.method} n={n} d={d} k={args.k}")

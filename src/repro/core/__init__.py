@@ -11,7 +11,7 @@ from .graph_separators import (
     nested_dissection_order,
     separator_profile,
 )
-from .config import ENGINES, CommonConfig, supports_renamed_fields
+from .config import ENGINE_REGISTRY, ENGINES, CommonConfig, EngineSpec, supports_renamed_fields
 from .correction import (
     MarchResult,
     apply_candidate_pairs,
@@ -48,6 +48,8 @@ __all__ = [
     "nested_dissection_order",
     "separator_profile",
     "CommonConfig",
+    "EngineSpec",
+    "ENGINE_REGISTRY",
     "ENGINES",
     "supports_renamed_fields",
     "MarchResult",

@@ -35,16 +35,56 @@ import numpy as np
 
 from ..util.rng import as_generator
 
-__all__ = ["CommonConfig", "supports_renamed_fields", "RENAMED_CONFIG_FIELDS", "ENGINES"]
+__all__ = [
+    "CommonConfig",
+    "supports_renamed_fields",
+    "RENAMED_CONFIG_FIELDS",
+    "EngineSpec",
+    "ENGINE_REGISTRY",
+    "ENGINES",
+]
 
 # old constructor keyword / attribute -> canonical dataclass field
 RENAMED_CONFIG_FIELDS = {"m0": "base_case_size"}
 
-#: Execution engines for the divide-and-conquer runners.  ``recursive`` is
-#: the node-at-a-time Python recursion; ``frontier`` processes each tree
-#: level as one segmented batch (see :mod:`repro.core.frontier`).  Both
-#: produce identical neighborhoods and ledgers on a shared seed.
-ENGINES = ("recursive", "frontier")
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One entry of the engine registry.
+
+    ``summary`` is the one-line help text surfaced by the CLI;
+    ``parallel`` marks engines that execute on OS worker processes (and
+    therefore honor :attr:`CommonConfig.workers`).
+    """
+
+    name: str
+    summary: str
+    parallel: bool = False
+
+
+#: The single source of truth for execution engines.  CLI ``--engine``
+#: choices, :class:`CommonConfig` validation and ``repro.ENGINES`` all
+#: derive from this table, so a new engine registers in exactly one place.
+ENGINE_REGISTRY = {
+    "recursive": EngineSpec(
+        "recursive",
+        "node-at-a-time Python recursion (the reference execution)",
+    ),
+    "frontier": EngineSpec(
+        "frontier",
+        "level-synchronous batched numpy passes (same output, lower wall-clock)",
+    ),
+    "frontier-mp": EngineSpec(
+        "frontier-mp",
+        "frontier batches fanned out to OS worker processes over shared memory",
+        parallel=True,
+    ),
+}
+
+#: Execution engines for the divide-and-conquer runners, in registry
+#: order.  All engines produce identical neighborhoods and ledgers on a
+#: shared seed; they differ only in host wall-clock execution.
+ENGINES = tuple(ENGINE_REGISTRY)
 
 
 def supports_renamed_fields(cls):
@@ -93,22 +133,30 @@ class CommonConfig:
         entry point is not given an explicit ``seed=``.  ``None`` means
         fresh OS entropy, as before.
     engine:
-        How the divide-and-conquer recursion is executed: ``"recursive"``
-        (node-at-a-time Python recursion) or ``"frontier"``
-        (level-synchronous batched passes).  The two engines produce
-        identical results on a shared seed; ``frontier`` is the fast path
-        for large inputs.
+        How the divide-and-conquer recursion is executed: any name in
+        :data:`ENGINE_REGISTRY` — ``"recursive"`` (node-at-a-time Python
+        recursion), ``"frontier"`` (level-synchronous batched passes) or
+        ``"frontier-mp"`` (frontier batches executed on OS worker
+        processes over shared memory).  All engines produce identical
+        results on a shared seed.
+    workers:
+        Worker-process count for parallel engines (``frontier-mp``).
+        ``None`` means one worker per available CPU; serial engines
+        ignore it.
     """
 
     base_case_size: int = 64
     seed: object = None
     engine: str = "recursive"
+    workers: Optional[int] = None
 
     def __post_init__(self):
-        if self.engine not in ENGINES:
+        if self.engine not in ENGINE_REGISTRY:
             raise ValueError(
                 f"unknown engine {self.engine!r}; expected one of {ENGINES}"
             )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
 
     # -- deprecated aliases ----------------------------------------------
 

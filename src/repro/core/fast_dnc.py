@@ -185,6 +185,12 @@ def parallel_nearest_neighborhood(
         tree = run_fast_frontier(
             pts, k, machine, root_ss, config, stats, nbr_idx, nbr_sq, base
         )
+    elif config.engine == "frontier-mp":
+        from ..parallel.engine import run_fast_frontier_mp
+
+        tree = run_fast_frontier_mp(
+            pts, k, machine, root_ss, config, stats, nbr_idx, nbr_sq, base
+        )
     else:
         runner = _Runner(pts, k, machine, root_ss, config, stats, nbr_idx, nbr_sq, base)
         levels = estimated_tree_levels(n, base, default_delta(d, config.epsilon))

@@ -103,6 +103,7 @@ class _Seg:
     attempts: int = 0
     is_leaf: bool = False
     pre_cost: Cost = ZERO
+    divide_cost: Cost = ZERO
     post_cost: Cost = ZERO
     total_cost: Cost = ZERO
     left: Optional["_Seg"] = None
@@ -374,6 +375,7 @@ class _FastFrontier(_FrontierBase):
                         samplers[i] = sampler
         for i, seg in enumerate(active):
             seg.pre_cost = seg.pre_cost.then(divide[i])
+            seg.divide_cost = divide[i]
             machine.attribute("divide", divide[i])
 
     # -- correction (mirrors _Runner.correct) ----------------------------
@@ -562,7 +564,6 @@ class _SimpleFrontier(_FrontierBase):
     _NS = "simple"
 
     def _build_level(self, segs: List[_Seg], span) -> List[_Seg]:
-        machine = self.machine
         active: List[_Seg] = []
         for seg in segs:
             self.stats.nodes += 1
@@ -574,50 +575,61 @@ class _SimpleFrontier(_FrontierBase):
             span.attrs["base_segments"] = len(segs) - len(active)
         split_segs: List[_Seg] = []
         for seg in active:
-            m = seg.ids.shape[0]
-            sub = self.points[seg.ids]
-            axis = seg.level % self.dim if self.config.rotate_axes else None
-            divide = ZERO
-            plane = None
-            # the recursive engine retries with axis=None on failure —
-            # charging and bumping per attempt even when the first attempt
-            # already had axis=None
-            for try_axis in (axis, None):
-                attempt_cost = machine.ewise_cost(m, _SELECTION_ROUNDS).then(
-                    machine.scan_cost(m).scaled(_SELECTION_ROUNDS)
-                )
-                divide = divide.then(attempt_cost)
-                machine.bump("hyperplane_cuts")
-                try:
-                    plane = median_hyperplane(sub, axis=try_axis)
-                    break
-                except ValueError:
-                    plane = None
-            if plane is None:
-                seg.pre_cost = seg.pre_cost.then(divide)
-                machine.attribute("divide", divide)
-                self.stats.degenerate_cuts += 1
-                self._leaf(seg)
-                continue
-            side = plane.side_of_points(sub)
-            divide = (
-                divide
-                .then(machine.ewise_cost(m, 2.0))
-                .then(machine.scan_cost(m).then(machine.permute_cost(m)))
-            )
-            seg.pre_cost = seg.pre_cost.then(divide)
-            machine.attribute("divide", divide)
-            interior = int(np.count_nonzero(side < 0))
-            if interior == 0 or interior == m:
-                self.stats.degenerate_cuts += 1
-                self._leaf(seg)
-                continue
-            seg.separator = plane
-            seg.side = side
-            split_segs.append(seg)
+            if self._divide_segment(seg):
+                split_segs.append(seg)
         if not split_segs:
             return []
         return self._split_segments(split_segs)
+
+    def _divide_segment(self, seg: _Seg) -> bool:
+        """Try a median-hyperplane cut of one segment; returns whether the
+        segment split (``separator``/``side`` set) or degenerated to a
+        leaf.  Shared by the serial frontier and the worker-side shard
+        kernel of the ``frontier-mp`` engine."""
+        machine = self.machine
+        m = seg.ids.shape[0]
+        sub = self.points[seg.ids]
+        axis = seg.level % self.dim if self.config.rotate_axes else None
+        divide = ZERO
+        plane = None
+        # the recursive engine retries with axis=None on failure —
+        # charging and bumping per attempt even when the first attempt
+        # already had axis=None
+        for try_axis in (axis, None):
+            attempt_cost = machine.ewise_cost(m, _SELECTION_ROUNDS).then(
+                machine.scan_cost(m).scaled(_SELECTION_ROUNDS)
+            )
+            divide = divide.then(attempt_cost)
+            machine.bump("hyperplane_cuts")
+            try:
+                plane = median_hyperplane(sub, axis=try_axis)
+                break
+            except ValueError:
+                plane = None
+        if plane is None:
+            seg.pre_cost = seg.pre_cost.then(divide)
+            seg.divide_cost = divide
+            machine.attribute("divide", divide)
+            self.stats.degenerate_cuts += 1
+            self._leaf(seg)
+            return False
+        side = plane.side_of_points(sub)
+        divide = (
+            divide
+            .then(machine.ewise_cost(m, 2.0))
+            .then(machine.scan_cost(m).then(machine.permute_cost(m)))
+        )
+        seg.pre_cost = seg.pre_cost.then(divide)
+        seg.divide_cost = divide
+        machine.attribute("divide", divide)
+        interior = int(np.count_nonzero(side < 0))
+        if interior == 0 or interior == m:
+            self.stats.degenerate_cuts += 1
+            self._leaf(seg)
+            return False
+        seg.separator = plane
+        seg.side = side
+        return True
 
     def _correct_node(self, seg: _Seg) -> int:
         node = seg.node

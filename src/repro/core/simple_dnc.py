@@ -112,10 +112,13 @@ def simple_parallel_dnc(
     nbr_sq = np.full((n, k), np.inf)
     base = config.base_size(k)
 
-    if config.engine == "frontier":
-        from .frontier import run_simple_frontier
+    if config.engine in ("frontier", "frontier-mp"):
+        if config.engine == "frontier":
+            from .frontier import run_simple_frontier as run_frontier
+        else:
+            from ..parallel.engine import run_simple_frontier_mp as run_frontier
 
-        tree = run_simple_frontier(
+        tree = run_frontier(
             pts, k, machine, root_ss, config, stats, nbr_idx, nbr_sq, base
         )
         system = KNeighborhoodSystem(pts, k, nbr_idx, nbr_sq)

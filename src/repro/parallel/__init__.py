@@ -1,0 +1,39 @@
+"""repro.parallel — real multi-core execution of the frontier engine.
+
+The paper's algorithm is an *n-processor* algorithm; the PVM ledger
+simulates that machine, and the frontier engine already executes in the
+level-synchronous shape the ledger accounts for.  This package closes the
+last gap: it runs each frontier level's batches on actual OS worker
+processes over shared-memory numpy buffers, selected as
+``engine="frontier-mp"`` (with ``workers=N``) anywhere an engine is
+accepted — :class:`~repro.core.config.CommonConfig`, the
+:mod:`repro.api` facade, and the CLI's ``--engine/--workers``.
+
+Layers (see ``docs/parallel.md`` for the architecture tour):
+
+- :mod:`~repro.parallel.shm` — shared-memory array lifecycle (master
+  creates/unlinks, workers attach);
+- :mod:`~repro.parallel.plan` — contiguous, balance-weighted shard
+  planning over a level's segments;
+- :mod:`~repro.parallel.pool` — the persistent worker pool and its task
+  protocol;
+- :mod:`~repro.parallel.kernels` — worker-side shard kernels (the same
+  frontier methods, run on shards);
+- :mod:`~repro.parallel.engine` — the master-side orchestrators
+  guaranteeing bit-identical results to the serial engines for any
+  worker count.
+"""
+
+from .plan import Shard, plan_shards
+from .pool import WorkerError, WorkerPool, resolve_workers
+from .shm import SharedArray, ShmSpec
+
+__all__ = [
+    "Shard",
+    "plan_shards",
+    "WorkerError",
+    "WorkerPool",
+    "resolve_workers",
+    "SharedArray",
+    "ShmSpec",
+]

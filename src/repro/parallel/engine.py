@@ -1,0 +1,307 @@
+"""The ``frontier-mp`` engine: frontier levels on OS worker processes.
+
+:class:`_ParallelFastFrontier` / :class:`_ParallelSimpleFrontier` subclass
+the serial frontier engines and replace the *execution* of each level —
+leaf brute force, separator search, ball classification, correction — with
+shard tasks fanned out over a :class:`~repro.parallel.pool.WorkerPool`,
+while keeping every piece of *accounting* on the master, replayed in the
+serial order.  The bit-identity contract (same neighbors, tree and
+(depth, work) ledger as ``engine="frontier"`` — and hence as
+``"recursive"`` — for any worker count) rests on a strict split of
+responsibilities:
+
+master-side, serial order
+    segment bookkeeping, the level-wide ``segmented_split``, tree linking,
+    the ``pre/divide/base/correct`` section folds (replayed per segment
+    from worker-returned :class:`~repro.pvm.cost.Cost` values in exactly
+    the serial fold order), the bottom-up cost composition and the single
+    root charge;
+worker-side, order-free
+    everything numerical.  Workers run the *same* frontier methods on
+    contiguous shards of the level; shard-restriction is bitwise invisible
+    because those methods are per-segment independent, and each segment
+    consumes only its own :func:`~repro.util.rng.path_rng` stream (build
+    kernels return the post-search generator state, which the master ships
+    back for the node's correction task, so punt-path draws continue the
+    exact serial stream).
+
+Event counters merge additively and are therefore exact; metric *series*
+arrive in shard order, equal to the serial engine's as multisets (the same
+guarantee the frontier engine gives relative to the recursive one).
+
+Observability: in addition to the serial engine's per-level spans, every
+shard task emits a ``frontier.shard`` span (worker id, segment/point
+counts, wall milliseconds) and the run reports ``parallel.workers``,
+``parallel.tasks``, ``parallel.busy_seconds`` and ``parallel.utilization``
+through the metrics registry.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.frontier import _FastFrontier, _Seg, _SimpleFrontier
+from ..pvm.cost import Cost
+from .plan import build_weight, correct_weight, plan_shards
+from .pool import WorkerPool, resolve_workers
+from .shm import SharedArray
+
+__all__ = ["run_fast_frontier_mp", "run_simple_frontier_mp"]
+
+
+class _ParallelFrontierMixin:
+    """Master-side orchestration shared by the fast and simple engines."""
+
+    def run(self):
+        wall0 = time.perf_counter()
+        workers = resolve_workers(self.config.workers)
+        self._arena: List[SharedArray] = []
+        self._level_buffers: List[SharedArray] = []
+        caller_idx, caller_sq = self.nbr_idx, self.nbr_sq
+        points_sa = SharedArray.create_from(self.points)
+        idx_sa = SharedArray.create_from(self.nbr_idx)
+        sq_sa = SharedArray.create_from(self.nbr_sq)
+        self._arena += [points_sa, idx_sa, sq_sa]
+        self._pool = WorkerPool(workers)
+        try:
+            self._pool.broadcast("init_run", {
+                "method": self._NS,
+                "k": self.k,
+                "base": self.base,
+                "config": self.config,
+                "root_ss": self.root_ss,
+                "scan": self.machine.scan_policy,
+                "points_spec": points_sa.spec,
+                "nbr_idx_spec": idx_sa.spec,
+                "nbr_sq_spec": sq_sa.spec,
+            })
+            root = super().run()
+            caller_idx[...] = idx_sa.array
+            caller_sq[...] = sq_sa.array
+        finally:
+            self._pool.close()
+            for sa in self._arena:
+                sa.destroy()
+        busy = float(sum(self._pool.busy_seconds))
+        wall = time.perf_counter() - wall0
+        metrics = self.machine.metrics
+        metrics.set_gauge("parallel.workers", workers)
+        metrics.inc("parallel.tasks", self._pool.tasks_done)
+        metrics.inc("parallel.busy_seconds", busy)
+        metrics.set_gauge(
+            "parallel.utilization", busy / max(workers * wall, 1e-12)
+        )
+        return root
+
+    # -- build phase -----------------------------------------------------
+
+    def _build_level(self, segs: List[_Seg], span) -> List[_Seg]:
+        self.stats.nodes += len(segs)
+        level = segs[0].level
+        buf = SharedArray.create_from(np.concatenate([s.ids for s in segs]))
+        self._level_buffers.append(buf)
+        self._arena.append(buf)
+        kinds = ["leaf" if s.ids.shape[0] <= self.base else "active" for s in segs]
+        descs = []
+        offset = 0
+        for seg, kind in zip(segs, kinds):
+            m = seg.ids.shape[0]
+            descs.append((offset, m, seg.path, kind))
+            offset += m
+        weights = [
+            build_weight(s.ids.shape[0], kind == "leaf", self.base)
+            for s, kind in zip(segs, kinds)
+        ]
+        shards = plan_shards(weights, self._pool.workers)
+        payloads = [
+            {"level": level, "ids_spec": buf.spec, "segs": descs[s.start : s.stop]}
+            for s in shards
+        ]
+        results: List[Optional[dict]] = [None] * len(segs)
+        for (reply, worker, elapsed), shard in zip(
+            self._pool.run_tasks("build_shard", payloads), shards
+        ):
+            self._merge_task(reply)
+            self._shard_span("build", level, worker, shard, segs, elapsed)
+            results[shard.start : shard.stop] = reply["segs"]
+        return self._replay_build(segs, results, span)
+
+    def _replay_build(self, segs, results, span) -> List[_Seg]:
+        """Fold the shard results back in the serial engine's order."""
+        machine = self.machine
+        actives = []
+        for seg, res in zip(segs, results):
+            if res["kind"] == "leaf":
+                seg.is_leaf = True
+                seg.pre_cost = res["pre_cost"]
+                m = seg.ids.shape[0]
+                machine.attribute("base", Cost(float(m), float(m) * float(m)))
+            else:
+                actives.append((seg, res))
+        if span is not None:
+            span.attrs["base_segments"] = len(segs) - len(actives)
+        if not actives:
+            return []
+        for seg, res in actives:
+            seg.divide_cost = res["divide_cost"]
+            machine.attribute("divide", res["divide_cost"])
+        split_segs: List[_Seg] = []
+        for seg, res in actives:
+            seg.pre_cost = res["pre_cost"]
+            if res["kind"] == "split":
+                seg.separator = res["separator"]
+                seg.side = res["side"]
+                seg.attempts = res.get("attempts", 0)
+                seg.rng = res.get("rng")
+                split_segs.append(seg)
+            else:
+                seg.is_leaf = True
+                m = seg.ids.shape[0]
+                machine.attribute("base", Cost(float(m), float(m) * float(m)))
+        self._note_failures(span, len(actives) - len(split_segs))
+        if not split_segs:
+            return []
+        self._finalize_split_costs(split_segs)
+        return self._split_segments(split_segs)
+
+    # -- correction phase ------------------------------------------------
+
+    def _correct_levels(self, levels: List[List[_Seg]]) -> None:
+        self._pool.broadcast("install_tree", {
+            "levels": [
+                [(s.ids.shape[0], s.is_leaf, s.separator) for s in level_segs]
+                for level_segs in levels
+            ],
+            "ids_specs": [buf.spec for buf in self._level_buffers],
+        })
+        for li in range(len(levels) - 1, -1, -1):
+            level_segs = levels[li]
+            internal = [
+                (pos, s) for pos, s in enumerate(level_segs) if not s.is_leaf
+            ]
+            if not internal:
+                continue
+            with self.machine.span(
+                "frontier.level",
+                phase="correct",
+                level=internal[0][1].level,
+                segments=len(internal),
+            ) as span:
+                weights = [correct_weight(s.ids.shape[0]) for _, s in internal]
+                shards = plan_shards(weights, self._pool.workers)
+                payloads = []
+                for shard in shards:
+                    chunk = internal[shard.start : shard.stop]
+                    payload = {"level": li, "positions": [pos for pos, _ in chunk]}
+                    if self._ships_correction_rngs:
+                        payload["rngs"] = [s.rng for _, s in chunk]
+                    payloads.append(payload)
+                results: List[Optional[dict]] = [None] * len(internal)
+                for (reply, worker, elapsed), shard in zip(
+                    self._pool.run_tasks("correct_shard", payloads), shards
+                ):
+                    self._merge_task(reply)
+                    self._shard_span(
+                        "correct", li, worker, shard,
+                        [s for _, s in internal], elapsed,
+                    )
+                    results[shard.start : shard.stop] = reply["segs"]
+                straddlers = 0
+                for (_, seg), res in zip(internal, results):
+                    seg.post_cost = res["post_cost"]
+                    straddlers += res["straddlers"]
+                    seg.node.meta.update(res["meta"])
+                    self.machine.attribute("correct", seg.post_cost)
+                if span is not None:
+                    span.attrs["straddlers"] = int(straddlers)
+
+    # -- merge helpers ---------------------------------------------------
+
+    def _merge_task(self, reply: dict) -> None:
+        counters = self.machine.counters
+        for key, value in reply["counters"].items():
+            counters[key] = counters.get(key, 0) + value
+        self.machine.metrics.merge(reply["metrics"])
+
+    def _shard_span(self, phase, level, worker, shard, segs, elapsed) -> None:
+        points = int(
+            sum(s.ids.shape[0] for s in segs[shard.start : shard.stop])
+        )
+        with self.machine.span(
+            "frontier.shard",
+            phase=phase,
+            level=level,
+            worker=worker,
+            segments=len(shard),
+            points=points,
+            wall_ms=elapsed * 1000.0,
+        ):
+            pass
+
+    # -- engine-specific hooks -------------------------------------------
+
+    _ships_correction_rngs = False
+
+    def _finalize_split_costs(self, split_segs: List[_Seg]) -> None:
+        raise NotImplementedError
+
+    def _note_failures(self, span, failures: int) -> None:
+        pass
+
+
+class _ParallelFastFrontier(_ParallelFrontierMixin, _FastFrontier):
+    """Multiprocess execution of the Section 6 fast algorithm."""
+
+    # punt-path correction draws continue the post-separator-search
+    # generator state returned by the build kernels
+    _ships_correction_rngs = True
+
+    def _finalize_split_costs(self, split_segs: List[_Seg]) -> None:
+        for seg in split_segs:
+            m = seg.ids.shape[0]
+            seg.pre_cost = (
+                seg.pre_cost
+                .then(self.machine.ewise_cost(m, 2.0))
+                .then(self.machine.scan_cost(m).then(self.machine.permute_cost(m)))
+            )
+
+    def _note_failures(self, span, failures: int) -> None:
+        if span is not None:
+            span.attrs["separator_failures"] = failures
+
+
+class _ParallelSimpleFrontier(_ParallelFrontierMixin, _SimpleFrontier):
+    """Multiprocess execution of the Section 5 simple algorithm.
+
+    Correction generators are derived worker-side from each node's path
+    (the simple build never consumes randomness), so no RNG state ships.
+    """
+
+    def _finalize_split_costs(self, split_segs: List[_Seg]) -> None:
+        # the hyperplane divide cost already includes the split fold
+        pass
+
+
+def run_fast_frontier_mp(
+    points, k, machine, root_ss, config, stats, nbr_idx, nbr_sq, base
+):
+    """Multiprocess frontier drive of the fast algorithm; same contract —
+    and, seed-for-seed, bitwise the same output and ledger for any worker
+    count — as :func:`repro.core.frontier.run_fast_frontier`."""
+    return _ParallelFastFrontier(
+        points, k, machine, root_ss, config, stats, nbr_idx, nbr_sq, base
+    ).run()
+
+
+def run_simple_frontier_mp(
+    points, k, machine, root_ss, config, stats, nbr_idx, nbr_sq, base
+):
+    """Multiprocess frontier drive of the simple algorithm; same contract —
+    and, seed-for-seed, bitwise the same output and ledger for any worker
+    count — as :func:`repro.core.frontier.run_simple_frontier`."""
+    return _ParallelSimpleFrontier(
+        points, k, machine, root_ss, config, stats, nbr_idx, nbr_sq, base
+    ).run()

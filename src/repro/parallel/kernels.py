@@ -1,0 +1,245 @@
+"""Worker-side kernels of the multiprocess frontier engine.
+
+Each worker process holds one :class:`RunState` per engine run (installed
+by :func:`init_run`) and then executes shard kernels against it.  The
+kernels do **not** reimplement the algorithms: they instantiate the very
+same :class:`~repro.core.frontier._FastFrontier` /
+:class:`~repro.core.frontier._SimpleFrontier` classes — over shared-memory
+views of the run's arrays, with a private
+:class:`~repro.pvm.machine.Machine` and metrics registry — and run the
+existing segment-restricted methods (``_leaf``, ``_find_separators``,
+``_divide_segment``, ``_classify_level``, ``_correct_node``,
+``_flush_level_pairs``) on their shard.  Because every batched pass in
+those methods is per-segment independent (row-local sphere tests,
+per-matrix-stable stacked SVDs, per-owner-independent pair merges) and
+each segment consumes only its own :func:`~repro.util.rng.path_rng`
+stream, a shard-restricted execution is bitwise identical to the same
+segments' slice of a whole-level execution — worker count can never
+change a result.
+
+Results travel back as plain picklable payloads: per-segment costs,
+separators, side vectors and post-search RNG states, plus the task-local
+``machine.counters`` and metrics registry for the master to fold in.
+Neighbor rows are written directly into the shared ``nbr_idx``/``nbr_sq``
+arrays; same-level segments own disjoint rows, so concurrent shard writes
+never race.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..core.fast_dnc import FastDnCStats
+from ..core.frontier import _FastFrontier, _Seg, _SimpleFrontier
+from ..core.partition_tree import PartitionNode
+from ..core.simple_dnc import SimpleDnCStats
+from ..pvm.machine import Machine
+from .shm import attach
+
+__all__ = ["KERNELS", "init_run"]
+
+_STATE: Optional["RunState"] = None
+
+
+class RunState:
+    """Per-run worker context: shared arrays, config, and the tree mirror."""
+
+    def __init__(self, payload: Dict[str, Any]) -> None:
+        self.method: str = payload["method"]
+        self.k: int = payload["k"]
+        self.base: int = payload["base"]
+        self.config = payload["config"]
+        self.root_ss = payload["root_ss"]
+        self.scan: str = payload["scan"]
+        self._attached: Dict[str, Any] = {}
+        self.points = self.attach_cached(payload["points_spec"])
+        self.nbr_idx = self.attach_cached(payload["nbr_idx_spec"])
+        self.nbr_sq = self.attach_cached(payload["nbr_sq_spec"])
+        self.levels: Optional[List[List[_Seg]]] = None
+
+    def attach_cached(self, spec) -> np.ndarray:
+        if spec.name not in self._attached:
+            self._attached[spec.name] = attach(spec)
+        return self._attached[spec.name][1]
+
+    def make_engine(self):
+        """A fresh engine with a task-local machine and metrics registry."""
+        machine = Machine(scan=self.scan)
+        if self.method == "fast":
+            cls, stats = _FastFrontier, FastDnCStats(metrics=machine.metrics)
+        else:
+            cls, stats = _SimpleFrontier, SimpleDnCStats(metrics=machine.metrics)
+        return cls(
+            self.points, self.k, machine, self.root_ss, self.config,
+            stats, self.nbr_idx, self.nbr_sq, self.base,
+        )
+
+
+def init_run(payload: Dict[str, Any]) -> bool:
+    """Install the run context shipped by the master."""
+    global _STATE
+    _STATE = RunState(payload)
+    return True
+
+
+def _task_result(engine, segs: List[Dict[str, Any]]) -> Dict[str, Any]:
+    return {
+        "segs": segs,
+        "counters": dict(engine.machine.counters),
+        "metrics": engine.machine.metrics,
+    }
+
+
+def build_shard(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Build-phase kernel: resolve this shard's leaves and search this
+    shard's active segments for separators, exactly as the serial
+    frontier would for the same segments."""
+    state = _STATE
+    ids_buf = state.attach_cached(payload["ids_spec"])
+    engine = state.make_engine()
+    level = payload["level"]
+    results: List[Optional[Dict[str, Any]]] = []
+    actives: List[_Seg] = []
+    active_slots: List[int] = []
+    for offset, length, path, kind in payload["segs"]:
+        seg = _Seg(
+            ids=ids_buf[offset : offset + length], level=level, path=tuple(path)
+        )
+        if kind == "leaf":
+            engine._leaf(seg)
+            results.append({"kind": "leaf", "pre_cost": seg.pre_cost})
+        else:
+            active_slots.append(len(results))
+            results.append(None)
+            actives.append(seg)
+    if actives:
+        if state.method == "fast":
+            engine._find_separators(actives)
+            for slot, seg in zip(active_slots, actives):
+                if seg.separator is None:
+                    engine.stats.punts_separator += 1
+                    engine._leaf(seg)
+                    results[slot] = {
+                        "kind": "failed",
+                        "pre_cost": seg.pre_cost,
+                        "divide_cost": seg.divide_cost,
+                    }
+                else:
+                    results[slot] = {
+                        "kind": "split",
+                        "pre_cost": seg.pre_cost,
+                        "divide_cost": seg.divide_cost,
+                        "separator": seg.separator,
+                        "side": seg.side,
+                        "attempts": seg.attempts,
+                        "rng": seg.rng,
+                    }
+        else:
+            for slot, seg in zip(active_slots, actives):
+                if engine._divide_segment(seg):
+                    results[slot] = {
+                        "kind": "split",
+                        "pre_cost": seg.pre_cost,
+                        "divide_cost": seg.divide_cost,
+                        "separator": seg.separator,
+                        "side": seg.side,
+                    }
+                else:
+                    results[slot] = {
+                        "kind": "failed",
+                        "pre_cost": seg.pre_cost,
+                        "divide_cost": seg.divide_cost,
+                    }
+    return _task_result(engine, results)
+
+
+def install_tree(payload: Dict[str, Any]) -> bool:
+    """Rebuild the partition tree as a local mirror over shared-memory id
+    buffers, so correction kernels can classify and march without
+    shipping subtrees per task.
+
+    Children of the ``c``-th internal segment of level ``L`` (in segment
+    order) sit at positions ``2c``/``2c + 1`` of level ``L + 1`` — the
+    append order of the master's ``_split_segments``.
+    """
+    state = _STATE
+    levels: List[List[_Seg]] = []
+    for li, (level_spec, ids_spec) in enumerate(
+        zip(payload["levels"], payload["ids_specs"])
+    ):
+        ids_buf = state.attach_cached(ids_spec)
+        offset = 0
+        segs: List[_Seg] = []
+        for length, is_leaf, separator in level_spec:
+            seg = _Seg(ids=ids_buf[offset : offset + length], level=li, path=())
+            seg.is_leaf = is_leaf
+            seg.separator = separator
+            segs.append(seg)
+            offset += length
+        levels.append(segs)
+    for li, segs in enumerate(levels):
+        child = 0
+        for seg in segs:
+            if not seg.is_leaf:
+                seg.left = levels[li + 1][2 * child]
+                seg.right = levels[li + 1][2 * child + 1]
+                seg.left.path = seg.path + (0,)
+                seg.right.path = seg.path + (1,)
+                child += 1
+    for segs in reversed(levels):
+        for seg in segs:
+            if seg.is_leaf:
+                seg.node = PartitionNode(indices=seg.ids)
+            else:
+                seg.node = PartitionNode(
+                    indices=seg.ids,
+                    separator=seg.separator,
+                    left=seg.left.node,
+                    right=seg.right.node,
+                )
+    state.levels = levels
+    return True
+
+
+def correct_shard(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Correction kernel: classify, correct and flush this shard's
+    internal segments of one level against the mirrored tree."""
+    state = _STATE
+    segs = [state.levels[payload["level"]][pos] for pos in payload["positions"]]
+    rngs = payload.get("rngs")
+    if rngs is not None:
+        for seg, rng in zip(segs, rngs):
+            seg.rng = rng
+    engine = state.make_engine()
+    results: List[Dict[str, Any]] = []
+    if state.method == "fast":
+        classified = engine._classify_level(segs)
+        engine._pending_owners = []
+        engine._pending_cands = []
+        for seg, (cls_in, cls_ex) in zip(segs, classified):
+            straddlers = engine._correct_node(seg, cls_in, cls_ex)
+            results.append({
+                "post_cost": seg.post_cost,
+                "straddlers": int(straddlers),
+                "meta": dict(seg.node.meta),
+            })
+        engine._flush_level_pairs()
+    else:
+        for seg in segs:
+            straddlers = engine._correct_node(seg)
+            results.append({
+                "post_cost": seg.post_cost,
+                "straddlers": int(straddlers),
+                "meta": dict(seg.node.meta),
+            })
+    return _task_result(engine, results)
+
+
+KERNELS = {
+    "init_run": init_run,
+    "build_shard": build_shard,
+    "install_tree": install_tree,
+    "correct_shard": correct_shard,
+}

@@ -1,0 +1,94 @@
+"""Shard planning: split one level's segments into per-worker slices.
+
+A frontier level is a list of segments (partition-tree nodes in flight).
+The multiprocess engine hands each worker one **contiguous** run of
+segments — contiguity is what keeps the merged per-shard outputs in the
+serial segment order, which the bit-identity contract of
+:mod:`repro.parallel.engine` relies on.  :func:`plan_shards` balances the
+predicted cost of those runs greedily against the level's mean per-worker
+load; the plan is a pure function of the weights, so it is identical
+across runs and (by construction) never affects the computed *results*,
+only which process computes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = ["Shard", "plan_shards", "build_weight", "correct_weight"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """Half-open segment range ``[start, stop)`` assigned to one worker."""
+
+    start: int
+    stop: int
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+def plan_shards(weights: Sequence[float], workers: int) -> List[Shard]:
+    """Partition ``range(len(weights))`` into at most ``workers`` contiguous
+    shards of roughly equal total weight.
+
+    Greedy prefix walk: a shard closes once it reaches the remaining
+    average load (remaining weight / remaining shards), which guarantees
+    every shard is nonempty and the count never exceeds ``workers``.
+    Returns an empty list for an empty level.
+    """
+    n = len(weights)
+    if n == 0:
+        return []
+    workers = max(1, int(workers))
+    if workers == 1 or n == 1:
+        return [Shard(0, n)]
+    total = float(sum(weights))
+    shards: List[Shard] = []
+    start = 0
+    remaining = total
+    for w in range(workers, 0, -1):
+        if start >= n:
+            break
+        if w == 1 or n - start <= 1:
+            shards.append(Shard(start, n))
+            start = n
+            break
+        if n - start <= w:
+            # one segment per remaining shard
+            for i in range(start, n):
+                shards.append(Shard(i, i + 1))
+            start = n
+            break
+        target = remaining / w
+        acc = 0.0
+        stop = start
+        # close the shard at the first index where the accumulated weight
+        # reaches the remaining average, but always take at least one
+        # segment and leave at least one per remaining shard
+        max_stop = n - (w - 1)
+        while stop < max_stop and (acc < target or stop == start):
+            acc += float(weights[stop])
+            stop += 1
+        shards.append(Shard(start, stop))
+        remaining -= acc
+        start = stop
+    return shards
+
+
+def build_weight(size: int, is_leaf: bool, base: int) -> float:
+    """Predicted build cost of one segment: quadratic brute force for
+    leaves, near-linear separator search (sampling + sphere tests, with a
+    per-segment SVD constant) for active segments."""
+    m = float(size)
+    if is_leaf:
+        return m * m
+    return 4.0 * m + 256.0
+
+
+def correct_weight(size: int) -> float:
+    """Predicted correction cost of one internal segment (classification
+    and marching are near-linear in the node size)."""
+    return float(size) + 32.0

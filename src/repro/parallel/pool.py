@@ -1,0 +1,176 @@
+"""Persistent worker-process pool for the multiprocess frontier engine.
+
+One pool serves one engine run: the master spawns ``workers`` processes
+up front (``fork`` where the platform offers it, else ``spawn``), seeds
+each with the run's :func:`~repro.parallel.kernels.init_run` payload, and
+then drives named kernel tasks over duplex pipes.  The protocol is
+deliberately tiny:
+
+- master sends ``(kernel_name, payload)``; worker replies
+  ``("ok", result, elapsed_seconds)`` or ``("err", traceback_text)``;
+- ``(_EXIT, None)`` asks the worker to return from its loop.
+
+Remote exceptions re-raise in the master as :class:`WorkerError` carrying
+the worker's formatted traceback.  The pool tracks per-worker busy time
+(worker-measured kernel seconds) so the engine can report utilization,
+and a ``weakref.finalize`` terminates any still-alive children if a pool
+is dropped without :meth:`WorkerPool.close` — the suite's leak test
+relies on no code path orphaning a process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+import traceback
+import weakref
+from typing import Any, List, Optional, Sequence, Tuple
+
+__all__ = ["WorkerPool", "WorkerError", "resolve_workers"]
+
+_EXIT = "__exit__"
+
+
+class WorkerError(RuntimeError):
+    """A kernel raised (or a worker died) in a worker process."""
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Resolve a config ``workers`` value: ``None`` means one per CPU."""
+    if workers is not None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        return int(workers)
+    return os.cpu_count() or 1
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: dispatch kernel tasks until told to exit."""
+    from . import kernels
+
+    while True:
+        try:
+            name, payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        if name == _EXIT:
+            break
+        t0 = time.perf_counter()
+        try:
+            result = kernels.KERNELS[name](payload)
+        except BaseException:
+            try:
+                conn.send(("err", traceback.format_exc()))
+            except (BrokenPipeError, OSError):
+                break
+            continue
+        try:
+            conn.send(("ok", result, time.perf_counter() - t0))
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+def _terminate(procs) -> None:
+    for p in procs:
+        if p.is_alive():
+            p.terminate()
+    for p in procs:
+        if p.is_alive():
+            p.join(timeout=2.0)
+
+
+class WorkerPool:
+    """A fixed set of worker processes executing named kernels."""
+
+    def __init__(self, workers: int, start_method: Optional[str] = None) -> None:
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        ctx = mp.get_context(start_method)
+        self.workers = int(workers)
+        self.start_method = start_method
+        self._conns = []
+        self._procs = []
+        self.busy_seconds = [0.0] * self.workers
+        self.tasks_done = 0
+        self._closed = False
+        for _ in range(self.workers):
+            parent, child = ctx.Pipe(duplex=True)
+            proc = ctx.Process(target=_worker_main, args=(child,), daemon=True)
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+        self._finalizer = weakref.finalize(self, _terminate, list(self._procs))
+
+    # -- task protocol ---------------------------------------------------
+
+    def _submit(self, worker: int, name: str, payload: Any) -> None:
+        self._conns[worker].send((name, payload))
+
+    def _collect(self, worker: int, name: str) -> Any:
+        try:
+            reply = self._conns[worker].recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerError(
+                f"worker {worker} died while running {name!r}"
+            ) from exc
+        if reply[0] == "err":
+            raise WorkerError(
+                f"kernel {name!r} failed on worker {worker}:\n{reply[1]}"
+            )
+        _, result, elapsed = reply
+        self.busy_seconds[worker] += float(elapsed)
+        self.tasks_done += 1
+        return result
+
+    def run_tasks(
+        self, name: str, payloads: Sequence[Any]
+    ) -> List[Tuple[Any, int, float]]:
+        """Run one kernel per payload, payload ``i`` on worker ``i % W``
+        (waved so at most one task is in flight per worker), returning
+        ``(result, worker, elapsed_seconds)`` tuples in payload order."""
+        out: List[Tuple[Any, int, float]] = []
+        for lo in range(0, len(payloads), self.workers):
+            wave = payloads[lo : lo + self.workers]
+            for w, payload in enumerate(wave):
+                self._submit(w, name, payload)
+            for w in range(len(wave)):
+                before = self.busy_seconds[w]
+                result = self._collect(w, name)
+                out.append((result, w, self.busy_seconds[w] - before))
+        return out
+
+    def broadcast(self, name: str, payload: Any) -> List[Any]:
+        """Run one kernel with the same payload on every worker."""
+        for w in range(self.workers):
+            self._submit(w, name, payload)
+        return [self._collect(w, name) for w in range(self.workers)]
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Ask every worker to exit; escalate to terminate on timeout."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send((_EXIT, None))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+        _terminate(self._procs)
+        for conn in self._conns:
+            conn.close()
+        self._finalizer.detach()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

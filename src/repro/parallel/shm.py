@@ -1,0 +1,104 @@
+"""Shared-memory numpy array lifecycle for the multiprocess engine.
+
+The master process owns every segment: :class:`SharedArray.create` (or
+``create_from``) allocates a named POSIX shared-memory block and wraps it
+as a numpy array; its picklable :class:`ShmSpec` travels to workers, which
+:func:`attach` to the same block zero-copy.  Ownership rules:
+
+- the **master** creates, and at run end closes *and unlinks*, every
+  block (:meth:`SharedArray.destroy`); unlink runs even when live numpy
+  views make ``mmap.close()`` raise ``BufferError``, so ``/dev/shm``
+  never accumulates segments;
+- **workers** only attach.  Python 3.11's ``SharedMemory`` registers the
+  block with the resource tracker on attach as well as on create; worker
+  processes inherit the *master's* tracker, where the re-registration is
+  an idempotent set-add, and the master's ``unlink`` deregisters exactly
+  once — so :func:`attach` must *not* deregister (doing so would strip
+  the master's own registration and make its later ``unlink`` log a
+  tracker ``KeyError``).  Worker-side mappings are released by process
+  exit; workers never close explicitly (their numpy views stay alive for
+  the whole run).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["ShmSpec", "SharedArray", "attach"]
+
+#: Prefix of every segment this package creates — lets tests (and
+#: operators) audit ``/dev/shm`` for leaks attributable to us.
+SHM_PREFIX = "repro_mp_"
+
+
+@dataclass(frozen=True)
+class ShmSpec:
+    """Picklable handle to a shared array: name + layout."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+class SharedArray:
+    """A master-owned shared-memory block viewed as a numpy array."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, shape, dtype) -> None:
+        self._shm = shm
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        self.array = np.ndarray(self.shape, dtype=self.dtype, buffer=shm.buf)
+
+    @classmethod
+    def create(cls, shape, dtype) -> "SharedArray":
+        """Allocate a zero-size-safe block sized for ``shape``/``dtype``."""
+        nbytes = int(np.dtype(dtype).itemsize * int(np.prod(shape, dtype=np.int64)))
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, nbytes), name=SHM_PREFIX + secrets.token_hex(8)
+        )
+        return cls(shm, shape, dtype)
+
+    @classmethod
+    def create_from(cls, arr: np.ndarray) -> "SharedArray":
+        """Allocate and fill with a copy of ``arr``."""
+        out = cls.create(arr.shape, arr.dtype)
+        out.array[...] = arr
+        return out
+
+    @property
+    def spec(self) -> ShmSpec:
+        return ShmSpec(name=self._shm.name, shape=self.shape, dtype=self.dtype.str)
+
+    def destroy(self) -> None:
+        """Close and unlink; safe to call twice.
+
+        Unlink is attempted unconditionally — even when an outstanding
+        numpy view makes ``close()`` raise ``BufferError`` — so the
+        ``/dev/shm`` entry is removed as long as the process reaches this
+        call.  The mapping itself is released at interpreter exit.
+        """
+        self.array = None
+        try:
+            self._shm.close()
+        except BufferError:
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def attach(spec: ShmSpec) -> Tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Worker-side attach: map the master's block, return ``(shm, view)``.
+
+    The caller must keep the returned ``shm`` object alive as long as the
+    view is used; dropping it closes the mapping under the array.
+    """
+    shm = shared_memory.SharedMemory(name=spec.name)
+    view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+    return shm, view

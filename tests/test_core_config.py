@@ -21,7 +21,7 @@ ALL_CONFIGS = [FastDnCConfig, SimpleDnCConfig, QueryConfig]
 
 class TestEngineField:
     def test_engines_constant(self):
-        assert ENGINES == ("recursive", "frontier")
+        assert ENGINES == ("recursive", "frontier", "frontier-mp")
 
     @pytest.mark.parametrize("cls", ALL_CONFIGS + [CommonConfig])
     def test_default_is_recursive(self, cls):

@@ -103,7 +103,7 @@ class TestEngineEquivalence:
 
 class TestEngineAPI:
     def test_engines_tuple(self):
-        assert ENGINES == ("recursive", "frontier")
+        assert ENGINES == ("recursive", "frontier", "frontier-mp")
 
     def test_config_rejects_unknown_engine(self):
         with pytest.raises(ValueError, match="engine"):

@@ -1,0 +1,252 @@
+"""frontier-mp vs frontier: bit-identical results for any worker count.
+
+The multiprocess engine's contract extends the frontier engine's: with
+the same seed, ``engine="frontier-mp"`` produces byte-identical neighbor
+arrays, an identical partition tree, an exactly equal (depth, work)
+ledger, equal section totals and equal event counters — for *every*
+worker count, on every workload, including the punt paths.  (Transitively
+through :mod:`tests.test_engine_equivalence` this also pins frontier-mp
+against the recursive reference.)  The suite additionally covers the
+worker pool's failure modes and the leak-free-shutdown guarantee: a run
+leaves no orphaned processes and no ``/dev/shm`` segment behind.
+"""
+
+from __future__ import annotations
+
+import glob
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import ENGINE_REGISTRY, ENGINES, FastDnCConfig, SimpleDnCConfig
+from repro.core.fast_dnc import parallel_nearest_neighborhood
+from repro.core.simple_dnc import simple_parallel_dnc
+from repro.parallel import WorkerError, WorkerPool, resolve_workers
+from repro.parallel.shm import SHM_PREFIX
+from repro.workloads import uniform_cube, with_duplicates
+
+
+def _run(method: str, points, k: int, seed: int, **cfg):
+    if method == "fast":
+        return parallel_nearest_neighborhood(
+            points, k, seed=seed, config=FastDnCConfig(**cfg)
+        )
+    return simple_parallel_dnc(points, k, seed=seed, config=SimpleDnCConfig(**cfg))
+
+
+def _tree_shape(node):
+    return [(n.size, n.is_leaf) for n in node.nodes()]
+
+
+def _assert_mp_identical(method: str, points, k: int, seed: int, workers, **cfg):
+    """frontier-mp with ``workers`` reproduces frontier bit-for-bit."""
+    ref = _run(method, points, k, seed, engine="frontier", **cfg)
+    got = _run(
+        method, points, k, seed, engine="frontier-mp", workers=workers, **cfg
+    )
+    np.testing.assert_array_equal(
+        ref.system.neighbor_indices, got.system.neighbor_indices
+    )
+    np.testing.assert_array_equal(
+        ref.system.neighbor_sq_dists, got.system.neighbor_sq_dists
+    )
+    assert ref.cost.depth == got.cost.depth
+    assert ref.cost.work == got.cost.work
+    assert ref.machine.counters == got.machine.counters
+    assert ref.machine.sections == got.machine.sections
+    assert _tree_shape(ref.tree) == _tree_shape(got.tree)
+    assert got.tree.check_partition()
+    return ref, got
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("method", ["fast", "simple"])
+    def test_identical_across_worker_counts(self, method, workers):
+        _assert_mp_identical(method, uniform_cube(500, 2, seed=1), 2, 13, workers)
+
+    def test_identical_3d(self):
+        _assert_mp_identical("fast", uniform_cube(400, 3, seed=2), 2, 17, 2)
+
+    def test_identical_with_duplicates(self):
+        pts = with_duplicates(uniform_cube(300, 2, seed=3), 0.5, seed=3)
+        _assert_mp_identical("fast", pts, 2, 19, 2)
+        _assert_mp_identical("simple", pts, 2, 19, 2)
+
+    def test_identical_under_forced_iota_punts(self):
+        ref, _ = _assert_mp_identical(
+            "fast", uniform_cube(400, 2, seed=8), 1, 31, 2, iota_factor=1e-9
+        )
+        assert ref.stats.punts_iota > 0
+
+    def test_identical_under_forced_marching_punts(self):
+        ref, _ = _assert_mp_identical(
+            "fast", uniform_cube(400, 2, seed=9), 1, 37, 2, active_factor=1e-9
+        )
+        assert ref.stats.punts_marching > 0
+
+    def test_series_agree_as_multisets(self):
+        pts = uniform_cube(500, 2, seed=10)
+        ref = _run("fast", pts, 2, 41, engine="frontier")
+        got = _run("fast", pts, 2, 41, engine="frontier-mp", workers=3)
+        assert sorted(ref.stats.straddler_fraction) == sorted(
+            got.stats.straddler_fraction
+        )
+        assert sorted((m, tuple(a)) for m, a in ref.stats.marching_level_active) == \
+            sorted((m, tuple(a)) for m, a in got.stats.marching_level_active)
+        assert ref.stats.punts == got.stats.punts
+
+    def test_worker_count_invariance(self):
+        """workers=2 and workers=4 agree with each other, not just with 1."""
+        pts = uniform_cube(450, 2, seed=11)
+        a = _run("fast", pts, 2, 43, engine="frontier-mp", workers=2)
+        b = _run("fast", pts, 2, 43, engine="frontier-mp", workers=4)
+        np.testing.assert_array_equal(
+            a.system.neighbor_indices, b.system.neighbor_indices
+        )
+        assert a.cost.work == b.cost.work
+        assert a.machine.counters == b.machine.counters
+
+
+class TestLeakFreeShutdown:
+    def test_run_leaves_no_processes_or_shm(self):
+        before = set(glob.glob(f"/dev/shm/{SHM_PREFIX}*"))
+        _run("fast", uniform_cube(400, 2, seed=4), 2, 23,
+             engine="frontier-mp", workers=2)
+        assert mp.active_children() == []
+        after = set(glob.glob(f"/dev/shm/{SHM_PREFIX}*"))
+        assert after <= before
+
+    def test_failed_run_still_cleans_up(self):
+        before = set(glob.glob(f"/dev/shm/{SHM_PREFIX}*"))
+        with pytest.raises(ValueError):
+            # k >= n is rejected after the engine would have started;
+            # use a config-level failure instead: invalid workers
+            repro.all_knn(uniform_cube(64, 2, 0), 1,
+                          engine="frontier-mp", workers=0)
+        assert mp.active_children() == []
+        assert set(glob.glob(f"/dev/shm/{SHM_PREFIX}*")) <= before
+
+
+class TestWorkerPool:
+    def test_unknown_kernel_raises_worker_error(self):
+        with WorkerPool(1) as pool:
+            with pytest.raises(WorkerError, match="no_such_kernel"):
+                pool.run_tasks("no_such_kernel", [{}])
+        assert mp.active_children() == []
+
+    def test_pool_survives_kernel_error(self):
+        with WorkerPool(1) as pool:
+            with pytest.raises(WorkerError):
+                pool.run_tasks("no_such_kernel", [{}])
+            # the worker is still serving after a failed kernel
+            assert pool.run_tasks("init_run", []) == []
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(2)
+        pool.close()
+        pool.close()
+        assert mp.active_children() == []
+
+    def test_resolve_workers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(None) >= 1
+        with pytest.raises(ValueError, match="workers"):
+            resolve_workers(0)
+
+
+class TestEngineRegistry:
+    """Satellite: one registry drives config, api and CLI choices."""
+
+    def test_registry_and_engines_agree(self):
+        assert ENGINES == tuple(ENGINE_REGISTRY)
+        assert ENGINES == ("recursive", "frontier", "frontier-mp")
+        assert ENGINE_REGISTRY["frontier-mp"].parallel
+        assert not ENGINE_REGISTRY["frontier"].parallel
+
+    def test_api_reexports_registry_engines(self):
+        assert repro.ENGINES == ENGINES
+        assert repro.api.ENGINES is repro.ENGINES
+
+    def test_cli_choices_come_from_registry(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions
+            if isinstance(a, __import__("argparse")._SubParsersAction)
+        )
+        checked = 0
+        for name in ("knn", "scaling", "trace"):
+            sp = sub.choices[name]
+            engine = next(a for a in sp._actions if "--engine" in a.option_strings)
+            assert tuple(engine.choices) == ENGINES
+            assert any("--workers" in a.option_strings for a in sp._actions)
+            checked += 1
+        assert checked == 3
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_configs_accept_every_registry_engine(self, engine):
+        assert FastDnCConfig(engine=engine).engine == engine
+        assert SimpleDnCConfig(engine=engine).engine == engine
+
+    def test_config_workers_validation(self):
+        assert FastDnCConfig(workers=2).workers == 2
+        assert FastDnCConfig().workers is None
+        with pytest.raises(ValueError, match="workers"):
+            FastDnCConfig(workers=0)
+
+
+class TestFacadeAndObservability:
+    def test_api_workers_kwarg(self):
+        pts = uniform_cube(300, 2, seed=5)
+        ref = repro.all_knn(pts, 2, seed=43, engine="frontier")
+        got = repro.all_knn(pts, 2, seed=43, engine="frontier-mp", workers=2)
+        np.testing.assert_array_equal(ref.indices, got.indices)
+        np.testing.assert_array_equal(ref.sq_dists, got.sq_dists)
+        assert ref.cost.work == got.cost.work
+
+    def test_api_rejects_bad_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            repro.all_knn(uniform_cube(32, 2, 0), 1,
+                          engine="frontier-mp", workers=-1)
+
+    def test_build_index_mp(self):
+        pts = uniform_cube(240, 2, seed=6)
+        a = repro.build_index(pts, 2, seed=17, engine="frontier")
+        b = repro.build_index(pts, 2, seed=17, engine="frontier-mp", workers=2)
+        np.testing.assert_array_equal(a.query(pts[:5])[0], b.query(pts[:5])[0])
+
+    def test_shard_spans_and_parallel_metrics(self):
+        pts = uniform_cube(400, 2, seed=7)
+        result, tracer = repro.run_traced(
+            pts, 1, method="fast", seed=47, engine="frontier-mp", workers=2
+        )
+        spans = [s for _, s in tracer.root.walk()]
+        shard = [s for s in spans if s.name == "frontier.shard"]
+        assert shard, "frontier-mp runs must emit frontier.shard spans"
+        for s in shard:
+            assert s.attrs["phase"] in ("build", "correct")
+            assert 0 <= s.attrs["worker"] < 2
+            assert s.attrs["segments"] >= 1
+            assert s.attrs["wall_ms"] >= 0.0
+            # shard spans are observability-only: zero ledger cost
+            assert s.cost.work == 0.0
+        # the level spans of the serial frontier engine are still there
+        assert any(s.name == "frontier.level" for s in spans)
+        gauges = result.machine.metrics.gauges
+        counters = result.machine.metrics.counters
+        assert gauges["parallel.workers"] == 2
+        assert 0.0 <= gauges["parallel.utilization"] <= 1.0
+        assert counters["parallel.tasks"] > 0
+        assert counters["parallel.busy_seconds"] > 0.0
+
+    def test_traced_ledger_verifies(self):
+        # run_traced cross-checks the span tree against the ledger on a
+        # fresh machine; reaching here means the check passed
+        pts = uniform_cube(350, 2, seed=8)
+        for method in ("fast", "simple"):
+            repro.run_traced(pts, 2, method=method, seed=3,
+                             engine="frontier-mp", workers=2)

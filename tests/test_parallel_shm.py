@@ -1,0 +1,76 @@
+"""Shared-memory array lifecycle: create, attach, destroy, no leaks."""
+
+from __future__ import annotations
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.parallel import SharedArray, ShmSpec
+from repro.parallel.shm import SHM_PREFIX, attach
+
+
+def _shm_entries():
+    return glob.glob(f"/dev/shm/{SHM_PREFIX}*")
+
+
+class TestSharedArray:
+    def test_create_from_roundtrip(self):
+        src = np.arange(12, dtype=np.float64).reshape(3, 4)
+        sa = SharedArray.create_from(src)
+        try:
+            assert sa.array.shape == (3, 4)
+            assert sa.array.dtype == np.float64
+            np.testing.assert_array_equal(sa.array, src)
+            # the block holds a copy, not a view of the source
+            src[0, 0] = -1.0
+            assert sa.array[0, 0] == 0.0
+        finally:
+            sa.destroy()
+
+    def test_spec_is_picklable_handle(self):
+        sa = SharedArray.create_from(np.ones((5,), dtype=np.int64))
+        try:
+            spec = sa.spec
+            assert isinstance(spec, ShmSpec)
+            assert spec.name.startswith(SHM_PREFIX)
+            assert spec.shape == (5,)
+            assert np.dtype(spec.dtype) == np.int64
+        finally:
+            sa.destroy()
+
+    def test_attach_sees_master_writes(self):
+        sa = SharedArray.create(shape=(4,), dtype=np.int64)
+        try:
+            sa.array[:] = [1, 2, 3, 4]
+            shm, view = attach(sa.spec)
+            try:
+                np.testing.assert_array_equal(view, [1, 2, 3, 4])
+                view[0] = 99  # and the other direction
+                assert sa.array[0] == 99
+            finally:
+                del view
+                shm.close()
+        finally:
+            sa.destroy()
+
+    def test_zero_length_array(self):
+        sa = SharedArray.create(shape=(0, 3), dtype=np.float64)
+        try:
+            assert sa.array.shape == (0, 3)
+        finally:
+            sa.destroy()
+
+    def test_destroy_removes_entry_and_is_idempotent(self):
+        sa = SharedArray.create(shape=(8,), dtype=np.float64)
+        name = sa.spec.name
+        assert any(name in p for p in _shm_entries())
+        sa.destroy()
+        assert not any(name in p for p in _shm_entries())
+        sa.destroy()  # second call must not raise
+
+    def test_attach_missing_block_raises(self):
+        spec = ShmSpec(name=SHM_PREFIX + "does_not_exist", shape=(1,), dtype="<f8")
+        with pytest.raises(FileNotFoundError):
+            attach(spec)

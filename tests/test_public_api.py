@@ -83,11 +83,14 @@ class TestFacadeSurface:
         sig = inspect.signature(repro.all_knn)
         assert list(sig.parameters) == [
             "points", "k", "method", "config", "machine", "seed", "engine",
+            "workers",
         ]
         assert sig.parameters["method"].kind is inspect.Parameter.KEYWORD_ONLY
         assert sig.parameters["method"].default == "fast"
         assert sig.parameters["engine"].kind is inspect.Parameter.KEYWORD_ONLY
         assert sig.parameters["engine"].default is None
+        assert sig.parameters["workers"].kind is inspect.Parameter.KEYWORD_ONLY
+        assert sig.parameters["workers"].default is None
 
     def test_methods_tuple(self):
         from repro.api import METHODS
@@ -97,7 +100,7 @@ class TestFacadeSurface:
     def test_engines_tuple(self):
         from repro.api import ENGINES
 
-        assert ENGINES == ("recursive", "frontier")
+        assert ENGINES == ("recursive", "frontier", "frontier-mp")
         assert repro.ENGINES is ENGINES
 
     def test_unknown_engine_rejected(self):
