@@ -63,6 +63,7 @@ def record_bench_run(
     *,
     params: Optional[Dict[str, Any]] = None,
     extra: Optional[Dict[str, Any]] = None,
+    wall_seconds: Optional[float] = None,
 ) -> Dict[str, Any]:
     """Record one machine-bearing benchmark run's observability data.
 
@@ -79,6 +80,10 @@ def record_bench_run(
     series included) is additionally appended to the gitignored
     ``<name>_obs_full.json`` / ``BENCH_obs_full.json`` siblings.
 
+    ``wall_seconds`` (optional) records the run's host wall-clock, which
+    ``scripts/check_bench_regression.py`` compares under a relative
+    tolerance (ledger fields are compared exactly).
+
     Returns the (compact) record that was appended.
     """
     total = machine.total
@@ -93,6 +98,8 @@ def record_bench_run(
             for phase, cost in sorted(machine.sections.items())
         },
     }
+    if wall_seconds is not None:
+        record["wall_seconds"] = float(wall_seconds)
     if extra:
         record.update(extra)
     full_metrics = machine.metrics.to_dict()

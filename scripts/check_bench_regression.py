@@ -1,0 +1,271 @@
+#!/usr/bin/env python
+"""Performance-regression gate over the benchmark observability records.
+
+The paper's claims are (depth, work) bounds, and every engine promises
+bit-identical ledgers seed-for-seed — so the strongest regression signal
+this repo has is *exact* ledger comparison.  This script re-runs a small
+registry of fully seeded gate workloads and compares their obs summaries
+(total depth/work, per-phase sections, event counters) against the
+committed baseline ``benchmarks/results/regression_gate_obs.json``:
+
+- ledger fields must match **exactly** (any drift is a correctness or
+  cost-model regression, not noise);
+- wall-clock must stay within ``--wall-tol`` of the baseline (relative;
+  skipped entirely in ``--exact-ledger`` mode, which is what CI uses —
+  baselines are committed from other hardware);
+- the tracing self-check re-asserts a zero traced-vs-untraced ledger
+  delta (see :mod:`repro.obs.overhead`).
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_bench_regression.py               # gate
+    PYTHONPATH=src python scripts/check_bench_regression.py --exact-ledger
+    PYTHONPATH=src python scripts/check_bench_regression.py --update      # rebaseline
+    PYTHONPATH=src python scripts/check_bench_regression.py --compare A.json B.json
+    PYTHONPATH=src python scripts/check_bench_regression.py --perturb-work 0.01
+
+``--compare`` diffs any two obs-record JSON files (e.g. a fresh
+``benchmarks/results/a3_frontier_engine_obs.json`` against the committed
+copy) with the same rules.  ``--perturb-work`` injects a relative error
+into the fresh records before comparing — the CI negative test asserts
+the gate *fails* under it.  Exit codes: 0 pass, 1 regression, 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join(
+    REPO_ROOT, "benchmarks", "results", "regression_gate_obs.json"
+)
+
+#: The gate registry: small, fully seeded, engine-diverse workloads.
+#: Each entry must be cheap enough for CI (< a few seconds) while
+#: covering both algorithms and all three engines.
+GATE_RUNS = (
+    {"run": "fast_recursive", "method": "fast", "n": 1500, "d": 2, "k": 2,
+     "seed": 42, "engine": "recursive", "workers": None},
+    {"run": "fast_frontier", "method": "fast", "n": 3000, "d": 2, "k": 2,
+     "seed": 42, "engine": "frontier", "workers": None},
+    {"run": "fast_frontier_mp_w2", "method": "fast", "n": 3000, "d": 2,
+     "k": 2, "seed": 42, "engine": "frontier-mp", "workers": 2},
+    {"run": "fast_d3", "method": "fast", "n": 2000, "d": 3, "k": 1,
+     "seed": 7, "engine": "frontier", "workers": None},
+    {"run": "simple_frontier", "method": "simple", "n": 2000, "d": 2,
+     "k": 1, "seed": 11, "engine": "frontier", "workers": None},
+)
+
+
+def run_gates(names: Optional[List[str]] = None) -> List[Dict[str, Any]]:
+    """Execute the gate registry, returning obs-summary records."""
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.api import all_knn
+    from repro.pvm import Machine
+    from repro.workloads import uniform_cube
+
+    records = []
+    for spec in GATE_RUNS:
+        if names and spec["run"] not in names:
+            continue
+        pts = uniform_cube(spec["n"], spec["d"], spec["seed"])
+        machine = Machine()
+        t0 = time.perf_counter()
+        all_knn(
+            pts, spec["k"], method=spec["method"], machine=machine,
+            seed=spec["seed"], engine=spec["engine"], workers=spec["workers"],
+        )
+        wall = time.perf_counter() - t0
+        total = machine.total
+        counters = {
+            k: v for k, v in sorted(machine.counters.items())
+        }
+        records.append({
+            "run": spec["run"],
+            "params": {k: v for k, v in spec.items() if k != "run"},
+            "total": {"depth": total.depth, "work": total.work},
+            "phases": {
+                phase: {"depth": cost.depth, "work": cost.work}
+                for phase, cost in sorted(machine.sections.items())
+            },
+            "counters": counters,
+            "wall_seconds": wall,
+        })
+    return records
+
+
+def _index(records: List[Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
+    out = {}
+    for rec in records:
+        key = rec.get("run") or rec.get("experiment")
+        if key is None:
+            continue
+        params = rec.get("params", {})
+        out[f"{key}:{json.dumps(params, sort_keys=True, default=str)}"] = rec
+    return out
+
+
+def compare_records(
+    baseline: List[Dict[str, Any]],
+    fresh: List[Dict[str, Any]],
+    *,
+    wall_tol: float,
+    exact_ledger: bool,
+) -> List[str]:
+    """Compare obs records; return a list of human-readable failures."""
+    failures: List[str] = []
+    base_idx = _index(baseline)
+    fresh_idx = _index(fresh)
+    missing = sorted(set(base_idx) - set(fresh_idx))
+    for key in missing:
+        failures.append(f"{key.split(':')[0]}: missing from fresh run set")
+    for key, fresh_rec in sorted(fresh_idx.items()):
+        name = key.split(":")[0]
+        base_rec = base_idx.get(key)
+        if base_rec is None:
+            failures.append(
+                f"{name}: no committed baseline (run with --update to add)"
+            )
+            continue
+        for field in ("depth", "work"):
+            a = base_rec["total"][field]
+            b = fresh_rec["total"][field]
+            if a != b:
+                failures.append(
+                    f"{name}: total {field} {b} != baseline {a} (exact match required)"
+                )
+        base_phases = base_rec.get("phases", {})
+        fresh_phases = fresh_rec.get("phases", {})
+        for phase in sorted(set(base_phases) | set(fresh_phases)):
+            a, b = base_phases.get(phase), fresh_phases.get(phase)
+            if a != b:
+                failures.append(
+                    f"{name}: phase {phase!r} {b} != baseline {a}"
+                )
+        if base_rec.get("counters") is not None and (
+            base_rec.get("counters") != fresh_rec.get("counters")
+        ):
+            a, b = base_rec["counters"], fresh_rec.get("counters") or {}
+            diff = {
+                k: (a.get(k), b.get(k))
+                for k in sorted(set(a) | set(b)) if a.get(k) != b.get(k)
+            }
+            failures.append(f"{name}: counters differ: {diff}")
+        if not exact_ledger:
+            a = base_rec.get("wall_seconds")
+            b = fresh_rec.get("wall_seconds")
+            if a and b and abs(b - a) > wall_tol * a:
+                failures.append(
+                    f"{name}: wall {b:.3f}s outside +/-{wall_tol:.0%} of "
+                    f"baseline {a:.3f}s"
+                )
+    return failures
+
+
+def _load(path: str) -> List[Dict[str, Any]]:
+    with open(path) as fh:
+        loaded = json.load(fh)
+    if not isinstance(loaded, list):
+        raise ValueError(f"{path}: expected a JSON list of obs records")
+    return loaded
+
+
+def _perturb(records: List[Dict[str, Any]], rel: float) -> None:
+    for rec in records:
+        if "total" in rec:
+            rec["total"]["work"] = rec["total"]["work"] * (1.0 + rel)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Exact-ledger perf-regression gate over obs baselines."
+    )
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed gate baseline from a fresh run")
+    parser.add_argument("--baseline", default=BASELINE_PATH,
+                        help="baseline JSON path (default: committed gate file)")
+    parser.add_argument("--runs", default=None,
+                        help="comma-separated subset of gate run names")
+    parser.add_argument("--wall-tol", type=float, default=0.5,
+                        help="relative wall-clock tolerance (default 0.5 = +/-50%%)")
+    parser.add_argument("--exact-ledger", action="store_true",
+                        help="compare ledgers and counters only; ignore wall-clock "
+                             "(CI mode: baselines come from other hardware)")
+    parser.add_argument("--perturb-work", type=float, default=None, metavar="REL",
+                        help="inject a relative work error into the fresh records "
+                             "(negative test: the gate must then fail)")
+    parser.add_argument("--compare", nargs=2, default=None,
+                        metavar=("BASELINE.json", "FRESH.json"),
+                        help="compare two obs-record files instead of running gates")
+    parser.add_argument("--skip-overhead", action="store_true",
+                        help="skip the tracing zero-ledger-delta self-check")
+    args = parser.parse_args(argv)
+
+    if args.compare:
+        try:
+            baseline = _load(args.compare[0])
+            fresh = _load(args.compare[1])
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.perturb_work is not None:
+            _perturb(fresh, args.perturb_work)
+        failures = compare_records(
+            baseline, fresh,
+            wall_tol=args.wall_tol, exact_ledger=args.exact_ledger,
+        )
+        return _report(failures)
+
+    names = args.runs.split(",") if args.runs else None
+    fresh = run_gates(names)
+    if args.update:
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        with open(args.baseline, "w") as fh:
+            json.dump(fresh, fh, indent=1)
+            fh.write("\n")
+        print(f"wrote baseline {args.baseline} ({len(fresh)} gate runs)")
+        return 0
+    if not os.path.exists(args.baseline):
+        print(f"error: no baseline at {args.baseline}; run with --update",
+              file=sys.stderr)
+        return 2
+    baseline = _load(args.baseline)
+    if names:
+        baseline = [r for r in baseline if r.get("run") in names]
+    if args.perturb_work is not None:
+        _perturb(fresh, args.perturb_work)
+    failures = compare_records(
+        baseline, fresh, wall_tol=args.wall_tol, exact_ledger=args.exact_ledger,
+    )
+    if not args.skip_overhead and not failures:
+        from repro.obs.overhead import measure_overhead
+
+        report = measure_overhead(n=5000, repeats=1)
+        if report.ledger_delta != 0:
+            failures.append(
+                f"tracing self-check: traced vs untraced ledger delta "
+                f"{report.ledger_delta} != 0"
+            )
+        else:
+            print(f"tracing self-check: ledger delta 0 (exact), "
+                  f"overhead {report.overhead_fraction:+.1%} at n=5000")
+    return _report(failures)
+
+
+def _report(failures: List[str]) -> int:
+    if failures:
+        print(f"REGRESSION: {len(failures)} failure(s)", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("bench regression gate: OK (all ledgers exact)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

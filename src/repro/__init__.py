@@ -32,7 +32,7 @@ Public surface (see README for a tour):
 from . import analysis, api, baselines, core, geometry, obs, parallel, pvm, separators, util, workloads
 from .api import ENGINES, METHODS, KNNIndex, KNNResult, all_knn, build_index, run_traced
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "analysis",

@@ -300,6 +300,8 @@ def run_traced(
     seed: object = None,
     engine: Optional[str] = None,
     workers: Optional[int] = None,
+    events_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
 ) -> Tuple[KNNResult, Tracer]:
     """:func:`all_knn` under tracing; returns ``(result, tracer)``.
 
@@ -311,7 +313,13 @@ def run_traced(
     select the execution engine as in :func:`all_knn` (the frontier
     engines emit per-level ``frontier.level`` spans instead of per-node
     spans; ``frontier-mp`` additionally emits per-worker
-    ``frontier.shard`` spans).
+    ``frontier.shard`` spans with the worker's own span tree grafted
+    underneath).
+
+    Telemetry sinks: ``events_out`` writes the run's JSONL event log and
+    ``metrics_out`` the Prometheus exposition of its metrics registry
+    (see :mod:`repro.obs.export`).  Either falls back to the config's
+    field of the same name; ``None`` writes nothing.
     """
     if machine is None:
         machine = Machine()
@@ -325,4 +333,15 @@ def run_traced(
     if pre.depth == 0 and pre.work == 0:
         # fresh ledger: the root span must reproduce it exactly
         tracer.check_against(machine.total)
+    if events_out is None and config is not None:
+        events_out = getattr(config, "events_out", None)
+    if metrics_out is None and config is not None:
+        metrics_out = getattr(config, "metrics_out", None)
+    if events_out is not None:
+        from .obs.export import write_events_jsonl
+
+        write_events_jsonl(events_out, tracer)
+    if metrics_out is not None:
+        with open(metrics_out, "w") as fh:
+            fh.write(machine.metrics.to_prometheus())
     return result, tracer

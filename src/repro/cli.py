@@ -17,9 +17,14 @@ Subcommands
     Run an algorithm under the observability layer: print the ASCII
     flame summary and per-level (depth, work) breakdown, verify the span
     tree against the cost ledger, and optionally write a Chrome-trace
-    JSON with ``--trace-out``.
+    JSON with ``--trace-out``.  ``--flame FILE`` prints the flame
+    summary of a previously saved trace and ``--compare A B`` diffs two
+    saved traces' per-level exclusive-work breakdowns — no run needed.
 
-``--trace-out PATH`` is also accepted by ``knn`` and ``scaling``.
+``--trace-out PATH`` is also accepted by ``knn`` and ``scaling``, as are
+the telemetry sinks ``--events-out PATH`` (JSONL event log) and
+``--metrics-out PATH`` (Prometheus text exposition) — see
+``docs/observability.md``.
 
 Entry points: ``repro`` (console script) or ``python -m repro``.
 """
@@ -51,6 +56,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for --engine frontier-mp "
                             "(default: one per CPU)")
 
+    def add_telemetry_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--events-out", default=None, metavar="PATH",
+                       help="write the run's JSONL telemetry event log here "
+                            "(simulated algorithms only; implies tracing)")
+        p.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the run's metrics registry here in "
+                            "Prometheus text exposition format")
+
     def add_workload_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--workload", default="uniform",
                        help="workload name (uniform, ball, gaussian, clustered, grid, annulus, collinear)")
@@ -73,6 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
     knn.add_argument("--out", default=None, help="save edges to this .npz file")
     knn.add_argument("--trace-out", default=None, metavar="PATH",
                      help="record a span trace and write Chrome-trace JSON here")
+    add_telemetry_args(knn)
 
     seps = sub.add_parser("separators", help="separator quality report")
     add_workload_args(seps)
@@ -88,6 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_args(scaling, "used for both algorithms)")
     scaling.add_argument("--trace-out", default=None, metavar="PATH",
                          help="write a Chrome-trace JSON of the largest fast run")
+    add_telemetry_args(scaling)
 
     dissect = sub.add_parser("dissect", help="separator tree + nested dissection")
     add_workload_args(dissect)
@@ -99,7 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser(
         "trace", help="run an algorithm under tracing; print + export the span tree"
     )
-    trace.add_argument("target", choices=["knn"],
+    trace.add_argument("target", nargs="?", default="knn", choices=["knn"],
                        help="what to trace (currently: the all-kNN computation)")
     add_workload_args(trace)
     trace.add_argument("-k", "--k", type=int, default=1, help="neighbors per point")
@@ -111,8 +126,16 @@ def build_parser() -> argparse.ArgumentParser:
                            "instead of per-node spans)")
     trace.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write the Chrome-trace JSON here")
+    add_telemetry_args(trace)
     trace.add_argument("--flame-width", type=int, default=40,
                        help="bar width of the ASCII flame summary")
+    trace.add_argument("--flame", default=None, metavar="TRACE.json",
+                       help="print the ASCII flame summary of a saved trace "
+                            "file and exit (no run)")
+    trace.add_argument("--compare", nargs=2, default=None,
+                       metavar=("A.json", "B.json"),
+                       help="diff two saved traces' per-level exclusive-work "
+                            "breakdowns and exit (no run)")
     return parser
 
 
@@ -134,6 +157,13 @@ def _write_trace_file(path: str, tracer, machine, **meta) -> None:
     print(f"wrote trace {path}")
 
 
+def _note_telemetry(args: argparse.Namespace) -> None:
+    if getattr(args, "events_out", None):
+        print(f"wrote events {args.events_out}")
+    if getattr(args, "metrics_out", None):
+        print(f"wrote metrics {args.metrics_out}")
+
+
 def _cmd_knn(args: argparse.Namespace) -> int:
     from .api import all_knn, run_traced
     from .baselines import brute_force_knn, grid_knn, kdtree_knn
@@ -146,10 +176,13 @@ def _cmd_knn(args: argparse.Namespace) -> int:
     simulated = args.algo in ("fast", "simple", "query", "brute")
     stats = None
     if simulated:
-        if args.trace_out:
+        if args.trace_out or args.events_out or args.metrics_out:
             result, tracer = run_traced(pts, args.k, method=args.algo,
                                         machine=machine, seed=args.seed,
-                                        engine=args.engine, workers=args.workers)
+                                        engine=args.engine, workers=args.workers,
+                                        events_out=args.events_out,
+                                        metrics_out=args.metrics_out)
+            _note_telemetry(args)
         else:
             result, tracer = all_knn(pts, args.k, method=args.algo,
                                      machine=machine, seed=args.seed,
@@ -214,17 +247,22 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
 
     rows = []
     largest = max(args.sizes)
+    telemetry = args.trace_out or args.events_out or args.metrics_out
     print(f"{'n':>8} {'fast depth':>11} {'simple depth':>13} {'ratio':>6}")
     for n in args.sizes:
         pts = uniform_cube(n, args.d, args.seed + n)
         fast_machine = Machine()
-        if args.trace_out and n == largest:
+        if telemetry and n == largest:
             fast, tracer = run_traced(pts, args.k, method="fast",
                                       machine=fast_machine, seed=args.seed,
-                                      engine=args.engine, workers=args.workers)
-            _write_trace_file(args.trace_out, tracer, fast_machine,
-                              command="scaling", algo="fast", n=n,
-                              d=args.d, k=args.k)
+                                      engine=args.engine, workers=args.workers,
+                                      events_out=args.events_out,
+                                      metrics_out=args.metrics_out)
+            if args.trace_out:
+                _write_trace_file(args.trace_out, tracer, fast_machine,
+                                  command="scaling", algo="fast", n=n,
+                                  d=args.d, k=args.k)
+            _note_telemetry(args)
         else:
             fast = all_knn(pts, args.k, method="fast", machine=fast_machine,
                            seed=args.seed, engine=args.engine, workers=args.workers)
@@ -272,16 +310,62 @@ def _cmd_dissect(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _flame_from_file(path: str, width: int) -> int:
+    from .obs import load_trace
+
+    tracer, payload = load_trace(path)
+    meta = payload.get("otherData", {})
+    total = meta.get("total", {})
+    print(f"flame summary of {path}"
+          + (f"  (depth={total['depth']:.2f}, work={total['work']:.0f})"
+             if total else ""))
+    print()
+    print(tracer.flame_summary(width=width))
+    return 0
+
+
+def _compare_traces(path_a: str, path_b: str) -> int:
+    from .obs import load_trace
+
+    rows = {}
+    for which, path in (("a", path_a), ("b", path_b)):
+        tracer, _ = load_trace(path)
+        for row in tracer.per_level_breakdown():
+            rows.setdefault(int(row["level"]), {})[which] = row
+    print(f"per-level exclusive work: A={path_a}  B={path_b}")
+    print(f"{'level':>5} {'excl work A':>14} {'excl work B':>14} "
+          f"{'delta':>12} {'B/A':>7}")
+    total_a = total_b = 0.0
+    for level in sorted(rows):
+        a = rows[level].get("a", {}).get("exclusive_work", 0.0)
+        b = rows[level].get("b", {}).get("exclusive_work", 0.0)
+        total_a += a
+        total_b += b
+        ratio = f"{b / a:>6.2f}x" if a else "     --"
+        print(f"{level:>5} {a:>14.0f} {b:>14.0f} {b - a:>+12.0f} {ratio}")
+    ratio = f"{total_b / total_a:>6.2f}x" if total_a else "     --"
+    print(f"{'all':>5} {total_a:>14.0f} {total_b:>14.0f} "
+          f"{total_b - total_a:>+12.0f} {ratio}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .api import run_traced
     from .pvm import Machine, brent_time
 
+    if args.flame:
+        return _flame_from_file(args.flame, args.flame_width)
+    if args.compare:
+        return _compare_traces(args.compare[0], args.compare[1])
     pts = _load_points(args)
     n, d = pts.shape
     machine = Machine(scan=args.scan)
     result, tracer = run_traced(pts, args.k, method=args.method,
                                 machine=machine, seed=args.seed,
-                                engine=args.engine, workers=args.workers)
+                                engine=args.engine, workers=args.workers,
+                                events_out=args.events_out,
+                                metrics_out=args.metrics_out)
+    _note_telemetry(args)
     cost = result.cost
     root = tracer.root
     print(f"trace {args.target}: method={args.method} n={n} d={d} k={args.k}")

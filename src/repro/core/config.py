@@ -143,12 +143,22 @@ class CommonConfig:
         Worker-process count for parallel engines (``frontier-mp``).
         ``None`` means one worker per available CPU; serial engines
         ignore it.
+    events_out:
+        Default path for the JSONL telemetry event log written by
+        :func:`repro.api.run_traced` (and the ``--events-out`` CLI
+        flag).  ``None`` (the default) writes nothing.
+    metrics_out:
+        Default path for the Prometheus text exposition of the run's
+        metrics registry written by :func:`repro.api.run_traced` (and
+        the ``--metrics-out`` CLI flag).  ``None`` writes nothing.
     """
 
     base_case_size: int = 64
     seed: object = None
     engine: str = "recursive"
     workers: Optional[int] = None
+    events_out: Optional[str] = None
+    metrics_out: Optional[str] = None
 
     def __post_init__(self):
         if self.engine not in ENGINE_REGISTRY:

@@ -402,6 +402,7 @@ class _FastFrontier(_FrontierBase):
                 level=internal[0].level,
                 segments=len(internal),
             ) as span:
+                punts_before = self.stats.punts_iota + self.stats.punts_marching
                 classified = self._classify_level(internal)
                 self._pending_owners: List[np.ndarray] = []
                 self._pending_cands: List[np.ndarray] = []
@@ -412,6 +413,11 @@ class _FastFrontier(_FrontierBase):
                 self._flush_level_pairs()
                 if span is not None:
                     span.attrs["straddlers"] = int(straddlers)
+                    span.attrs["punts"] = int(
+                        self.stats.punts_iota
+                        + self.stats.punts_marching
+                        - punts_before
+                    )
 
     def _classify_level(self, internal: List[_Seg]):
         """Both-side ball classification for every internal segment of one

@@ -12,20 +12,45 @@ It provides:
 - :class:`~repro.obs.metrics.Metrics` — a counter/gauge/series registry
   that backs the per-algorithm stats objects and exports ``to_dict()``;
 - :func:`~repro.obs.spans.write_trace` — one-call trace file writer used
-  by ``repro trace`` and the ``--trace-out`` CLI flags.
+  by ``repro trace`` and the ``--trace-out`` CLI flags;
+- :mod:`~repro.obs.stitch` — grafts worker-process span trees under the
+  master's ``frontier.shard`` spans so a ``frontier-mp`` trace renders
+  one Perfetto lane per worker;
+- :mod:`~repro.obs.export` — telemetry sinks: JSONL event logs (schema at
+  ``docs/telemetry_events.schema.json``) and Prometheus text exposition
+  of the metrics registry;
+- :mod:`~repro.obs.overhead` — self-benchmark of tracing overhead against
+  the <5% wall-clock budget.
 
 Tracing is strictly passive: it never charges the machine ledger, and a
 machine without a tracer records nothing (zero entries, identical costs).
 """
 
+from .export import (
+    EVENT_SCHEMA,
+    events_from_tracer,
+    load_trace,
+    metrics_to_prometheus,
+    validate_event,
+    write_events_jsonl,
+)
 from .metrics import Metrics, MetricsView
 from .spans import Span, Tracer, span_tree_from_dict, write_trace
+from .stitch import graft_worker_trace, worker_spans
 
 __all__ = [
+    "EVENT_SCHEMA",
     "Metrics",
     "MetricsView",
     "Span",
     "Tracer",
+    "events_from_tracer",
+    "graft_worker_trace",
+    "load_trace",
+    "metrics_to_prometheus",
     "span_tree_from_dict",
+    "validate_event",
+    "worker_spans",
+    "write_events_jsonl",
     "write_trace",
 ]

@@ -87,12 +87,25 @@ class Metrics:
 
     def merge(self, other: "Metrics") -> None:
         """Fold ``other`` into this registry (counters add, gauges overwrite,
-        series extend)."""
+        series extend).
+
+        Merging is deterministic given a deterministic call order: the
+        ``frontier-mp`` engine folds worker registries in shard order, so
+        repeated runs produce identical registries (counters are exact
+        sums; series equal the serial engine's as multisets).
+        """
         for k, v in other.counters.items():
             self.inc(k, v)
         self.gauges.update(other.gauges)
         for k, v in other.series.items():
             self.samples(k).extend(v)
+
+    def to_prometheus(self, *, prefix: str = "repro") -> str:
+        """The registry in Prometheus text exposition format; see
+        :func:`repro.obs.export.metrics_to_prometheus`."""
+        from .export import metrics_to_prometheus
+
+        return metrics_to_prometheus(self, prefix=prefix)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

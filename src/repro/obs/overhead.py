@@ -1,0 +1,181 @@
+"""Self-benchmark of tracing overhead against its budget.
+
+Tracing is passive by contract — it may cost wall-clock, never ledger.
+This module measures both sides of that contract on a repeatable
+workload:
+
+- **ledger delta** between a traced and an untraced run of the same
+  seed must be exactly zero (depth, work, sections and counters);
+- **wall-clock overhead** of tracing (plus sink export) should stay
+  under the documented budget of 5% at n=100k (see
+  ``docs/observability.md``, "Overhead budget").
+
+Run it as a module::
+
+    PYTHONPATH=src python -m repro.obs.overhead --n 100000 --repeats 3
+
+which prints the measurement and appends it to
+``benchmarks/results/obs_overhead.json``.  The committed baseline in
+that file documents the overhead at the time the budget was set;
+:mod:`scripts.check_bench_regression` re-asserts the zero-ledger-delta
+half (machine-independent), while the wall half is informational —
+wall-clock is hardware-dependent and is not gated exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+__all__ = ["OverheadReport", "measure_overhead", "main"]
+
+#: Wall-clock overhead budget for tracing, as a fraction (5%).
+OVERHEAD_BUDGET = 0.05
+
+
+@dataclass
+class OverheadReport:
+    """One overhead measurement: tracing vs not, same seed and workload."""
+
+    n: int
+    d: int
+    k: int
+    engine: str
+    repeats: int
+    wall_untraced_s: float
+    wall_traced_s: float
+    overhead_fraction: float
+    span_count: int
+    ledger_delta: float  # |traced - untraced| over depth+work+sections; 0 exactly
+    budget_fraction: float = OVERHEAD_BUDGET
+
+    @property
+    def within_budget(self) -> bool:
+        return self.overhead_fraction <= self.budget_fraction
+
+
+def measure_overhead(
+    n: int = 100_000,
+    *,
+    d: int = 2,
+    k: int = 1,
+    engine: str = "frontier",
+    workers: Optional[int] = None,
+    repeats: int = 3,
+    seed: int = 0,
+) -> OverheadReport:
+    """Measure tracing overhead: best-of-``repeats`` traced vs untraced.
+
+    Both sides run the same seed on fresh machines; the ledger comparison
+    is exact (any nonzero delta is a bug — tracing must be passive).
+    Best-of timing is used to suppress scheduler noise.
+    """
+    from ..api import all_knn, run_traced
+    from ..pvm import Machine
+    from ..workloads import uniform_cube
+
+    pts = uniform_cube(n, d, seed)
+    wall_untraced = float("inf")
+    wall_traced = float("inf")
+    ref_machine = traced_machine = None
+    span_count = 0
+    for _ in range(max(1, repeats)):
+        machine = Machine()
+        t0 = time.perf_counter()
+        all_knn(pts, k, method="fast", machine=machine, seed=seed,
+                engine=engine, workers=workers)
+        wall_untraced = min(wall_untraced, time.perf_counter() - t0)
+        ref_machine = machine
+        machine = Machine()
+        t0 = time.perf_counter()
+        _, tracer = run_traced(pts, k, method="fast", machine=machine,
+                               seed=seed, engine=engine, workers=workers)
+        wall_traced = min(wall_traced, time.perf_counter() - t0)
+        traced_machine = machine
+        span_count = tracer.span_count()
+    delta = abs(ref_machine.total.depth - traced_machine.total.depth)
+    delta += abs(ref_machine.total.work - traced_machine.total.work)
+    for name in set(ref_machine.sections) | set(traced_machine.sections):
+        a = ref_machine.sections.get(name)
+        b = traced_machine.sections.get(name)
+        if a is None or b is None:
+            delta += float("inf")
+        else:
+            delta += abs(a.depth - b.depth) + abs(a.work - b.work)
+    if ref_machine.counters != traced_machine.counters:
+        delta += float("inf")
+    return OverheadReport(
+        n=n, d=d, k=k, engine=engine, repeats=repeats,
+        wall_untraced_s=wall_untraced,
+        wall_traced_s=wall_traced,
+        overhead_fraction=(wall_traced - wall_untraced) / max(wall_untraced, 1e-12),
+        span_count=span_count,
+        ledger_delta=delta,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure tracing overhead (wall-clock and ledger delta)."
+    )
+    parser.add_argument("--n", type=int, default=100_000)
+    parser.add_argument("--d", type=int, default=2)
+    parser.add_argument("--k", type=int, default=1)
+    parser.add_argument("--engine", default="frontier")
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None,
+                        help="append the report to this JSON list file "
+                             "(default: benchmarks/results/obs_overhead.json)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="print only; do not touch the results file")
+    args = parser.parse_args(argv)
+    report = measure_overhead(
+        args.n, d=args.d, k=args.k, engine=args.engine,
+        workers=args.workers, repeats=args.repeats, seed=args.seed,
+    )
+    print(f"n={report.n} engine={report.engine} spans={report.span_count}")
+    print(f"untraced {report.wall_untraced_s:.3f}s  "
+          f"traced {report.wall_traced_s:.3f}s  "
+          f"overhead {report.overhead_fraction:+.2%} "
+          f"(budget {report.budget_fraction:.0%})")
+    print(f"ledger delta: {report.ledger_delta} "
+          f"({'exact' if report.ledger_delta == 0 else 'VIOLATION'})")
+    if not args.no_write:
+        out = args.out
+        if out is None:
+            out = os.path.join(
+                os.path.dirname(os.path.dirname(os.path.dirname(
+                    os.path.dirname(os.path.abspath(__file__))))),
+                "benchmarks", "results", "obs_overhead.json",
+            )
+        records = []
+        if os.path.exists(out):
+            try:
+                with open(out) as fh:
+                    loaded = json.load(fh)
+                if isinstance(loaded, list):
+                    records = loaded
+            except (OSError, ValueError):
+                records = []
+        record = asdict(report)
+        record["timestamp"] = time.strftime(
+            "%Y-%m-%dT%H:%M:%S", time.gmtime()
+        )
+        records.append(record)
+        with open(out, "w") as fh:
+            json.dump(records, fh, indent=1)
+            fh.write("\n")
+        print(f"wrote {out}")
+    if report.ledger_delta != 0:
+        return 1
+    return 0 if report.within_budget else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

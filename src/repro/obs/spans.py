@@ -127,6 +127,27 @@ class Tracer:
         self.roots: List[Span] = []
         self._stack: List[Span] = []
 
+    @property
+    def epoch(self) -> float:
+        """Absolute clock reading taken at construction.
+
+        All span wall times are relative to this instant.  On platforms
+        where ``time.perf_counter`` is a machine-wide monotonic clock
+        (Linux, macOS, Windows), epochs of tracers in *different
+        processes* are directly comparable, which is what
+        :mod:`repro.obs.stitch` uses to rebase worker span trees onto the
+        master timeline.
+        """
+        return self._epoch
+
+    @classmethod
+    def from_roots(cls, roots: Sequence[Span]) -> "Tracer":
+        """Wrap already-recorded span trees (e.g. reloaded from a trace
+        file) in a tracer, so the analysis/export methods apply."""
+        tracer = cls()
+        tracer.roots = list(roots)
+        return tracer
+
     # -- recording (called by Machine.span) -------------------------------
 
     def start(self, name: str, attrs: Dict[str, Any], cost_enter: Cost) -> Span:
@@ -238,21 +259,37 @@ class Tracer:
     def to_chrome_trace(self, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         """Chrome-trace object (``chrome://tracing`` / Perfetto loadable).
 
-        Events are complete ("X") slices on one thread, timed by wall
-        clock; the simulated (depth, work) and span attributes ride in
-        each event's ``args``.  Extra top-level keys (the span tree under
-        ``spanTree``) are permitted by the Chrome trace format and ignored
-        by viewers.
+        Events are complete ("X") slices timed by wall clock; the
+        simulated (depth, work) and span attributes ride in each event's
+        ``args``.  Spans carrying ``pid``/``tid`` attributes (set by
+        :mod:`repro.obs.stitch` for worker span trees) land on their own
+        process/thread lane, so a stitched ``frontier-mp`` trace renders
+        one Perfetto track per worker; spans without them stay on the
+        master lane ``pid 0``.  Process-name metadata events label every
+        lane.  Extra top-level keys (the span tree under ``spanTree``)
+        are permitted by the Chrome trace format and ignored by viewers.
         """
         events: List[Dict[str, Any]] = []
+        lanes: Dict[Tuple[int, int], str] = {}
         for root in self.roots:
             for _, span in root.walk():
+                pid = int(span.attrs.get("pid", 0))
+                tid = int(span.attrs.get("tid", 0))
+                if (pid, tid) not in lanes:
+                    if pid == 0:
+                        lanes[(pid, tid)] = "master"
+                    elif "worker" in span.attrs:
+                        lanes[(pid, tid)] = (
+                            f"worker-{span.attrs['worker']} (pid {pid})"
+                        )
+                    else:
+                        lanes[(pid, tid)] = f"pid {pid}"
                 events.append(
                     {
                         "name": span.name,
                         "ph": "X",
-                        "pid": 0,
-                        "tid": 0,
+                        "pid": pid,
+                        "tid": tid,
                         "ts": span.wall_start * 1e6,
                         "dur": max(0.0, span.wall_seconds) * 1e6,
                         "args": {
@@ -262,6 +299,18 @@ class Tracer:
                         },
                     }
                 )
+        meta_events: List[Dict[str, Any]] = []
+        for (pid, tid), label in sorted(lanes.items()):
+            meta_events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": label},
+                }
+            )
+        events = meta_events + events
         out: Dict[str, Any] = {
             "traceEvents": events,
             "displayTimeUnit": "ms",

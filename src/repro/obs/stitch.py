@@ -1,0 +1,100 @@
+"""Cross-process trace stitching for the ``frontier-mp`` engine.
+
+Worker processes run their shard kernels under their own lightweight
+:class:`~repro.obs.spans.Tracer`; the serialized span trees ship back
+with the task results.  This module grafts those trees under the
+master's ``frontier.shard`` spans so that one tracer holds the whole
+run — master orchestration *and* per-worker execution — and
+:meth:`~repro.obs.spans.Tracer.to_chrome_trace` renders a true
+multi-track Perfetto timeline (one lane per worker process, utilization
+gaps visible between shard tasks).
+
+Timeline alignment
+------------------
+Each side records wall times relative to its own tracer epoch, but the
+epochs themselves are readings of ``time.perf_counter``, which is a
+machine-wide monotonic clock on every supported platform — so worker
+times rebase onto the master timeline by adding
+``worker_epoch - master_epoch``.  A defensive clamp slides a rebased
+tree into its shard span's dispatch window if the clocks turn out not
+to be comparable (exotic platforms, clock namespace boundaries), so the
+rendered timeline is always sane.
+
+Exactness invariant
+-------------------
+Stitching is pure observability: it appends :class:`Span` objects to an
+already-recorded tree and never touches any machine frame, so the
+(depth, work) ledger of a stitched run is bit-identical to the untraced
+run's.  Worker-side spans carry zero simulated cost by construction
+(shard kernels fold their per-node costs analytically instead of
+charging the worker machine), so grafting them also keeps every
+:meth:`~repro.obs.spans.Tracer.check_against` identity intact: the
+shard span's exclusive work stays 0 and the per-level exclusive-work
+decomposition still reconstructs the ledger exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .spans import Span, span_tree_from_dict
+
+__all__ = ["graft_worker_trace", "worker_spans"]
+
+
+def _shift(span: Span, offset: float) -> None:
+    """Shift a span tree's wall-clock bounds by ``offset`` seconds."""
+    for _, s in span.walk():
+        s.wall_start += offset
+        s.wall_end += offset
+
+
+def graft_worker_trace(
+    shard_span: Span,
+    trace: Dict[str, Any],
+    *,
+    master_epoch: float,
+    worker: int,
+) -> List[Span]:
+    """Graft one task's worker span trees under its ``frontier.shard`` span.
+
+    ``trace`` is the payload built by the worker kernels:
+    ``{"spans": [span dicts], "epoch": <abs perf_counter>, "pid": ...,
+    "tid": ...}``.  Every grafted span is annotated with the worker's
+    ``pid``/``tid`` plus the master-side ``worker`` index (so the Chrome
+    export can label lanes), and rebased onto the master timeline via
+    the epoch difference.  Returns the grafted roots.
+
+    Costs are taken verbatim from the worker (zero for shard kernels);
+    no machine frame is touched — see the module docstring's invariant.
+    """
+    offset = float(trace.get("epoch", master_epoch)) - float(master_epoch)
+    pid = int(trace.get("pid", 0))
+    tid = int(trace.get("tid", pid))
+    roots: List[Span] = []
+    for data in trace.get("spans", ()):
+        root = span_tree_from_dict(data)
+        for _, s in root.walk():
+            s.attrs.setdefault("pid", pid)
+            s.attrs.setdefault("tid", tid)
+            s.attrs.setdefault("worker", worker)
+        _shift(root, offset)
+        # defensive clamp: if the rebased tree falls outside the shard's
+        # dispatch window the clocks were not comparable — slide it to
+        # start at the dispatch instant instead.
+        if shard_span.wall_end > shard_span.wall_start and (
+            root.wall_start < shard_span.wall_start
+            or root.wall_start > shard_span.wall_end
+        ):
+            _shift(root, shard_span.wall_start - root.wall_start)
+        shard_span.children.append(root)
+        roots.append(root)
+    return roots
+
+
+def worker_spans(root: Span) -> List[Span]:
+    """All spans of a stitched tree that ran in a worker process
+    (``pid`` attribute present and nonzero), in pre-order."""
+    return [
+        s for _, s in root.walk() if int(s.attrs.get("pid", 0)) != 0
+    ]

@@ -31,22 +31,28 @@ guarantee the frontier engine gives relative to the recursive one).
 
 Observability: in addition to the serial engine's per-level spans, every
 shard task emits a ``frontier.shard`` span (worker id, segment/point
-counts, wall milliseconds) and the run reports ``parallel.workers``,
-``parallel.tasks``, ``parallel.busy_seconds`` and ``parallel.utilization``
-through the metrics registry.
+counts, wall milliseconds) whose wall-clock bounds are the task's real
+dispatch window, and — when tracing is on — the worker's own span tree
+is grafted underneath it by :mod:`repro.obs.stitch`, giving the Chrome
+export one timeline lane per worker process.  The run reports
+``parallel.workers``, ``parallel.tasks``, ``parallel.busy_seconds`` (sum
+and per-worker ``parallel.busy_seconds.<i>`` gauges),
+``parallel.dispatch_span_seconds`` and ``parallel.utilization`` (busy
+time over the span of dispatched work, not pool lifetime) through the
+metrics registry.
 """
 
 from __future__ import annotations
 
-import time
 from typing import List, Optional
 
 import numpy as np
 
 from ..core.frontier import _FastFrontier, _Seg, _SimpleFrontier
+from ..obs.stitch import graft_worker_trace
 from ..pvm.cost import Cost
 from .plan import build_weight, correct_weight, plan_shards
-from .pool import WorkerPool, resolve_workers
+from .pool import TaskResult, WorkerPool, resolve_workers
 from .shm import SharedArray
 
 __all__ = ["run_fast_frontier_mp", "run_simple_frontier_mp"]
@@ -56,7 +62,6 @@ class _ParallelFrontierMixin:
     """Master-side orchestration shared by the fast and simple engines."""
 
     def run(self):
-        wall0 = time.perf_counter()
         workers = resolve_workers(self.config.workers)
         self._arena: List[SharedArray] = []
         self._level_buffers: List[SharedArray] = []
@@ -77,6 +82,7 @@ class _ParallelFrontierMixin:
                 "points_spec": points_sa.spec,
                 "nbr_idx_spec": idx_sa.spec,
                 "nbr_sq_spec": sq_sa.spec,
+                "trace": self.machine.tracer is not None,
             })
             root = super().run()
             caller_idx[...] = idx_sa.array
@@ -86,13 +92,18 @@ class _ParallelFrontierMixin:
             for sa in self._arena:
                 sa.destroy()
         busy = float(sum(self._pool.busy_seconds))
-        wall = time.perf_counter() - wall0
+        window = self._pool.dispatch_window()
+        span_seconds = (window[1] - window[0]) if window is not None else 0.0
         metrics = self.machine.metrics
         metrics.set_gauge("parallel.workers", workers)
         metrics.inc("parallel.tasks", self._pool.tasks_done)
         metrics.inc("parallel.busy_seconds", busy)
+        for w, worker_busy in enumerate(self._pool.busy_seconds):
+            metrics.set_gauge(f"parallel.busy_seconds.{w}", float(worker_busy))
+        metrics.set_gauge("parallel.dispatch_span_seconds", span_seconds)
         metrics.set_gauge(
-            "parallel.utilization", busy / max(workers * wall, 1e-12)
+            "parallel.utilization",
+            min(1.0, busy / max(workers * span_seconds, 1e-12)),
         )
         return root
 
@@ -121,12 +132,12 @@ class _ParallelFrontierMixin:
             for s in shards
         ]
         results: List[Optional[dict]] = [None] * len(segs)
-        for (reply, worker, elapsed), shard in zip(
+        for task, shard in zip(
             self._pool.run_tasks("build_shard", payloads), shards
         ):
-            self._merge_task(reply)
-            self._shard_span("build", level, worker, shard, segs, elapsed)
-            results[shard.start : shard.stop] = reply["segs"]
+            self._merge_task(task.result)
+            self._shard_span("build", level, shard, segs, task)
+            results[shard.start : shard.stop] = task.result["segs"]
         return self._replay_build(segs, results, span)
 
     def _replay_build(self, segs, results, span) -> List[_Seg]:
@@ -190,6 +201,7 @@ class _ParallelFrontierMixin:
                 level=internal[0][1].level,
                 segments=len(internal),
             ) as span:
+                punts_before = self._punt_count()
                 weights = [correct_weight(s.ids.shape[0]) for _, s in internal]
                 shards = plan_shards(weights, self._pool.workers)
                 payloads = []
@@ -200,15 +212,14 @@ class _ParallelFrontierMixin:
                         payload["rngs"] = [s.rng for _, s in chunk]
                     payloads.append(payload)
                 results: List[Optional[dict]] = [None] * len(internal)
-                for (reply, worker, elapsed), shard in zip(
+                for task, shard in zip(
                     self._pool.run_tasks("correct_shard", payloads), shards
                 ):
-                    self._merge_task(reply)
+                    self._merge_task(task.result)
                     self._shard_span(
-                        "correct", li, worker, shard,
-                        [s for _, s in internal], elapsed,
+                        "correct", li, shard, [s for _, s in internal], task
                     )
-                    results[shard.start : shard.stop] = reply["segs"]
+                    results[shard.start : shard.stop] = task.result["segs"]
                 straddlers = 0
                 for (_, seg), res in zip(internal, results):
                     seg.post_cost = res["post_cost"]
@@ -217,8 +228,20 @@ class _ParallelFrontierMixin:
                     self.machine.attribute("correct", seg.post_cost)
                 if span is not None:
                     span.attrs["straddlers"] = int(straddlers)
+                    span.attrs["punts"] = int(
+                        self._punt_count() - punts_before
+                    )
 
     # -- merge helpers ---------------------------------------------------
+
+    def _punt_count(self) -> int:
+        """Correction-phase punt events so far (0 for engines without
+        punt counters); worker punts land here through the per-task
+        metrics merge, so per-level deltas match the serial engine's."""
+        return int(
+            getattr(self.stats, "punts_iota", 0)
+            + getattr(self.stats, "punts_marching", 0)
+        )
 
     def _merge_task(self, reply: dict) -> None:
         counters = self.machine.counters
@@ -226,7 +249,9 @@ class _ParallelFrontierMixin:
             counters[key] = counters.get(key, 0) + value
         self.machine.metrics.merge(reply["metrics"])
 
-    def _shard_span(self, phase, level, worker, shard, segs, elapsed) -> None:
+    def _shard_span(
+        self, phase, level, shard, segs, task: TaskResult
+    ) -> None:
         points = int(
             sum(s.ids.shape[0] for s in segs[shard.start : shard.stop])
         )
@@ -234,12 +259,27 @@ class _ParallelFrontierMixin:
             "frontier.shard",
             phase=phase,
             level=level,
-            worker=worker,
+            worker=task.worker,
             segments=len(shard),
             points=points,
-            wall_ms=elapsed * 1000.0,
-        ):
+            wall_ms=task.elapsed * 1000.0,
+        ) as handle:
             pass
+        if handle is None:
+            return
+        # Rewrite the span's wall bounds to the task's real dispatch
+        # window (the span itself opened at collection time, after the
+        # work was already done), then graft the worker's own span tree
+        # underneath.  Both are pure-observability edits: the shard
+        # span's zero Cost and the ledger are untouched.
+        tracer = self.machine.tracer
+        handle.wall_start = task.submitted - tracer.epoch
+        handle.wall_end = task.completed - tracer.epoch
+        trace = task.result.get("trace")
+        if trace is not None:
+            graft_worker_trace(
+                handle, trace, master_epoch=tracer.epoch, worker=task.worker
+            )
 
     # -- engine-specific hooks -------------------------------------------
 

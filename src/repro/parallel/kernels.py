@@ -23,10 +23,24 @@ separators, side vectors and post-search RNG states, plus the task-local
 Neighbor rows are written directly into the shared ``nbr_idx``/``nbr_sq``
 arrays; same-level segments own disjoint rows, so concurrent shard writes
 never race.
+
+Tracing: when the master's machine has a tracer attached, ``init_run``
+ships ``trace=True`` and every shard kernel runs under its own
+task-local :class:`~repro.obs.spans.Tracer` — coarse ``worker.build`` /
+``worker.correct`` spans with ``worker.separators`` / ``worker.divide``
+/ ``worker.classify`` / ``worker.nodes`` / ``worker.flush`` children.
+The serialized span tree (plus the worker's pid/tid and tracer epoch)
+travels back in the task result for :mod:`repro.obs.stitch` to graft
+under the master's ``frontier.shard`` span.  Worker spans carry zero
+simulated cost — shard kernels fold per-node costs analytically instead
+of charging the worker machine — so stitching can never perturb any
+ledger identity.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 from typing import Any, Dict, List, Optional
 
 import numpy as np
@@ -53,6 +67,7 @@ class RunState:
         self.config = payload["config"]
         self.root_ss = payload["root_ss"]
         self.scan: str = payload["scan"]
+        self.trace: bool = bool(payload.get("trace", False))
         self._attached: Dict[str, Any] = {}
         self.points = self.attach_cached(payload["points_spec"])
         self.nbr_idx = self.attach_cached(payload["nbr_idx_spec"])
@@ -65,8 +80,14 @@ class RunState:
         return self._attached[spec.name][1]
 
     def make_engine(self):
-        """A fresh engine with a task-local machine and metrics registry."""
+        """A fresh engine with a task-local machine and metrics registry.
+
+        With ``trace`` on, the machine gets a task-local tracer whose
+        span tree ships back in the task result (see
+        :func:`_task_result`)."""
         machine = Machine(scan=self.scan)
+        if self.trace:
+            machine.enable_tracing()
         if self.method == "fast":
             cls, stats = _FastFrontier, FastDnCStats(metrics=machine.metrics)
         else:
@@ -85,11 +106,20 @@ def init_run(payload: Dict[str, Any]) -> bool:
 
 
 def _task_result(engine, segs: List[Dict[str, Any]]) -> Dict[str, Any]:
-    return {
+    out = {
         "segs": segs,
         "counters": dict(engine.machine.counters),
         "metrics": engine.machine.metrics,
     }
+    tracer = engine.machine.tracer
+    if tracer is not None:
+        out["trace"] = {
+            "spans": [root.to_dict() for root in tracer.roots],
+            "epoch": tracer.epoch,
+            "pid": os.getpid(),
+            "tid": threading.get_native_id(),
+        }
+    return out
 
 
 def build_shard(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -99,59 +129,69 @@ def build_shard(payload: Dict[str, Any]) -> Dict[str, Any]:
     state = _STATE
     ids_buf = state.attach_cached(payload["ids_spec"])
     engine = state.make_engine()
+    machine = engine.machine
     level = payload["level"]
+    points = int(sum(length for _, length, _, _ in payload["segs"]))
     results: List[Optional[Dict[str, Any]]] = []
     actives: List[_Seg] = []
     active_slots: List[int] = []
-    for offset, length, path, kind in payload["segs"]:
-        seg = _Seg(
-            ids=ids_buf[offset : offset + length], level=level, path=tuple(path)
-        )
-        if kind == "leaf":
-            engine._leaf(seg)
-            results.append({"kind": "leaf", "pre_cost": seg.pre_cost})
-        else:
-            active_slots.append(len(results))
-            results.append(None)
-            actives.append(seg)
-    if actives:
-        if state.method == "fast":
-            engine._find_separators(actives)
-            for slot, seg in zip(active_slots, actives):
-                if seg.separator is None:
-                    engine.stats.punts_separator += 1
-                    engine._leaf(seg)
-                    results[slot] = {
-                        "kind": "failed",
-                        "pre_cost": seg.pre_cost,
-                        "divide_cost": seg.divide_cost,
-                    }
-                else:
-                    results[slot] = {
-                        "kind": "split",
-                        "pre_cost": seg.pre_cost,
-                        "divide_cost": seg.divide_cost,
-                        "separator": seg.separator,
-                        "side": seg.side,
-                        "attempts": seg.attempts,
-                        "rng": seg.rng,
-                    }
-        else:
-            for slot, seg in zip(active_slots, actives):
-                if engine._divide_segment(seg):
-                    results[slot] = {
-                        "kind": "split",
-                        "pre_cost": seg.pre_cost,
-                        "divide_cost": seg.divide_cost,
-                        "separator": seg.separator,
-                        "side": seg.side,
-                    }
-                else:
-                    results[slot] = {
-                        "kind": "failed",
-                        "pre_cost": seg.pre_cost,
-                        "divide_cost": seg.divide_cost,
-                    }
+    with machine.span(
+        "worker.build", level=level, segments=len(payload["segs"]), points=points
+    ) as wspan:
+        for offset, length, path, kind in payload["segs"]:
+            seg = _Seg(
+                ids=ids_buf[offset : offset + length], level=level, path=tuple(path)
+            )
+            if kind == "leaf":
+                engine._leaf(seg)
+                results.append({"kind": "leaf", "pre_cost": seg.pre_cost})
+            else:
+                active_slots.append(len(results))
+                results.append(None)
+                actives.append(seg)
+        if wspan is not None:
+            wspan.attrs["leaves"] = len(results) - len(actives)
+            wspan.attrs["actives"] = len(actives)
+        if actives:
+            if state.method == "fast":
+                with machine.span("worker.separators", segments=len(actives)):
+                    engine._find_separators(actives)
+                for slot, seg in zip(active_slots, actives):
+                    if seg.separator is None:
+                        engine.stats.punts_separator += 1
+                        engine._leaf(seg)
+                        results[slot] = {
+                            "kind": "failed",
+                            "pre_cost": seg.pre_cost,
+                            "divide_cost": seg.divide_cost,
+                        }
+                    else:
+                        results[slot] = {
+                            "kind": "split",
+                            "pre_cost": seg.pre_cost,
+                            "divide_cost": seg.divide_cost,
+                            "separator": seg.separator,
+                            "side": seg.side,
+                            "attempts": seg.attempts,
+                            "rng": seg.rng,
+                        }
+            else:
+                with machine.span("worker.divide", segments=len(actives)):
+                    for slot, seg in zip(active_slots, actives):
+                        if engine._divide_segment(seg):
+                            results[slot] = {
+                                "kind": "split",
+                                "pre_cost": seg.pre_cost,
+                                "divide_cost": seg.divide_cost,
+                                "separator": seg.separator,
+                                "side": seg.side,
+                            }
+                        else:
+                            results[slot] = {
+                                "kind": "failed",
+                                "pre_cost": seg.pre_cost,
+                                "divide_cost": seg.divide_cost,
+                            }
     return _task_result(engine, results)
 
 
@@ -213,27 +253,45 @@ def correct_shard(payload: Dict[str, Any]) -> Dict[str, Any]:
         for seg, rng in zip(segs, rngs):
             seg.rng = rng
     engine = state.make_engine()
+    machine = engine.machine
     results: List[Dict[str, Any]] = []
-    if state.method == "fast":
-        classified = engine._classify_level(segs)
-        engine._pending_owners = []
-        engine._pending_cands = []
-        for seg, (cls_in, cls_ex) in zip(segs, classified):
-            straddlers = engine._correct_node(seg, cls_in, cls_ex)
-            results.append({
-                "post_cost": seg.post_cost,
-                "straddlers": int(straddlers),
-                "meta": dict(seg.node.meta),
-            })
-        engine._flush_level_pairs()
-    else:
-        for seg in segs:
-            straddlers = engine._correct_node(seg)
-            results.append({
-                "post_cost": seg.post_cost,
-                "straddlers": int(straddlers),
-                "meta": dict(seg.node.meta),
-            })
+    points = int(sum(seg.ids.shape[0] for seg in segs))
+    with machine.span(
+        "worker.correct",
+        level=payload["level"],
+        segments=len(segs),
+        points=points,
+    ) as wspan:
+        if state.method == "fast":
+            with machine.span("worker.classify", segments=len(segs)):
+                classified = engine._classify_level(segs)
+            engine._pending_owners = []
+            engine._pending_cands = []
+            total_straddlers = 0
+            with machine.span("worker.nodes", segments=len(segs)):
+                for seg, (cls_in, cls_ex) in zip(segs, classified):
+                    straddlers = engine._correct_node(seg, cls_in, cls_ex)
+                    total_straddlers += int(straddlers)
+                    results.append({
+                        "post_cost": seg.post_cost,
+                        "straddlers": int(straddlers),
+                        "meta": dict(seg.node.meta),
+                    })
+            with machine.span("worker.flush", pairs=len(engine._pending_owners)):
+                engine._flush_level_pairs()
+        else:
+            total_straddlers = 0
+            with machine.span("worker.nodes", segments=len(segs)):
+                for seg in segs:
+                    straddlers = engine._correct_node(seg)
+                    total_straddlers += int(straddlers)
+                    results.append({
+                        "post_cost": seg.post_cost,
+                        "straddlers": int(straddlers),
+                        "meta": dict(seg.node.meta),
+                    })
+        if wspan is not None:
+            wspan.attrs["straddlers"] = total_straddlers
     return _task_result(engine, results)
 
 

@@ -25,9 +25,28 @@ import os
 import time
 import traceback
 import weakref
+from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
-__all__ = ["WorkerPool", "WorkerError", "resolve_workers"]
+__all__ = ["WorkerPool", "WorkerError", "TaskResult", "resolve_workers"]
+
+
+@dataclass
+class TaskResult:
+    """One completed kernel task.
+
+    ``elapsed`` is the worker-measured kernel seconds; ``submitted`` /
+    ``completed`` are master-side absolute ``time.perf_counter``
+    readings taken at dispatch and at collection, so the master can
+    place the task on a wall-clock timeline (and compute utilization
+    over the span of dispatched work rather than pool lifetime).
+    """
+
+    result: Any
+    worker: int
+    elapsed: float
+    submitted: float
+    completed: float
 
 _EXIT = "__exit__"
 
@@ -96,6 +115,8 @@ class WorkerPool:
         self._procs = []
         self.busy_seconds = [0.0] * self.workers
         self.tasks_done = 0
+        self._first_submit: Optional[float] = None
+        self._last_complete: Optional[float] = None
         self._closed = False
         for _ in range(self.workers):
             parent, child = ctx.Pipe(duplex=True)
@@ -108,10 +129,14 @@ class WorkerPool:
 
     # -- task protocol ---------------------------------------------------
 
-    def _submit(self, worker: int, name: str, payload: Any) -> None:
+    def _submit(self, worker: int, name: str, payload: Any) -> float:
+        now = time.perf_counter()
+        if self._first_submit is None:
+            self._first_submit = now
         self._conns[worker].send((name, payload))
+        return now
 
-    def _collect(self, worker: int, name: str) -> Any:
+    def _collect(self, worker: int, name: str) -> Tuple[Any, float]:
         try:
             reply = self._conns[worker].recv()
         except (EOFError, OSError) as exc:
@@ -123,32 +148,52 @@ class WorkerPool:
                 f"kernel {name!r} failed on worker {worker}:\n{reply[1]}"
             )
         _, result, elapsed = reply
+        now = time.perf_counter()
+        self._last_complete = now
         self.busy_seconds[worker] += float(elapsed)
         self.tasks_done += 1
-        return result
+        return result, float(elapsed)
 
-    def run_tasks(
-        self, name: str, payloads: Sequence[Any]
-    ) -> List[Tuple[Any, int, float]]:
+    def dispatch_window(self) -> Optional[Tuple[float, float]]:
+        """Absolute ``(first_submit, last_complete)`` clock readings of
+        the work dispatched so far, or ``None`` before any dispatch.
+
+        This is the denominator basis for honest utilization: a pool
+        that outlives its run (or was spawned long before the first
+        task) must not dilute busy time with idle pool lifetime.
+        """
+        if self._first_submit is None or self._last_complete is None:
+            return None
+        return self._first_submit, self._last_complete
+
+    def run_tasks(self, name: str, payloads: Sequence[Any]) -> List[TaskResult]:
         """Run one kernel per payload, payload ``i`` on worker ``i % W``
         (waved so at most one task is in flight per worker), returning
-        ``(result, worker, elapsed_seconds)`` tuples in payload order."""
-        out: List[Tuple[Any, int, float]] = []
+        :class:`TaskResult` records in payload order."""
+        out: List[TaskResult] = []
         for lo in range(0, len(payloads), self.workers):
             wave = payloads[lo : lo + self.workers]
-            for w, payload in enumerate(wave):
-                self._submit(w, name, payload)
+            submits = [
+                self._submit(w, name, payload) for w, payload in enumerate(wave)
+            ]
             for w in range(len(wave)):
-                before = self.busy_seconds[w]
-                result = self._collect(w, name)
-                out.append((result, w, self.busy_seconds[w] - before))
+                result, elapsed = self._collect(w, name)
+                out.append(
+                    TaskResult(
+                        result=result,
+                        worker=w,
+                        elapsed=elapsed,
+                        submitted=submits[w],
+                        completed=time.perf_counter(),
+                    )
+                )
         return out
 
     def broadcast(self, name: str, payload: Any) -> List[Any]:
         """Run one kernel with the same payload on every worker."""
         for w in range(self.workers):
             self._submit(w, name, payload)
-        return [self._collect(w, name) for w in range(self.workers)]
+        return [self._collect(w, name)[0] for w in range(self.workers)]
 
     # -- lifecycle -------------------------------------------------------
 

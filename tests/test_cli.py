@@ -59,6 +59,74 @@ class TestKnnCommand:
         assert main(["knn", "-n", "300", "--workload", "clustered", "--check"]) == 0
 
 
+class TestTelemetryFlags:
+    def test_knn_writes_event_and_metrics_sinks(self, tmp_path, capsys):
+        import json
+
+        ev = tmp_path / "events.jsonl"
+        prom = tmp_path / "metrics.prom"
+        rc = main(["knn", "-n", "250", "-k", "1",
+                   "--events-out", str(ev), "--metrics-out", str(prom)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"wrote events {ev}" in out
+        assert f"wrote metrics {prom}" in out
+        lines = ev.read_text().splitlines()
+        assert lines and json.loads(lines[0])["event"] == "run_meta"
+        assert "# TYPE repro_fast_nodes_total counter" in prom.read_text()
+
+    def test_scaling_sinks_cover_largest_run(self, tmp_path, capsys):
+        prom = tmp_path / "m.prom"
+        rc = main(["scaling", "--sizes", "256", "512",
+                   "--metrics-out", str(prom)])
+        assert rc == 0
+        assert prom.exists()
+        assert "wrote metrics" in capsys.readouterr().out
+
+    def test_trace_target_is_optional(self, capsys):
+        rc = main(["trace", "-n", "200", "-k", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace knn:" in out and "EXACT" in out
+
+    def test_trace_mp_engine_with_sinks(self, tmp_path, capsys):
+        ev = tmp_path / "e.jsonl"
+        tr = tmp_path / "t.json"
+        rc = main(["trace", "-n", "300", "--engine", "frontier-mp",
+                   "--workers", "2", "--events-out", str(ev),
+                   "--trace-out", str(tr)])
+        assert rc == 0
+        assert ev.exists() and tr.exists()
+        text = ev.read_text()
+        assert "shard_dispatch" in text and "shard_complete" in text
+
+    def test_trace_flame_replays_saved_trace(self, tmp_path, capsys):
+        tr = tmp_path / "t.json"
+        assert main(["trace", "-n", "200", "--trace-out", str(tr)]) == 0
+        capsys.readouterr()
+        rc = main(["trace", "--flame", str(tr)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "flame summary" in out and "run" in out
+
+    def test_trace_compare_diffs_two_traces(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(["trace", "-n", "200", "--trace-out", str(a)]) == 0
+        assert main(["trace", "-n", "400", "--trace-out", str(b)]) == 0
+        capsys.readouterr()
+        rc = main(["trace", "--compare", str(a), str(b)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-level exclusive work" in out
+        assert "all" in out  # totals row
+
+    def test_no_sink_flags_no_files(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["knn", "-n", "200"]) == 0
+        assert list(tmp_path.iterdir()) == []
+
+
 class TestOtherCommands:
     def test_separators(self, capsys):
         rc = main(["separators", "-n", "400", "--draws", "3"])

@@ -194,9 +194,13 @@ class TestExports:
         _, tracer = self._traced()
         chrome = tracer.to_chrome_trace(extra={"note": "x"})
         assert chrome["displayTimeUnit"] == "ms"
-        assert len(chrome["traceEvents"]) == tracer.span_count()
-        ev = chrome["traceEvents"][0]
-        assert ev["ph"] == "X" and "depth" in ev["args"] and "work" in ev["args"]
+        slices = [e for e in chrome["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in chrome["traceEvents"] if e["ph"] == "M"]
+        assert len(slices) == tracer.span_count()
+        # a serial trace has exactly the master lane, labelled by metadata
+        assert [m["args"]["name"] for m in meta] == ["master"]
+        ev = slices[0]
+        assert "depth" in ev["args"] and "work" in ev["args"]
         assert chrome["otherData"]["note"] == "x"
 
     def test_write_trace_file(self, tmp_path):

@@ -250,3 +250,56 @@ class TestFacadeAndObservability:
         for method in ("fast", "simple"):
             repro.run_traced(pts, 2, method=method, seed=3,
                              engine="frontier-mp", workers=2)
+
+    def test_per_worker_busy_gauges(self):
+        pts = uniform_cube(500, 2, seed=9)
+        res = _run("fast", pts, 2, 53, engine="frontier-mp", workers=3)
+        gauges = res.machine.metrics.gauges
+        counters = res.machine.metrics.counters
+        per_worker = [gauges[f"parallel.busy_seconds.{w}"] for w in range(3)]
+        assert all(b >= 0.0 for b in per_worker)
+        # the per-worker gauges decompose the pool-wide busy counter
+        assert sum(per_worker) == pytest.approx(
+            counters["parallel.busy_seconds"]
+        )
+        assert "parallel.busy_seconds.3" not in gauges
+
+    def test_utilization_uses_dispatch_window(self):
+        """utilization = busy / (W * dispatched-work span), never > 1.
+
+        The denominator is the first-dispatch→last-completion window, not
+        pool lifetime, so idle setup/teardown time cannot dilute it.
+        """
+        pts = uniform_cube(500, 2, seed=9)
+        res = _run("fast", pts, 2, 53, engine="frontier-mp", workers=2)
+        gauges = res.machine.metrics.gauges
+        counters = res.machine.metrics.counters
+        span = gauges["parallel.dispatch_span_seconds"]
+        assert span > 0.0
+        util = gauges["parallel.utilization"]
+        assert 0.0 < util <= 1.0
+        expected = min(1.0, counters["parallel.busy_seconds"] / (2 * span))
+        assert util == pytest.approx(expected)
+
+    def test_dispatch_window_requires_completed_work(self):
+        with WorkerPool(1) as pool:
+            assert pool.dispatch_window() is None
+            assert pool.run_tasks("init_run", []) == []
+            assert pool.dispatch_window() is None  # nothing was dispatched
+            with pytest.raises(WorkerError):
+                pool.run_tasks("no_such_kernel", [{}])
+            # dispatched but never completed: still no usable window
+            assert pool.dispatch_window() is None
+
+    def test_task_results_carry_timeline(self):
+        pts = uniform_cube(400, 2, seed=12)
+        machine_res, tracer = repro.run_traced(
+            pts, 1, method="fast", seed=59, engine="frontier-mp", workers=2
+        )
+        shards = [s for _, s in tracer.root.walk()
+                  if s.name == "frontier.shard"]
+        assert shards
+        for s in shards:
+            # shard spans sit on the master timeline at the task's
+            # submitted→completed window (rebased to the tracer epoch)
+            assert s.wall_end >= s.wall_start >= 0.0
