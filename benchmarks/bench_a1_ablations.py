@@ -13,7 +13,6 @@ Four knobs, each isolated:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core import FastDnCConfig, parallel_nearest_neighborhood
 from repro.pvm import Machine

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.core import parallel_nearest_neighborhood
 from repro.pvm import Machine, brent_time, schedule_curve

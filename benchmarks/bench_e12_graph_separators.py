@@ -10,7 +10,6 @@ the nested-dissection fill-in payoff against baseline orderings.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis import power_law_fit
 from repro.baselines import brute_force_knn

@@ -12,7 +12,6 @@ from __future__ import annotations
 import math
 
 import numpy as np
-import pytest
 
 from repro.analysis import duplication_g
 from repro.core import parallel_nearest_neighborhood, simulate_duplication

@@ -10,7 +10,6 @@ of the two divide-and-conquer algorithms on the same inputs.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis import power_law_fit
 from repro.baselines import brute_force_knn

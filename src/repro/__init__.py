@@ -24,15 +24,44 @@ Public surface (see README for a tour):
 - :mod:`repro.obs` — tracing spans, metrics registry, trace exports;
 - :mod:`repro.parallel` — the multiprocess frontier backend: shared-memory
   buffers, shard planning, the worker pool (``engine="frontier-mp"``);
+- :mod:`repro.serve` — the online side: the frozen
+  :class:`~repro.serve.index.ServingIndex`, micro-batching
+  :class:`~repro.serve.batcher.Batcher`, LRU result cache and the
+  multiprocess serving pool (built in one call by
+  :func:`repro.api.serve`);
 - :mod:`repro.api` — the stable facade: :func:`~repro.api.all_knn`,
-  :func:`~repro.api.build_index`, :func:`~repro.api.run_traced` — all
-  re-exported here at the package root.
+  :func:`~repro.api.build_index`, :func:`~repro.api.run_traced`,
+  :func:`~repro.api.serve` — all but ``serve`` (which shares its name
+  with the subpackage) re-exported here at the package root.
 """
 
-from . import analysis, api, baselines, core, geometry, obs, parallel, pvm, separators, util, workloads
-from .api import ENGINES, METHODS, KNNIndex, KNNResult, all_knn, build_index, run_traced
+from . import (
+    analysis,
+    api,
+    baselines,
+    core,
+    geometry,
+    obs,
+    parallel,
+    pvm,
+    separators,
+    serve,
+    util,
+    workloads,
+)
+from .api import (
+    ENGINES,
+    METHODS,
+    Batcher,
+    KNNIndex,
+    KNNResult,
+    ServingIndex,
+    all_knn,
+    build_index,
+    run_traced,
+)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "analysis",
@@ -44,10 +73,13 @@ __all__ = [
     "parallel",
     "pvm",
     "separators",
+    "serve",
     "util",
     "workloads",
+    "Batcher",
     "KNNIndex",
     "KNNResult",
+    "ServingIndex",
     "all_knn",
     "build_index",
     "run_traced",

@@ -16,7 +16,11 @@ pins against ``docs/api_surface.txt``:
   structure) whose :meth:`KNNIndex.query` answers exact k-NN for *new*
   points via :func:`repro.core.query_points.knn_query`;
 - :func:`run_traced` — :func:`all_knn` under the observability layer,
-  returning ``(result, tracer)`` with the run's span tree.
+  returning ``(result, tracer)`` with the run's span tree;
+- :func:`serve` — build once, *serve* forever: a micro-batching
+  :class:`~repro.serve.batcher.Batcher` over a frozen
+  :class:`~repro.serve.index.ServingIndex`, with optional LRU result
+  caching and a multiprocess serving pool (see ``docs/serving.md``).
 
 Everything here is re-exported from the package root, so the quickstart
 is simply::
@@ -52,13 +56,17 @@ from .core import (
 from .geometry.points import as_points
 from .obs import Tracer
 from .pvm import Cost, Machine
+from .serve import Batcher, ResultCache, ServingIndex, ServingPool
 
 __all__ = [
     "KNNResult",
     "KNNIndex",
+    "ServingIndex",
+    "Batcher",
     "all_knn",
     "build_index",
     "run_traced",
+    "serve",
     "METHODS",
     "ENGINES",
 ]
@@ -345,3 +353,68 @@ def run_traced(
         with open(metrics_out, "w") as fh:
             fh.write(machine.metrics.to_prometheus())
     return result, tracer
+
+
+def serve(
+    points: np.ndarray,
+    k: int = 1,
+    *,
+    kind: str = "knn",
+    config: Optional[FastDnCConfig] = None,
+    machine: Optional[Machine] = None,
+    seed: object = None,
+    engine: Optional[str] = None,
+    workers: Optional[int] = None,
+    serve_workers: Optional[int] = None,
+    max_batch: int = 256,
+    max_wait_ms: Optional[float] = None,
+    cache_size: int = 1024,
+    cache_decimals: Optional[int] = None,
+) -> Batcher:
+    """Build a serving stack over ``points``: index → cache → batcher.
+
+    Runs the offline build once (the fast algorithm, via
+    ``engine``/``workers`` exactly as in :func:`build_index`), freezes it
+    as a :class:`~repro.serve.index.ServingIndex`, and returns a
+    :class:`~repro.serve.batcher.Batcher` accepting single-point requests
+    of the given ``kind``:
+
+    - ``"knn"``: exact k nearest data points per query;
+    - ``"covering"``: data points whose k-NN ball contains the query
+      (the Section-3 structure, built eagerly for this kind).
+
+    ``serve_workers`` (when given) fans batches across a
+    :class:`~repro.serve.mp.ServingPool` of worker processes serving from
+    one shared-memory snapshot; the batcher owns the pool and shuts it
+    down on ``close()``.  ``cache_size=0`` disables the LRU result
+    cache; ``cache_decimals`` quantizes cache keys (exact by default).
+    Every knob changes only wall-clock, never an answer — serving is
+    bit-identical to the per-point query paths.  ``machine`` receives
+    ``serve.*`` metrics and (when traced) ``serve.batch`` spans.
+    """
+    index = ServingIndex.build(
+        points,
+        k,
+        config=config,
+        machine=machine,
+        seed=seed,
+        engine=engine,
+        workers=workers,
+        with_structure=(kind == "covering"),
+    )
+    cache = ResultCache(cache_size, cache_decimals) if cache_size > 0 else None
+    pool = (
+        ServingPool(index, serve_workers, machine=machine)
+        if serve_workers is not None
+        else None
+    )
+    return Batcher(
+        index,
+        kind=kind,
+        k=k,
+        max_batch=max_batch,
+        max_wait_ms=max_wait_ms,
+        cache=cache,
+        machine=machine,
+        pool=pool,
+    )

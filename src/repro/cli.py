@@ -20,6 +20,11 @@ Subcommands
     JSON with ``--trace-out``.  ``--flame FILE`` prints the flame
     summary of a previously saved trace and ``--compare A B`` diffs two
     saved traces' per-level exclusive-work breakdowns — no run needed.
+``repro serve``
+    Build (or ``--load-index``) a serving index, then stream a query
+    workload through the micro-batching :class:`repro.serve.Batcher`
+    (optionally across ``--serve-workers`` processes) and report p50/p95
+    latency, QPS and cache hit rate.  See ``docs/serving.md``.
 
 ``--trace-out PATH`` is also accepted by ``knn`` and ``scaling``, as are
 the telemetry sinks ``--events-out PATH`` (JSONL event log) and
@@ -136,6 +141,47 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar=("A.json", "B.json"),
                        help="diff two saved traces' per-level exclusive-work "
                             "breakdowns and exit (no run)")
+
+    serve = sub.add_parser(
+        "serve", help="serve a k-NN query workload through the batching layer"
+    )
+    add_workload_args(serve)
+    serve.add_argument("-k", "--k", type=int, default=1, help="neighbors per query")
+    serve.add_argument("--kind", default="knn", choices=["knn", "covering"],
+                       help="request kind: exact k-NN for new points, or the "
+                            "Section-3 covering-balls query")
+    serve.add_argument("--queries", type=int, default=1024, metavar="M",
+                       help="number of query points to generate (same workload "
+                            "family, fresh seed)")
+    serve.add_argument("--queries-file", default=None, metavar="PATH",
+                       help="serve queries from this saved workload file "
+                            "(repro.workloads.io format or a plain .npy/.npz; "
+                            "overrides --queries)")
+    serve.add_argument("--max-batch", type=int, default=256,
+                       help="execute as soon as this many requests are pending")
+    serve.add_argument("--max-wait-ms", type=float, default=None,
+                       help="also execute once the oldest pending request has "
+                            "waited this long (default: batch-size only)")
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="LRU result-cache entries (0 disables caching)")
+    serve.add_argument("--cache-decimals", type=int, default=None,
+                       help="quantize cache keys to this many decimals "
+                            "(default: exact-point keys)")
+    serve.add_argument("--serve-workers", type=int, default=None, metavar="N",
+                       help="fan batches across N serving worker processes "
+                            "(default: serve on this process)")
+    serve.add_argument("--repeat", type=int, default=1,
+                       help="stream the query workload this many times "
+                            "(repeats exercise the cache)")
+    add_engine_args(serve, "used for the offline index build)")
+    serve.add_argument("--load-index", default=None, metavar="PATH",
+                       help="serve from a saved ServingIndex instead of building")
+    serve.add_argument("--save-index", default=None, metavar="PATH",
+                       help="save the built ServingIndex here")
+    serve.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="record serve.batch spans and write Chrome-trace "
+                            "JSON here")
+    add_telemetry_args(serve)
     return parser
 
 
@@ -388,6 +434,107 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_queries(args: argparse.Namespace, d: int) -> np.ndarray:
+    from .workloads import load_workload, make_workload
+
+    if args.queries_file:
+        loaded = np.load(args.queries_file)
+        if hasattr(loaded, "files"):  # .npz: a saved workload record
+            return np.asarray(load_workload(args.queries_file).points, dtype=np.float64)
+        return np.asarray(loaded, dtype=np.float64)  # bare .npy array
+    # fresh seed so queries are not the data points verbatim
+    return make_workload(args.workload, args.queries, d, args.seed + 10_000)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from .pvm import Machine
+    from .serve import Batcher, ResultCache, ServingIndex, ServingPool
+
+    machine = Machine()
+    tracing = bool(args.trace_out or args.events_out)
+    if tracing:
+        machine.enable_tracing()
+
+    t0 = time.perf_counter()
+    if args.load_index:
+        index = ServingIndex.load(args.load_index)
+        built = "loaded"
+    else:
+        pts = _load_points(args)
+        index = ServingIndex.build(
+            pts, args.k, machine=machine, seed=args.seed,
+            engine=args.engine, workers=args.workers,
+            with_structure=(args.kind == "covering"),
+        )
+        built = "built"
+    build_s = time.perf_counter() - t0
+    if args.save_index:
+        index.save(args.save_index)
+        print(f"saved index {args.save_index}")
+
+    queries = _load_queries(args, index.d)
+    cache = (ResultCache(args.cache_size, args.cache_decimals)
+             if args.cache_size > 0 else None)
+    pool = (ServingPool(index, args.serve_workers, machine=machine)
+            if args.serve_workers is not None else None)
+    batcher = Batcher(index, kind=args.kind, k=args.k,
+                      max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+                      cache=cache, machine=machine, pool=pool)
+
+    tickets = []
+    t1 = time.perf_counter()
+    span = machine.span("serve.session", queries=int(queries.shape[0]),
+                        repeat=args.repeat) if tracing else None
+    if span is not None:
+        span.__enter__()
+    try:
+        for _ in range(args.repeat):
+            for row in queries:
+                tickets.append(batcher.submit(row))
+                batcher.poll()
+            # each repeat is one full pass over the workload; completing it
+            # before the next makes later passes exercise the warm cache
+            batcher.flush()
+    finally:
+        if span is not None:
+            span.__exit__(None, None, None)
+        batcher.close()
+    wall = time.perf_counter() - t1
+
+    lat_ms = np.array([t.latency_s for t in tickets]) * 1e3
+    stats = batcher.stats
+    n_req = len(tickets)
+    print(f"serve: kind={args.kind} index {built} in {build_s:.2f}s "
+          f"(n={index.n} d={index.d} k={args.k})")
+    mode = (f"{args.serve_workers} serving workers" if args.serve_workers
+            else "in-process")
+    print(f"served {n_req} requests in {wall:.3f}s ({mode}); "
+          f"batches={stats.batches} max_batch={args.max_batch}")
+    hits, misses = stats.cache_hits, stats.cache_misses
+    if cache is not None:
+        total = hits + misses
+        print(f"cache: {hits}/{total} hits ({hits / total:.1%})"
+              if total else "cache: no lookups")
+    print(f"latency p50={np.percentile(lat_ms, 50):.3f}ms "
+          f"p95={np.percentile(lat_ms, 95):.3f}ms "
+          f"max={lat_ms.max():.3f}ms   QPS={n_req / wall:,.0f}")
+    if args.trace_out:
+        _write_trace_file(args.trace_out, machine.tracer, machine,
+                          command="serve", kind=args.kind, n=index.n,
+                          d=index.d, k=int(args.k))
+    if args.events_out:
+        from .obs.export import write_events_jsonl
+
+        write_events_jsonl(args.events_out, machine.tracer)
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(machine.metrics.to_prometheus())
+    _note_telemetry(args)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -397,6 +544,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "scaling": _cmd_scaling,
         "dissect": _cmd_dissect,
         "trace": _cmd_trace,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

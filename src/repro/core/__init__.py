@@ -26,7 +26,11 @@ from .fast_dnc import (
     parallel_nearest_neighborhood,
 )
 from .knn_graph import adjacency_lists, knn_graph_edges, max_degree, to_networkx
-from .neighborhood import KNeighborhoodSystem, merge_neighbor_lists
+from .neighborhood import (
+    KNeighborhoodSystem,
+    merge_neighbor_lists,
+    merge_neighbor_lists_many,
+)
 from .partition_tree import PartitionNode
 from .punting import (
     DuplicationTrace,
@@ -67,6 +71,7 @@ __all__ = [
     "to_networkx",
     "KNeighborhoodSystem",
     "merge_neighbor_lists",
+    "merge_neighbor_lists_many",
     "PartitionNode",
     "DuplicationTrace",
     "ab_tree_trials",

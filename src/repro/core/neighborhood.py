@@ -24,7 +24,12 @@ import numpy as np
 from ..geometry.balls import BallSystem
 from ..geometry.points import as_points, kth_smallest_per_row, pairwise_sq_dists_direct
 
-__all__ = ["KNeighborhoodSystem", "merge_neighbor_lists", "brute_force_neighbors"]
+__all__ = [
+    "KNeighborhoodSystem",
+    "merge_neighbor_lists",
+    "merge_neighbor_lists_many",
+    "brute_force_neighbors",
+]
 
 
 def brute_force_neighbors(
@@ -163,4 +168,47 @@ def merge_neighbor_lists(
     take = min(k, idx.size)
     out_idx[:take] = idx[:take]
     out_sq[:take] = sq[:take]
+    return out_idx, out_sq
+
+
+def merge_neighbor_lists_many(
+    rows: np.ndarray,
+    idx: np.ndarray,
+    sq: np.ndarray,
+    n_rows: int,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise :func:`merge_neighbor_lists` over a flat candidate stream.
+
+    ``(rows[i], idx[i], sq[i])`` is one candidate for query row ``rows[i]``;
+    candidates need not be sorted or grouped and ``idx < 0`` entries are
+    padding.  Returns ``(n_rows, k)`` arrays with exactly what k calls to
+    the scalar merge would produce per row — duplicates collapsed to their
+    smallest distance, survivors sorted by (distance, id), short rows
+    padded with (-1, inf) — in a handful of array operations instead of
+    ``n_rows`` Python-level merges.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    idx = np.asarray(idx, dtype=np.int64)
+    sq = np.asarray(sq, dtype=np.float64)
+    out_idx = np.full((n_rows, k), -1, dtype=np.int64)
+    out_sq = np.full((n_rows, k), np.inf)
+    real = idx >= 0
+    rows, idx, sq = rows[real], idx[real], sq[real]
+    if not idx.size:
+        return out_idx, out_sq
+    # group by (row, id) with the smallest distance first, keep group heads
+    order = np.lexsort((sq, idx, rows))
+    rows, idx, sq = rows[order], idx[order], sq[order]
+    keep = np.concatenate(([True], (rows[1:] != rows[:-1]) | (idx[1:] != idx[:-1])))
+    rows, idx, sq = rows[keep], idx[keep], sq[keep]
+    # canonical (distance, id) order within each row, then each row's k best
+    order = np.lexsort((idx, sq, rows))
+    rows, idx, sq = rows[order], idx[order], sq[order]
+    pos = np.arange(rows.shape[0], dtype=np.int64)
+    starts = np.concatenate(([True], rows[1:] != rows[:-1]))
+    pos -= np.maximum.accumulate(np.where(starts, pos, 0))
+    keep = pos < k
+    out_idx[rows[keep], pos[keep]] = idx[keep]
+    out_sq[rows[keep], pos[keep]] = sq[keep]
     return out_idx, out_sq

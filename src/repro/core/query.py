@@ -39,7 +39,6 @@ from ..pvm.cost import Cost
 from ..pvm.machine import Machine
 from ..separators.quality import default_delta, is_good_point_split
 from ..separators.unit_time import UnitTimeSeparator
-from ..util.rng import as_generator
 from .config import CommonConfig, supports_renamed_fields
 
 __all__ = ["QueryConfig", "QueryStats", "QueryNode", "NeighborhoodQueryStructure"]

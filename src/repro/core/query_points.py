@@ -23,7 +23,7 @@ import numpy as np
 
 from ..geometry.points import as_points, pairwise_sq_dists_direct
 from .correction import march_balls
-from .neighborhood import merge_neighbor_lists
+from .neighborhood import merge_neighbor_lists_many
 from .partition_tree import PartitionNode
 
 __all__ = ["knn_query"]
@@ -69,36 +69,49 @@ def knn_query(
     if nq == 0:
         return out_idx, out_sq
 
-    # phase 1: leaf estimates
-    radii = np.empty(nq)
-    for i in range(nq):
-        leaf = tree.leaf_of_point(qs[i])
+    # phase 1: leaf estimates, by vectorized group descent — all queries
+    # landing in one leaf share a single distance-matrix evaluation, and
+    # every row's k best come out of one flat stream merge
+    cand_rows, cand_ids, cand_sq = [], [], []
+    for leaf, rows in tree.leaves_of_points(qs):
         ids = leaf.indices
-        if ids.shape[0]:
-            sq = pairwise_sq_dists_direct(qs[i : i + 1], pts[ids])[0]
-            take = min(k, ids.shape[0])
-            sel = np.argpartition(sq, take - 1)[:take] if take < ids.shape[0] else np.arange(ids.shape[0])
-            out_idx[i], out_sq[i] = merge_neighbor_lists(
-                ids[sel], sq[sel], np.empty(0, dtype=np.int64), np.empty(0), k
-            )
-        radii[i] = np.sqrt(out_sq[i, -1])  # inf when the leaf was too small
+        if not ids.shape[0]:
+            continue
+        sq = pairwise_sq_dists_direct(qs[rows], pts[ids])
+        take = min(k, ids.shape[0])
+        if take < ids.shape[0]:
+            sel = np.argpartition(sq, take - 1, axis=1)[:, :take]
+            sq = np.take_along_axis(sq, sel, axis=1)
+            picked = ids[sel]
+        else:
+            picked = np.broadcast_to(ids, (rows.shape[0], ids.shape[0]))
+        cand_rows.append(np.repeat(rows, picked.shape[1]))
+        cand_ids.append(picked.ravel())
+        cand_sq.append(sq.ravel())
+    if cand_rows:
+        out_idx, out_sq = merge_neighbor_lists_many(
+            np.concatenate(cand_rows),
+            np.concatenate(cand_ids),
+            np.concatenate(cand_sq),
+            nq,
+            k,
+        )
+    radii = np.sqrt(out_sq[:, -1])  # inf when the leaf was too small
 
     # phase 2: march the query balls; reachability finds every point
-    # within the current k-th distance, so merging is exact
+    # within the current k-th distance, so one flat merge of the marched
+    # candidates against the leaf estimates is exact
     result = march_balls(tree, pts, qs, radii)
     if result.pairs:
-        order = np.argsort(result.ball_rows, kind="stable")
-        rows = result.ball_rows[order]
-        cands = result.point_ids[order]
-        bounds = np.flatnonzero(np.concatenate(([True], rows[1:] != rows[:-1])))
-        bounds = np.append(bounds, rows.shape[0])
-        for b in range(bounds.shape[0] - 1):
-            lo, hi = bounds[b], bounds[b + 1]
-            qi = int(rows[lo])
-            ids = cands[lo:hi]
-            diff = pts[ids] - qs[qi]
-            sq = np.einsum("md,md->m", diff, diff)
-            out_idx[qi], out_sq[qi] = merge_neighbor_lists(
-                out_idx[qi], out_sq[qi], ids, sq, k
-            )
+        rows = result.ball_rows
+        cands = result.point_ids
+        diff = pts[cands] - qs[rows]
+        sq = np.einsum("md,md->m", diff, diff)
+        out_idx, out_sq = merge_neighbor_lists_many(
+            np.concatenate([rows, np.repeat(np.arange(nq, dtype=np.int64), k)]),
+            np.concatenate([cands, out_idx.ravel()]),
+            np.concatenate([sq, out_sq.ravel()]),
+            nq,
+            k,
+        )
     return out_idx, out_sq

@@ -109,7 +109,6 @@ def circle_to_separator(circle: SphereCap, *, degenerate_eps: float = 1e-9) -> U
     """
     a = circle.normal
     b = circle.offset
-    d = a.shape[0] - 1
     gamma = a[-1] - b
     if abs(gamma) <= degenerate_eps:
         head = a[:-1]

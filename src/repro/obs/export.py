@@ -29,7 +29,7 @@ import re
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from .metrics import Metrics
-from .spans import Span, Tracer, span_tree_from_dict
+from .spans import Tracer, span_tree_from_dict
 
 __all__ = [
     "EVENT_SCHEMA",

@@ -295,9 +295,25 @@ def correct_shard(payload: Dict[str, Any]) -> Dict[str, Any]:
     return _task_result(engine, results)
 
 
+def serve_init(payload: Dict[str, Any]) -> Any:
+    """Install a serving-index snapshot (see :mod:`repro.serve.worker`)."""
+    from ..serve.worker import serve_init as impl
+
+    return impl(payload)
+
+
+def serve_shard(payload: Dict[str, Any]) -> Any:
+    """Answer one shard of a serving batch (see :mod:`repro.serve.worker`)."""
+    from ..serve.worker import serve_shard as impl
+
+    return impl(payload)
+
+
 KERNELS = {
     "init_run": init_run,
     "build_shard": build_shard,
     "install_tree": install_tree,
     "correct_shard": correct_shard,
+    "serve_init": serve_init,
+    "serve_shard": serve_shard,
 }

@@ -1,0 +1,101 @@
+"""LRU result cache for the serving layer.
+
+Serving workloads repeat themselves: the same hot query points arrive
+again and again, and the answers — exact k-NN lists or covering-ball
+sets over a *frozen* index — never change.  :class:`ResultCache` stores
+per-point responses keyed on the query point's bytes (plus the request
+kind and ``k``), evicting least-recently-used entries past ``capacity``.
+
+Keys are exact by default: two points share an entry only when their
+float64 representations are bit-equal, so a cache hit returns the exact
+arrays a fresh execution would — serving stays bit-identical whatever
+the cache state.  ``decimals`` optionally *quantizes* keys (rounding
+coordinates to that many decimals before hashing) so near-duplicate
+probes coalesce; that trades exactness for hit rate and is off unless a
+deployment opts in.
+
+Hit/miss counts live on the cache; the :class:`~repro.serve.batcher.
+Batcher` mirrors them into its ``serve.cache_hits`` / ``serve.cache_misses``
+metrics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Optional
+
+import numpy as np
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Bounded LRU map from (kind, k, query point) to a stored response.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; ``0`` disables storage (every lookup
+        misses, which keeps the calling code uniform).
+    decimals:
+        ``None`` (default) keys on the exact float64 bytes of the point;
+        an integer rounds coordinates to that many decimals first, so
+        near-identical probes share an entry (approximate — see module
+        docstring).
+    """
+
+    def __init__(self, capacity: int = 1024, decimals: Optional[int] = None) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self.decimals = decimals
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[bytes, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def make_key(self, kind: str, k: Optional[int], point: np.ndarray) -> bytes:
+        """The cache key for one request: kind + k + (quantized) point bytes."""
+        p = np.ascontiguousarray(point, dtype=np.float64)
+        if self.decimals is not None:
+            p = np.round(p, self.decimals) + 0.0  # +0.0 folds -0.0 into +0.0
+        return f"{kind}:{k}:".encode() + p.tobytes()
+
+    def get(self, key: bytes) -> Any:
+        """The stored response for ``key`` (marking it recently used), or
+        ``None`` on a miss.  Counts the lookup either way."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: bytes, value: Any) -> None:
+        """Store ``value`` (treated as immutable) under ``key``, evicting
+        the least-recently-used entry when past capacity."""
+        if self.capacity == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over total lookups so far (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResultCache(size={len(self)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,171 @@
+"""Multiprocess serving: fan batches across a persistent worker pool.
+
+A :class:`ServingPool` reuses the :mod:`repro.parallel` machinery — the
+:class:`~repro.parallel.pool.WorkerPool` task protocol and the
+:mod:`~repro.parallel.shm` shared-memory arena — for the online side:
+the master exports its :class:`~repro.serve.index.ServingIndex` once as
+an shm snapshot (``serve_init`` broadcast), and every batch then travels
+as one shared query array that workers answer in contiguous row shards
+(``serve_shard``).
+
+``ServingPool.execute`` has the same signature and bit-identical output
+as ``ServingIndex.execute`` for every worker count: per-row answers are
+independent of batch composition, and shards merge in row order.  It
+plugs straight into :class:`~repro.serve.batcher.Batcher` as the
+executor, giving the batching/caching layer a multi-core backend.
+
+Metrics (``serve.pool_workers``, ``serve.pool_batches``,
+``serve.pool_busy_seconds``) land in the machine registry the caller
+passes, next to the batcher's ``serve.*`` stats.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..parallel.pool import WorkerPool, resolve_workers
+from ..parallel.shm import SharedArray
+from ..pvm.machine import Machine
+from .index import BatchResponse, ServingIndex
+
+__all__ = ["ServingPool"]
+
+
+class ServingPool:
+    """A worker pool serving batches against a snapshot of one index.
+
+    Parameters
+    ----------
+    index:
+        The frozen index to snapshot and serve from.  For covering
+        requests, build (or load) it with the structure present — the
+        snapshot ships the structure, never rebuilds it per worker.
+    workers:
+        Worker-process count (``None`` = one per CPU).
+    start_method:
+        Forwarded to :class:`~repro.parallel.pool.WorkerPool`.
+    machine:
+        Optional machine whose metrics registry receives pool gauges.
+    min_shard:
+        Smallest per-worker shard worth dispatching; tiny batches use
+        fewer workers rather than paying per-task overhead for empty
+        slices.
+    """
+
+    def __init__(
+        self,
+        index: ServingIndex,
+        workers: Optional[int] = None,
+        *,
+        start_method: Optional[str] = None,
+        machine: Optional[Machine] = None,
+        min_shard: int = 64,
+    ) -> None:
+        self.index = index
+        self.workers = resolve_workers(workers)
+        self.machine = machine
+        self.min_shard = max(1, int(min_shard))
+        # snapshot BEFORE forking: the first SharedMemory use starts the
+        # resource-tracker process, and workers must inherit that tracker
+        # (a worker-spawned tracker would hold attach registrations the
+        # master's unlink can never clear)
+        self._pool: Optional[WorkerPool] = None
+        payload, self._arenas = index.shm_snapshot()
+        try:
+            self._pool = WorkerPool(self.workers, start_method)
+            self._pool.broadcast("serve_init", payload)
+        except Exception:
+            self.close()
+            raise
+        if machine is not None:
+            machine.metrics.set_gauge("serve.pool_workers", self.workers)
+
+    @property
+    def closed(self) -> bool:
+        return self._pool is None
+
+    def execute(
+        self, kind: str, queries: np.ndarray, k: Optional[int] = None
+    ) -> BatchResponse:
+        """Answer one batch by sharding rows across the pool.
+
+        Bit-identical to ``self.index.execute(kind, queries, k)`` for
+        every worker count; raises once the pool is closed.
+        """
+        if self._pool is None:
+            raise RuntimeError("serving pool is closed")
+        qs = np.ascontiguousarray(queries, dtype=np.float64)
+        m = qs.shape[0]
+        shards = self._shard_bounds(m)
+        if m == 0 or len(shards) <= 1:
+            # not worth a dispatch: answer on the master (same result)
+            return self.index.execute(kind, qs, k)
+        arena = SharedArray.create_from(qs)
+        try:
+            payloads = [
+                {
+                    "queries_spec": arena.spec,
+                    "lo": lo,
+                    "hi": hi,
+                    "kind": kind,
+                    "k": k,
+                }
+                for lo, hi in shards
+            ]
+            tasks = self._pool.run_tasks("serve_shard", payloads)
+        finally:
+            arena.destroy()
+        if self.machine is not None:
+            self.machine.metrics.inc("serve.pool_batches")
+            self.machine.metrics.inc(
+                "serve.pool_busy_seconds", sum(t.elapsed for t in tasks)
+            )
+        responses = [t.result for t in tasks]
+        if kind == "covering":
+            rows = np.concatenate(
+                [r + lo for (r, _), (lo, _) in zip(responses, shards)]
+            )
+            ids = np.concatenate([ids for _, ids in responses])
+            return rows, ids
+        idx = np.concatenate([r[0] for r in responses], axis=0)
+        sq = np.concatenate([r[1] for r in responses], axis=0)
+        return idx, sq
+
+    def _shard_bounds(self, m: int) -> List[tuple]:
+        """Contiguous, near-even row shards; capped so none is tinier
+        than ``min_shard`` (except the only shard of a small batch)."""
+        if m == 0:
+            return []
+        width = max(self.min_shard, -(-m // self.workers))
+        bounds = []
+        lo = 0
+        while lo < m:
+            hi = min(m, lo + width)
+            bounds.append((lo, hi))
+            lo = hi
+        return bounds
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut workers down and release every shm segment; idempotent.
+
+        Safe mid-stream: any batch not yet dispatched is simply never
+        executed (the owning :class:`~repro.serve.batcher.Batcher` drops
+        its queue on ``close(flush=False)``), and no segment or process
+        outlives the call.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        for arena in self._arenas:
+            arena.destroy()
+        self._arenas = []
+
+    def __enter__(self) -> "ServingPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

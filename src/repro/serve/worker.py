@@ -1,0 +1,81 @@
+"""Worker-process side of multiprocess serving.
+
+Two kernels, dispatched through the same :class:`~repro.parallel.pool.
+WorkerPool` protocol the frontier engine uses (registered in
+:data:`repro.parallel.kernels.KERNELS` as ``serve_init`` /
+``serve_shard``):
+
+- :func:`serve_init` (broadcast once per pool) receives the master's
+  :meth:`~repro.serve.index.ServingIndex.shm_snapshot` payload, attaches
+  the shared arrays zero-copy and reconstructs a worker-local
+  :class:`~repro.serve.index.ServingIndex` over the views;
+- :func:`serve_shard` answers one contiguous row range of a batch whose
+  query array also travels by shared memory.
+
+Ownership follows :mod:`repro.parallel.shm`: the master creates and
+destroys every segment; workers only attach, and keep the handles alive
+in module state for the lifetime of the run.  Per-row answers are
+independent of batch composition (see :mod:`repro.serve.index`), so a
+sharded execution concatenated in shard order is bit-identical to the
+serial one for every worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..core.neighborhood import KNeighborhoodSystem
+from ..parallel.shm import attach
+from .index import ServingIndex
+
+__all__ = ["serve_init", "serve_shard"]
+
+_INDEX: Optional[ServingIndex] = None
+_HANDLES: List[Any] = []  # keep attached SharedMemory objects alive
+
+
+def serve_init(payload: Dict[str, Any]) -> bool:
+    """Install this worker's serving index from a master shm snapshot."""
+    global _INDEX
+    _HANDLES.clear()
+
+    def view(spec):
+        shm, arr = attach(spec)
+        _HANDLES.append(shm)
+        return arr
+
+    points = view(payload["points_spec"])
+    system = None
+    if payload["system_specs"] is not None:
+        idx_spec, sq_spec = payload["system_specs"]
+        system = KNeighborhoodSystem(
+            points, payload["system_k"], view(idx_spec), view(sq_spec)
+        )
+    _INDEX = ServingIndex(
+        points,
+        payload["tree"],
+        payload["k"],
+        system=system,
+        structure=payload["structure"],
+        structure_seed=payload["structure_seed"],
+    )
+    return True
+
+
+def serve_shard(payload: Dict[str, Any]) -> Any:
+    """Answer rows ``[lo, hi)`` of the shared query array.
+
+    Returns the shard's :data:`~repro.serve.index.BatchResponse`;
+    covering row indices are shard-local (the master offsets by ``lo``).
+    The query segment is attached per call and closed before returning —
+    the master destroys it as soon as the batch completes.
+    """
+    if _INDEX is None:
+        raise RuntimeError("serve_shard before serve_init")
+    shm, queries = attach(payload["queries_spec"])
+    try:
+        shard = queries[payload["lo"] : payload["hi"]].copy()
+    finally:
+        del queries
+        shm.close()
+    return _INDEX.execute(payload["kind"], shard, payload["k"])

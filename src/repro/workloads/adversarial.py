@@ -26,7 +26,6 @@ def slab_pairs(n: int, d: int, seed: object = None, *, gap: float = 1e-4, spacin
     """
     rng = as_generator(seed)
     pairs = n // 2
-    rest = np.empty((pairs, max(1, d - 1)))
     if d == 1:
         base = np.arange(pairs, dtype=np.float64)[:, None] * spacing
         pts = np.concatenate([base - gap / 2, base + gap / 2], axis=0)[:, :1]

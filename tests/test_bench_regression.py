@@ -12,7 +12,6 @@ import os
 import subprocess
 import sys
 
-import pytest
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SCRIPT = os.path.join(REPO_ROOT, "scripts", "check_bench_regression.py")

@@ -127,6 +127,47 @@ class TestTelemetryFlags:
         assert list(tmp_path.iterdir()) == []
 
 
+class TestServeCommand:
+    def test_serve_knn(self, capsys):
+        rc = main(["serve", "-n", "400", "-k", "2", "--queries", "200",
+                   "--max-batch", "64"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serve: kind=knn" in out
+        assert "served 200 requests" in out and "in-process" in out
+        assert "latency p50=" in out and "QPS=" in out
+
+    def test_serve_covering_with_cache_repeat(self, capsys):
+        rc = main(["serve", "-n", "300", "--kind", "covering",
+                   "--queries", "100", "--repeat", "2", "--cache-size", "512"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "served 200 requests" in out
+        assert "cache: 100/200 hits (50.0%)" in out  # second pass is cache-hot
+
+    def test_serve_save_then_load_index(self, tmp_path, capsys):
+        path = tmp_path / "index.pkl"
+        assert main(["serve", "-n", "300", "--queries", "50",
+                     "--save-index", str(path)]) == 0
+        assert path.exists()
+        rc = main(["serve", "--load-index", str(path), "--queries", "50"])
+        assert rc == 0
+        assert "index loaded" in capsys.readouterr().out
+
+    def test_serve_queries_file_and_sinks(self, tmp_path, capsys):
+        qf = tmp_path / "queries.npy"
+        np.save(qf, np.random.default_rng(0).random((64, 2)))
+        tr, ev, mx = (str(tmp_path / f) for f in
+                      ("trace.json", "events.jsonl", "metrics.prom"))
+        rc = main(["serve", "-n", "300", "--queries-file", str(qf),
+                   "--trace-out", tr, "--events-out", ev, "--metrics-out", mx])
+        assert rc == 0
+        assert "served 64 requests" in capsys.readouterr().out
+        assert "serve.batch" in open(tr).read()
+        assert "span_open" in open(ev).read()
+        assert 'repro_serve_requests_total{key="serve.requests"} 64.0' in open(mx).read()
+
+
 class TestOtherCommands:
     def test_separators(self, capsys):
         rc = main(["separators", "-n", "400", "--draws", "3"])

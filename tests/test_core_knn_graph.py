@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.baselines import brute_force_knn
 from repro.core.knn_graph import adjacency_lists, knn_graph_edges, max_degree, to_networkx

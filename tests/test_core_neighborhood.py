@@ -8,7 +8,11 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.baselines import brute_force_knn
-from repro.core.neighborhood import KNeighborhoodSystem, merge_neighbor_lists
+from repro.core.neighborhood import (
+    KNeighborhoodSystem,
+    merge_neighbor_lists,
+    merge_neighbor_lists_many,
+)
 from repro.workloads import uniform_cube
 
 
@@ -137,3 +141,35 @@ class TestMergeNeighborLists:
         )
         np.testing.assert_array_equal(idx, [1, 8, 5, -1, -1])
         assert (np.diff(sq[:3]) >= 0).all()
+
+
+class TestMergeNeighborListsMany:
+    """The flat-stream batch merge vs per-row scalar merges."""
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(-1, 30),
+                      st.floats(0, 100, allow_nan=False)),
+            max_size=40,
+        ),
+        st.integers(1, 6),
+    )
+    def test_matches_scalar_merge_per_row(self, stream, k):
+        rows = np.array([t[0] for t in stream], dtype=np.int64)
+        ids = np.array([t[1] for t in stream], dtype=np.int64)
+        sq = np.array([t[2] for t in stream])
+        got_idx, got_sq = merge_neighbor_lists_many(rows, ids, sq, 6, k)
+        empty_i, empty_f = np.empty(0, dtype=np.int64), np.empty(0)
+        for r in range(6):
+            m = rows == r
+            exp_idx, exp_sq = merge_neighbor_lists(ids[m], sq[m], empty_i, empty_f, k)
+            np.testing.assert_array_equal(got_idx[r], exp_idx)
+            np.testing.assert_array_equal(got_sq[r], exp_sq)
+
+    def test_empty_stream_is_all_padding(self):
+        idx, sq = merge_neighbor_lists_many(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+            np.empty(0), 3, 2
+        )
+        np.testing.assert_array_equal(idx, np.full((3, 2), -1))
+        assert np.isinf(sq).all()

@@ -44,7 +44,7 @@ class TestTraversal:
     def test_leaves_left_to_right(self):
         t = manual_tree()
         leaves = list(t.leaves())
-        assert [l.indices.tolist() for l in leaves] == [[0, 1], [2, 3]]
+        assert [leaf.indices.tolist() for leaf in leaves] == [[0, 1], [2, 3]]
 
     def test_nodes_preorder(self):
         t = manual_tree()
@@ -91,3 +91,37 @@ class TestRealTreeInvariants:
         for node in res.tree.nodes():
             if not node.is_leaf:
                 assert "punted" in node.meta and "iota" in node.meta
+
+
+class TestLeavesOfPoints:
+    """Vectorized group descent vs the scalar leaf_of_point reference."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        pts = uniform_cube(600, 2, 99)
+        return parallel_nearest_neighborhood(pts, 1, seed=5), pts
+
+    def test_matches_leaf_of_point_and_partitions_rows(self, result):
+        res, pts = result
+        queries = np.concatenate([pts[::7], pts[:20] + 1e-4])
+        seen = []
+        for leaf, rows in res.tree.leaves_of_points(queries):
+            assert rows.shape[0] > 0
+            seen.extend(rows.tolist())
+            for r in rows:
+                assert res.tree.leaf_of_point(queries[r]) is leaf
+        assert sorted(seen) == list(range(queries.shape[0]))
+
+    def test_leaves_arrive_left_to_right(self, result):
+        res, pts = result
+        order = {id(leaf): i for i, leaf in enumerate(res.tree.leaves())}
+        visited = [order[id(leaf)]
+                   for leaf, _ in res.tree.leaves_of_points(pts[::11])]
+        assert visited == sorted(visited)
+
+    def test_empty_and_single_point(self, result):
+        res, pts = result
+        assert list(res.tree.leaves_of_points(pts[:0])) == []
+        ((leaf, rows),) = res.tree.leaves_of_points(pts[:1])
+        assert rows.tolist() == [0]
+        assert res.tree.leaf_of_point(pts[0]) is leaf

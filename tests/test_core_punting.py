@@ -43,7 +43,7 @@ class TestABTreeSimulator:
     def test_rd_nonnegative_and_bounded(self):
         for seed in range(10):
             rd = simulate_ab_tree(512, seed)
-            assert 0 <= rd <= sum(math.log2(512 >> l) for l in range(9))
+            assert 0 <= rd <= sum(math.log2(512 >> lvl) for lvl in range(9))
 
 
 class TestPuntingLemmaEmpirically:

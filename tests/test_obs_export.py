@@ -186,10 +186,12 @@ class TestEventLog:
         a = events_from_tracer(self._tracer())
         b = events_from_tracer(self._tracer())
         # same structure modulo wall-clock: strip timestamps
-        strip = lambda evs: [
-            {k: v for k, v in e.items() if k not in ("ts", "wall_seconds")}
-            for e in evs
-        ]
+        def strip(evs):
+            return [
+                {k: v for k, v in e.items() if k not in ("ts", "wall_seconds")}
+                for e in evs
+            ]
+
         assert strip(a) == strip(b)
 
 

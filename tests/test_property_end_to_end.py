@@ -10,7 +10,6 @@ and marching must find exactly the containment pairs.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

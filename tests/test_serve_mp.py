@@ -1,0 +1,129 @@
+"""Multiprocess serving: bit-identical fan-out and leak-free shutdown.
+
+``ServingPool.execute`` must reproduce ``ServingIndex.execute`` byte for
+byte for every worker count and both request kinds — per-row answers are
+independent of batch composition and shards merge back in row order — and
+shutting the pool down (including mid-stream, with tickets still queued
+in the owning :class:`~repro.serve.batcher.Batcher`) must leave no worker
+process and no ``/dev/shm`` segment behind.
+"""
+
+from __future__ import annotations
+
+import glob
+
+import numpy as np
+import pytest
+
+import repro
+from repro.parallel.shm import SHM_PREFIX
+from repro.serve import Batcher, ResultCache, ServingIndex, ServingPool
+
+
+def _shm_segments():
+    return glob.glob(f"/dev/shm/{SHM_PREFIX}*")
+
+
+@pytest.fixture(scope="module")
+def index():
+    pts = repro.workloads.uniform_cube(1200, 2, seed=5)
+    return ServingIndex.build(pts, k=3, seed=11, with_structure=True)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return repro.workloads.uniform_cube(500, 2, seed=77)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_pool_knn_bit_identical(index, queries, workers):
+    ref = index.execute("knn", queries)
+    with ServingPool(index, workers, min_shard=32) as pool:
+        idx, sq = pool.execute("knn", queries)
+    assert np.array_equal(idx, ref[0]) and idx.dtype == ref[0].dtype
+    assert np.array_equal(sq, ref[1]) and sq.dtype == ref[1].dtype
+
+
+@pytest.mark.parametrize("workers", [2, 3])
+def test_pool_covering_bit_identical(index, queries, workers):
+    ref = index.execute("covering", queries)
+    with ServingPool(index, workers, min_shard=16) as pool:
+        rows, ids = pool.execute("covering", queries)
+    assert np.array_equal(rows, ref[0])
+    assert np.array_equal(ids, ref[1])
+
+
+def test_pool_tiny_batch_answers_on_master(index, queries):
+    """Batches below one shard skip the dispatch but answer identically."""
+    with ServingPool(index, 2, min_shard=64) as pool:
+        before = pool.machine.metrics.counter("serve.pool_batches") if pool.machine else 0
+        idx, sq = pool.execute("knn", queries[:5])
+        assert before == 0
+    ref = index.execute("knn", queries[:5])
+    assert np.array_equal(idx, ref[0]) and np.array_equal(sq, ref[1])
+
+
+def test_pool_k_override_and_empty_batch(index, queries):
+    with ServingPool(index, 2, min_shard=16) as pool:
+        ref = index.execute("knn", queries[:64], k=7)
+        idx, sq = pool.execute("knn", queries[:64], k=7)
+        assert np.array_equal(idx, ref[0]) and np.array_equal(sq, ref[1])
+        idx0, sq0 = pool.execute("knn", np.empty((0, 2)))
+        assert idx0.shape == (0, 3) and sq0.shape == (0, 3)
+
+
+def test_pool_through_batcher_matches_serial(index, queries):
+    """The full online stack — batcher + cache + pool — stays exact."""
+    ref_idx, ref_sq = index.execute("knn", queries)
+    pool = ServingPool(index, 2, min_shard=32)
+    with Batcher(
+        index, kind="knn", max_batch=128, cache=ResultCache(2048), pool=pool
+    ) as batcher:
+        tickets = batcher.submit_many(queries)
+        batcher.flush()
+        for i, t in enumerate(tickets):
+            assert np.array_equal(t.value[0], ref_idx[i])
+            assert np.array_equal(t.value[1], ref_sq[i])
+        hot = batcher.submit(queries[3])  # cache hit, never touches the pool
+        assert hot.cached and np.array_equal(hot.value[0], ref_idx[3])
+    assert pool.closed
+    assert _shm_segments() == []
+
+
+def test_pool_clean_shutdown_mid_stream(index, queries):
+    """Closing with tickets still queued drops them, kills the workers and
+    releases every shm segment."""
+    pool = ServingPool(index, 2, min_shard=32)
+    batcher = Batcher(index, kind="knn", max_batch=10_000, pool=pool)
+    tickets = batcher.submit_many(queries[:100])
+    assert batcher.pending == 100
+    batcher.close(flush=False)
+    assert batcher.pending == 0
+    assert not any(t.done for t in tickets)
+    assert pool.closed
+    assert _shm_segments() == []
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.execute("knn", queries[:4])
+
+
+def test_pool_close_idempotent_and_no_leaks(index, queries):
+    pool = ServingPool(index, 2)
+    pool.execute("knn", queries[:256])
+    pool.close()
+    pool.close()
+    assert _shm_segments() == []
+
+
+def test_api_serve_with_workers(queries):
+    pts = repro.workloads.uniform_cube(800, 2, seed=21)
+    with repro.api.serve(
+        pts, k=2, serve_workers=2, max_batch=128, seed=6
+    ) as batcher:
+        tickets = batcher.submit_many(queries[:300])
+        batcher.flush()
+        ref_idx, ref_sq = batcher.index.execute("knn", queries[:300], k=2)
+        for i, t in enumerate(tickets):
+            assert np.array_equal(t.value[0], ref_idx[i])
+            assert np.array_equal(t.value[1], ref_sq[i])
+    assert batcher.pool.closed
+    assert _shm_segments() == []

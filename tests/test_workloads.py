@@ -7,7 +7,6 @@ import numpy as np
 import pytest
 
 from repro.baselines import brute_force_knn
-from repro.geometry.balls import BallSystem
 from repro.geometry.spheres import Hyperplane
 from repro.workloads import (
     WORKLOADS,
