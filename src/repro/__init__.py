@@ -26,13 +26,21 @@ Public surface (see README for a tour):
   buffers, shard planning, the worker pool (``engine="frontier-mp"``);
 - :mod:`repro.serve` — the online side: the frozen
   :class:`~repro.serve.index.ServingIndex`, micro-batching
-  :class:`~repro.serve.batcher.Batcher`, LRU result cache and the
+  :class:`~repro.serve.batcher.Batcher`, LRU result cache, the
   multiprocess serving pool (built in one call by
-  :func:`repro.api.serve`);
+  :func:`repro.api.serve`) and the versioned
+  :class:`~repro.serve.registry.SnapshotRegistry` for hot swaps;
 - :mod:`repro.api` — the stable facade: :func:`~repro.api.all_knn`,
-  :func:`~repro.api.build_index`, :func:`~repro.api.run_traced`,
+  :func:`~repro.api.build_index` (returning the versioned, mutable
+  :class:`~repro.api.Index` handle), :func:`~repro.api.run_traced`,
   :func:`~repro.api.serve` — all but ``serve`` (which shares its name
   with the subpackage) re-exported here at the package root.
+
+Since 1.6.0 indices are *online*: ``build_index`` returns an
+:class:`~repro.api.Index` whose ``insert``/``delete``/``commit`` absorb
+point mutations into the existing partition tree, bit-identically to a
+from-scratch build (``docs/online_index.md``).  The pre-1.6 ``KNNIndex``
+name remains importable as a deprecated alias.
 """
 
 from . import (
@@ -53,15 +61,17 @@ from .api import (
     ENGINES,
     METHODS,
     Batcher,
-    KNNIndex,
+    CommitInfo,
+    Index,
     KNNResult,
     ServingIndex,
     all_knn,
     build_index,
+    knn_query,
     run_traced,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "analysis",
@@ -77,13 +87,24 @@ __all__ = [
     "util",
     "workloads",
     "Batcher",
+    "CommitInfo",
+    "Index",
     "KNNIndex",
     "KNNResult",
     "ServingIndex",
     "all_knn",
     "build_index",
+    "knn_query",
     "run_traced",
     "METHODS",
     "ENGINES",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    # Deprecated aliases (KNNIndex) resolve through the facade's shim so
+    # the DeprecationWarning fires exactly where the old name is used.
+    if name == "KNNIndex":
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

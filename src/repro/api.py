@@ -11,16 +11,26 @@ pins against ``docs/api_surface.txt``:
   then re-answer every point through the Section 3 query machinery,
   ``"brute"`` = the all-pairs baseline), returning a uniform
   :class:`KNNResult`;
-- :func:`build_index` — build once, query forever: a :class:`KNNIndex`
-  wrapping the partition tree (+ lazily, the neighborhood query
-  structure) whose :meth:`KNNIndex.query` answers exact k-NN for *new*
-  points via :func:`repro.core.query_points.knn_query`;
+- :func:`build_index` — build once, query *and mutate* forever: a
+  versioned :class:`Index` handle over
+  :class:`~repro.core.online.MutableIndex` whose :meth:`Index.query`
+  answers exact k-NN for *new* points, and whose
+  :meth:`Index.insert` / :meth:`Index.delete` / :meth:`Index.commit`
+  absorb point mutations into the existing partition tree (bit-identical
+  to a from-scratch build — see ``docs/online_index.md``);
 - :func:`run_traced` — :func:`all_knn` under the observability layer,
   returning ``(result, tracer)`` with the run's span tree;
 - :func:`serve` — build once, *serve* forever: a micro-batching
   :class:`~repro.serve.batcher.Batcher` over a frozen
   :class:`~repro.serve.index.ServingIndex`, with optional LRU result
-  caching and a multiprocess serving pool (see ``docs/serving.md``).
+  caching and a multiprocess serving pool (see ``docs/serving.md``);
+  :meth:`~repro.serve.batcher.Batcher.swap_index` hot-swaps it to a new
+  :meth:`Index.snapshot` with zero downtime.
+
+:func:`all_knn`, :func:`~repro.core.query_points.knn_query` and
+:func:`serve` remain thin wrappers over the same machinery the
+:class:`Index` handle drives.  The pre-1.6 ``KNNIndex`` name is a
+deprecated alias of :class:`Index` (module ``__getattr__`` shim).
 
 Everything here is re-exported from the package root, so the quickstart
 is simply::
@@ -29,20 +39,24 @@ is simply::
     result = repro.all_knn(points, k=2, method="fast")
     index = repro.build_index(points, k=2)
     idx, sq = index.query(new_points)
+    index.insert(more_points); index.delete([3]); index.commit()
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple, Union
+import warnings
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .baselines import brute_force_knn
 from .core import (
     ENGINES,
+    CommitInfo,
     FastDnCConfig,
     FastDnCResult,
+    MutableIndex,
     SimpleDnCConfig,
     SimpleDnCResult,
     KNeighborhoodSystem,
@@ -60,11 +74,14 @@ from .serve import Batcher, ResultCache, ServingIndex, ServingPool
 
 __all__ = [
     "KNNResult",
+    "Index",
     "KNNIndex",
+    "CommitInfo",
     "ServingIndex",
     "Batcher",
     "all_knn",
     "build_index",
+    "knn_query",
     "run_traced",
     "serve",
     "METHODS",
@@ -114,22 +131,77 @@ class KNNResult:
         return knn_graph_edges(self.system)
 
 
-@dataclass
-class KNNIndex:
-    """A built k-NN index: partition tree + query structures over points.
+class Index:
+    """The first-class index handle: versioned, queryable, *mutable*.
 
-    Produced by :func:`build_index`; ``query`` answers exact k-nearest
-    data points for arbitrary query rows by descending the partition tree
-    and marching the candidate balls (Lemma 6.3 reachability), exactly as
-    :func:`repro.core.query_points.knn_query` does.
+    Produced by :func:`build_index`.  Wraps a
+    :class:`~repro.core.online.MutableIndex`: the partition tree and
+    exact k-neighborhood system over the current point set, plus an
+    update loop — :meth:`insert` / :meth:`delete` buffer mutations,
+    :meth:`commit` absorbs them into the tree (rebuilding only touched
+    subtrees, punting to a full rebuild past the churn threshold) and
+    bumps :attr:`version`.  Every committed state is bit-identical to a
+    from-scratch build of the same point set (see
+    ``docs/online_index.md``), so queries between commits are exact by
+    construction.
+
+    ``query`` answers exact k-nearest data points for arbitrary query
+    rows by descending the partition tree and marching the candidate
+    balls (Lemma 6.3 reachability), exactly as
+    :func:`repro.core.query_points.knn_query` does.  :meth:`snapshot`
+    freezes the current version as an immutable
+    :class:`~repro.serve.index.ServingIndex` for the serving layer
+    (hot-swappable via :meth:`~repro.serve.batcher.Batcher.swap_index`).
     """
 
-    points: np.ndarray
-    tree: PartitionNode
-    k: int
-    machine: Machine
-    _structure: Optional[NeighborhoodQueryStructure] = field(default=None, repr=False)
-    _system: Optional[KNeighborhoodSystem] = field(default=None, repr=False)
+    def __init__(self, mutable: MutableIndex) -> None:
+        self.mutable = mutable
+        self._structure: Optional[NeighborhoodQueryStructure] = None
+        self._structure_version: Optional[int] = None
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def points(self) -> np.ndarray:
+        """(n, d) points of the current committed version."""
+        return self.mutable.points
+
+    @property
+    def tree(self) -> PartitionNode:
+        """The current version's partition tree."""
+        return self.mutable.tree
+
+    @property
+    def k(self) -> int:
+        return self.mutable.k
+
+    @property
+    def machine(self) -> Machine:
+        """The ledger of the *latest* build/commit (fresh per commit)."""
+        return self.mutable.machine
+
+    @property
+    def system(self) -> KNeighborhoodSystem:
+        """The exact k-neighborhood system of the current version."""
+        return self.mutable.system
+
+    @property
+    def version(self) -> int:
+        """Monotone commit counter: 0 after build, +1 per :meth:`commit`."""
+        return self.mutable.version
+
+    @property
+    def pending(self) -> int:
+        """Buffered mutations (inserts + deletes) not yet committed."""
+        ins, dels = self.mutable.pending
+        return ins + dels
+
+    @property
+    def cost(self) -> Cost:
+        """(depth, work) ledger of the latest build/commit."""
+        return self.mutable.cost
+
+    # -- queries -----------------------------------------------------------
 
     def query(self, queries: np.ndarray, k: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
         """Exact k nearest data points per query row.
@@ -154,14 +226,76 @@ class KNNIndex:
         """Data-point ids whose k-NN ball strictly contains ``point``.
 
         Lazily builds the Section 3 neighborhood query structure over the
-        index's k-NN ball system on first use.
+        current version's k-NN ball system; a :meth:`commit` invalidates
+        the cached structure (point ids and balls may have changed).
         """
-        if self._structure is None:
-            assert self._system is not None
+        if self._structure is None or self._structure_version != self.version:
             self._structure = NeighborhoodQueryStructure(
-                self._system.to_ball_system(), machine=None
+                self.system.to_ball_system(), machine=None
             )
+            self._structure_version = self.version
         return self._structure.query(point)
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, points: np.ndarray) -> int:
+        """Buffer new points for the next :meth:`commit`; returns how
+        many inserts are now pending."""
+        return self.mutable.insert(points)
+
+    def delete(self, ids: Sequence[int]) -> int:
+        """Buffer deletions (ids of the current version) for the next
+        :meth:`commit`; returns how many deletes are now pending."""
+        return self.mutable.delete(ids)
+
+    def discard_pending(self) -> None:
+        """Drop every buffered mutation without committing."""
+        self.mutable.discard_pending()
+
+    def commit(self) -> CommitInfo:
+        """Apply buffered mutations and bump :attr:`version`.
+
+        Absorbs the batch into the existing tree when the churn fraction
+        is at most the index's ``churn_threshold`` (rebuilding only
+        subtrees whose content changed), else punts to a full rebuild —
+        either way the committed state is bit-identical to a from-scratch
+        build of the new point set.  Returns the commit's
+        :class:`~repro.core.online.CommitInfo` (a no-op commit returns
+        with ``noop=True`` and does not bump the version).
+        """
+        return self.mutable.commit()
+
+    def snapshot(self, *, with_structure: bool = False) -> ServingIndex:
+        """Freeze the current version as an immutable serving snapshot.
+
+        The returned :class:`~repro.serve.index.ServingIndex` carries
+        :attr:`version`, shares (copy-on-write) the current arrays, and
+        is unaffected by later mutations — publish it to a
+        :class:`~repro.serve.registry.SnapshotRegistry` and hot-swap
+        serving stacks to it with zero downtime.
+        """
+        return self.mutable.snapshot(with_structure=with_structure)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        n, d = self.points.shape
+        return (
+            f"Index(n={n}, d={d}, k={self.k}, version={self.version}, "
+            f"pending={self.pending})"
+        )
+
+
+def __getattr__(name: str):
+    # Deprecated aliases kept importable without polluting the namespace.
+    if name == "KNNIndex":
+        warnings.warn(
+            "KNNIndex is deprecated since 1.6.0; build_index() now returns the "
+            "versioned, mutable repro.api.Index (same query/covering surface). "
+            "Use Index instead.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return Index
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _resolve_config(
@@ -281,21 +415,44 @@ def build_index(
     seed: object = None,
     engine: Optional[str] = None,
     workers: Optional[int] = None,
-) -> KNNIndex:
-    """Build a reusable exact k-NN index over ``points``.
+    churn_threshold: float = 0.05,
+    snapshot_min_size: Optional[int] = None,
+) -> Index:
+    """Build a versioned, mutable exact k-NN index over ``points``.
 
-    Runs the fast algorithm once (charging ``machine``) and wraps the
-    resulting partition tree + neighborhood system as a :class:`KNNIndex`
-    whose :meth:`KNNIndex.query` serves exact k-NN for new points.
-    ``engine``/``workers`` select the execution engine as in
-    :func:`all_knn`.
+    Runs the fast algorithm once (charging ``machine``) and returns an
+    :class:`Index` handle: :meth:`Index.query` serves exact k-NN for new
+    points, :meth:`Index.insert` / :meth:`Index.delete` /
+    :meth:`Index.commit` absorb mutations into the existing tree, and
+    :meth:`Index.snapshot` freezes any version for the serving layer.
+
+    ``engine``/``workers`` are validated as in :func:`all_knn` but the
+    build always runs through the online recursive path — its per-node
+    records are what later commits reuse.  The *answers* are engine-
+    independent (exact k-NN is unique up to the canonical (distance,
+    index) order), so this changes wall-clock only, never a result.
+
+    ``churn_threshold`` is the mutation fraction above which a commit
+    punts to a full rebuild; ``snapshot_min_size`` tunes the granularity
+    of reusable subtree records (see ``docs/online_index.md``).
+
+    .. versionchanged:: 1.6.0
+       Returns :class:`Index` (mutable, versioned) instead of the
+       query-only ``KNNIndex``; the old name is a deprecated alias and
+       the query/covering surface is unchanged.
     """
     pts = as_points(points, min_points=1)
-    if machine is None:
-        machine = Machine()
-    config = _resolve_config("fast", config, engine, workers)
-    res = parallel_nearest_neighborhood(pts, k, machine=machine, seed=seed, config=config)
-    return KNNIndex(points=pts, tree=res.tree, k=k, machine=machine, _system=res.system)
+    cfg = _resolve_config("fast", config, engine, workers)
+    mutable = MutableIndex(
+        pts,
+        k,
+        seed=seed if seed is not None else cfg.seed,
+        config=cfg,
+        churn_threshold=churn_threshold,
+        snapshot_min_size=snapshot_min_size,
+        machine=machine,
+    )
+    return Index(mutable)
 
 
 def run_traced(

@@ -24,7 +24,16 @@ Subcommands
     Build (or ``--load-index``) a serving index, then stream a query
     workload through the micro-batching :class:`repro.serve.Batcher`
     (optionally across ``--serve-workers`` processes) and report p50/p95
-    latency, QPS and cache hit rate.  See ``docs/serving.md``.
+    latency, QPS and cache hit rate.  With ``--mutations-file`` the
+    stream is interleaved with insert/delete commits and zero-downtime
+    hot swaps, reporting latency per index version.  See
+    ``docs/serving.md`` and ``docs/online_index.md``.
+``repro update``
+    Replay an insert/delete mutation stream (a JSONL file, or a seeded
+    generated one) against a :class:`repro.core.online.MutableIndex`,
+    printing per-commit absorb/rebuild stats; ``--check`` gates every
+    commit on exact equivalence (neighbors, tree, ledger, counters)
+    against a from-scratch build.  See ``docs/online_index.md``.
 
 ``--trace-out PATH`` is also accepted by ``knn`` and ``scaling``, as are
 the telemetry sinks ``--events-out PATH`` (JSONL event log) and
@@ -181,7 +190,46 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace-out", default=None, metavar="PATH",
                        help="record serve.batch spans and write Chrome-trace "
                             "JSON here")
+    serve.add_argument("--mutations-file", default=None, metavar="PATH",
+                       help="JSONL insert/delete/commit stream to interleave "
+                            "with the query workload: each commit hot-swaps "
+                            "the serving stack to the new index version "
+                            "(incompatible with --load-index)")
+    serve.add_argument("--churn-threshold", type=float, default=0.05,
+                       help="mutation fraction above which a commit rebuilds "
+                            "from scratch instead of absorbing")
     add_telemetry_args(serve)
+
+    update = sub.add_parser(
+        "update", help="replay an insert/delete stream through the online index"
+    )
+    add_workload_args(update)
+    update.add_argument("-k", "--k", type=int, default=1, help="neighbors per point")
+    update.add_argument("--mutations-file", default=None, metavar="PATH",
+                        help="JSONL mutation stream (ops: insert/delete/commit); "
+                             "default: a seeded generated stream")
+    update.add_argument("--commits", type=int, default=5,
+                        help="generated stream: number of commits")
+    update.add_argument("--batch", type=int, default=32,
+                        help="generated stream: mutations per commit")
+    update.add_argument("--delete-fraction", type=float, default=0.5,
+                        help="generated stream: fraction of each batch that "
+                             "deletes (the rest inserts)")
+    update.add_argument("--churn-threshold", type=float, default=0.05,
+                        help="mutation fraction above which a commit rebuilds "
+                             "from scratch instead of absorbing")
+    update.add_argument("--snapshot-min-size", type=int, default=None,
+                        help="smallest subtree recording a replay snapshot "
+                             "(default: the brute-force leaf size)")
+    update.add_argument("--check", action="store_true",
+                        help="verify every commit is bit-identical (neighbors, "
+                             "tree, ledger, counters) to a from-scratch build")
+    update.add_argument("--save-index", default=None, metavar="PATH",
+                        help="save the final version's ServingIndex snapshot")
+    update.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write a Chrome-trace JSON of the last commit "
+                             "(update.absorb / update.rebuild spans)")
+    add_telemetry_args(update)
     return parser
 
 
@@ -446,6 +494,157 @@ def _load_queries(args: argparse.Namespace, d: int) -> np.ndarray:
     return make_workload(args.workload, args.queries, d, args.seed + 10_000)
 
 
+def _load_mutation_stream(path: str):
+    """Parse a JSONL mutation file into per-commit op groups.
+
+    Each line is one op: ``{"op": "insert", "points": [[...], ...]}``,
+    ``{"op": "delete", "ids": [...]}`` or ``{"op": "commit"}``.  Blank
+    lines and ``#`` comments are skipped; trailing ops without a final
+    commit form one last group.
+    """
+    import json
+
+    groups, current = [], []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                op = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(f"{path}:{lineno}: bad JSON: {exc}")
+            kind = op.get("op")
+            if kind == "commit":
+                groups.append(current)
+                current = []
+            elif kind in ("insert", "delete"):
+                current.append(op)
+            else:
+                raise SystemExit(
+                    f"{path}:{lineno}: unknown op {kind!r} "
+                    "(expected insert, delete or commit)"
+                )
+    if current:
+        groups.append(current)
+    return groups
+
+
+def _generated_mutation_stream(n0: int, d: int, commits: int, batch: int,
+                               delete_fraction: float, seed: int):
+    """A seeded insert/delete stream in the same op-group format."""
+    if not 0.0 <= delete_fraction <= 1.0:
+        raise SystemExit(f"--delete-fraction must be in [0, 1], got {delete_fraction}")
+    rng = np.random.default_rng(seed + 20_000)
+    n = n0
+    groups = []
+    for _ in range(commits):
+        n_del = min(int(round(batch * delete_fraction)), max(0, n - 2))
+        n_ins = batch - n_del
+        ops = []
+        if n_ins:
+            ops.append({"op": "insert", "points": rng.random((n_ins, d)).tolist()})
+        if n_del:
+            ids = rng.choice(n, size=n_del, replace=False)
+            ops.append({"op": "delete", "ids": sorted(int(i) for i in ids)})
+        groups.append(ops)
+        n += n_ins - n_del
+    return groups
+
+
+def _apply_mutation_group(index, ops) -> tuple:
+    """Buffer one op group on a MutableIndex/Index; returns (inserts, deletes)."""
+    ins = dels = 0
+    for op in ops:
+        if op["op"] == "insert":
+            pts = np.asarray(op["points"], dtype=np.float64)
+            index.insert(pts)
+            ins += pts.shape[0]
+        else:
+            ids = op["ids"]
+            index.delete(ids)
+            dels += len(ids)
+    return ins, dels
+
+
+def _commit_path(info) -> str:
+    return "noop" if info.noop else ("rebuild" if info.punted else "absorb")
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    import time
+
+    from .core.online import MutableIndex, equivalence_report
+
+    pts = _load_points(args)
+    t0 = time.perf_counter()
+    index = MutableIndex(
+        pts, args.k, seed=args.seed,
+        churn_threshold=args.churn_threshold,
+        snapshot_min_size=args.snapshot_min_size,
+        trace_commits=bool(args.trace_out or args.events_out),
+    )
+    build_s = time.perf_counter() - t0
+    print(f"update: built v0 n={index.n} d={index.d} k={args.k} in {build_s:.2f}s "
+          f"(depth={index.cost.depth:.0f} work={index.cost.work:.0f})")
+    if args.mutations_file:
+        groups = _load_mutation_stream(args.mutations_file)
+    else:
+        groups = _generated_mutation_stream(index.n, index.d, args.commits,
+                                            args.batch, args.delete_fraction,
+                                            args.seed)
+    print(f"{'ver':>4} {'n':>8} {'+ins':>6} {'-del':>6} {'churn':>7} "
+          f"{'path':<7} {'reused':>7} {'leaves':>7} {'wall':>8}"
+          + ("  check" if args.check else ""))
+    failures = 0
+    for ops in groups:
+        ins, dels = _apply_mutation_group(index, ops)
+        info = index.commit()
+        line = (f"{info.version:>4} {info.n:>8} {ins:>+6} {-dels:>6} "
+                f"{info.churn:>6.2%} {_commit_path(info):<7} "
+                f"{info.reused_fraction:>6.1%} {info.touched_leaves:>7} "
+                f"{info.wall_s:>7.2f}s")
+        if args.check:
+            mismatches = equivalence_report(index, index.fresh_like())
+            line += "  exact" if not mismatches else "  MISMATCH"
+            if mismatches:
+                failures += 1
+        print(line)
+        if args.check and mismatches:
+            for m in mismatches:
+                print(f"       ! {m}")
+    stats = index.update_stats
+    print(f"commits={stats.commits} absorbed={stats.absorbed} punts={stats.punts} "
+          f"inserted={stats.inserted} deleted={stats.deleted} "
+          f"final n={index.n} version={index.version}")
+    if args.save_index:
+        index.snapshot().save(args.save_index)
+        print(f"saved index {args.save_index}")
+    if args.trace_out and index.machine.tracer is not None:
+        _write_trace_file(args.trace_out, index.machine.tracer, index.machine,
+                          command="update", n=index.n, d=index.d, k=int(args.k),
+                          version=index.version)
+    if args.events_out and index.machine.tracer is not None:
+        from .obs.export import write_events_jsonl
+
+        write_events_jsonl(args.events_out, index.machine.tracer)
+    if args.metrics_out:
+        # one registry: the lifetime update.* metrics next to the last
+        # commit's build metrics
+        from .obs import Metrics
+
+        merged = Metrics()
+        merged.merge(index.update_metrics)
+        merged.merge(index.machine.metrics)
+        with open(args.metrics_out, "w") as fh:
+            fh.write(merged.to_prometheus())
+    _note_telemetry(args)
+    if failures:
+        print(f"equivalence check FAILED on {failures} commit(s)")
+        return 1
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
@@ -456,11 +655,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     tracing = bool(args.trace_out or args.events_out)
     if tracing:
         machine.enable_tracing()
+    if args.mutations_file and args.load_index:
+        raise SystemExit("--mutations-file needs a built index; it is "
+                         "incompatible with --load-index")
 
+    mut_groups = (_load_mutation_stream(args.mutations_file)
+                  if args.mutations_file else [])
+    mutable = None
     t0 = time.perf_counter()
     if args.load_index:
         index = ServingIndex.load(args.load_index)
         built = "loaded"
+    elif mut_groups:
+        from .core.online import MutableIndex
+
+        pts = _load_points(args)
+        mutable = MutableIndex(pts, args.k, seed=args.seed,
+                               churn_threshold=args.churn_threshold)
+        index = mutable.snapshot(with_structure=(args.kind == "covering"))
+        built = "built (online)"
     else:
         pts = _load_points(args)
         index = ServingIndex.build(
@@ -483,7 +696,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                       max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
                       cache=cache, machine=machine, pool=pool)
 
+    # hot swaps spread evenly across the stream: swap j fires after
+    # ceil(total * (j+1) / (groups+1)) requests have been submitted
+    total = int(queries.shape[0]) * args.repeat
+    swap_after = {
+        -(-total * (j + 1) // (len(mut_groups) + 1)): j for j in range(len(mut_groups))
+    }
     tickets = []
+    ticket_versions = []
+    swap_walls = []
     t1 = time.perf_counter()
     span = machine.span("serve.session", queries=int(queries.shape[0]),
                         repeat=args.repeat) if tracing else None
@@ -492,7 +713,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         for _ in range(args.repeat):
             for row in queries:
+                if len(tickets) in swap_after:
+                    ops = mut_groups[swap_after[len(tickets)]]
+                    ins, dels = _apply_mutation_group(mutable, ops)
+                    info = mutable.commit()
+                    ts = time.perf_counter()
+                    batcher.swap_index(mutable.snapshot(
+                        with_structure=(args.kind == "covering")))
+                    swap_walls.append(time.perf_counter() - ts)
+                    print(f"  swap -> v{info.version}: {_commit_path(info)} "
+                          f"n={info.n} +{ins} -{dels} churn={info.churn:.2%} "
+                          f"commit={info.wall_s:.2f}s swap={swap_walls[-1] * 1e3:.1f}ms")
                 tickets.append(batcher.submit(row))
+                ticket_versions.append(batcher.index.version)
                 batcher.poll()
             # each repeat is one full pass over the workload; completing it
             # before the next makes later passes exercise the warm cache
@@ -514,12 +747,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"batches={stats.batches} max_batch={args.max_batch}")
     hits, misses = stats.cache_hits, stats.cache_misses
     if cache is not None:
-        total = hits + misses
-        print(f"cache: {hits}/{total} hits ({hits / total:.1%})"
-              if total else "cache: no lookups")
+        total_lookups = hits + misses
+        print(f"cache: {hits}/{total_lookups} hits ({hits / total_lookups:.1%})"
+              if total_lookups else "cache: no lookups")
     print(f"latency p50={np.percentile(lat_ms, 50):.3f}ms "
           f"p95={np.percentile(lat_ms, 95):.3f}ms "
           f"max={lat_ms.max():.3f}ms   QPS={n_req / wall:,.0f}")
+    if mut_groups:
+        unfulfilled = sum(1 for t in tickets if not t.done)
+        versions = np.array(ticket_versions)
+        print(f"hot swaps: {stats.swaps} "
+              f"(max swap stall {max(swap_walls) * 1e3:.1f}ms); "
+              f"unfulfilled tickets: {unfulfilled}")
+        print(f"{'version':>8} {'requests':>9} {'p50 ms':>8} {'p95 ms':>8}")
+        for v in np.unique(versions):
+            sel = lat_ms[versions == v]
+            print(f"{'v%d' % v:>8} {sel.size:>9} "
+                  f"{np.percentile(sel, 50):>8.3f} {np.percentile(sel, 95):>8.3f}")
+        if unfulfilled:
+            return 1
     if args.trace_out:
         _write_trace_file(args.trace_out, machine.tracer, machine,
                           command="serve", kind=args.kind, n=index.n,
@@ -545,6 +791,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "dissect": _cmd_dissect,
         "trace": _cmd_trace,
         "serve": _cmd_serve,
+        "update": _cmd_update,
     }
     return handlers[args.command](args)
 

@@ -31,6 +31,14 @@ from .neighborhood import (
     merge_neighbor_lists,
     merge_neighbor_lists_many,
 )
+from .online import (
+    CommitInfo,
+    MutableIndex,
+    UpdateStats,
+    equivalence_report,
+    online_sample_size,
+    tree_signature,
+)
 from .partition_tree import PartitionNode
 from .punting import (
     DuplicationTrace,
@@ -73,6 +81,12 @@ __all__ = [
     "merge_neighbor_lists",
     "merge_neighbor_lists_many",
     "PartitionNode",
+    "CommitInfo",
+    "MutableIndex",
+    "UpdateStats",
+    "equivalence_report",
+    "online_sample_size",
+    "tree_signature",
     "DuplicationTrace",
     "ab_tree_trials",
     "punted_weighted_depth",

@@ -17,17 +17,23 @@ query) turned into a throughput story:
   the vectorized batch descent, fulfill per-request
   :class:`~repro.serve.batcher.Ticket` objects;
 - :class:`~repro.serve.mp.ServingPool` — multiprocess serving over the
-  :mod:`repro.parallel` pool + shared-memory arena.
+  :mod:`repro.parallel` pool + shared-memory arena;
+- :class:`~repro.serve.registry.SnapshotRegistry` — versioned snapshot
+  publication for online updates: :class:`~repro.core.online.MutableIndex`
+  commits publish here, serving stacks hot-swap to ``latest`` with zero
+  downtime (``Batcher.swap_index`` / ``ServingPool.swap``).
 
 Entry points: :func:`repro.api.serve` builds the whole stack in one
 call, and the ``repro serve`` CLI subcommand drives it over workload
-files with latency/QPS reporting.  See ``docs/serving.md``.
+files with latency/QPS reporting.  See ``docs/serving.md`` and
+``docs/online_index.md``.
 """
 
 from .batcher import Batcher, ServeStats, Ticket
 from .cache import ResultCache
 from .index import KINDS, ServingIndex
 from .mp import ServingPool
+from .registry import SnapshotRegistry
 
 __all__ = [
     "Batcher",
@@ -36,5 +42,6 @@ __all__ = [
     "ServeStats",
     "ServingIndex",
     "ServingPool",
+    "SnapshotRegistry",
     "Ticket",
 ]

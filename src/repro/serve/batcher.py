@@ -48,15 +48,23 @@ class ServeStats(MetricsView):
     """Serving metrics, namespaced ``serve.*`` in the metrics registry.
 
     Counters: ``requests`` (accepted), ``served`` (fulfilled through an
-    executed batch), ``batches``, ``cache_hits``, ``cache_misses``.
+    executed batch), ``batches``, ``cache_hits``, ``cache_misses``,
+    ``swaps`` (hot index swaps absorbed mid-stream).
     Gauges: ``queue_depth`` (pending requests right now), ``qps``
     (served+cached requests over the wall-clock since the first submit),
-    ``last_batch_ms``.
+    ``last_batch_ms``, ``index_version`` (the version currently served).
     """
 
     _NS = "serve"
-    _COUNTER_FIELDS = ("requests", "served", "batches", "cache_hits", "cache_misses")
-    _GAUGE_FIELDS = ("queue_depth", "qps", "last_batch_ms")
+    _COUNTER_FIELDS = (
+        "requests",
+        "served",
+        "batches",
+        "cache_hits",
+        "cache_misses",
+        "swaps",
+    )
+    _GAUGE_FIELDS = ("queue_depth", "qps", "last_batch_ms", "index_version")
 
 
 class Ticket:
@@ -164,6 +172,7 @@ class Batcher:
             self.executor = index.execute
         self.clock = clock
         self.stats = ServeStats(metrics=machine.metrics if machine is not None else None)
+        self.stats.index_version = index.version
         self._queue_points: List[np.ndarray] = []
         self._queue_tickets: List[Ticket] = []
         self._first_submit: Optional[float] = None
@@ -195,7 +204,7 @@ class Batcher:
         self.stats.requests += 1
         ticket = Ticket(now)
         if self.cache is not None:
-            key = self.cache.make_key(self.kind, self.k, p)
+            key = self.cache.make_key(self.kind, self.k, p, self.index.version)
             hit = self.cache.get(key)
             if hit is not None:
                 ticket._fulfill(hit, now, cached=True)
@@ -260,11 +269,54 @@ class Batcher:
         for point, ticket, value in zip(batch, tickets, per_request):
             ticket._fulfill(value, now)
             if self.cache is not None:
-                self.cache.put(self.cache.make_key(self.kind, self.k, point), value)
+                self.cache.put(
+                    self.cache.make_key(self.kind, self.k, point, self.index.version),
+                    value,
+                )
         self.stats.batches += 1
         self.stats.served += m
         self.stats.last_batch_ms = (now - t0) * 1e3
         self._update_qps(now)
+
+    # -- hot swap ----------------------------------------------------------
+
+    def swap_index(self, index: ServingIndex) -> int:
+        """Atomically switch serving to a new index version, zero downtime.
+
+        The pending queue is flushed against the *old* index first — a
+        request accepted under version ``v`` is always answered by
+        version ``v``, so no ticket ever sees a torn read.  Requests
+        submitted after this call are answered by the new index, and the
+        version-keyed cache guarantees no stale entry can match them.
+
+        When the batcher drives a :class:`~repro.serve.mp.ServingPool`
+        (and the executor wasn't overridden), the pool's workers are
+        re-seeded via :meth:`~repro.serve.mp.ServingPool.swap` before the
+        batcher rebinds; with the default in-process executor the rebind
+        alone suffices.  A custom ``executor`` is left untouched — the
+        caller owns its lifecycle.
+
+        Returns the number of pending requests flushed against the old
+        index.
+        """
+        if self._closed:
+            raise RuntimeError("batcher is closed")
+        if index.d != self.index.d:
+            raise ValueError(
+                f"dimension mismatch: serving {self.index.d}-D, new index is {index.d}-D"
+            )
+        if self.kind == "covering" and index.system is None:
+            raise ValueError("covering batcher needs an index with a k-neighborhood system")
+        flushed = self.flush()
+        old = self.index
+        if self.pool is not None:
+            self.pool.swap(index)
+        if self.executor == old.execute:  # default executor follows the index
+            self.executor = index.execute
+        self.index = index
+        self.stats.swaps += 1
+        self.stats.index_version = index.version
+        return flushed
 
     def _update_qps(self, now: float) -> None:
         answered = self.stats.served + self.stats.cache_hits

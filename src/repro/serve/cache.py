@@ -2,9 +2,13 @@
 
 Serving workloads repeat themselves: the same hot query points arrive
 again and again, and the answers — exact k-NN lists or covering-ball
-sets over a *frozen* index — never change.  :class:`ResultCache` stores
-per-point responses keyed on the query point's bytes (plus the request
-kind and ``k``), evicting least-recently-used entries past ``capacity``.
+sets over a *frozen* index version — never change.  :class:`ResultCache`
+stores per-point responses keyed on the query point's bytes (plus the
+request kind, ``k``, and the serving index's commit version), evicting
+least-recently-used entries past ``capacity``.  The version component
+makes hot swaps safe: after :meth:`~repro.serve.batcher.Batcher.
+swap_index` the old version's entries can no longer match and simply
+age out.
 
 Keys are exact by default: two points share an entry only when their
 float64 representations are bit-equal, so a cache hit returns the exact
@@ -56,12 +60,22 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def make_key(self, kind: str, k: Optional[int], point: np.ndarray) -> bytes:
-        """The cache key for one request: kind + k + (quantized) point bytes."""
+    def make_key(
+        self, kind: str, k: Optional[int], point: np.ndarray, version: int = 0
+    ) -> bytes:
+        """The cache key for one request: kind + k + index version +
+        (quantized) point bytes.
+
+        ``version`` is the serving index's
+        :attr:`~repro.serve.index.ServingIndex.version`.  Baking it into
+        the key means entries computed against one committed index
+        version can never answer a query after a hot swap — stale
+        answers age out of the LRU instead of being served.
+        """
         p = np.ascontiguousarray(point, dtype=np.float64)
         if self.decimals is not None:
             p = np.round(p, self.decimals) + 0.0  # +0.0 folds -0.0 into +0.0
-        return f"{kind}:{k}:".encode() + p.tobytes()
+        return f"{kind}:{k}:v{version}:".encode() + p.tobytes()
 
     def get(self, key: bytes) -> Any:
         """The stored response for ``key`` (marking it recently used), or

@@ -79,6 +79,12 @@ class ServingIndex:
     structure_seed:
         Seed for the lazy structure build (ignored when ``structure`` is
         given).
+    version:
+        The index version this snapshot freezes (0 for a plain offline
+        build).  :meth:`repro.core.online.MutableIndex.snapshot` stamps
+        its commit version here; the serving layer keys result caches on
+        it so entries from one version can never answer for another, and
+        :meth:`~repro.serve.mp.ServingPool.swap` carries it to workers.
     """
 
     def __init__(
@@ -89,6 +95,7 @@ class ServingIndex:
         system: Optional[KNeighborhoodSystem] = None,
         structure: Optional[NeighborhoodQueryStructure] = None,
         structure_seed: Optional[int] = 0,
+        version: int = 0,
     ) -> None:
         self.points = as_points(points, min_points=1)
         self.tree = tree
@@ -96,6 +103,7 @@ class ServingIndex:
         self.system = system
         self._structure = structure
         self._structure_seed = structure_seed
+        self.version = int(version)
 
     # -- construction ------------------------------------------------------
 
@@ -235,6 +243,7 @@ class ServingIndex:
             "system": self.system,
             "structure": self._structure,
             "structure_seed": self._structure_seed,
+            "index_version": self.version,
         }
 
     @classmethod
@@ -250,6 +259,8 @@ class ServingIndex:
             system=state["system"],
             structure=state["structure"],
             structure_seed=state["structure_seed"],
+            # absent in pre-1.6 snapshots, which were all version 0
+            version=state.get("index_version", 0),
         )
 
     def save(self, path: str) -> None:
@@ -285,6 +296,7 @@ class ServingIndex:
             "structure_seed": self._structure_seed,
             "system_specs": None,
             "system_k": None,
+            "index_version": self.version,
         }
         if self.system is not None:
             nbr_idx = SharedArray.create_from(self.system.neighbor_indices)

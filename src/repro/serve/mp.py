@@ -147,6 +147,38 @@ class ServingPool:
             lo = hi
         return bounds
 
+    # -- hot swap ----------------------------------------------------------
+
+    def swap(self, index: ServingIndex) -> None:
+        """Re-seed every worker with a new index version, zero downtime.
+
+        The new snapshot is exported and broadcast *before* the old
+        arenas are destroyed, so there is no window in which a worker
+        holds views into freed memory: ``serve_init`` installs the new
+        index (closing that worker's old handles) and only once every
+        worker has acknowledged does the master release the old
+        segments.  Batches are never in flight during the call — the
+        :class:`~repro.serve.batcher.Batcher` flushes before swapping —
+        so no shard mixes versions.
+
+        On broadcast failure the new arenas are released and the pool
+        keeps serving the old index.
+        """
+        if self._pool is None:
+            raise RuntimeError("serving pool is closed")
+        payload, arenas = index.shm_snapshot()
+        try:
+            self._pool.broadcast("serve_init", payload)
+        except Exception:
+            for arena in arenas:
+                arena.destroy()
+            raise
+        old = self._arenas
+        self._arenas = arenas
+        self.index = index
+        for arena in old:
+            arena.destroy()
+
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:

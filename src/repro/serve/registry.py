@@ -1,0 +1,153 @@
+"""Versioned snapshot registry: the publication side of online updates.
+
+A :class:`~repro.core.online.MutableIndex` produces a new immutable
+:class:`~repro.serve.index.ServingIndex` snapshot per commit, each
+stamped with a monotonically increasing version.  The
+:class:`SnapshotRegistry` is the hand-off point between that update loop
+and the serving plane:
+
+- the updater ``publish()``-es each commit's snapshot;
+- serving components read ``latest`` (or pin an explicit ``get(version)``)
+  and hot-swap via :meth:`~repro.serve.batcher.Batcher.swap_index` /
+  :meth:`~repro.serve.mp.ServingPool.swap`;
+- a bounded history (``capacity``) keeps recent versions alive so
+  in-flight readers pinned to an older snapshot stay valid — snapshots
+  are copy-on-write and immutable, so retention is just references, not
+  copies.
+
+The registry is deliberately passive: it never swaps anything itself.
+Publication and adoption are separate steps, which is what makes the
+swap atomic per consumer — each Batcher/pool moves from one complete
+version to another, never through a half-state.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, List, Optional
+
+from .index import ServingIndex
+
+__all__ = ["SnapshotRegistry"]
+
+
+class SnapshotRegistry:
+    """Bounded, thread-safe map from index version to published snapshot.
+
+    Parameters
+    ----------
+    capacity:
+        Most recent versions retained (>= 1).  Publishing past capacity
+        drops the oldest retained version; the latest is never dropped.
+
+    Examples
+    --------
+    >>> from repro.core.online import MutableIndex
+    >>> import numpy as np
+    >>> idx = MutableIndex(np.random.default_rng(0).random((64, 2)), k=1)
+    >>> reg = SnapshotRegistry()
+    >>> reg.publish(idx.snapshot())
+    0
+    >>> idx.insert(np.random.default_rng(1).random((2, 2)))
+    2
+    >>> _ = idx.commit()
+    >>> reg.publish(idx.snapshot())
+    1
+    >>> reg.latest.version
+    1
+    """
+
+    def __init__(self, capacity: int = 4) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._snapshots: "OrderedDict[int, ServingIndex]" = OrderedDict()
+        self._subscribers: List[Callable[[ServingIndex], None]] = []
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._snapshots)
+
+    def publish(self, snapshot: ServingIndex) -> int:
+        """Register a snapshot under its own version; returns the version.
+
+        Versions must arrive strictly increasing — commits are ordered,
+        and a stale republication would silently roll the serving plane
+        back.  Subscribers registered via :meth:`subscribe` are notified
+        (outside the lock) after the snapshot is visible.
+        """
+        version = snapshot.version
+        with self._lock:
+            if self._snapshots:
+                newest = next(reversed(self._snapshots))
+                if version <= newest:
+                    raise ValueError(
+                        f"version {version} already published (latest is {newest}); "
+                        "publish each commit's snapshot exactly once, in order"
+                    )
+            self._snapshots[version] = snapshot
+            while len(self._snapshots) > self.capacity:
+                self._snapshots.popitem(last=False)
+            subscribers = list(self._subscribers)
+        for fn in subscribers:
+            fn(snapshot)
+        return version
+
+    @property
+    def latest(self) -> ServingIndex:
+        """The most recently published snapshot (raises when empty)."""
+        with self._lock:
+            if not self._snapshots:
+                raise LookupError("no snapshot published yet")
+            return next(reversed(self._snapshots.values()))
+
+    @property
+    def latest_version(self) -> Optional[int]:
+        """The newest published version, or ``None`` when empty."""
+        with self._lock:
+            return next(reversed(self._snapshots)) if self._snapshots else None
+
+    def get(self, version: Optional[int] = None) -> ServingIndex:
+        """The snapshot for ``version`` (default: latest).
+
+        Raises :class:`LookupError` when the version was never published
+        or has aged past ``capacity``.
+        """
+        if version is None:
+            return self.latest
+        with self._lock:
+            try:
+                return self._snapshots[version]
+            except KeyError:
+                raise LookupError(
+                    f"version {version} not retained "
+                    f"(have {sorted(self._snapshots)})"
+                ) from None
+
+    def versions(self) -> List[int]:
+        """Retained versions, oldest first."""
+        with self._lock:
+            return list(self._snapshots)
+
+    def subscribe(self, fn: Callable[[ServingIndex], None]) -> Callable[[], None]:
+        """Call ``fn(snapshot)`` on every future publish; returns an
+        unsubscribe callable.
+
+        The typical subscriber adopts the new version into a serving
+        stack: ``reg.subscribe(batcher.swap_index)``.  Callbacks run on
+        the publishing thread, after the registry state is updated.
+        """
+        with self._lock:
+            self._subscribers.append(fn)
+
+        def unsubscribe() -> None:
+            with self._lock:
+                if fn in self._subscribers:
+                    self._subscribers.remove(fn)
+
+        return unsubscribe
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SnapshotRegistry(versions={self.versions()}, capacity={self.capacity})"

@@ -35,8 +35,16 @@ _HANDLES: List[Any] = []  # keep attached SharedMemory objects alive
 
 
 def serve_init(payload: Dict[str, Any]) -> bool:
-    """Install this worker's serving index from a master shm snapshot."""
+    """Install this worker's serving index from a master shm snapshot.
+
+    Re-broadcast on every :meth:`~repro.serve.mp.ServingPool.swap`: the
+    previous index's handles are closed before the new ones attach, so a
+    long-lived worker never accumulates segments across versions.
+    """
     global _INDEX
+    _INDEX = None  # drop views into the old segments before closing them
+    for shm in _HANDLES:
+        shm.close()
     _HANDLES.clear()
 
     def view(spec):
@@ -58,6 +66,7 @@ def serve_init(payload: Dict[str, Any]) -> bool:
         system=system,
         structure=payload["structure"],
         structure_seed=payload["structure_seed"],
+        version=payload.get("index_version", 0),
     )
     return True
 

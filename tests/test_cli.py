@@ -168,6 +168,71 @@ class TestServeCommand:
         assert 'repro_serve_requests_total{key="serve.requests"} 64.0' in open(mx).read()
 
 
+class TestUpdateCommand:
+    def test_update_generated_stream_with_check(self, capsys):
+        rc = main(["update", "-n", "300", "-k", "2", "--commits", "2",
+                   "--batch", "10", "--check"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "update: built v0 n=300" in out
+        assert out.count("exact") == 2  # every commit equivalence-verified
+        assert "commits=2 absorbed=2 punts=0" in out
+        assert "final n=300 version=2" in out
+
+    def test_update_mutations_file_and_sinks(self, tmp_path, capsys):
+        mf = tmp_path / "muts.jsonl"
+        mf.write_text(
+            '{"op": "insert", "points": [[0.5, 0.5], [0.25, 0.75]]}\n'
+            "# comment lines and blanks are skipped\n\n"
+            '{"op": "delete", "ids": [3]}\n'
+            '{"op": "commit"}\n'
+            '{"op": "insert", "points": [[0.125, 0.875]]}\n'  # trailing batch
+        )
+        tr, ev, mx = (str(tmp_path / f) for f in
+                      ("trace.json", "events.jsonl", "metrics.prom"))
+        rc = main(["update", "-n", "300", "-k", "2", "--check",
+                   "--mutations-file", str(mf),
+                   "--trace-out", tr, "--events-out", ev, "--metrics-out", mx])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "final n=302 version=2" in out
+        assert "update.absorb" in open(tr).read()
+        assert "span_open" in open(ev).read()
+        assert 'key="update.commits"' in open(mx).read()
+
+    def test_update_save_index_serves(self, tmp_path, capsys):
+        path = tmp_path / "index.pkl"
+        assert main(["update", "-n", "300", "-k", "2", "--commits", "1",
+                     "--batch", "8", "--save-index", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["serve", "--load-index", str(path), "--queries", "50"]) == 0
+        assert "index loaded" in capsys.readouterr().out
+
+    def test_update_bad_mutations_file(self, tmp_path, capsys):
+        mf = tmp_path / "bad.jsonl"
+        mf.write_text('{"op": "warp", "ids": [1]}\n')
+        with pytest.raises(SystemExit):
+            main(["update", "-n", "200", "--mutations-file", str(mf)])
+
+    def test_serve_mutations_file_hot_swaps(self, tmp_path, capsys):
+        mf = tmp_path / "muts.jsonl"
+        mf.write_text(
+            '{"op": "insert", "points": [[0.5, 0.5], [0.25, 0.75]]}\n'
+            '{"op": "delete", "ids": [3]}\n'
+            '{"op": "commit"}\n'
+            '{"op": "insert", "points": [[0.125, 0.875]]}\n'
+            '{"op": "commit"}\n'
+        )
+        rc = main(["serve", "-n", "300", "-k", "2", "--queries", "120",
+                   "--max-batch", "32", "--mutations-file", str(mf)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "swap -> v1" in out and "swap -> v2" in out
+        assert "index built (online)" in out
+        assert "hot swaps: 2" in out and "unfulfilled tickets: 0" in out
+        assert "v0" in out and "v2" in out  # per-version latency table
+
+
 class TestOtherCommands:
     def test_separators(self, capsys):
         rc = main(["separators", "-n", "400", "--draws", "3"])

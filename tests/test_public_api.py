@@ -53,8 +53,20 @@ class TestExports:
     def test_facade_reexported_at_package_root(self):
         import repro.api as api
 
-        for name in ("all_knn", "build_index", "run_traced", "KNNResult", "KNNIndex"):
+        for name in (
+            "all_knn", "build_index", "knn_query", "run_traced",
+            "KNNResult", "Index", "CommitInfo",
+        ):
             assert getattr(repro, name) is getattr(api, name)
+
+    def test_knnindex_shim_warns_and_aliases_index(self):
+        import repro.api as api
+
+        with pytest.warns(DeprecationWarning, match="KNNIndex is deprecated"):
+            shim = repro.KNNIndex
+        assert shim is api.Index
+        with pytest.warns(DeprecationWarning, match="build_index"):
+            assert api.KNNIndex is api.Index
 
     @pytest.mark.parametrize("name", PACKAGES)
     def test_module_docstrings_present(self, name):
