@@ -21,6 +21,10 @@ Public surface (see README for a tour):
 - :mod:`repro.baselines` — brute force, kd-tree and grid all-kNN;
 - :mod:`repro.workloads` — synthetic and adversarial point generators;
 - :mod:`repro.analysis` — recurrences, probability bounds, scaling fits;
+- :mod:`repro.kernels` — pluggable hot-path kernel backends (the numpy
+  reference and an optional numba-jitted table, bit-identical by
+  contract) plus the contiguous :class:`~repro.kernels.FlatTree`
+  descent layout;
 - :mod:`repro.obs` — tracing spans, metrics registry, trace exports;
 - :mod:`repro.parallel` — the multiprocess frontier backend: shared-memory
   buffers, shard planning, the worker pool (``engine="frontier-mp"``);
@@ -49,6 +53,7 @@ from . import (
     baselines,
     core,
     geometry,
+    kernels,
     obs,
     parallel,
     pvm,
@@ -58,7 +63,9 @@ from . import (
     workloads,
 )
 from .api import (
+    DTYPES,
     ENGINES,
+    KERNEL_BACKENDS,
     METHODS,
     Batcher,
     CommitInfo,
@@ -71,7 +78,7 @@ from .api import (
     run_traced,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "analysis",
@@ -79,6 +86,7 @@ __all__ = [
     "baselines",
     "core",
     "geometry",
+    "kernels",
     "obs",
     "parallel",
     "pvm",
@@ -98,6 +106,8 @@ __all__ = [
     "run_traced",
     "METHODS",
     "ENGINES",
+    "KERNEL_BACKENDS",
+    "DTYPES",
     "__version__",
 ]
 

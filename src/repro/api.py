@@ -52,7 +52,9 @@ import numpy as np
 
 from .baselines import brute_force_knn
 from .core import (
+    DTYPES,
     ENGINES,
+    KERNEL_BACKENDS,
     CommitInfo,
     FastDnCConfig,
     FastDnCResult,
@@ -68,6 +70,8 @@ from .core import (
     simple_parallel_dnc,
 )
 from .geometry.points import as_points
+from .kernels import use_backend
+from .kernels.layout import FlatTree
 from .obs import Tracer
 from .pvm import Cost, Machine
 from .serve import Batcher, ResultCache, ServingIndex, ServingPool
@@ -86,6 +90,8 @@ __all__ = [
     "serve",
     "METHODS",
     "ENGINES",
+    "KERNEL_BACKENDS",
+    "DTYPES",
 ]
 
 METHODS = ("fast", "simple", "query", "brute")
@@ -158,6 +164,8 @@ class Index:
         self.mutable = mutable
         self._structure: Optional[NeighborhoodQueryStructure] = None
         self._structure_version: Optional[int] = None
+        self._layout: Optional[FlatTree] = None
+        self._layout_version: Optional[int] = None
 
     # -- identity ----------------------------------------------------------
 
@@ -220,7 +228,13 @@ class Index:
             Each (q, k), sorted ascending by (distance, index).
         """
         kk = self.k if k is None else k
-        return knn_query(self.tree, self.points, queries, kk)
+        # cache the contiguous descent layout per committed version —
+        # commits can replace the tree, so a stale layout must never
+        # answer for a newer version
+        if self._layout_version != self.version:
+            self._layout = FlatTree.from_tree(self.tree)
+            self._layout_version = self.version
+        return knn_query(self.tree, self.points, queries, kk, layout=self._layout)
 
     def covering(self, point: np.ndarray) -> np.ndarray:
         """Data-point ids whose k-NN ball strictly contains ``point``.
@@ -303,11 +317,20 @@ def _resolve_config(
     config: ConfigLike,
     engine: Optional[str],
     workers: Optional[int] = None,
+    kernels: Optional[str] = None,
+    dtype: Optional[str] = None,
 ) -> ConfigLike:
     if engine is not None and engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
     if workers is not None and workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if kernels is not None and kernels != "auto" and kernels not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {kernels!r}; choose from "
+            f"{KERNEL_BACKENDS} or 'auto'"
+        )
+    if dtype is not None and dtype not in DTYPES:
+        raise ValueError(f"unknown dtype {dtype!r}; choose from {DTYPES}")
     if config is None:
         if method in ("fast", "query"):
             config = FastDnCConfig()
@@ -317,6 +340,10 @@ def _resolve_config(
         config = replace(config, engine=engine)
     if config is not None and workers is not None and config.workers != workers:
         config = replace(config, workers=workers)
+    if config is not None and kernels is not None and config.kernels != kernels:
+        config = replace(config, kernels=kernels)
+    if config is not None and dtype is not None and config.dtype != dtype:
+        config = replace(config, dtype=dtype)
     return config
 
 
@@ -330,6 +357,8 @@ def all_knn(
     seed: object = None,
     engine: Optional[str] = None,
     workers: Optional[int] = None,
+    kernels: Optional[str] = None,
+    dtype: Optional[str] = None,
 ) -> KNNResult:
     """Exact all-k-nearest-neighbors of ``points``, as a :class:`KNNResult`.
 
@@ -362,6 +391,14 @@ def all_knn(
     workers:
         Worker-process count for ``"frontier-mp"`` (``None`` = one per
         CPU); ignored by the serial engines.
+    kernels:
+        Hot-path kernel backend: ``"numpy"``, ``"numba"`` or ``"auto"``
+        — bit-identical results, different wall-clock (see
+        ``docs/kernels.md``).  ``None`` keeps ``config.kernels``.
+    dtype:
+        Point storage dtype, ``"float64"`` or ``"float32"``; distance
+        arithmetic always runs in float64 on the stored values.  ``None``
+        keeps ``config.dtype``.
 
     Returns
     -------
@@ -371,10 +408,10 @@ def all_knn(
     """
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {METHODS}")
-    pts = as_points(points, min_points=1)
+    pts = as_points(points, min_points=1, dtype=None)
     if machine is None:
         machine = Machine()
-    config = _resolve_config(method, config, engine, workers)
+    config = _resolve_config(method, config, engine, workers, kernels, dtype)
     if method == "fast":
         res: Union[FastDnCResult, SimpleDnCResult] = parallel_nearest_neighborhood(
             pts, k, machine=machine, seed=seed, config=config
@@ -386,14 +423,20 @@ def all_knn(
         return KNNResult(system=res.system, machine=machine, method=method,
                          tree=res.tree, stats=res.stats, k=k)
     if method == "brute":
-        system = brute_force_knn(pts, k, machine=machine)
+        # brute has no config object: apply the dtype/kernels knobs here
+        if dtype == "float32":
+            pts = np.ascontiguousarray(pts, dtype=np.float32)
+        with use_backend(kernels if kernels is not None else "auto"):
+            system = brute_force_knn(pts, k, machine=machine)
         return KNNResult(system=system, machine=machine, method=method, k=k)
     # method == "query": build the fast tree, then re-answer every point
     # through the partition-tree query path (self-matches dropped).
     res = parallel_nearest_neighborhood(pts, k, machine=machine, seed=seed, config=config)
-    with machine.span("api.requery", n=int(pts.shape[0]), k=k):
-        idx, sq = knn_query(res.tree, pts, pts, min(k + 1, pts.shape[0]))
-    n = pts.shape[0]
+    qpts = res.system.points  # the build's storage dtype, not the input's
+    with machine.span("api.requery", n=int(qpts.shape[0]), k=k):
+        with use_backend(config.kernels):
+            idx, sq = knn_query(res.tree, qpts, qpts, min(k + 1, qpts.shape[0]))
+    n = qpts.shape[0]
     out_idx = np.full((n, k), -1, dtype=np.int64)
     out_sq = np.full((n, k), np.inf)
     for i in range(n):
@@ -401,7 +444,7 @@ def all_knn(
         ids = idx[i][keep][:k]
         out_idx[i, : ids.shape[0]] = ids
         out_sq[i, : ids.shape[0]] = sq[i][keep][: ids.shape[0]]
-    system = KNeighborhoodSystem(pts, k, out_idx, out_sq)
+    system = KNeighborhoodSystem(qpts, k, out_idx, out_sq)
     return KNNResult(system=system, machine=machine, method=method,
                      tree=res.tree, stats=res.stats, k=k)
 
@@ -415,6 +458,8 @@ def build_index(
     seed: object = None,
     engine: Optional[str] = None,
     workers: Optional[int] = None,
+    kernels: Optional[str] = None,
+    dtype: Optional[str] = None,
     churn_threshold: float = 0.05,
     snapshot_min_size: Optional[int] = None,
 ) -> Index:
@@ -435,14 +480,27 @@ def build_index(
     ``churn_threshold`` is the mutation fraction above which a commit
     punts to a full rebuild; ``snapshot_min_size`` tunes the granularity
     of reusable subtree records (see ``docs/online_index.md``).
+    ``kernels`` selects the hot-path backend as in :func:`all_knn`;
+    ``dtype`` must stay ``"float64"`` here — the online absorb machinery
+    is float64-only (``all_knn`` and ``ServingIndex.build`` accept
+    ``"float32"``).
 
     .. versionchanged:: 1.6.0
        Returns :class:`Index` (mutable, versioned) instead of the
        query-only ``KNNIndex``; the old name is a deprecated alias and
        the query/covering surface is unchanged.
     """
-    pts = as_points(points, min_points=1)
-    cfg = _resolve_config("fast", config, engine, workers)
+    if dtype == "float32" or (dtype is None and config is not None
+                              and config.dtype == "float32"):
+        # the online index's absorb machinery (content hashing, mixed
+        # insert vstacks) is float64-only; float32 storage is supported
+        # by all_knn and ServingIndex.build
+        raise ValueError(
+            "build_index supports dtype='float64' only; use all_knn or "
+            "ServingIndex.build for float32 storage"
+        )
+    pts = as_points(points, min_points=1, dtype=None)
+    cfg = _resolve_config("fast", config, engine, workers, kernels, dtype)
     mutable = MutableIndex(
         pts,
         k,
@@ -465,6 +523,8 @@ def run_traced(
     seed: object = None,
     engine: Optional[str] = None,
     workers: Optional[int] = None,
+    kernels: Optional[str] = None,
+    dtype: Optional[str] = None,
     events_out: Optional[str] = None,
     metrics_out: Optional[str] = None,
 ) -> Tuple[KNNResult, Tracer]:
@@ -493,7 +553,7 @@ def run_traced(
     with machine.span("run", method=method, n=int(np.asarray(points).shape[0]), k=k):
         result = all_knn(
             points, k, method=method, config=config, machine=machine, seed=seed,
-            engine=engine, workers=workers,
+            engine=engine, workers=workers, kernels=kernels, dtype=dtype,
         )
     if pre.depth == 0 and pre.work == 0:
         # fresh ledger: the root span must reproduce it exactly
@@ -522,6 +582,8 @@ def serve(
     seed: object = None,
     engine: Optional[str] = None,
     workers: Optional[int] = None,
+    kernels: Optional[str] = None,
+    dtype: Optional[str] = None,
     serve_workers: Optional[int] = None,
     max_batch: int = 256,
     max_wait_ms: Optional[float] = None,
@@ -557,6 +619,8 @@ def serve(
         seed=seed,
         engine=engine,
         workers=workers,
+        kernels=kernels,
+        dtype=dtype,
         with_structure=(kind == "covering"),
     )
     cache = ResultCache(cache_size, cache_decimals) if cache_size > 0 else None

@@ -12,13 +12,8 @@ from typing import Optional
 
 import numpy as np
 
-from ..geometry.points import (
-    as_points,
-    chunked_pairs,
-    kth_smallest_per_row,
-    pairwise_sq_dists,
-    refine_selected_sq_dists,
-)
+from .. import kernels
+from ..geometry.points import as_points
 from ..pvm.cost import Cost
 from ..pvm.machine import Machine
 from ..core.neighborhood import KNeighborhoodSystem
@@ -48,25 +43,13 @@ def brute_force_knn(
         Optional ledger; charged depth n (each processor scans all points
         serially — the trivial n-processor schedule), work n^2.
     """
-    pts = as_points(points, min_points=1)
+    pts = as_points(points, min_points=1, dtype=None)
     n = pts.shape[0]
     if k < 1:
         raise ValueError("k must be >= 1")
     if machine is not None:
         machine.charge(Cost(float(n), float(n) * float(n)))
-    kk = min(k, max(0, n - 1))
-    nbr_idx = np.full((n, k), -1, dtype=np.int64)
-    nbr_sq = np.full((n, k), np.inf)
-    if kk == 0:
-        return KNeighborhoodSystem(pts, k, nbr_idx, nbr_sq)
-    for lo, hi in chunked_pairs(n, chunk):
-        sq = pairwise_sq_dists(pts[lo:hi], pts)
-        rows = np.arange(lo, hi)
-        sq[rows - lo, rows] = np.inf  # exclude self
-        idx, vals = kth_smallest_per_row(sq, kk)
-        nbr_idx[lo:hi, :kk] = idx
-        nbr_sq[lo:hi, :kk] = vals
-    # replace GEMM-form distances (cancellation-prone for near-coincident
-    # points far from the origin) with exact diff-based values
-    nbr_idx, nbr_sq = refine_selected_sq_dists(pts, pts, nbr_idx, nbr_sq)
+    # the single shared oracle kernel: chunked GEMM selection + diff-based
+    # refinement (see repro.kernels.reference.brute_topk)
+    nbr_idx, nbr_sq = kernels.brute_topk(pts, k, chunk)
     return KNeighborhoodSystem(pts, k, nbr_idx, nbr_sq)

@@ -34,6 +34,12 @@ Subcommands
     printing per-commit absorb/rebuild stats; ``--check`` gates every
     commit on exact equivalence (neighbors, tree, ledger, counters)
     against a from-scratch build.  See ``docs/online_index.md``.
+``repro bench kernels``
+    Micro-benchmark every registered kernel op on every available
+    backend (numpy reference, numba when installed) and print a
+    per-op ns/element table; ``--json-out`` / ``--events-out`` /
+    ``--metrics-out`` export the rows through the telemetry surfaces.
+    See ``docs/kernels.md``.
 
 ``--trace-out PATH`` is also accepted by ``knn`` and ``scaling``, as are
 the telemetry sinks ``--events-out PATH`` (JSONL event log) and
@@ -55,7 +61,7 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
-    from .core import ENGINES
+    from .core import DTYPES, ENGINES, KERNEL_BACKENDS
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -69,6 +75,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workers", type=int, default=None, metavar="N",
                        help="worker processes for --engine frontier-mp "
                             "(default: one per CPU)")
+        p.add_argument("--kernels", default=None,
+                       choices=["auto"] + list(KERNEL_BACKENDS),
+                       help="hot-path kernel backend (bit-identical results; "
+                            "auto picks numba when installed — see "
+                            "docs/kernels.md)")
+        p.add_argument("--dtype", default=None, choices=list(DTYPES),
+                       help="point storage dtype (float32 halves memory; "
+                            "distance arithmetic stays float64)")
 
     def add_telemetry_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--events-out", default=None, metavar="PATH",
@@ -230,6 +244,29 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write a Chrome-trace JSON of the last commit "
                              "(update.absorb / update.rebuild spans)")
     add_telemetry_args(update)
+
+    bench = sub.add_parser(
+        "bench", help="micro-benchmark the hot-path kernel backends"
+    )
+    bench.add_argument("target", nargs="?", default="kernels", choices=["kernels"],
+                       help="what to benchmark (currently: the kernel op table)")
+    bench.add_argument("-n", "--n", type=int, default=100_000,
+                       help="elements per flat op workload")
+    bench.add_argument("-d", "--d", type=int, default=2, help="dimension")
+    bench.add_argument("-k", "--k", type=int, default=8,
+                       help="neighbors per point in the merge/top-k workloads")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timed repeats per op (best-of; one extra warmup)")
+    bench.add_argument("--seed", type=int, default=0, help="workload seed")
+    bench.add_argument("--backends", nargs="+", default=None,
+                       choices=list(KERNEL_BACKENDS), metavar="BACKEND",
+                       help="backends to measure (default: numpy, plus numba "
+                            "when importable)")
+    bench.add_argument("--no-descend", action="store_true",
+                       help="skip the tree-descent bench (needs an index build)")
+    bench.add_argument("--json-out", default=None, metavar="PATH",
+                       help="also write the result rows as JSON here")
+    add_telemetry_args(bench)
     return parser
 
 
@@ -274,13 +311,15 @@ def _cmd_knn(args: argparse.Namespace) -> int:
             result, tracer = run_traced(pts, args.k, method=args.algo,
                                         machine=machine, seed=args.seed,
                                         engine=args.engine, workers=args.workers,
+                                        kernels=args.kernels, dtype=args.dtype,
                                         events_out=args.events_out,
                                         metrics_out=args.metrics_out)
             _note_telemetry(args)
         else:
             result, tracer = all_knn(pts, args.k, method=args.algo,
                                      machine=machine, seed=args.seed,
-                                     engine=args.engine, workers=args.workers), None
+                                     engine=args.engine, workers=args.workers,
+                                     kernels=args.kernels, dtype=args.dtype), None
         system, stats = result.system, result.stats
     elif args.algo == "kdtree":
         system, tracer = kdtree_knn(pts, args.k), None
@@ -300,7 +339,9 @@ def _cmd_knn(args: argparse.Namespace) -> int:
         _write_trace_file(args.trace_out, tracer, machine, command="knn",
                           algo=args.algo, n=n, d=int(pts.shape[1]), k=args.k)
     if args.check:
-        ref = brute_force_knn(pts, args.k)
+        # check against brute force over the *stored* points, so a
+        # --dtype float32 run is compared on its own coordinates
+        ref = brute_force_knn(system.points, args.k)
         ok = system.same_distances(ref)
         print(f"brute-force check: {'OK' if ok else 'MISMATCH'}")
         if not ok:
@@ -350,6 +391,7 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
             fast, tracer = run_traced(pts, args.k, method="fast",
                                       machine=fast_machine, seed=args.seed,
                                       engine=args.engine, workers=args.workers,
+                                      kernels=args.kernels, dtype=args.dtype,
                                       events_out=args.events_out,
                                       metrics_out=args.metrics_out)
             if args.trace_out:
@@ -359,9 +401,11 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
             _note_telemetry(args)
         else:
             fast = all_knn(pts, args.k, method="fast", machine=fast_machine,
-                           seed=args.seed, engine=args.engine, workers=args.workers)
+                           seed=args.seed, engine=args.engine, workers=args.workers,
+                           kernels=args.kernels, dtype=args.dtype)
         simple = all_knn(pts, args.k, method="simple", machine=Machine(),
-                         seed=args.seed, engine=args.engine, workers=args.workers)
+                         seed=args.seed, engine=args.engine, workers=args.workers,
+                         kernels=args.kernels, dtype=args.dtype)
         rows.append((n, fast.cost.depth, simple.cost.depth))
         print(f"{n:>8} {fast.cost.depth:>11.0f} {simple.cost.depth:>13.0f} "
               f"{simple.cost.depth / fast.cost.depth:>5.2f}x")
@@ -457,6 +501,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     result, tracer = run_traced(pts, args.k, method=args.method,
                                 machine=machine, seed=args.seed,
                                 engine=args.engine, workers=args.workers,
+                                kernels=args.kernels, dtype=args.dtype,
                                 events_out=args.events_out,
                                 metrics_out=args.metrics_out)
     _note_telemetry(args)
@@ -658,6 +703,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.mutations_file and args.load_index:
         raise SystemExit("--mutations-file needs a built index; it is "
                          "incompatible with --load-index")
+    if args.mutations_file and args.dtype == "float32":
+        raise SystemExit("--mutations-file serves through the online index, "
+                         "which is float64-only; drop --dtype float32")
 
     mut_groups = (_load_mutation_stream(args.mutations_file)
                   if args.mutations_file else [])
@@ -679,6 +727,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         index = ServingIndex.build(
             pts, args.k, machine=machine, seed=args.seed,
             engine=args.engine, workers=args.workers,
+            kernels=args.kernels, dtype=args.dtype,
             with_structure=(args.kind == "covering"),
         )
         built = "built"
@@ -781,6 +830,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .kernels import numba_available
+    from .kernels.bench import format_table, run_kernel_bench
+    from .pvm import Machine
+
+    machine = Machine()
+    if args.events_out:
+        machine.enable_tracing()
+    rows = run_kernel_bench(
+        n=args.n, d=args.d, k=args.k, repeats=args.repeats,
+        backends=args.backends, seed=args.seed, machine=machine,
+        include_descend=not args.no_descend,
+    )
+    print(f"kernel micro-bench: n={args.n} d={args.d} k={args.k} "
+          f"repeats={args.repeats} "
+          f"numba={'available' if numba_available() else 'not installed'}")
+    print(format_table(rows))
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w") as fh:
+            json.dump(rows, fh, indent=2)
+        print(f"wrote json {args.json_out}")
+    if args.events_out:
+        from .obs.export import write_events_jsonl
+
+        write_events_jsonl(args.events_out, machine.tracer)
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(machine.metrics.to_prometheus())
+    _note_telemetry(args)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -792,6 +875,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": _cmd_trace,
         "serve": _cmd_serve,
         "update": _cmd_update,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

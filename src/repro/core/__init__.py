@@ -11,7 +11,17 @@ from .graph_separators import (
     nested_dissection_order,
     separator_profile,
 )
-from .config import ENGINE_REGISTRY, ENGINES, CommonConfig, EngineSpec, supports_renamed_fields
+from .config import (
+    DTYPES,
+    ENGINE_REGISTRY,
+    ENGINES,
+    KERNEL_BACKENDS,
+    KERNEL_REGISTRY,
+    CommonConfig,
+    EngineSpec,
+    KernelSpec,
+    supports_renamed_fields,
+)
 from .correction import (
     MarchResult,
     apply_candidate_pairs,
@@ -63,6 +73,10 @@ __all__ = [
     "EngineSpec",
     "ENGINE_REGISTRY",
     "ENGINES",
+    "KernelSpec",
+    "KERNEL_REGISTRY",
+    "KERNEL_BACKENDS",
+    "DTYPES",
     "supports_renamed_fields",
     "MarchResult",
     "apply_candidate_pairs",

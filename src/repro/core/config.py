@@ -33,6 +33,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..kernels.registry import KERNEL_BACKENDS, KERNEL_REGISTRY, KernelSpec
 from ..util.rng import as_generator
 
 __all__ = [
@@ -42,7 +43,14 @@ __all__ = [
     "EngineSpec",
     "ENGINE_REGISTRY",
     "ENGINES",
+    "KernelSpec",
+    "KERNEL_REGISTRY",
+    "KERNEL_BACKENDS",
+    "DTYPES",
 ]
+
+#: Storage dtypes accepted by :attr:`CommonConfig.dtype`.
+DTYPES = ("float64", "float32")
 
 # old constructor keyword / attribute -> canonical dataclass field
 RENAMED_CONFIG_FIELDS = {"m0": "base_case_size"}
@@ -151,6 +159,20 @@ class CommonConfig:
         Default path for the Prometheus text exposition of the run's
         metrics registry written by :func:`repro.api.run_traced` (and
         the ``--metrics-out`` CLI flag).  ``None`` writes nothing.
+    kernels:
+        Hot-path kernel backend: any name in
+        :data:`~repro.kernels.registry.KERNEL_REGISTRY` (``"numpy"``,
+        ``"numba"``) or ``"auto"`` (numba when importable, else numpy;
+        the ``REPRO_KERNELS`` environment variable overrides ``auto``).
+        Every backend is bit-identical, so this is purely a wall-clock
+        knob; requesting ``numba`` without it installed warns once and
+        falls back.  See ``docs/kernels.md``.
+    dtype:
+        Point storage dtype: ``"float64"`` (default) or ``"float32"``
+        (half the memory/bandwidth; coordinates are stored in float32
+        but all distance arithmetic still runs in float64 on the
+        upcast values, so results stay exact for the stored
+        coordinates).
     """
 
     base_case_size: int = 64
@@ -159,6 +181,8 @@ class CommonConfig:
     workers: Optional[int] = None
     events_out: Optional[str] = None
     metrics_out: Optional[str] = None
+    kernels: str = "auto"
+    dtype: str = "float64"
 
     def __post_init__(self):
         if self.engine not in ENGINE_REGISTRY:
@@ -167,6 +191,15 @@ class CommonConfig:
             )
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.kernels != "auto" and self.kernels not in KERNEL_REGISTRY:
+            raise ValueError(
+                f"unknown kernel backend {self.kernels!r}; expected one of "
+                f"{KERNEL_BACKENDS} or 'auto'"
+            )
+        if self.dtype not in DTYPES:
+            raise ValueError(
+                f"unknown dtype {self.dtype!r}; expected one of {DTYPES}"
+            )
 
     # -- deprecated aliases ----------------------------------------------
 
@@ -209,3 +242,7 @@ class CommonConfig:
         """
         factor = getattr(self, "base_factor", 1)
         return max(self.base_case_size, factor * (k + 1))
+
+    def np_dtype(self) -> np.dtype:
+        """The numpy dtype of :attr:`dtype` (point storage dtype)."""
+        return np.dtype(np.float32 if self.dtype == "float32" else np.float64)

@@ -110,7 +110,11 @@ def march_balls(
                 qq = points[pts_ids]
                 result.leaf_tests += rows.shape[0] * pts_ids.shape[0]
                 # diff-based kernel: leaves are small, and containment at
-                # tiny radii must not suffer GEMM cancellation
+                # tiny radii must not suffer GEMM cancellation; upcast
+                # before subtracting so float32 storage still compares
+                # in float64 (copy=False: f64 inputs pass through)
+                centers = centers.astype(np.float64, copy=False)
+                qq = qq.astype(np.float64, copy=False)
                 diff = centers[:, None, :] - qq[None, :, :]
                 sq = np.einsum("bnd,bnd->bn", diff, diff)
                 inside = sq < np.square(radii)[:, None]
@@ -158,7 +162,9 @@ def apply_candidate_pairs(
     owners, cands = owners[keep], point_ids[keep]
     if owners.shape[0] == 0:
         return 0
-    diff = points[owners] - points[cands]
+    diff = points[owners].astype(np.float64, copy=False) - points[cands].astype(
+        np.float64, copy=False
+    )
     cand_sq = np.einsum("ij,ij->i", diff, diff)
     order = np.argsort(owners, kind="stable")
     owners, cands, cand_sq = owners[order], cands[order], cand_sq[order]
@@ -203,7 +209,9 @@ def apply_candidate_pairs_batch(
     owners, cands = owners[keep], cands[keep]
     if owners.shape[0] == 0:
         return 0
-    diff = points[owners] - points[cands]
+    diff = points[owners].astype(np.float64, copy=False) - points[cands].astype(
+        np.float64, copy=False
+    )
     cand_sq = np.einsum("ij,ij->i", diff, diff)
     uniq_owners = np.unique(owners)
     t = uniq_owners.shape[0]

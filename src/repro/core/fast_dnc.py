@@ -34,6 +34,7 @@ from typing import List, Optional, Tuple, Union
 import numpy as np
 
 from ..geometry.balls import BallSystem
+from .. import kernels
 from ..geometry.points import as_points
 from ..geometry.spheres import Hyperplane, Sphere
 from ..obs.metrics import MetricsView
@@ -167,7 +168,7 @@ def parallel_nearest_neighborhood(
         With exact ``system`` (validated against brute force in the test
         suite), the partition ``tree``, and ``stats``.
     """
-    pts = as_points(points, min_points=1)
+    pts = as_points(points, min_points=1, dtype=config.np_dtype())
     n, d = pts.shape
     if not 1 <= k < max(2, n):
         raise ValueError(f"k must satisfy 1 <= k < n, got k={k}, n={n}")
@@ -179,23 +180,26 @@ def parallel_nearest_neighborhood(
     nbr_sq = np.full((n, k), np.inf)
     base = config.base_size(k)
     ids = np.arange(n, dtype=np.int64)
-    if config.engine == "frontier":
-        from .frontier import run_fast_frontier
+    with kernels.use_backend(config.kernels):
+        if config.engine == "frontier":
+            from .frontier import run_fast_frontier
 
-        tree = run_fast_frontier(
-            pts, k, machine, root_ss, config, stats, nbr_idx, nbr_sq, base
-        )
-    elif config.engine == "frontier-mp":
-        from ..parallel.engine import run_fast_frontier_mp
+            tree = run_fast_frontier(
+                pts, k, machine, root_ss, config, stats, nbr_idx, nbr_sq, base
+            )
+        elif config.engine == "frontier-mp":
+            from ..parallel.engine import run_fast_frontier_mp
 
-        tree = run_fast_frontier_mp(
-            pts, k, machine, root_ss, config, stats, nbr_idx, nbr_sq, base
-        )
-    else:
-        runner = _Runner(pts, k, machine, root_ss, config, stats, nbr_idx, nbr_sq, base)
-        levels = estimated_tree_levels(n, base, default_delta(d, config.epsilon))
-        with recursion_guard(levels):
-            tree = runner.solve(ids)
+            tree = run_fast_frontier_mp(
+                pts, k, machine, root_ss, config, stats, nbr_idx, nbr_sq, base
+            )
+        else:
+            runner = _Runner(
+                pts, k, machine, root_ss, config, stats, nbr_idx, nbr_sq, base
+            )
+            levels = estimated_tree_levels(n, base, default_delta(d, config.epsilon))
+            with recursion_guard(levels):
+                tree = runner.solve(ids)
     system = KNeighborhoodSystem(pts, k, nbr_idx, nbr_sq)
     return FastDnCResult(system=system, tree=tree, stats=stats, machine=machine)
 

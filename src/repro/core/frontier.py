@@ -55,11 +55,11 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from .. import kernels
 from ..geometry.balls import BallSystem
 from ..geometry.spheres import Sphere
 from ..pvm.cost import Cost, ZERO
 from ..pvm.machine import Machine
-from ..pvm.primitives import segmented_split
 from ..separators.batch import (
     batched_side_of_points,
     prepare_samplers,
@@ -173,15 +173,15 @@ class _FrontierBase:
         brute_force_neighbors(self.points, seg.ids, self.k, self.nbr_idx, self.nbr_sq)
 
     def _split_segments(self, split_segs: List[_Seg]) -> List[_Seg]:
-        """Divide every accepted segment at once: one segmented split over
-        the level's concatenated ids (interior = flag False keeps the
-        recursive engine's stable ``ids[side < 0]`` / ``ids[side > 0]``
-        ordering bit-for-bit)."""
+        """Divide every accepted segment at once: one fused classify+pack
+        kernel pass over the level's concatenated ids and raw sides
+        (interior = ``side < 0`` first keeps the recursive engine's stable
+        ``ids[side < 0]`` / ``ids[side > 0]`` ordering bit-for-bit)."""
         lengths = np.array([s.ids.shape[0] for s in split_segs], dtype=np.int64)
         flat_ids = np.concatenate([s.ids for s in split_segs])
-        flags = np.concatenate([s.side > 0 for s in split_segs])
+        sides = np.concatenate([s.side for s in split_segs])
         seg_ids = np.repeat(np.arange(len(split_segs)), lengths)
-        out, false_counts = segmented_split(None, flat_ids, flags, seg_ids)
+        out, false_counts = kernels.segmented_split_sides(flat_ids, sides, seg_ids)
         offsets = np.concatenate(([0], np.cumsum(lengths)))
         children: List[_Seg] = []
         for j, seg in enumerate(split_segs):
@@ -457,12 +457,9 @@ class _FastFrontier(_FrontierBase):
             )
             rows = np.repeat(np.arange(len(sides)), lengths)
             ball_radii = np.sqrt(self.nbr_sq[flat_ids, -1])
-            s = np.linalg.norm(self.points[flat_ids] - centers[rows], axis=1)
-            s -= sep_radii[rows]
-            cls_flat = np.zeros(flat_ids.shape[0], dtype=np.int8)
-            finite = np.isfinite(ball_radii)
-            cls_flat[finite & (s < -ball_radii)] = -1
-            cls_flat[finite & (s > ball_radii)] = 1
+            cls_flat = kernels.classify_level_spheres(
+                self.points, flat_ids, rows, centers, sep_radii, ball_radii
+            )
             bounds = np.concatenate(([0], np.cumsum(lengths)))
             for pair in range(0, len(sides), 2):
                 j = sides[pair][0]

@@ -21,8 +21,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import kernels
 from ..geometry.balls import BallSystem
-from ..geometry.points import as_points, kth_smallest_per_row, pairwise_sq_dists_direct
+from ..geometry.points import as_points
 
 __all__ = [
     "KNeighborhoodSystem",
@@ -41,7 +42,8 @@ def brute_force_neighbors(
 ) -> None:
     """All-pairs k nearest within ``points[ids]``, written into the global
     ``(nbr_idx, nbr_sq)`` arrays — the shared base-case kernel of both
-    divide-and-conquer engines.
+    divide-and-conquer engines, dispatched through
+    :func:`repro.kernels.block_topk`.
 
     Rows with fewer than ``k`` candidates are padded with ``-1`` / ``inf``.
     Cost accounting and statistics are the caller's responsibility.
@@ -50,10 +52,8 @@ def brute_force_neighbors(
     if m <= 1:
         return
     sub = points[ids]
-    sq = pairwise_sq_dists_direct(sub, sub)
-    np.fill_diagonal(sq, np.inf)
     kk = min(k, m - 1)
-    local_idx, local_sq = kth_smallest_per_row(sq, kk)
+    local_idx, local_sq = kernels.block_topk(sub, kk)
     nbr_idx[ids, :kk] = ids[local_idx]
     nbr_sq[ids, :kk] = local_sq
     if kk < k:
@@ -86,7 +86,9 @@ class KNeighborhoodSystem:
     neighbor_sq_dists: np.ndarray
 
     def __post_init__(self) -> None:
-        pts = as_points(self.points)
+        # dtype=None: float32 point storage passes through without a
+        # silent float64 upcast copy (neighbor arrays stay int64/float64)
+        pts = as_points(self.points, dtype=None)
         n = pts.shape[0]
         idx = np.asarray(self.neighbor_indices, dtype=np.int64)
         sq = np.asarray(self.neighbor_sq_dists, dtype=np.float64)
@@ -185,30 +187,11 @@ def merge_neighbor_lists_many(
     padding.  Returns ``(n_rows, k)`` arrays with exactly what k calls to
     the scalar merge would produce per row — duplicates collapsed to their
     smallest distance, survivors sorted by (distance, id), short rows
-    padded with (-1, inf) — in a handful of array operations instead of
-    ``n_rows`` Python-level merges.
+    padded with (-1, inf) — dispatched through
+    :func:`repro.kernels.merge_candidate_stream` instead of ``n_rows``
+    Python-level merges.
     """
     rows = np.asarray(rows, dtype=np.int64)
     idx = np.asarray(idx, dtype=np.int64)
     sq = np.asarray(sq, dtype=np.float64)
-    out_idx = np.full((n_rows, k), -1, dtype=np.int64)
-    out_sq = np.full((n_rows, k), np.inf)
-    real = idx >= 0
-    rows, idx, sq = rows[real], idx[real], sq[real]
-    if not idx.size:
-        return out_idx, out_sq
-    # group by (row, id) with the smallest distance first, keep group heads
-    order = np.lexsort((sq, idx, rows))
-    rows, idx, sq = rows[order], idx[order], sq[order]
-    keep = np.concatenate(([True], (rows[1:] != rows[:-1]) | (idx[1:] != idx[:-1])))
-    rows, idx, sq = rows[keep], idx[keep], sq[keep]
-    # canonical (distance, id) order within each row, then each row's k best
-    order = np.lexsort((idx, sq, rows))
-    rows, idx, sq = rows[order], idx[order], sq[order]
-    pos = np.arange(rows.shape[0], dtype=np.int64)
-    starts = np.concatenate(([True], rows[1:] != rows[:-1]))
-    pos -= np.maximum.accumulate(np.where(starts, pos, 0))
-    keep = pos < k
-    out_idx[rows[keep], pos[keep]] = idx[keep]
-    out_sq[rows[keep], pos[keep]] = sq[keep]
-    return out_idx, out_sq
+    return kernels.merge_candidate_stream(rows, idx, sq, n_rows, k)

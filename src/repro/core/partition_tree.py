@@ -22,6 +22,20 @@ __all__ = ["PartitionNode"]
 SeparatorLike = Union[Sphere, Hyperplane]
 
 
+def _as_float(points: np.ndarray) -> np.ndarray:
+    """Float view of query points, preserving float32 storage.
+
+    Descent arithmetic upcasts float32 coordinates elementwise inside the
+    side-test kernels, so keeping the array in its stored dtype avoids a
+    full silent upcast copy per query batch without changing a single
+    classified side.
+    """
+    pts = np.asarray(points)
+    if pts.dtype not in (np.float32, np.float64):
+        pts = pts.astype(np.float64)
+    return pts
+
+
 @dataclass
 class PartitionNode:
     """One node of the divide-and-conquer partition tree.
@@ -97,7 +111,7 @@ class PartitionNode:
         query convention.
         """
         node = self
-        p = np.asarray(point, dtype=np.float64)[None, :]
+        p = _as_float(point)[None, :]
         while not node.is_leaf:
             side = node.separator.side_of_points(p)[0]  # type: ignore[union-attr]
             node = node.left if side < 0 else node.right  # type: ignore[assignment]
@@ -116,7 +130,7 @@ class PartitionNode:
         ``leaf_of_point(points[r])`` for every yielded row ``r``; leaves
         arrive left to right and the yielded ``rows`` partition the input.
         """
-        pts = np.asarray(points, dtype=np.float64)
+        pts = _as_float(points)
         if pts.shape[0] == 1:  # scalar descent, skip the group bookkeeping
             yield self.leaf_of_point(pts[0]), np.zeros(1, dtype=np.int64)
             return

@@ -13,15 +13,22 @@ for corrections — it is a search structure.  For a query point q:
 
 This turns every :class:`~repro.core.fast_dnc.FastDnCResult` into a
 reusable index: build once with the paper's algorithm, query forever.
+
+Descent runs over a contiguous :class:`~repro.kernels.FlatTree` layout
+when the caller supplies one (``repro.serve`` and ``repro.Index`` cache
+it per snapshot/version); otherwise it falls back to the pointer-walking
+generator.  Both paths classify every query with the same row-local
+side tests, so results are bit-identical.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..geometry.points import as_points, pairwise_sq_dists_direct
+from ..kernels.layout import FlatTree
 from .correction import march_balls
 from .neighborhood import merge_neighbor_lists_many
 from .partition_tree import PartitionNode
@@ -34,6 +41,8 @@ def knn_query(
     points: np.ndarray,
     queries: np.ndarray,
     k: int = 1,
+    *,
+    layout: Optional[FlatTree] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Exact k nearest data points for each query row.
 
@@ -47,6 +56,11 @@ def knn_query(
         (q, d) query points (need not be data points).
     k:
         Neighbors per query, ``1 <= k <= n``.
+    layout:
+        Optional :class:`~repro.kernels.FlatTree` of ``tree``; when given
+        (and sphere-only), phase-1 descent runs over the contiguous
+        layout through the active kernel backend instead of the pointer
+        walk — same leaves, same results, less interpreter traffic.
 
     Returns
     -------
@@ -54,8 +68,8 @@ def knn_query(
         Each (q, k), sorted ascending by (distance, index); padded with
         (-1, inf) when fewer than k data points exist.
     """
-    pts = as_points(points, min_points=1)
-    qs = as_points(queries)
+    pts = as_points(points, min_points=1, dtype=None)
+    qs = as_points(queries, dtype=None)
     if pts.shape[1] != qs.shape[1]:
         raise ValueError(
             f"dimension mismatch: data is {pts.shape[1]}-D, queries are {qs.shape[1]}-D"
@@ -72,9 +86,12 @@ def knn_query(
     # phase 1: leaf estimates, by vectorized group descent — all queries
     # landing in one leaf share a single distance-matrix evaluation, and
     # every row's k best come out of one flat stream merge
+    if layout is not None:
+        groups = layout.leaf_groups(qs)
+    else:
+        groups = ((leaf.indices, rows) for leaf, rows in tree.leaves_of_points(qs))
     cand_rows, cand_ids, cand_sq = [], [], []
-    for leaf, rows in tree.leaves_of_points(qs):
-        ids = leaf.indices
+    for ids, rows in groups:
         if not ids.shape[0]:
             continue
         sq = pairwise_sq_dists_direct(qs[rows], pts[ids])
@@ -105,7 +122,11 @@ def knn_query(
     if result.pairs:
         rows = result.ball_rows
         cands = result.point_ids
-        diff = pts[cands] - qs[rows]
+        # upcast before subtracting: float32 storage still compares in
+        # float64 (copy=False keeps the f64 path allocation-free)
+        diff = pts[cands].astype(np.float64, copy=False) - qs[rows].astype(
+            np.float64, copy=False
+        )
         sq = np.einsum("md,md->m", diff, diff)
         out_idx, out_sq = merge_neighbor_lists_many(
             np.concatenate([rows, np.repeat(np.arange(nq, dtype=np.int64), k)]),

@@ -23,6 +23,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..geometry.balls import BallSystem
+from .. import kernels
 from ..geometry.points import as_points
 from ..obs.metrics import MetricsView
 from ..pvm.cost import Cost
@@ -100,7 +101,7 @@ def simple_parallel_dnc(
     :func:`~repro.core.fast_dnc.parallel_nearest_neighborhood`; only the
     measured cost profile differs (depth Theta(log^2 n), experiment E4).
     """
-    pts = as_points(points, min_points=1)
+    pts = as_points(points, min_points=1, dtype=config.np_dtype())
     n, d = pts.shape
     if not 1 <= k < max(2, n):
         raise ValueError(f"k must satisfy 1 <= k < n, got k={k}, n={n}")
@@ -118,9 +119,10 @@ def simple_parallel_dnc(
         else:
             from ..parallel.engine import run_simple_frontier_mp as run_frontier
 
-        tree = run_frontier(
-            pts, k, machine, root_ss, config, stats, nbr_idx, nbr_sq, base
-        )
+        with kernels.use_backend(config.kernels):
+            tree = run_frontier(
+                pts, k, machine, root_ss, config, stats, nbr_idx, nbr_sq, base
+            )
         system = KNeighborhoodSystem(pts, k, nbr_idx, nbr_sq)
         return SimpleDnCResult(system=system, tree=tree, stats=stats, machine=machine)
 
@@ -207,7 +209,7 @@ def simple_parallel_dnc(
         return node
 
     levels = estimated_tree_levels(n, base, _GUARD_SPLIT_RATIO)
-    with recursion_guard(levels):
+    with kernels.use_backend(config.kernels), recursion_guard(levels):
         tree = solve(np.arange(n, dtype=np.int64), 0, ())
     system = KNeighborhoodSystem(pts, k, nbr_idx, nbr_sq)
     return SimpleDnCResult(system=system, tree=tree, stats=stats, machine=machine)

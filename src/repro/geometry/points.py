@@ -11,7 +11,7 @@ and chunking to keep the working set inside cache for large n.
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -28,13 +28,28 @@ __all__ = [
 ]
 
 
-def as_points(points: np.ndarray, *, min_points: int = 0, name: str = "points") -> np.ndarray:
-    """Validate and return a float64 C-contiguous ``(n, d)`` point array.
+def as_points(
+    points: np.ndarray,
+    *,
+    min_points: int = 0,
+    name: str = "points",
+    dtype: Optional[np.dtype] = np.float64,
+) -> np.ndarray:
+    """Validate and return a float C-contiguous ``(n, d)`` point array.
+
+    ``dtype=np.float64`` (the default) keeps the historical contract of
+    always returning float64.  ``dtype=None`` *preserves* float32 input
+    without a silent upcast copy (anything that is not already float32
+    or float64 still lands in float64); ``dtype=np.float32`` opts into
+    compact storage explicitly.
 
     Raises ``ValueError`` on wrong rank, non-finite coordinates, or fewer
     than ``min_points`` rows.
     """
-    arr = np.ascontiguousarray(points, dtype=np.float64)
+    if dtype is None:
+        have = getattr(points, "dtype", None)
+        dtype = np.float32 if have == np.float32 else np.float64
+    arr = np.ascontiguousarray(points, dtype=dtype)
     if arr.ndim != 2:
         raise ValueError(f"{name} must be a 2-D (n, d) array, got shape {arr.shape}")
     if arr.shape[1] < 1:

@@ -26,9 +26,32 @@ from typing import Protocol, Tuple
 
 import numpy as np
 
+from .. import kernels
 from .points import as_points
 
 __all__ = ["Separator", "Sphere", "Hyperplane", "SideCounts"]
+
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def _prepared(points: np.ndarray, name: str = "points") -> np.ndarray:
+    """Hot-path point intake: already-valid float arrays pass untouched.
+
+    A 2-D C-contiguous float32/float64 ndarray — what every internal
+    caller holds — skips :func:`~repro.geometry.points.as_points`, whose
+    per-call ``ascontiguousarray`` + ``isfinite`` sweep costs O(nd) on
+    every separator test and silently upcast float32 storage to a fresh
+    float64 copy.  Anything else (lists, int arrays, strided views) still
+    goes through full validation.
+    """
+    if (
+        isinstance(points, np.ndarray)
+        and points.ndim == 2
+        and points.dtype in _FLOAT_DTYPES
+        and points.flags.c_contiguous
+    ):
+        return points
+    return as_points(points, name=name)
 
 
 @dataclass(frozen=True, slots=True)
@@ -82,15 +105,17 @@ class Sphere:
 
     def signed_distance(self, points: np.ndarray) -> np.ndarray:
         """``|x - c| - r`` per point: negative inside, positive outside."""
-        pts = as_points(points)
+        pts = _prepared(points)
         if pts.shape[1] != self.dim:
             raise ValueError(f"dimension mismatch: sphere is {self.dim}-D, points are {pts.shape[1]}-D")
         return np.linalg.norm(pts - self.center, axis=1) - self.radius
 
     def side_of_points(self, points: np.ndarray) -> np.ndarray:
         """+1 exterior, -1 interior; boundary points (= 0) go interior."""
-        s = self.signed_distance(points)
-        return np.where(s > 0.0, 1, -1).astype(np.int8)
+        pts = _prepared(points)
+        if pts.shape[1] != self.dim:
+            raise ValueError(f"dimension mismatch: sphere is {self.dim}-D, points are {pts.shape[1]}-D")
+        return kernels.sphere_side(pts, self.center, self.radius)
 
     def classify_balls(self, centers: np.ndarray, radii: np.ndarray) -> np.ndarray:
         """Three-way ball classification: -1 interior, +1 exterior, 0 cut.
@@ -98,16 +123,11 @@ class Sphere:
         Infinite-radius balls (produced by sub-problems smaller than k+1
         points) always classify as intersecting.
         """
-        centers = as_points(centers, name="ball centers")
+        centers = _prepared(centers, name="ball centers")
         radii = np.asarray(radii, dtype=np.float64)
         if radii.shape != (centers.shape[0],):
             raise ValueError("radii must be a vector matching centers")
-        s = np.linalg.norm(centers - self.center, axis=1) - self.radius
-        out = np.zeros(centers.shape[0], dtype=np.int8)
-        finite = np.isfinite(radii)
-        out[finite & (s < -radii)] = -1
-        out[finite & (s > radii)] = 1
-        return out
+        return kernels.classify_balls_sphere(centers, radii, self.center, self.radius)
 
     def contains(self, point: np.ndarray) -> bool:
         """True when ``point`` is in the closed ball bounded by the sphere."""
@@ -148,23 +168,20 @@ class Hyperplane:
 
     def signed_distance(self, points: np.ndarray) -> np.ndarray:
         """``n . x - b`` per point: negative = interior halfspace."""
-        pts = as_points(points)
+        pts = _prepared(points)
         if pts.shape[1] != self.dim:
             raise ValueError(f"dimension mismatch: plane is {self.dim}-D, points are {pts.shape[1]}-D")
         return pts @ self.normal - self.offset
 
     def side_of_points(self, points: np.ndarray) -> np.ndarray:
-        s = self.signed_distance(points)
-        return np.where(s > 0.0, 1, -1).astype(np.int8)
+        pts = _prepared(points)
+        if pts.shape[1] != self.dim:
+            raise ValueError(f"dimension mismatch: plane is {self.dim}-D, points are {pts.shape[1]}-D")
+        return kernels.hyperplane_side(pts, self.normal, self.offset)
 
     def classify_balls(self, centers: np.ndarray, radii: np.ndarray) -> np.ndarray:
-        centers = as_points(centers, name="ball centers")
+        centers = _prepared(centers, name="ball centers")
         radii = np.asarray(radii, dtype=np.float64)
         if radii.shape != (centers.shape[0],):
             raise ValueError("radii must be a vector matching centers")
-        s = centers @ self.normal - self.offset
-        out = np.zeros(centers.shape[0], dtype=np.int8)
-        finite = np.isfinite(radii)
-        out[finite & (s < -radii)] = -1
-        out[finite & (s > radii)] = 1
-        return out
+        return kernels.classify_balls_hyperplane(centers, radii, self.normal, self.offset)

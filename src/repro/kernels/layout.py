@@ -1,0 +1,154 @@
+"""Contiguous, child-major flat layout of a partition tree.
+
+The pointer-chasing :class:`~repro.core.partition_tree.PartitionNode`
+tree is the right structure for building and correction, but query-time
+descent only needs four facts per node: sphere center, sphere radius,
+children, and — at the leaves — the member ids.  :class:`FlatTree`
+packs those into preorder numpy arrays with the leaf id lists
+concatenated child-major (left to right), so descent runs through the
+``descend_spheres`` kernel (array stack walk on numpy, a tight scalar
+loop on numba) with zero Python-object traffic.
+
+The layout is sphere-only: trees containing a hyperplane separator (the
+rare MTTV great-circle pull-back) return ``None`` from
+:meth:`FlatTree.from_tree` and callers keep the generator-based
+:meth:`~repro.core.partition_tree.PartitionNode.leaves_of_points` path.
+Descent over the flat layout visits the same separators with the same
+row-local arithmetic, so the leaf each row reaches — and every array
+the query path derives from it — is bit-identical to the pointer walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..geometry.spheres import Sphere
+from ..core.partition_tree import PartitionNode
+
+__all__ = ["FlatTree"]
+
+
+@dataclass(frozen=True)
+class FlatTree:
+    """Preorder array form of a sphere-only partition tree.
+
+    ``left``/``right`` hold preorder node indices (-1 at leaves);
+    ``centers``/``radii`` are zero where unused; ``leaf_ord`` maps a
+    leaf node to its left-to-right ordinal (-1 at internal nodes); leaf
+    ``leaf_ids`` are stored contiguously, leaf ``j`` owning
+    ``leaf_ids[leaf_offsets[j]:leaf_offsets[j + 1]]``.
+    """
+
+    centers: np.ndarray
+    radii: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    leaf_ord: np.ndarray
+    leaf_ids: np.ndarray
+    leaf_offsets: np.ndarray
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.left.shape[0])
+
+    @property
+    def n_leaves(self) -> int:
+        return int(self.leaf_offsets.shape[0] - 1)
+
+    @staticmethod
+    def from_tree(tree: PartitionNode) -> Optional["FlatTree"]:
+        """Flatten ``tree``; ``None`` when any separator is not a sphere."""
+        centers: List[Optional[np.ndarray]] = []
+        radii: List[float] = []
+        left: List[int] = []
+        right: List[int] = []
+        leaf_ord: List[int] = []
+        leaf_blocks: List[np.ndarray] = []
+        dim = None
+        # iterative preorder with parent back-patching (deep-tree safe)
+        stack: List[Tuple[PartitionNode, int, int]] = [(tree, -1, 0)]
+        while stack:
+            node, parent, slot = stack.pop()
+            my = len(left)
+            if parent >= 0:
+                if slot == 0:
+                    left[parent] = my
+                else:
+                    right[parent] = my
+            if node.is_leaf:
+                centers.append(None)
+                radii.append(0.0)
+                left.append(-1)
+                right.append(-1)
+                leaf_ord.append(len(leaf_blocks))
+                leaf_blocks.append(np.asarray(node.indices, dtype=np.int64))
+                continue
+            sep = node.separator
+            if not isinstance(sep, Sphere):
+                return None
+            if dim is None:
+                dim = sep.center.shape[0]
+            centers.append(sep.center)
+            radii.append(sep.radius)
+            left.append(-2)  # patched by the children
+            right.append(-2)
+            leaf_ord.append(-1)
+            # push right first so the left child is visited (and numbered)
+            # next: preorder, leaves emerge left to right
+            stack.append((node.right, my, 1))  # type: ignore[arg-type]
+            stack.append((node.left, my, 0))  # type: ignore[arg-type]
+        if dim is None:  # single-leaf tree: no separators to read d from
+            dim = 1
+        n = len(left)
+        centers_arr = np.zeros((n, dim), dtype=np.float64)
+        for i, c in enumerate(centers):
+            if c is not None:
+                centers_arr[i] = c
+        lengths = [b.shape[0] for b in leaf_blocks]
+        offsets = np.zeros(len(leaf_blocks) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        return FlatTree(
+            centers=centers_arr,
+            radii=np.asarray(radii, dtype=np.float64),
+            left=np.asarray(left, dtype=np.int64),
+            right=np.asarray(right, dtype=np.int64),
+            leaf_ord=np.asarray(leaf_ord, dtype=np.int64),
+            leaf_ids=(
+                np.concatenate(leaf_blocks)
+                if leaf_blocks
+                else np.zeros(0, dtype=np.int64)
+            ),
+            leaf_offsets=offsets,
+        )
+
+    def descend(self, pts: np.ndarray) -> np.ndarray:
+        """Leaf ordinal per row of ``pts``, via the active kernel backend."""
+        from . import descend_spheres
+
+        return descend_spheres(
+            pts, self.centers, self.radii, self.left, self.right, self.leaf_ord
+        )
+
+    def leaf_groups(self, pts: np.ndarray) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(member_ids, rows)`` per leaf that received rows.
+
+        Leaves arrive left to right with ``rows`` ascending — the exact
+        order and grouping of
+        :meth:`~repro.core.partition_tree.PartitionNode.leaves_of_points`
+        (stable sort on the descent's leaf ordinals preserves both).
+        """
+        ordinals = self.descend(pts)
+        order = np.argsort(ordinals, kind="stable")
+        sorted_ord = ordinals[order]
+        bounds = np.flatnonzero(
+            np.concatenate(([True], sorted_ord[1:] != sorted_ord[:-1]))
+        )
+        bounds = np.append(bounds, sorted_ord.shape[0])
+        for b in range(bounds.shape[0] - 1):
+            lo, hi = int(bounds[b]), int(bounds[b + 1])
+            leaf = int(sorted_ord[lo])
+            ids = self.leaf_ids[self.leaf_offsets[leaf] : self.leaf_offsets[leaf + 1]]
+            yield ids, order[lo:hi]

@@ -1,0 +1,302 @@
+"""Optional numba-jitted kernel backend — bit-identical to the reference.
+
+Design rules that make bit-identity *provable* rather than hoped-for:
+
+- **Float reductions follow numpy's order.**  ``np.linalg.norm(..., axis=1)``
+  reduces with pairwise summation, which degenerates to a plain sequential
+  loop only when the reduced length is below numpy's pairwise block size
+  (8).  The jitted norm-based ops therefore engage only for ``d < 8`` and
+  delegate to the numpy reference above that — the partition trees this
+  repo builds live in d = 2..5, so the compiled path covers every real
+  workload.  The same guard covers the einsum-based block distance matrix.
+- **BLAS is never reimplemented.**  The hyperplane side test (gemv) and
+  the GEMM inside ``brute_topk`` keep their numpy implementations under
+  this backend too; a scalar loop cannot reproduce blocked BLAS
+  summation (the same reason `repro.separators.batch` evaluates
+  hyperplane candidates per segment).
+- **Selection is shared, not duplicated.**  ``block_topk`` jit-compiles
+  only the O(m^2 d) distance matrix; the k-smallest selection still runs
+  through :func:`repro.geometry.points.kth_smallest_per_row`, so
+  argpartition tie-breaking cannot drift between backends.
+- **Integer ops and canonical-output ops are free.**  The fused
+  segmented split is integer-exact, and the candidate-stream merge has a
+  uniquely-defined output (dedupe keep-min, (distance, id) order, k-prefix),
+  so any correct implementation is bitwise equal.
+
+When numba is not importable, :func:`build_table` simply returns the
+reference table (the registry normally resolves ``numba`` away before
+getting here; this is a second belt).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from . import reference
+
+try:  # pragma: no cover - exercised only with the repro[perf] extra
+    from numba import njit
+except ImportError:  # pragma: no cover
+    njit = None
+
+# np.linalg.norm / einsum reductions are sequential below numpy's
+# pairwise-summation block size; the jitted loops match only there.
+_PAIRWISE_BLOCK = 8
+
+
+def _jit(fn: Callable) -> Callable:  # pragma: no cover
+    return njit(cache=True, fastmath=False)(fn)
+
+
+def build_table() -> Dict[str, Callable]:
+    """The numba op table, falling back per-op to the numpy reference."""
+    table = dict(reference.TABLE)
+    if njit is None:  # pragma: no cover
+        return table
+    jitted = _build_jitted()  # pragma: no cover
+    table.update(jitted)  # pragma: no cover
+    return table  # pragma: no cover
+
+
+def _build_jitted() -> Dict[str, Callable]:  # pragma: no cover
+    """Compile the jitted ops and wrap them with guards/coercions."""
+
+    @_jit
+    def _sphere_side(pts, center, radius):
+        n, d = pts.shape
+        out = np.empty(n, dtype=np.int8)
+        for i in range(n):
+            ssq = 0.0
+            for j in range(d):
+                dx = np.float64(pts[i, j]) - center[j]
+                ssq += dx * dx
+            s = np.sqrt(ssq) - radius
+            out[i] = 1 if s > 0.0 else -1
+        return out
+
+    @_jit
+    def _classify_balls_sphere(centers, radii, c, r):
+        n, d = centers.shape
+        out = np.zeros(n, dtype=np.int8)
+        for i in range(n):
+            ssq = 0.0
+            for j in range(d):
+                dx = np.float64(centers[i, j]) - c[j]
+                ssq += dx * dx
+            s = np.sqrt(ssq) - r
+            rho = radii[i]
+            if np.isfinite(rho):
+                if s < -rho:
+                    out[i] = -1
+                elif s > rho:
+                    out[i] = 1
+        return out
+
+    @_jit
+    def _classify_level_spheres(points, flat_ids, rows, centers, sep_radii, ball_radii):
+        m = flat_ids.shape[0]
+        d = points.shape[1]
+        out = np.zeros(m, dtype=np.int8)
+        for i in range(m):
+            pid = flat_ids[i]
+            row = rows[i]
+            ssq = 0.0
+            for j in range(d):
+                dx = np.float64(points[pid, j]) - centers[row, j]
+                ssq += dx * dx
+            s = np.sqrt(ssq) - sep_radii[row]
+            rho = ball_radii[i]
+            if np.isfinite(rho):
+                if s < -rho:
+                    out[i] = -1
+                elif s > rho:
+                    out[i] = 1
+        return out
+
+    @_jit
+    def _segmented_split_sides(flat_ids, sides, seg_ids):
+        n = flat_ids.shape[0]
+        out = np.empty_like(flat_ids)
+        n_runs = 0
+        if n > 0:
+            n_runs = 1
+            for i in range(1, n):
+                if seg_ids[i] != seg_ids[i - 1]:
+                    n_runs += 1
+        starts = np.empty(n_runs + 1, dtype=np.int64)
+        false_counts = np.zeros(n_runs, dtype=np.int64)
+        run = 0
+        for i in range(n):
+            if i == 0 or seg_ids[i] != seg_ids[i - 1]:
+                starts[run] = i
+                run += 1
+            if sides[i] <= 0:
+                false_counts[run - 1] += 1
+        starts[n_runs] = n
+        for r in range(n_runs):
+            lo = starts[r]
+            hi = starts[r + 1]
+            f = lo
+            t = lo + false_counts[r]
+            for i in range(lo, hi):
+                if sides[i] <= 0:
+                    out[f] = flat_ids[i]
+                    f += 1
+                else:
+                    out[t] = flat_ids[i]
+                    t += 1
+        return out, false_counts
+
+    @_jit
+    def _descend_spheres(pts, centers, radii, left, right, leaf_ord):
+        n, d = pts.shape
+        out = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            node = 0
+            while left[node] >= 0:
+                ssq = 0.0
+                for j in range(d):
+                    dx = np.float64(pts[i, j]) - centers[node, j]
+                    ssq += dx * dx
+                s = np.sqrt(ssq) - radii[node]
+                node = right[node] if s > 0.0 else left[node]
+            out[i] = leaf_ord[node]
+        return out
+
+    @_jit
+    def _block_sq_dists(sub):
+        m, d = sub.shape
+        sq = np.empty((m, m), dtype=np.float64)
+        for i in range(m):
+            for j in range(m):
+                ssq = 0.0
+                for t in range(d):
+                    dx = np.float64(sub[i, t]) - np.float64(sub[j, t])
+                    ssq += dx * dx
+                sq[i, j] = ssq
+            sq[i, i] = np.inf
+        return sq
+
+    @_jit
+    def _merge_stream(rows, idx, sq, out_idx, out_sq, k):
+        n_rows = out_idx.shape[0]
+        m = rows.shape[0]
+        # stable counting sort by row
+        counts = np.zeros(n_rows + 1, dtype=np.int64)
+        for i in range(m):
+            counts[rows[i] + 1] += 1
+        for r in range(n_rows):
+            counts[r + 1] += counts[r]
+        cursor = counts[:n_rows].copy()
+        srt_id = np.empty(m, dtype=np.int64)
+        srt_sq = np.empty(m, dtype=np.float64)
+        for i in range(m):
+            p = cursor[rows[i]]
+            srt_id[p] = idx[i]
+            srt_sq[p] = sq[i]
+            cursor[rows[i]] += 1
+        # per-row dedupe (keep min) + sorted (distance, id) insertion
+        for r in range(n_rows):
+            cnt = 0
+            for t in range(counts[r], counts[r + 1]):
+                v = srt_sq[t]
+                ident = srt_id[t]
+                found = -1
+                for j in range(cnt):
+                    if out_idx[r, j] == ident:
+                        found = j
+                        break
+                if found >= 0:
+                    if v < out_sq[r, found]:
+                        for j in range(found, cnt - 1):
+                            out_idx[r, j] = out_idx[r, j + 1]
+                            out_sq[r, j] = out_sq[r, j + 1]
+                        cnt -= 1
+                    else:
+                        continue
+                if cnt == k:
+                    lv = out_sq[r, k - 1]
+                    if v > lv or (v == lv and ident > out_idx[r, k - 1]):
+                        continue
+                    cnt -= 1
+                j = cnt
+                while j > 0 and (
+                    out_sq[r, j - 1] > v
+                    or (out_sq[r, j - 1] == v and out_idx[r, j - 1] > ident)
+                ):
+                    out_idx[r, j] = out_idx[r, j - 1]
+                    out_sq[r, j] = out_sq[r, j - 1]
+                    j -= 1
+                out_idx[r, j] = ident
+                out_sq[r, j] = v
+                cnt += 1
+            for j in range(cnt, k):
+                out_idx[r, j] = -1
+                out_sq[r, j] = np.inf
+
+    # -- guarded wrappers (numpy-facing signatures) ---------------------
+
+    def sphere_side(pts, center, radius):
+        if pts.shape[1] >= _PAIRWISE_BLOCK:
+            return reference.sphere_side(pts, center, radius)
+        return _sphere_side(pts, center, radius)
+
+    def classify_balls_sphere(centers, radii, c, r):
+        if centers.shape[1] >= _PAIRWISE_BLOCK:
+            return reference.classify_balls_sphere(centers, radii, c, r)
+        return _classify_balls_sphere(centers, radii, c, r)
+
+    def classify_level_spheres(points, flat_ids, rows, centers, sep_radii, ball_radii):
+        if points.shape[1] >= _PAIRWISE_BLOCK:
+            return reference.classify_level_spheres(
+                points, flat_ids, rows, centers, sep_radii, ball_radii
+            )
+        return _classify_level_spheres(
+            points,
+            np.asarray(flat_ids, dtype=np.int64),
+            np.asarray(rows, dtype=np.int64),
+            centers,
+            sep_radii,
+            ball_radii,
+        )
+
+    def segmented_split_sides(flat_ids, sides, seg_ids):
+        return _segmented_split_sides(
+            np.ascontiguousarray(flat_ids, dtype=np.int64),
+            np.ascontiguousarray(sides, dtype=np.int8),
+            np.ascontiguousarray(seg_ids, dtype=np.int64),
+        )
+
+    def descend_spheres(pts, centers, radii, left, right, leaf_ord):
+        if pts.shape[1] >= _PAIRWISE_BLOCK:
+            return reference.descend_spheres(pts, centers, radii, left, right, leaf_ord)
+        return _descend_spheres(pts, centers, radii, left, right, leaf_ord)
+
+    def block_topk(sub, kk):
+        from ..geometry.points import kth_smallest_per_row
+
+        if sub.shape[1] >= _PAIRWISE_BLOCK:
+            return reference.block_topk(sub, kk)
+        sq = _block_sq_dists(np.ascontiguousarray(sub))
+        return kth_smallest_per_row(sq, kk)
+
+    def merge_candidate_stream(rows, idx, sq, n_rows, k):
+        out_idx = np.full((n_rows, k), -1, dtype=np.int64)
+        out_sq = np.full((n_rows, k), np.inf)
+        real = idx >= 0
+        rows, idx, sq = rows[real], idx[real], sq[real]
+        if idx.size:
+            _merge_stream(rows, idx, sq, out_idx, out_sq, k)
+        return out_idx, out_sq
+
+    return {
+        "sphere_side": sphere_side,
+        "classify_balls_sphere": classify_balls_sphere,
+        "classify_level_spheres": classify_level_spheres,
+        "segmented_split_sides": segmented_split_sides,
+        "descend_spheres": descend_spheres,
+        "block_topk": block_topk,
+        "merge_candidate_stream": merge_candidate_stream,
+    }

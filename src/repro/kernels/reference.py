@@ -1,0 +1,243 @@
+"""Pure-numpy reference kernels — the bit-identity baseline.
+
+Each op here is a verbatim transplant of the hot-loop body it replaced
+(:mod:`repro.geometry.spheres`, :mod:`repro.core.neighborhood`,
+:mod:`repro.core.frontier`, :mod:`repro.baselines.brute_force`,
+:mod:`repro.core.partition_tree`), so routing a call site through the
+kernel table with the ``numpy`` backend produces byte-for-byte the same
+arrays — and the same exact (depth, work) ledger — as before the
+refactor.  Compiled backends are validated against these functions
+(see ``tests/test_kernels.py``).
+
+Conventions shared by every backend:
+
+- point arrays arrive pre-validated (2-D, float32 or float64,
+  C-contiguous); float32 inputs upcast **elementwise** to float64
+  inside the arithmetic, which numpy broadcasting and an explicit
+  per-element cast agree on bit-for-bit;
+- separator parameters (centers, radii, normals, offsets) are float64;
+- classification outputs are int8 with the repo-wide convention
+  (+1 exterior, -1 interior, 0 intersecting);
+- neighbor-selection ops return (indices, squared distances) sorted by
+  (distance, id) with (-1, inf) padding.
+
+Two ops intentionally stay numpy under *every* backend: the hyperplane
+side test (a BLAS ``gemv`` whose blocked summation a scalar loop cannot
+reproduce) and the GEMM inside :func:`brute_topk` — the same reasoning
+that keeps hyperplane candidates on the per-segment path in
+:mod:`repro.separators.batch`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..geometry.points import (
+    chunked_pairs,
+    kth_smallest_per_row,
+    pairwise_sq_dists,
+    pairwise_sq_dists_direct,
+    refine_selected_sq_dists,
+)
+from ..pvm.primitives import segmented_split
+
+__all__ = ["TABLE"]
+
+
+def sphere_side(pts: np.ndarray, center: np.ndarray, radius: float) -> np.ndarray:
+    """+1 exterior / -1 interior of a sphere, boundary interior."""
+    s = np.linalg.norm(pts - center, axis=1) - radius
+    return np.where(s > 0.0, 1, -1).astype(np.int8)
+
+
+def hyperplane_side(pts: np.ndarray, normal: np.ndarray, offset: float) -> np.ndarray:
+    """+1 / -1 halfspace sides; BLAS gemv in every backend (see module doc)."""
+    s = pts @ normal - offset
+    return np.where(s > 0.0, 1, -1).astype(np.int8)
+
+
+def classify_balls_sphere(
+    centers: np.ndarray, radii: np.ndarray, c: np.ndarray, r: float
+) -> np.ndarray:
+    """Three-way ball classification against a sphere separator."""
+    s = np.linalg.norm(centers - c, axis=1) - r
+    out = np.zeros(centers.shape[0], dtype=np.int8)
+    finite = np.isfinite(radii)
+    out[finite & (s < -radii)] = -1
+    out[finite & (s > radii)] = 1
+    return out
+
+
+def classify_balls_hyperplane(
+    centers: np.ndarray, radii: np.ndarray, normal: np.ndarray, offset: float
+) -> np.ndarray:
+    """Three-way ball classification against a hyperplane (gemv path)."""
+    s = centers @ normal - offset
+    out = np.zeros(centers.shape[0], dtype=np.int8)
+    finite = np.isfinite(radii)
+    out[finite & (s < -radii)] = -1
+    out[finite & (s > radii)] = 1
+    return out
+
+
+def classify_level_spheres(
+    points: np.ndarray,
+    flat_ids: np.ndarray,
+    rows: np.ndarray,
+    centers: np.ndarray,
+    sep_radii: np.ndarray,
+    ball_radii: np.ndarray,
+) -> np.ndarray:
+    """Fused per-level ball classification for the frontier engine.
+
+    ``flat_ids[i]`` is a point id, ``rows[i]`` selects its segment's
+    separator from ``centers``/``sep_radii``; row-local arithmetic makes
+    the flat pass bitwise equal to per-node classify_balls.
+    """
+    s = np.linalg.norm(points[flat_ids] - centers[rows], axis=1)
+    s -= sep_radii[rows]
+    cls_flat = np.zeros(flat_ids.shape[0], dtype=np.int8)
+    finite = np.isfinite(ball_radii)
+    cls_flat[finite & (s < -ball_radii)] = -1
+    cls_flat[finite & (s > ball_radii)] = 1
+    return cls_flat
+
+
+def segmented_split_sides(
+    flat_ids: np.ndarray, sides: np.ndarray, seg_ids: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fused classify+pack for the frontier divide step.
+
+    Stable two-way partition of ``flat_ids`` within each segment by the
+    sign of ``sides`` (interior ``side < 0`` first), integer-exact:
+    returns ``(out, interior_counts)`` like
+    :func:`repro.pvm.primitives.segmented_split` on ``sides > 0``.
+    """
+    return segmented_split(None, flat_ids, sides > 0, seg_ids)
+
+
+def descend_spheres(
+    pts: np.ndarray,
+    centers: np.ndarray,
+    radii: np.ndarray,
+    left: np.ndarray,
+    right: np.ndarray,
+    leaf_ord: np.ndarray,
+) -> np.ndarray:
+    """Group descent over a flat sphere-only tree: per-row leaf ordinal.
+
+    Arrays are the preorder layout of :class:`repro.kernels.layout.FlatTree`;
+    ``left[i] < 0`` marks a leaf.  Each node tests all of its surviving
+    rows at once with the same row-local arithmetic as
+    :meth:`~repro.geometry.spheres.Sphere.side_of_points` (boundary goes
+    interior/left), so row ``r`` lands in exactly the leaf
+    ``tree.leaf_of_point(pts[r])`` would reach.
+    """
+    n = pts.shape[0]
+    out = np.empty(n, dtype=np.int64)
+    stack = [(0, np.arange(n, dtype=np.int64))]
+    while stack:
+        node, rows = stack.pop()
+        if left[node] < 0:
+            out[rows] = leaf_ord[node]
+            continue
+        s = np.linalg.norm(pts[rows] - centers[node], axis=1) - radii[node]
+        exterior = s > 0.0
+        right_rows = rows[exterior]
+        if right_rows.shape[0]:
+            stack.append((int(right[node]), right_rows))
+        left_rows = rows[~exterior]
+        if left_rows.shape[0]:
+            stack.append((int(left[node]), left_rows))
+    return out
+
+
+def block_topk(sub: np.ndarray, kk: int) -> Tuple[np.ndarray, np.ndarray]:
+    """All-pairs k nearest within one block — the DnC base-case kernel.
+
+    Diff-based distances (cancellation-safe), self excluded, selection by
+    :func:`~repro.geometry.points.kth_smallest_per_row` (deterministic
+    (value, column) tie-break).  Returns ``(local_idx, local_sq)`` of
+    shape ``(m, kk)``.
+    """
+    sq = pairwise_sq_dists_direct(sub, sub)
+    np.fill_diagonal(sq, np.inf)
+    return kth_smallest_per_row(sq, kk)
+
+
+def brute_topk(pts: np.ndarray, k: int, chunk: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Streaming all-pairs k nearest over the full input — the oracle kernel.
+
+    Chunked GEMM distances (|a|^2+|b|^2-2ab, one GEMM per row block) with
+    a final diff-based refinement of the selected entries; numpy in every
+    backend (see module doc).  Returns padded ``(n, k)`` arrays.
+    """
+    n = pts.shape[0]
+    kk = min(k, max(0, n - 1))
+    nbr_idx = np.full((n, k), -1, dtype=np.int64)
+    nbr_sq = np.full((n, k), np.inf)
+    if kk == 0:
+        return nbr_idx, nbr_sq
+    for lo, hi in chunked_pairs(n, chunk):
+        sq = pairwise_sq_dists(pts[lo:hi], pts)
+        rows = np.arange(lo, hi)
+        sq[rows - lo, rows] = np.inf  # exclude self
+        idx, vals = kth_smallest_per_row(sq, kk)
+        nbr_idx[lo:hi, :kk] = idx
+        nbr_sq[lo:hi, :kk] = vals
+    # replace GEMM-form distances (cancellation-prone for near-coincident
+    # points far from the origin) with exact diff-based values
+    return refine_selected_sq_dists(pts, pts, nbr_idx, nbr_sq)
+
+
+def merge_candidate_stream(
+    rows: np.ndarray,
+    idx: np.ndarray,
+    sq: np.ndarray,
+    n_rows: int,
+    k: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Row-wise k-best merge of a flat candidate stream.
+
+    The output is *canonical* — duplicates (row, id) collapsed to their
+    smallest distance, survivors sorted by (distance, id), rows padded to
+    k with (-1, inf) — so any correct implementation is bit-identical.
+    This one is three lexsorts and a positional scatter.
+    """
+    out_idx = np.full((n_rows, k), -1, dtype=np.int64)
+    out_sq = np.full((n_rows, k), np.inf)
+    real = idx >= 0
+    rows, idx, sq = rows[real], idx[real], sq[real]
+    if not idx.size:
+        return out_idx, out_sq
+    # group by (row, id) with the smallest distance first, keep group heads
+    order = np.lexsort((sq, idx, rows))
+    rows, idx, sq = rows[order], idx[order], sq[order]
+    keep = np.concatenate(([True], (rows[1:] != rows[:-1]) | (idx[1:] != idx[:-1])))
+    rows, idx, sq = rows[keep], idx[keep], sq[keep]
+    # canonical (distance, id) order within each row, then each row's k best
+    order = np.lexsort((idx, sq, rows))
+    rows, idx, sq = rows[order], idx[order], sq[order]
+    pos = np.arange(rows.shape[0], dtype=np.int64)
+    starts = np.concatenate(([True], rows[1:] != rows[:-1]))
+    pos -= np.maximum.accumulate(np.where(starts, pos, 0))
+    keep = pos < k
+    out_idx[rows[keep], pos[keep]] = idx[keep]
+    out_sq[rows[keep], pos[keep]] = sq[keep]
+    return out_idx, out_sq
+
+
+TABLE = {
+    "sphere_side": sphere_side,
+    "hyperplane_side": hyperplane_side,
+    "classify_balls_sphere": classify_balls_sphere,
+    "classify_balls_hyperplane": classify_balls_hyperplane,
+    "classify_level_spheres": classify_level_spheres,
+    "segmented_split_sides": segmented_split_sides,
+    "descend_spheres": descend_spheres,
+    "block_topk": block_topk,
+    "brute_topk": brute_topk,
+    "merge_candidate_stream": merge_candidate_stream,
+}

@@ -1,0 +1,173 @@
+"""Kernel backend registry: named, pluggable hot-path kernel tables.
+
+Mirrors the ``ENGINE_REGISTRY`` pattern in :mod:`repro.core.config`: a
+small frozen spec per backend, a registry dict keyed by name, and a
+tuple of valid names for CLI/config validation.  A *backend* here is a
+table of per-op callables (see :mod:`repro.kernels.reference` for the
+op inventory); every backend is required to be **bit-identical** to the
+``numpy`` reference table on every op, which is what lets the exact
+(depth, work) ledger gate stay untouched while wall-clock drops.
+
+Resolution order for the active backend:
+
+1. an explicit name (``CommonConfig.kernels`` or ``--kernels``),
+2. the ``REPRO_KERNELS`` environment variable,
+3. ``auto``: ``numba`` when importable, else ``numpy``.
+
+Requesting ``numba`` when numba is not importable warns once and falls
+back to ``numpy`` — by the bit-identity contract the results are the
+same, so a missing accelerator is never an error.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional
+
+__all__ = [
+    "KernelSpec",
+    "KERNEL_REGISTRY",
+    "KERNEL_BACKENDS",
+    "KERNELS_ENV_VAR",
+    "numba_available",
+    "resolve_backend",
+    "set_backend",
+    "active_backend",
+    "use_backend",
+    "kernel_table",
+]
+
+KERNELS_ENV_VAR = "REPRO_KERNELS"
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Description of one kernel backend (name + one-line summary)."""
+
+    name: str
+    summary: str
+    compiled: bool = False
+
+
+KERNEL_REGISTRY: Dict[str, KernelSpec] = {
+    "numpy": KernelSpec(
+        name="numpy",
+        summary="pure-numpy reference kernels; always available, the bit-identity baseline",
+    ),
+    "numba": KernelSpec(
+        name="numba",
+        summary=(
+            "numba-jitted hot loops, bit-identical to the numpy reference; "
+            "delegates per-op to numpy where a compiled reduction cannot "
+            "reproduce BLAS/pairwise summation"
+        ),
+        compiled=True,
+    ),
+}
+
+KERNEL_BACKENDS = tuple(KERNEL_REGISTRY)
+
+_NUMBA_OK: Optional[bool] = None
+_WARNED_FALLBACK = False
+
+# Lazily-built op tables, one per backend name.
+_TABLES: Dict[str, Dict[str, Callable]] = {}
+
+# Name of the currently-installed backend; resolved lazily on first use
+# so that importing repro never pays for a numba probe.
+_ACTIVE: Optional[str] = None
+
+
+def numba_available() -> bool:
+    """True when the optional numba dependency is importable."""
+    global _NUMBA_OK
+    if _NUMBA_OK is None:
+        try:
+            import numba  # noqa: F401
+
+            _NUMBA_OK = True
+        except ImportError:
+            _NUMBA_OK = False
+    return _NUMBA_OK
+
+
+def resolve_backend(name: Optional[str] = None) -> str:
+    """Resolve a requested backend name to an installable one.
+
+    ``None``/``"auto"`` consults the ``REPRO_KERNELS`` environment
+    variable, then picks ``numba`` when importable and ``numpy``
+    otherwise.  An explicit ``"numba"`` without numba installed warns
+    once and resolves to ``numpy`` (bit-identical by contract).
+    """
+    global _WARNED_FALLBACK
+    if name is None or name == "auto":
+        env = os.environ.get(KERNELS_ENV_VAR)
+        if env and env != "auto":
+            name = env
+        else:
+            return "numba" if numba_available() else "numpy"
+    if name not in KERNEL_REGISTRY:
+        raise ValueError(f"unknown kernel backend {name!r}; expected one of {KERNEL_BACKENDS} or 'auto'")
+    if name == "numba" and not numba_available():
+        if not _WARNED_FALLBACK:
+            warnings.warn(
+                "kernel backend 'numba' requested but numba is not importable; "
+                "falling back to the bit-identical numpy reference kernels "
+                "(install the repro[perf] extra to enable it)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            _WARNED_FALLBACK = True
+        return "numpy"
+    return name
+
+
+def _build_table(name: str) -> Dict[str, Callable]:
+    from . import reference
+
+    if name == "numpy":
+        return dict(reference.TABLE)
+    if name == "numba":
+        from . import numba_backend
+
+        return numba_backend.build_table()
+    raise ValueError(f"unknown kernel backend {name!r}")  # pragma: no cover
+
+
+def kernel_table(name: Optional[str] = None) -> Dict[str, Callable]:
+    """The op table for ``name`` (default: the active backend)."""
+    resolved = active_backend() if name is None else resolve_backend(name)
+    table = _TABLES.get(resolved)
+    if table is None:
+        table = _TABLES[resolved] = _build_table(resolved)
+    return table
+
+
+def active_backend() -> str:
+    """Name of the currently-installed backend (resolving lazily)."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = resolve_backend(None)
+    return _ACTIVE
+
+
+def set_backend(name: Optional[str]) -> str:
+    """Install ``name`` (after resolution) as the process-global backend."""
+    global _ACTIVE
+    _ACTIVE = resolve_backend(name)
+    return _ACTIVE
+
+
+@contextmanager
+def use_backend(name: Optional[str]) -> Iterator[str]:
+    """Context manager: install a backend, restore the previous on exit."""
+    global _ACTIVE
+    previous = _ACTIVE
+    installed = set_backend(name)
+    try:
+        yield installed
+    finally:
+        _ACTIVE = previous

@@ -49,6 +49,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..core.frontier import _FastFrontier, _Seg, _SimpleFrontier
+from ..kernels import registry as kernel_registry
 from ..obs.stitch import graft_worker_trace
 from ..pvm.cost import Cost
 from .plan import build_weight, correct_weight, plan_shards
@@ -83,6 +84,9 @@ class _ParallelFrontierMixin:
                 "nbr_idx_spec": idx_sa.spec,
                 "nbr_sq_spec": sq_sa.spec,
                 "trace": self.machine.tracer is not None,
+                # ship the *resolved* backend name so workers never
+                # re-resolve "auto" differently from the master
+                "kernels": kernel_registry.active_backend(),
             })
             root = super().run()
             caller_idx[...] = idx_sa.array

@@ -49,6 +49,7 @@ from ..core.fast_dnc import FastDnCStats
 from ..core.frontier import _FastFrontier, _Seg, _SimpleFrontier
 from ..core.partition_tree import PartitionNode
 from ..core.simple_dnc import SimpleDnCStats
+from ..kernels import registry as kernel_registry
 from ..pvm.machine import Machine
 from .shm import attach
 
@@ -68,6 +69,7 @@ class RunState:
         self.root_ss = payload["root_ss"]
         self.scan: str = payload["scan"]
         self.trace: bool = bool(payload.get("trace", False))
+        self.kernels: str = payload.get("kernels", "numpy")
         self._attached: Dict[str, Any] = {}
         self.points = self.attach_cached(payload["points_spec"])
         self.nbr_idx = self.attach_cached(payload["nbr_idx_spec"])
@@ -99,9 +101,16 @@ class RunState:
 
 
 def init_run(payload: Dict[str, Any]) -> bool:
-    """Install the run context shipped by the master."""
+    """Install the run context shipped by the master.
+
+    The payload carries the master's *resolved* kernel backend name, and
+    the worker pins it process-wide: a worker must never re-resolve
+    ``"auto"`` on its own (its environment could differ), or backends
+    could mix within one run.
+    """
     global _STATE
     _STATE = RunState(payload)
+    kernel_registry.set_backend(_STATE.kernels)
     return True
 
 

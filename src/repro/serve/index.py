@@ -39,6 +39,7 @@ from ..core.partition_tree import PartitionNode
 from ..core.query import NeighborhoodQueryStructure, QueryConfig
 from ..core.query_points import knn_query
 from ..geometry.points import as_points
+from ..kernels.layout import FlatTree
 from ..parallel.shm import SharedArray
 from ..pvm.machine import Machine
 
@@ -97,13 +98,17 @@ class ServingIndex:
         structure_seed: Optional[int] = 0,
         version: int = 0,
     ) -> None:
-        self.points = as_points(points, min_points=1)
+        self.points = as_points(points, min_points=1, dtype=None)
         self.tree = tree
         self.k = int(k)
         self.system = system
         self._structure = structure
         self._structure_seed = structure_seed
         self.version = int(version)
+        # lazy FlatTree cache for knn descent; never pickled — each
+        # process rebuilds it on first query (None for non-sphere trees)
+        self._layout: Optional[FlatTree] = None
+        self._layout_tried = False
 
     # -- construction ------------------------------------------------------
 
@@ -118,18 +123,21 @@ class ServingIndex:
         seed: object = None,
         engine: Optional[str] = None,
         workers: Optional[int] = None,
+        kernels: Optional[str] = None,
+        dtype: Optional[str] = None,
         with_structure: bool = False,
         structure_seed: Optional[int] = 0,
     ) -> "ServingIndex":
         """Run the offline fast algorithm once and freeze it for serving.
 
-        ``engine``/``workers`` select the build engine exactly as in
+        ``engine``/``workers``/``kernels``/``dtype`` select the build
+        engine, kernel backend and point-storage dtype exactly as in
         :func:`repro.api.all_knn`; the build charges ``machine`` (fresh
         ledger by default) but the returned index holds no machine.
         ``with_structure`` eagerly builds the Section-3 structure so the
         first covering request (or an mp snapshot) pays nothing.
         """
-        pts = as_points(points, min_points=1)
+        pts = as_points(points, min_points=1, dtype=None)
         if machine is None:
             machine = Machine()
         if config is None:
@@ -138,8 +146,17 @@ class ServingIndex:
             config = replace(config, engine=engine)
         if workers is not None and config.workers != workers:
             config = replace(config, workers=workers)
+        if kernels is not None and config.kernels != kernels:
+            config = replace(config, kernels=kernels)
+        if dtype is not None and config.dtype != dtype:
+            config = replace(config, dtype=dtype)
         res = parallel_nearest_neighborhood(pts, k, machine=machine, seed=seed, config=config)
-        index = cls(pts, res.tree, k, system=res.system, structure_seed=structure_seed)
+        # store the run's own points (the dtype the tree was built over),
+        # not the caller's array — with dtype="float32" they differ
+        index = cls(
+            res.system.points, res.tree, k, system=res.system,
+            structure_seed=structure_seed,
+        )
         if with_structure:
             index.structure  # noqa: B018 - builds and caches
         return index
@@ -151,6 +168,16 @@ class ServingIndex:
     @property
     def d(self) -> int:
         return self.points.shape[1]
+
+    @property
+    def layout(self) -> Optional[FlatTree]:
+        """Contiguous descent layout of the tree (lazy; ``None`` when the
+        tree has non-sphere separators, in which case knn queries use the
+        pointer-walking descent)."""
+        if not self._layout_tried:
+            self._layout = FlatTree.from_tree(self.tree)
+            self._layout_tried = True
+        return self._layout
 
     @property
     def structure(self) -> NeighborhoodQueryStructure:
@@ -189,7 +216,7 @@ class ServingIndex:
         """
         if kind not in KINDS:
             raise ValueError(f"unknown request kind {kind!r}; choose from {KINDS}")
-        qs = as_points(queries)
+        qs = as_points(queries, dtype=None)
         if qs.shape[1] != self.d:
             raise ValueError(
                 f"dimension mismatch: index is {self.d}-D, queries are {qs.shape[1]}-D"
@@ -212,7 +239,7 @@ class ServingIndex:
         # k may exceed n: answer with every data point, pad the rest —
         # knn_query itself requires k <= n.
         eff = min(kk, self.n)
-        idx, sq = knn_query(self.tree, self.points, qs, eff)
+        idx, sq = knn_query(self.tree, self.points, qs, eff, layout=self.layout)
         if eff < kk:
             idx = np.pad(idx, ((0, 0), (0, kk - eff)), constant_values=-1)
             sq = np.pad(sq, ((0, 0), (0, kk - eff)), constant_values=np.inf)

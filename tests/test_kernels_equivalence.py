@@ -1,0 +1,292 @@
+"""The kernel layer's bit-identity matrix.
+
+The tentpole contract of ``repro.kernels``: every backend is
+bit-identical to the numpy reference on every op, and therefore every
+(backend x dtype x engine x workers) combination of a run produces the
+same neighbors, the same tree shape, the same (depth, work) ledger, the
+same per-phase sections and the same event counters.  The numba half of
+the matrix runs only where numba is importable (the CI ``kernels`` job
+installs the ``repro[perf]`` extra for exactly this purpose); the
+skip-gated tests still pin the numpy-vs-numpy diagonal everywhere.
+
+Also here: the dtype plumbing guarantees — float32 storage is preserved
+end to end (no hidden float64 upcasts of the stored arrays, no silent
+copies of already-conforming inputs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.fast_dnc import FastDnCConfig, parallel_nearest_neighborhood
+from repro.core.simple_dnc import SimpleDnCConfig, simple_parallel_dnc
+from repro.geometry.points import as_points
+from repro.kernels import numba_available, registry, use_backend
+from repro.kernels.reference import TABLE
+from repro.workloads import uniform_cube, with_duplicates
+
+needs_numba = pytest.mark.skipif(
+    not numba_available(), reason="numba not installed (repro[perf] extra)"
+)
+
+BACKENDS = ["numpy"] + (["numba"] if numba_available() else [])
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    before = registry._ACTIVE
+    yield
+    registry._ACTIVE = before
+
+
+def _ledger(res):
+    return (
+        res.cost.depth,
+        res.cost.work,
+        dict(res.machine.counters),
+        {k: (c.depth, c.work) for k, c in res.machine.sections.items()},
+    )
+
+
+def _tree_shape(node):
+    return [(n.size, n.is_leaf) for n in node.nodes()]
+
+
+def _assert_same_run(a, b):
+    np.testing.assert_array_equal(
+        a.system.neighbor_indices, b.system.neighbor_indices
+    )
+    np.testing.assert_array_equal(
+        a.system.neighbor_sq_dists, b.system.neighbor_sq_dists
+    )
+    assert _ledger(a) == _ledger(b)
+    assert _tree_shape(a.tree) == _tree_shape(b.tree)
+
+
+class TestBackendMatrix:
+    """numpy vs numba, across dtypes, engines and worker counts."""
+
+    @needs_numba
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    @pytest.mark.parametrize("engine", ["recursive", "frontier"])
+    def test_fast_backend_identity(self, engine, dtype):
+        pts = uniform_cube(900, 2, seed=21)
+        runs = {}
+        for backend in ("numpy", "numba"):
+            cfg = FastDnCConfig(engine=engine, kernels=backend, dtype=dtype)
+            runs[backend] = parallel_nearest_neighborhood(
+                pts, 3, seed=21, config=cfg
+            )
+        _assert_same_run(runs["numpy"], runs["numba"])
+
+    @needs_numba
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_fast_mp_backend_identity(self, workers):
+        pts = uniform_cube(1200, 2, seed=22)
+        runs = {}
+        for backend in ("numpy", "numba"):
+            cfg = FastDnCConfig(
+                engine="frontier-mp", workers=workers, kernels=backend
+            )
+            runs[backend] = parallel_nearest_neighborhood(
+                pts, 2, seed=22, config=cfg
+            )
+        _assert_same_run(runs["numpy"], runs["numba"])
+
+    @needs_numba
+    def test_simple_backend_identity(self):
+        pts = uniform_cube(700, 2, seed=23)
+        runs = {}
+        for backend in ("numpy", "numba"):
+            cfg = SimpleDnCConfig(engine="frontier", kernels=backend)
+            runs[backend] = simple_parallel_dnc(pts, 2, seed=23, config=cfg)
+        _assert_same_run(runs["numpy"], runs["numba"])
+
+    @needs_numba
+    def test_per_op_tables_bit_identical(self):
+        """Every op in the numba table reproduces the reference exactly."""
+        rng = np.random.default_rng(31)
+        n, d = 3000, 2
+        pts = rng.random((n, d))
+        center = np.full(d, 0.5)
+        normal = np.array([1.0, 0.0])
+        radii = np.sqrt(rng.random(n)) * 0.05
+        flat_ids = rng.permutation(n).astype(np.int64)
+        seg_ids = np.sort(rng.integers(0, 12, size=n)).astype(np.int64)
+        sides = np.where(rng.random(n) < 0.5, -1, 1).astype(np.int8)
+        rows = (seg_ids % 6).astype(np.int64)
+        sep_centers = rng.random((6, d))
+        sep_radii = np.full(6, 0.25)
+        sub = pts[:300]
+        cand_rows = rng.integers(0, 50, size=2000).astype(np.int64)
+        cand_idx = rng.integers(-1, n, size=2000).astype(np.int64)
+        cand_sq = rng.random(2000)
+        cases = {
+            "sphere_side": (pts, center, 0.4),
+            "hyperplane_side": (pts, normal, 0.5),
+            "classify_balls_sphere": (pts, radii, center, 0.4),
+            "classify_balls_hyperplane": (pts, radii, normal, 0.5),
+            "classify_level_spheres": (
+                pts, flat_ids, rows, sep_centers, sep_radii, radii
+            ),
+            "segmented_split_sides": (flat_ids, sides, seg_ids),
+            "block_topk": (sub, 7),
+            "brute_topk": (pts, 4, 1024),
+            "merge_candidate_stream": (cand_rows, cand_idx, cand_sq, 50, 3),
+        }
+        numba_table = registry.kernel_table("numba")
+        for op, args in cases.items():
+            ref = TABLE[op](*args)
+            got = numba_table[op](*args)
+            ref = ref if isinstance(ref, tuple) else (ref,)
+            got = got if isinstance(got, tuple) else (got,)
+            for r, g in zip(ref, got):
+                np.testing.assert_array_equal(r, g, err_msg=op)
+                assert r.dtype == g.dtype, op
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_numpy_mp_matches_serial_per_dtype(self, dtype, workers):
+        """The numpy diagonal of the matrix, runnable without numba."""
+        pts = uniform_cube(1000, 2, seed=24)
+        serial = parallel_nearest_neighborhood(
+            pts, 2, seed=24,
+            config=FastDnCConfig(engine="frontier", kernels="numpy", dtype=dtype),
+        )
+        mp = parallel_nearest_neighborhood(
+            pts, 2, seed=24,
+            config=FastDnCConfig(
+                engine="frontier-mp", workers=workers, kernels="numpy",
+                dtype=dtype,
+            ),
+        )
+        _assert_same_run(serial, mp)
+
+
+class TestFloat32Exactness:
+    def test_fast_f32_matches_brute_f32(self):
+        pts = uniform_cube(800, 3, seed=25)
+        fast = repro.all_knn(pts, k=3, method="fast", seed=25, dtype="float32")
+        brute = repro.all_knn(pts, k=3, method="brute", dtype="float32")
+        np.testing.assert_array_equal(fast.indices, brute.indices)
+        np.testing.assert_array_equal(fast.sq_dists, brute.sq_dists)
+
+    def test_f32_duplicates_workload(self):
+        # duplicates create exact distance ties, where fast and brute may
+        # pick different (equidistant) ids — the repo-wide contract is
+        # distance equality, as in verify_system / same_distances
+        pts = with_duplicates(uniform_cube(400, 2, seed=26), 0.5, seed=26)
+        fast = repro.all_knn(pts, k=2, method="fast", seed=26, dtype="float32")
+        brute = repro.all_knn(pts, k=2, method="brute", dtype="float32")
+        np.testing.assert_array_equal(fast.sq_dists, brute.sq_dists)
+        assert fast.system.same_distances(brute.system)
+
+    def test_f32_cross_engine_identity(self):
+        pts = uniform_cube(1100, 2, seed=27)
+        runs = [
+            repro.all_knn(pts, k=2, method="fast", seed=27,
+                          engine=engine, dtype="float32")
+            for engine in ("recursive", "frontier")
+        ]
+        _assert_same_run(runs[0], runs[1])
+
+    def test_f32_storage_is_preserved(self):
+        pts = uniform_cube(300, 2, seed=28)
+        res = repro.all_knn(pts, k=2, method="fast", seed=28, dtype="float32")
+        assert res.system.points.dtype == np.float32
+        # distances are float64 even over float32 storage
+        assert res.system.neighbor_sq_dists.dtype == np.float64
+
+    def test_build_index_rejects_f32(self):
+        pts = uniform_cube(100, 2, seed=29)
+        with pytest.raises(ValueError, match="float64' only"):
+            repro.build_index(pts, k=2, seed=29, dtype="float32")
+
+    def test_f32_query_path(self):
+        from repro.core.query_points import knn_query
+        from repro.kernels.layout import FlatTree
+
+        pts = uniform_cube(600, 2, seed=29)
+        res = parallel_nearest_neighborhood(
+            pts, 2, seed=29, config=FastDnCConfig(dtype="float32")
+        )
+        stored = res.system.points
+        assert stored.dtype == np.float32
+        layout = FlatTree.from_tree(res.tree)
+        assert layout is not None
+        qs = uniform_cube(150, 2, seed=92)
+        idx, sq = knn_query(res.tree, stored, qs, 2, layout=layout)
+        # layout and pointer-walk descents are bit-identical
+        idx_walk, sq_walk = knn_query(res.tree, stored, qs, 2)
+        np.testing.assert_array_equal(idx, idx_walk)
+        np.testing.assert_array_equal(sq, sq_walk)
+        # reference: brute force against the stored float32 coordinates
+        diffs = stored[None, :, :].astype(np.float64) - np.asarray(
+            qs, dtype=np.float64
+        )[:, None, :]
+        all_sq = np.einsum("qnd,qnd->qn", diffs, diffs)
+        ref_idx = np.argsort(all_sq, axis=1, kind="stable")[:, :2]
+        ref_sq = np.take_along_axis(all_sq, ref_idx, axis=1)
+        np.testing.assert_array_equal(sq, ref_sq)
+        np.testing.assert_array_equal(idx, ref_idx)
+
+
+class TestDtypePreservation:
+    """Satellite: no hidden float64 upcasts, no silent copies."""
+
+    def test_as_points_preserves_f32_without_copy(self):
+        arr = np.ascontiguousarray(
+            np.random.default_rng(0).random((50, 2)), dtype=np.float32
+        )
+        out = as_points(arr, dtype=None)
+        assert out.dtype == np.float32
+        assert out is arr  # already conforming: no copy
+
+    def test_as_points_f64_no_copy(self):
+        arr = np.ascontiguousarray(np.random.default_rng(0).random((50, 2)))
+        out = as_points(arr, dtype=None)
+        assert out is arr
+
+    def test_as_points_default_still_upcasts(self):
+        arr = np.random.default_rng(0).random((50, 2)).astype(np.float32)
+        out = as_points(arr)
+        assert out.dtype == np.float64
+
+    def test_int_input_becomes_f64_under_preserve(self):
+        arr = np.arange(20, dtype=np.int64).reshape(10, 2)
+        out = as_points(arr, dtype=None)
+        assert out.dtype == np.float64
+
+    def test_run_does_not_copy_conforming_f32(self):
+        pts = np.ascontiguousarray(uniform_cube(300, 2, seed=30), np.float32)
+        res = parallel_nearest_neighborhood(
+            pts, 2, seed=30, config=FastDnCConfig(dtype="float32")
+        )
+        assert res.system.points is pts
+
+    def test_serving_index_preserves_f32(self):
+        from repro.serve import ServingIndex
+
+        pts = uniform_cube(400, 2, seed=31)
+        ix = ServingIndex.build(pts, k=2, seed=31, dtype="float32")
+        assert ix.points.dtype == np.float32
+        idx, sq = ix.execute("knn", uniform_cube(60, 2, seed=93))
+        assert sq.dtype == np.float64
+
+
+class TestWorkerBackendPinning:
+    def test_master_ships_resolved_backend(self):
+        """Workers receive the resolved name, never 'auto'."""
+        pts = uniform_cube(900, 2, seed=32)
+        with use_backend("numpy"):
+            res = parallel_nearest_neighborhood(
+                pts, 2, seed=32,
+                config=FastDnCConfig(engine="frontier-mp", workers=2,
+                                     kernels="numpy"),
+            )
+        ref = parallel_nearest_neighborhood(
+            pts, 2, seed=32, config=FastDnCConfig(engine="frontier")
+        )
+        _assert_same_run(res, ref)

@@ -95,7 +95,7 @@ class TestFacadeSurface:
         sig = inspect.signature(repro.all_knn)
         assert list(sig.parameters) == [
             "points", "k", "method", "config", "machine", "seed", "engine",
-            "workers",
+            "workers", "kernels", "dtype",
         ]
         assert sig.parameters["method"].kind is inspect.Parameter.KEYWORD_ONLY
         assert sig.parameters["method"].default == "fast"
@@ -103,6 +103,10 @@ class TestFacadeSurface:
         assert sig.parameters["engine"].default is None
         assert sig.parameters["workers"].kind is inspect.Parameter.KEYWORD_ONLY
         assert sig.parameters["workers"].default is None
+        assert sig.parameters["kernels"].kind is inspect.Parameter.KEYWORD_ONLY
+        assert sig.parameters["kernels"].default is None
+        assert sig.parameters["dtype"].kind is inspect.Parameter.KEYWORD_ONLY
+        assert sig.parameters["dtype"].default is None
 
     def test_methods_tuple(self):
         from repro.api import METHODS
