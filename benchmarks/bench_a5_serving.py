@@ -47,19 +47,27 @@ def _throughput(n_requests: int, wall_s: float) -> float:
     return n_requests / wall_s if wall_s > 0 else float("inf")
 
 
+def _percentiles(lat_ms):
+    """(p50, p99) of a latency sample in milliseconds."""
+    arr = np.asarray(lat_ms, dtype=np.float64)
+    return float(np.percentile(arr, 50)), float(np.percentile(arr, 99))
+
+
 def _serve_batched(index, queries, kind, max_batch, cache=None, pool=None):
-    """One pass of the workload through a Batcher; returns (wall_s, stats)."""
+    """One pass of the workload through a Batcher; returns
+    ``(wall_s, stats, lat_ms)`` with per-ticket submit-to-fulfill
+    latencies in milliseconds."""
     batcher = Batcher(
         index, kind=kind, k=K, max_batch=max_batch, cache=cache, pool=pool
     )
     t0 = time.perf_counter()
-    for row in queries:
-        batcher.submit(row)
+    tickets = [batcher.submit(row) for row in queries]
     batcher.flush()
     wall = time.perf_counter() - t0
+    lat_ms = np.array([t.latency_s for t in tickets]) * 1e3
     if pool is None:
         batcher.close()
-    return wall, batcher.stats
+    return wall, batcher.stats, lat_ms
 
 
 @table_bench
@@ -79,53 +87,60 @@ def test_a5_serving_table():
 
     # baseline: the naive per-query service loop
     sample = queries[:512]  # the loop is slow; extrapolate from a sample
-    t0 = time.perf_counter()
+    base_lat = []
     for q in sample:
+        t0 = time.perf_counter()
         index.execute("knn", q[None, :], K)
-    per_query_qps = _throughput(sample.shape[0], time.perf_counter() - t0)
+        base_lat.append((time.perf_counter() - t0) * 1e3)
+    per_query_qps = _throughput(sample.shape[0], sum(base_lat) / 1e3)
+    p50, p99 = _percentiles(base_lat)
     rows.append((N_KNN, "per-query", "-", sample.shape[0],
-                 f"{per_query_qps:,.0f}", "1.00x", "baseline (512-pt sample)"))
+                 f"{per_query_qps:,.0f}", "1.00x", f"{p50:.3f}", f"{p99:.3f}",
+                 "baseline (512-pt sample)"))
 
     best_speedup = 0.0
     for max_batch in BATCH_SIZES:
-        wall, stats = _serve_batched(index, queries, "knn", max_batch)
+        wall, stats, lat_ms = _serve_batched(index, queries, "knn", max_batch)
         qps = _throughput(M_QUERIES, wall)
         speedup = qps / per_query_qps
         best_speedup = max(best_speedup, speedup) if max_batch >= 1024 else best_speedup
+        p50, p99 = _percentiles(lat_ms)
         record_bench_run(
             "a5_serving", machine,
             params={"n": N_KNN, "d": 2, "k": K, "mode": "batched",
                     "max_batch": max_batch, "host_cores": cores},
             extra={"queries": M_QUERIES, "wall_s": wall, "qps": qps,
                    "vs_per_query": speedup, "build_s": build_s,
-                   "batches": stats.batches},
+                   "batches": stats.batches, "p50_ms": p50, "p99_ms": p99},
         )
         rows.append((N_KNN, "batched", max_batch, M_QUERIES,
-                     f"{qps:,.0f}", f"{speedup:.2f}x",
-                     f"{stats.batches} batches"))
+                     f"{qps:,.0f}", f"{speedup:.2f}x", f"{p50:.3f}",
+                     f"{p99:.3f}", f"{stats.batches} batches"))
 
     # warm-cache pass: identical workload, every request a hit
     cache = ResultCache(capacity=M_QUERIES)
     _serve_batched(index, queries, "knn", 1024, cache=cache)
-    wall, stats = _serve_batched(index, queries, "knn", 1024, cache=cache)
+    wall, stats, lat_ms = _serve_batched(index, queries, "knn", 1024, cache=cache)
     qps = _throughput(M_QUERIES, wall)
+    p50, p99 = _percentiles(lat_ms)
     rows.append((N_KNN, "cached", 1024, M_QUERIES, f"{qps:,.0f}",
-                 f"{qps / per_query_qps:.2f}x",
+                 f"{qps / per_query_qps:.2f}x", f"{p50:.3f}", f"{p99:.3f}",
                  f"{stats.cache_hits}/{M_QUERIES} hits"))
 
     # multiprocess serving (honest-reporting: bounded by host cores)
     with ServingPool(index, workers=min(4, cores), machine=machine) as pool:
-        wall, stats = _serve_batched(index, queries, "knn", 4096, pool=pool)
+        wall, stats, lat_ms = _serve_batched(index, queries, "knn", 4096, pool=pool)
     qps = _throughput(M_QUERIES, wall)
+    p50, p99 = _percentiles(lat_ms)
     record_bench_run(
         "a5_serving", machine,
         params={"n": N_KNN, "d": 2, "k": K, "mode": "pool",
                 "workers": min(4, cores), "host_cores": cores},
         extra={"queries": M_QUERIES, "wall_s": wall, "qps": qps,
-               "vs_per_query": qps / per_query_qps},
+               "vs_per_query": qps / per_query_qps, "p50_ms": p50, "p99_ms": p99},
     )
     rows.append((N_KNN, "pool", 4096, M_QUERIES, f"{qps:,.0f}",
-                 f"{qps / per_query_qps:.2f}x",
+                 f"{qps / per_query_qps:.2f}x", f"{p50:.3f}", f"{p99:.3f}",
                  f"{min(4, cores)} workers, {cores} cores"))
 
     assert best_speedup >= _MIN_BATCHED_SPEEDUP, (
@@ -133,15 +148,17 @@ def test_a5_serving_table():
         f"{_MIN_BATCHED_SPEEDUP:.0f}x the per-query loop, got "
         f"{best_speedup:.2f}x"
     )
-    rows.append(("note", "", "", "", "", "",
+    rows.append(("note", "", "", "", "", "", "", "",
                  f"build {build_s:.2f}s; batched >= 1024 acceptance "
                  f"{best_speedup:.2f}x >= {_MIN_BATCHED_SPEEDUP:.0f}x"))
 
     write_table(
         "a5_serving",
         "A5  serving throughput, per-query loop vs batched vs cached "
-        f"(knn, d=2, k={K}, n={N_KNN:,}; QPS = queries / wall second)",
-        ["n", "mode", "max_batch", "queries", "QPS", "speedup", "notes"],
+        f"(knn, d=2, k={K}, n={N_KNN:,}; QPS = queries / wall second; "
+        "p50/p99 = submit-to-fulfill latency)",
+        ["n", "mode", "max_batch", "queries", "QPS", "speedup",
+         "p50 ms", "p99 ms", "notes"],
         rows,
     )
 
@@ -157,31 +174,38 @@ def test_a5_serving_covering_table():
     )
 
     sample = queries[:256]
-    t0 = time.perf_counter()
+    base_lat = []
     for q in sample:
+        t0 = time.perf_counter()
         index.structure.query(q)
-    per_query_qps = _throughput(sample.shape[0], time.perf_counter() - t0)
+        base_lat.append((time.perf_counter() - t0) * 1e3)
+    per_query_qps = _throughput(sample.shape[0], sum(base_lat) / 1e3)
+    p50, p99 = _percentiles(base_lat)
 
     rows = [(N_COVERING, "per-query", "-", sample.shape[0],
-             f"{per_query_qps:,.0f}", "1.00x", "baseline (256-pt sample)")]
+             f"{per_query_qps:,.0f}", "1.00x", f"{p50:.3f}", f"{p99:.3f}",
+             "baseline (256-pt sample)")]
     for max_batch in (256, 1024):
-        wall, stats = _serve_batched(index, queries, "covering", max_batch)
+        wall, stats, lat_ms = _serve_batched(index, queries, "covering", max_batch)
         qps = _throughput(M_COVERING, wall)
+        p50, p99 = _percentiles(lat_ms)
         record_bench_run(
             "a5_serving", machine,
             params={"n": N_COVERING, "d": 2, "k": 1, "mode": "covering",
                     "max_batch": max_batch},
             extra={"queries": M_COVERING, "wall_s": wall, "qps": qps,
-                   "vs_per_query": qps / per_query_qps},
+                   "vs_per_query": qps / per_query_qps,
+                   "p50_ms": p50, "p99_ms": p99},
         )
         rows.append((N_COVERING, "covering", max_batch, M_COVERING,
                      f"{qps:,.0f}", f"{qps / per_query_qps:.2f}x",
-                     f"{stats.batches} batches"))
+                     f"{p50:.3f}", f"{p99:.3f}", f"{stats.batches} batches"))
 
     write_table(
         "a5_serving_covering",
         "A5b covering-mode serving throughput (Sec. 3 structure, d=2, "
-        f"k=1, n={N_COVERING:,})",
-        ["n", "mode", "max_batch", "queries", "QPS", "speedup", "notes"],
+        f"k=1, n={N_COVERING:,}; p50/p99 = submit-to-fulfill latency)",
+        ["n", "mode", "max_batch", "queries", "QPS", "speedup",
+         "p50 ms", "p99 ms", "notes"],
         rows,
     )

@@ -34,11 +34,17 @@ Public surface (see README for a tour):
   multiprocess serving pool (built in one call by
   :func:`repro.api.serve`) and the versioned
   :class:`~repro.serve.registry.SnapshotRegistry` for hot swaps;
+- :mod:`repro.net` — the network front-end over the serving stack: a
+  stdlib asyncio HTTP/1.1 JSON server with admission control,
+  load-adaptive micro-batch windows, multi-index tenancy, graceful
+  SIGTERM drain and an open-loop load generator (``docs/networking.md``;
+  entry points :func:`repro.api.net_serve` and ``repro net``);
 - :mod:`repro.api` — the stable facade: :func:`~repro.api.all_knn`,
   :func:`~repro.api.build_index` (returning the versioned, mutable
   :class:`~repro.api.Index` handle), :func:`~repro.api.run_traced`,
-  :func:`~repro.api.serve` — all but ``serve`` (which shares its name
-  with the subpackage) re-exported here at the package root.
+  :func:`~repro.api.serve`, :func:`~repro.api.net_serve` — all but
+  ``serve``/``net_serve`` (which share names with subpackages)
+  re-exported here at the package root.
 
 Since 1.6.0 indices are *online*: ``build_index`` returns an
 :class:`~repro.api.Index` whose ``insert``/``delete``/``commit`` absorb
@@ -54,6 +60,7 @@ from . import (
     core,
     geometry,
     kernels,
+    net,
     obs,
     parallel,
     pvm,
@@ -78,7 +85,7 @@ from .api import (
     run_traced,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "analysis",
@@ -87,6 +94,7 @@ __all__ = [
     "core",
     "geometry",
     "kernels",
+    "net",
     "obs",
     "parallel",
     "pvm",

@@ -25,7 +25,12 @@ pins against ``docs/api_surface.txt``:
   :class:`~repro.serve.index.ServingIndex`, with optional LRU result
   caching and a multiprocess serving pool (see ``docs/serving.md``);
   :meth:`~repro.serve.batcher.Batcher.swap_index` hot-swaps it to a new
-  :meth:`Index.snapshot` with zero downtime.
+  :meth:`Index.snapshot` with zero downtime;
+- :func:`net_serve` — the serving stack behind a socket: builds mutable
+  indexes for one or more tenants and returns an unstarted
+  :class:`~repro.net.server.NetServer` (asyncio HTTP front-end with
+  admission control, adaptive batching and graceful drain — see
+  ``docs/networking.md``).
 
 :func:`all_knn`, :func:`~repro.core.query_points.knn_query` and
 :func:`serve` remain thin wrappers over the same machinery the
@@ -86,6 +91,7 @@ __all__ = [
     "all_knn",
     "build_index",
     "knn_query",
+    "net_serve",
     "run_traced",
     "serve",
     "METHODS",
@@ -639,3 +645,69 @@ def serve(
         machine=machine,
         pool=pool,
     )
+
+
+def net_serve(
+    points: np.ndarray,
+    k: int = 1,
+    *,
+    net: Optional["object"] = None,
+    tenants: Optional[dict] = None,
+    config: Optional[FastDnCConfig] = None,
+    machine: Optional[Machine] = None,
+    seed: object = None,
+    engine: Optional[str] = None,
+    workers: Optional[int] = None,
+    kernels: Optional[str] = None,
+    churn_threshold: float = 0.05,
+):
+    """Build the full network serving stack; returns an unstarted server.
+
+    Builds a mutable index over ``points`` (exactly as
+    :func:`build_index`) for the ``"default"`` tenant — plus one index
+    per entry of ``tenants`` (``{name: points}``, same ``k`` and build
+    knobs) — and wires them behind a
+    :class:`~repro.net.server.NetServer`: admission control,
+    load-adaptive micro-batch windows, per-tenant caches and registries,
+    graceful drain.  Every front-end knob lives on ``net`` (a
+    :class:`~repro.net.config.NetConfig`; defaults when ``None``).
+
+    The server is returned *unstarted* so the caller picks the loop:
+
+    - ``asyncio.run`` / an existing loop: ``await server.start()`` then
+      ``await server.serve_forever()`` (wire SIGTERM via
+      :func:`repro.net.install_signal_handlers`);
+    - a background thread (tests, benchmarks):
+      ``repro.net.ServerThread(server).start()``.
+
+    ``machine`` charges the default tenant's build and carries its
+    ``serve.*`` metrics; ``/metrics`` merges it with the server's
+    ``net.*`` registry and every other tenant's (prefixed) stats.  See
+    ``docs/networking.md``.
+    """
+    from .net import NetConfig, NetServer, TenantManager
+
+    net_cfg = net if net is not None else NetConfig()
+    if not isinstance(net_cfg, NetConfig):
+        raise TypeError(f"net must be a NetConfig, got {type(net_cfg).__name__}")
+    manager = TenantManager(config=net_cfg)
+    datasets = {"default": points}
+    for name, pts in (tenants or {}).items():
+        if name in datasets:
+            raise ValueError(f"duplicate tenant name {name!r}")
+        datasets[name] = pts
+    for name, pts in datasets.items():
+        tenant_machine = machine if name == "default" else None
+        index = build_index(
+            pts,
+            k,
+            config=config,
+            machine=tenant_machine,
+            seed=seed,
+            engine=engine,
+            workers=workers,
+            kernels=kernels,
+            churn_threshold=churn_threshold,
+        )
+        manager.add(name, index.mutable, machine=tenant_machine)
+    return NetServer(manager, config=net_cfg)

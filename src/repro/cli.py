@@ -23,8 +23,8 @@ Subcommands
 ``repro serve``
     Build (or ``--load-index``) a serving index, then stream a query
     workload through the micro-batching :class:`repro.serve.Batcher`
-    (optionally across ``--serve-workers`` processes) and report p50/p95
-    latency, QPS and cache hit rate.  With ``--mutations-file`` the
+    (optionally across ``--serve-workers`` processes) and report
+    p50/p95/p99 latency, QPS and cache hit rate.  With ``--mutations-file`` the
     stream is interleaved with insert/delete commits and zero-downtime
     hot swaps, reporting latency per index version.  See
     ``docs/serving.md`` and ``docs/online_index.md``.
@@ -34,6 +34,14 @@ Subcommands
     printing per-commit absorb/rebuild stats; ``--check`` gates every
     commit on exact equivalence (neighbors, tree, ledger, counters)
     against a from-scratch build.  See ``docs/online_index.md``.
+``repro net serve`` / ``repro net load``
+    The asyncio network front-end: serve a built index over HTTP/1.1
+    JSON (``POST /v1/query``, ``POST /v1/mutate``, ``GET /healthz``,
+    ``GET /metrics``) with admission control, load-adaptive batching
+    windows and graceful SIGTERM drain — or run a seeded open-loop
+    fixed-QPS/Poisson load sweep against a server (``--self-serve``
+    spins up a loopback one) and print the p50/p99-vs-QPS table.  See
+    ``docs/networking.md``.
 ``repro bench kernels``
     Micro-benchmark every registered kernel op on every available
     backend (numpy reference, numba when installed) and print a
@@ -244,6 +252,94 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write a Chrome-trace JSON of the last commit "
                              "(update.absorb / update.rebuild spans)")
     add_telemetry_args(update)
+
+    net = sub.add_parser(
+        "net", help="network front-end: serve over HTTP, or generate load"
+    )
+    netsub = net.add_subparsers(dest="net_command", required=True)
+
+    def add_net_build_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--engine", default=None, choices=list(ENGINES),
+                       help="DnC execution engine for the index build")
+        p.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker processes for --engine frontier-mp")
+        p.add_argument("--kernels", default=None,
+                       choices=["auto"] + list(KERNEL_BACKENDS),
+                       help="hot-path kernel backend (bit-identical results)")
+
+    nserve = netsub.add_parser(
+        "serve", help="serve k-NN over HTTP (asyncio front-end; SIGTERM drains)"
+    )
+    add_workload_args(nserve)
+    nserve.add_argument("-k", "--k", type=int, default=1, help="neighbors per query")
+    add_net_build_args(nserve)
+    nserve.add_argument("--host", default="127.0.0.1", help="listen address")
+    nserve.add_argument("--port", type=int, default=8377,
+                        help="listen port (0 binds an ephemeral port)")
+    nserve.add_argument("--max-batch", type=int, default=256,
+                        help="micro-batch size bound per tenant")
+    nserve.add_argument("--max-wait-ms", type=float, default=20.0,
+                        help="batching-window ceiling in milliseconds")
+    nserve.add_argument("--no-adaptive", action="store_true",
+                        help="pin the batching window at the ceiling instead of "
+                             "adapting it to load (see docs/networking.md)")
+    nserve.add_argument("--slo-p95-ms", type=float, default=None,
+                        help="p95 latency target the adaptive window steers "
+                             "under (default: pure load-proportional control)")
+    nserve.add_argument("--rate", type=float, default=None,
+                        help="token-bucket admission rate, requests/second "
+                             "(default: unlimited)")
+    nserve.add_argument("--burst", type=int, default=256,
+                        help="token-bucket burst capacity")
+    nserve.add_argument("--max-inflight", type=int, default=1024,
+                        help="bound on admitted-but-unanswered requests "
+                             "(HTTP 429 past it)")
+    nserve.add_argument("--deadline-ms", type=float, default=None,
+                        help="default per-request latency budget (HTTP 504 "
+                             "past it; default: none)")
+    nserve.add_argument("--cache-size", type=int, default=1024,
+                        help="LRU result-cache entries per tenant (0 disables)")
+    nserve.add_argument("--cache-decimals", type=int, default=None,
+                        help="quantize cache keys to this many decimals")
+    nserve.add_argument("--serve-workers", type=int, default=None, metavar="N",
+                        help="fan batches across N serving worker processes")
+    nserve.add_argument("--drain-timeout-s", type=float, default=10.0,
+                        help="upper bound on the graceful-drain wait")
+    nserve.add_argument("--uvloop", default="auto",
+                        choices=["auto", "uvloop", "asyncio"],
+                        help="event loop: auto uses uvloop when installed "
+                             "(repro[net] extra), asyncio never probes")
+
+    nload = netsub.add_parser(
+        "load", help="open-loop fixed-QPS load sweep against a net server"
+    )
+    add_workload_args(nload)
+    nload.add_argument("-k", "--k", type=int, default=1, help="neighbors per query")
+    add_net_build_args(nload)
+    nload.add_argument("--self-serve", action="store_true",
+                       help="start an in-process loopback server over the "
+                            "workload and load-test it (default: target "
+                            "--host/--port)")
+    nload.add_argument("--host", default="127.0.0.1", help="target server host")
+    nload.add_argument("--port", type=int, default=8377, help="target server port")
+    nload.add_argument("--qps", type=float, nargs="+", default=[200.0, 1000.0],
+                       help="target request rates to sweep")
+    nload.add_argument("--duration", type=float, default=2.0,
+                       help="seconds per QPS level")
+    nload.add_argument("--arrivals", default="fixed", choices=["fixed", "poisson"],
+                       help="arrival process (seeded; open-loop either way)")
+    nload.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-request deadline carried in each query")
+    nload.add_argument("--max-batch", type=int, default=256,
+                       help="self-serve: micro-batch size bound")
+    nload.add_argument("--max-wait-ms", type=float, default=20.0,
+                       help="self-serve: batching-window ceiling")
+    nload.add_argument("--modes", nargs="+", default=["adaptive"],
+                       choices=["adaptive", "ceiling", "zero"],
+                       help="self-serve: batching-window policies to compare "
+                            "(adaptive, fixed at the ceiling, fixed at 0)")
+    nload.add_argument("--out", default=None, metavar="PATH",
+                       help="also write the p50/p99-vs-QPS table here")
 
     bench = sub.add_parser(
         "bench", help="micro-benchmark the hot-path kernel backends"
@@ -801,6 +897,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               if total_lookups else "cache: no lookups")
     print(f"latency p50={np.percentile(lat_ms, 50):.3f}ms "
           f"p95={np.percentile(lat_ms, 95):.3f}ms "
+          f"p99={np.percentile(lat_ms, 99):.3f}ms "
           f"max={lat_ms.max():.3f}ms   QPS={n_req / wall:,.0f}")
     if mut_groups:
         unfulfilled = sum(1 for t in tickets if not t.done)
@@ -808,11 +905,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"hot swaps: {stats.swaps} "
               f"(max swap stall {max(swap_walls) * 1e3:.1f}ms); "
               f"unfulfilled tickets: {unfulfilled}")
-        print(f"{'version':>8} {'requests':>9} {'p50 ms':>8} {'p95 ms':>8}")
+        print(f"{'version':>8} {'requests':>9} {'p50 ms':>8} {'p95 ms':>8} {'p99 ms':>8}")
         for v in np.unique(versions):
             sel = lat_ms[versions == v]
             print(f"{'v%d' % v:>8} {sel.size:>9} "
-                  f"{np.percentile(sel, 50):>8.3f} {np.percentile(sel, 95):>8.3f}")
+                  f"{np.percentile(sel, 50):>8.3f} {np.percentile(sel, 95):>8.3f} "
+                  f"{np.percentile(sel, 99):>8.3f}")
         if unfulfilled:
             return 1
     if args.trace_out:
@@ -864,6 +962,116 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _net_config_from_args(args: argparse.Namespace):
+    from .net import NetConfig
+
+    return NetConfig(
+        host=args.host, port=args.port, max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms, adaptive=not args.no_adaptive,
+        slo_p95_ms=args.slo_p95_ms, rate=args.rate, burst=args.burst,
+        max_inflight=args.max_inflight, deadline_ms=args.deadline_ms,
+        cache_size=args.cache_size, cache_decimals=args.cache_decimals,
+        serve_workers=args.serve_workers,
+        drain_timeout_s=args.drain_timeout_s, uvloop=args.uvloop,
+    )
+
+
+def _cmd_net_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .api import net_serve
+    from .net import install_event_loop, install_signal_handlers
+
+    pts = _load_points(args)
+    cfg = _net_config_from_args(args)
+    server = net_serve(pts, args.k, net=cfg, seed=args.seed,
+                       engine=args.engine, workers=args.workers,
+                       kernels=args.kernels)
+    loop_name = install_event_loop(cfg.uvloop)
+
+    async def _run() -> dict:
+        host, port = await server.start()
+        uninstall = install_signal_handlers(server)
+        tenant = server.tenants.get()
+        print(f"net: serving knn (n={tenant.index.n} d={tenant.d} "
+              f"k={tenant.k}) on http://{host}:{port} loop={loop_name} "
+              f"adaptive={cfg.adaptive} max_batch={cfg.max_batch} "
+              f"max_wait_ms={cfg.max_wait_ms:g}", flush=True)
+        print("net: POST /v1/query /v1/mutate, GET /healthz /metrics; "
+              "SIGTERM/SIGINT drains gracefully", flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass  # drain closed the listener out from under serve_forever
+        finally:
+            uninstall()
+        return await server.stop()  # idempotent; returns the drain summary
+
+    summary = asyncio.run(_run())
+    print(f"net: drained clean={summary['clean']} "
+          f"inflight_remaining={summary['inflight_remaining']} "
+          f"flushed={summary['flushed']}")
+    return 0 if summary["clean"] else 1
+
+
+def _cmd_net_load(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from .net import format_table, sweep
+
+    pts = _load_points(args)
+    sections = []
+
+    def _sweep(host: str, port: int, title: str) -> None:
+        results = asyncio.run(sweep(
+            host, port, qps_list=args.qps, duration_s=args.duration,
+            points=pts, k=args.k, deadline_ms=args.deadline_ms,
+            arrivals=args.arrivals, seed=args.seed,
+        ))
+        sections.append(format_table(results, title=title))
+
+    if args.self_serve:
+        from .api import net_serve
+        from .net import NetConfig, ServerThread
+
+        # one fresh loopback server per window policy so the sweeps are
+        # independent; port 0 keeps parallel CI jobs from colliding
+        policies = {
+            "adaptive": dict(adaptive=True, max_wait_ms=args.max_wait_ms),
+            "ceiling": dict(adaptive=False, max_wait_ms=args.max_wait_ms),
+            "zero": dict(adaptive=False, max_wait_ms=0.0),
+        }
+        for mode in args.modes:
+            cfg = NetConfig(port=0, max_batch=args.max_batch,
+                            **policies[mode])
+            server = net_serve(pts, args.k, net=cfg, seed=args.seed,
+                               engine=args.engine, workers=args.workers,
+                               kernels=args.kernels)
+            with ServerThread(server) as st:
+                _sweep("127.0.0.1", st.port,
+                       f"net load  window={mode} (self-serve n={pts.shape[0]:,} "
+                       f"k={args.k} arrivals={args.arrivals} "
+                       f"duration={args.duration:g}s/level)")
+    else:
+        _sweep(args.host, args.port,
+               f"net load  {args.host}:{args.port} "
+               f"(arrivals={args.arrivals} duration={args.duration:g}s/level)")
+
+    text = "\n\n".join(sections)
+    print(text)
+    if args.out:
+        os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_net(args: argparse.Namespace) -> int:
+    return {"serve": _cmd_net_serve, "load": _cmd_net_load}[args.net_command](args)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -875,6 +1083,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": _cmd_trace,
         "serve": _cmd_serve,
         "update": _cmd_update,
+        "net": _cmd_net,
         "bench": _cmd_bench,
     }
     return handlers[args.command](args)

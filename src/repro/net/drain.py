@@ -1,0 +1,134 @@
+"""Graceful drain: stop admitting, finish everything, leak nothing.
+
+Shutdown order matters.  Killing a serving process mid-batch drops
+admitted requests on the floor and — when a
+:class:`~repro.serve.mp.ServingPool` is attached — can leak shared-memory
+arenas and worker processes.  :func:`drain` sequences the shutdown so
+neither happens:
+
+1. **stop admitting**: the draining flag flips (``/healthz`` turns 503
+   for load balancers, new ``/v1/*`` requests get 503 with a
+   ``net.rejected_draining`` count) and the listening socket closes —
+   established connections keep running.
+2. **finish in-flight**: every tenant's batcher queue is flushed (their
+   waiting requests resolve immediately) and the loop waits — bounded by
+   ``config.drain_timeout_s`` — for the admitted-request count to reach
+   zero.  No admitted request is dropped unless the timeout forces it.
+3. **tear down**: flusher tasks are cancelled, tenants close (flushing
+   batchers and shutting pools down through the leak-checked
+   :meth:`~repro.serve.mp.ServingPool.close` path), the listener
+   finishes closing.
+
+:func:`install_signal_handlers` wires SIGTERM/SIGINT to this sequence,
+which is how ``repro net serve`` exits cleanly under process managers.
+The drain is idempotent — repeated calls return the first run's summary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal as _signal
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .server import NetServer
+
+__all__ = ["drain", "install_signal_handlers"]
+
+#: How often the drain loop re-flushes and re-checks in-flight, seconds.
+_POLL_S = 0.005
+
+
+async def drain(server: "NetServer", *, timeout_s: float | None = None) -> Dict[str, Any]:
+    """Drain ``server`` gracefully; returns a summary dict.
+
+    Summary fields: ``inflight_at_start``, ``inflight_remaining`` (0
+    unless the timeout forced the drain), ``flushed`` (batched requests
+    executed during the drain), ``timed_out``, ``clean`` (every admitted
+    request answered).
+    """
+    existing = getattr(server, "_drain_summary", None)
+    if existing is not None:
+        return existing
+    if timeout_s is None:
+        timeout_s = server.config.drain_timeout_s
+
+    server._draining = True
+    server.stats.draining = 1
+    if server._server is not None:
+        server._server.close()
+
+    inflight_at_start = server.admission.inflight
+    flushed = 0
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout_s
+    while True:
+        # resolve everything batch-waiting right now, then let their
+        # handlers run and write responses
+        for state in server._loops.values():
+            flushed += state.tenant.batcher.flush()
+            server._settle(state)
+        if server.admission.inflight == 0:
+            break
+        if loop.time() >= deadline:
+            break
+        await asyncio.sleep(_POLL_S)
+
+    remaining = server.admission.inflight
+    for state in server._loops.values():
+        if state.task is not None:
+            state.task.cancel()
+    tasks = [s.task for s in server._loops.values() if s.task is not None]
+    if tasks:
+        await asyncio.gather(*tasks, return_exceptions=True)
+    server.tenants.close_all(flush=True)
+    if server._server is not None:
+        try:
+            await server._server.wait_closed()
+        except asyncio.CancelledError:  # pragma: no cover - teardown race
+            pass
+
+    summary = {
+        "inflight_at_start": inflight_at_start,
+        "inflight_remaining": remaining,
+        "flushed": flushed,
+        "timed_out": remaining > 0,
+        "clean": remaining == 0,
+    }
+    server._drain_summary = summary
+    return summary
+
+
+def install_signal_handlers(
+    server: "NetServer",
+    *,
+    loop: asyncio.AbstractEventLoop | None = None,
+    signals: Iterable[int] = (_signal.SIGTERM, _signal.SIGINT),
+) -> Callable[[], None]:
+    """SIGTERM/SIGINT → graceful drain; returns an uninstall callable.
+
+    The handler schedules :meth:`NetServer.stop` on the loop exactly
+    once — a second signal during the drain is ignored rather than
+    tearing down mid-sequence.
+    """
+    if loop is None:
+        loop = asyncio.get_running_loop()
+    fired = False
+
+    def _on_signal() -> None:
+        nonlocal fired
+        if fired:
+            return
+        fired = True
+        loop.create_task(server.stop())
+
+    installed = []
+    for sig in signals:
+        loop.add_signal_handler(sig, _on_signal)
+        installed.append(sig)
+
+    def uninstall() -> None:
+        for sig in installed:
+            loop.remove_signal_handler(sig)
+
+    return uninstall

@@ -1,0 +1,210 @@
+"""Hand-rolled minimal HTTP/1.1 over asyncio streams.
+
+The front-end speaks just enough HTTP for a JSON service — request line,
+headers, ``Content-Length`` bodies, keep-alive — with zero dependencies
+beyond the stdlib.  Chunked transfer encoding, trailers, multipart and
+HTTP/2 are deliberately out of scope: every client this repository ships
+(the load generator, the CLI, the tests) speaks the same subset, and a
+real deployment would sit this behind a terminating proxy anyway.
+
+Parsing is strict where it matters for safety (bounded line/body sizes,
+rejected transfer encodings) and tolerant where it doesn't (header case,
+extra whitespace).  :class:`HttpError` carries an HTTP status so the
+server can turn any parse failure into a well-formed error response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "read_request",
+    "render_response",
+    "json_response",
+]
+
+#: Reason phrases for the statuses the front-end actually emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+_MAX_REQUEST_LINE = 8192
+_MAX_HEADER_BYTES = 32768
+_ALLOWED_METHODS = ("GET", "POST")
+
+
+class HttpError(Exception):
+    """A request that cannot be served; rendered as its HTTP status.
+
+    ``retry_after`` (seconds) adds a ``Retry-After`` header — the
+    admission layer uses it on 429 responses so clients know how long to
+    back off.
+    """
+
+    def __init__(
+        self, status: int, message: str, *, retry_after: Optional[float] = None
+    ) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.message = message
+        self.retry_after = retry_after
+
+
+@dataclass
+class Request:
+    """One parsed request: method, split target, headers, raw body."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes = b""
+    _json: Any = field(default=None, repr=False)
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> Any:
+        """The body parsed as JSON (raises :class:`HttpError` 400 on
+        malformed or non-object payloads; an empty body parses as ``{}``)."""
+        if self._json is None:
+            if not self.body:
+                self._json = {}
+            else:
+                try:
+                    self._json = json.loads(self.body)
+                except ValueError as exc:
+                    raise HttpError(400, f"malformed JSON body: {exc}") from None
+            if not isinstance(self._json, dict):
+                raise HttpError(400, "JSON body must be an object")
+        return self._json
+
+
+async def read_request(
+    reader: asyncio.StreamReader, *, max_body_bytes: int = 8 << 20
+) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on a clean EOF.
+
+    Raises :class:`HttpError` on malformed input (the caller responds
+    with the carried status and closes) and
+    :class:`asyncio.IncompleteReadError` when the peer disconnects
+    mid-request.
+    """
+    try:
+        raw_line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests
+        raise
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "request line too long") from None
+    if len(raw_line) > _MAX_REQUEST_LINE:
+        raise HttpError(400, "request line too long")
+    parts = raw_line.decode("latin-1").rstrip("\r\n").split()
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line {raw_line!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(400, f"unsupported HTTP version {version!r}")
+    if method not in _ALLOWED_METHODS:
+        raise HttpError(405, f"method {method} not allowed")
+
+    headers: Dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        line = await reader.readuntil(b"\r\n")
+        header_bytes += len(line)
+        if header_bytes > _MAX_HEADER_BYTES:
+            raise HttpError(400, "headers too large")
+        text = line.decode("latin-1").rstrip("\r\n")
+        if not text:
+            break
+        name, sep, value = text.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {text!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise HttpError(400, "chunked transfer encoding not supported")
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length {length_text!r}") from None
+        if length < 0:
+            raise HttpError(400, f"bad Content-Length {length}")
+        if length > max_body_bytes:
+            raise HttpError(413, f"body of {length} bytes exceeds {max_body_bytes}")
+        body = await reader.readexactly(length)
+
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    return Request(method=method, path=split.path or "/", query=query,
+                   headers=headers, body=body)
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """One full HTTP/1.1 response as bytes, ready for ``writer.write``."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response(
+    status: int,
+    payload: Any,
+    *,
+    keep_alive: bool = True,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """A JSON body rendered as a full response.
+
+    ``json.dumps`` serializes floats with ``repr`` — the shortest
+    round-tripping form — so float64 results survive the wire exactly:
+    parsing the response reproduces the served arrays bit for bit (the
+    loopback-equivalence tests rely on this).
+    """
+    body = json.dumps(payload, separators=(",", ":")).encode()
+    return render_response(status, body, keep_alive=keep_alive,
+                           extra_headers=extra_headers)
+
+
+def error_payload(exc: HttpError) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+    """(status, JSON payload, extra headers) for an :class:`HttpError`."""
+    headers: Dict[str, str] = {}
+    if exc.retry_after is not None:
+        # ceil to whole seconds: Retry-After is integer-valued in HTTP
+        headers["Retry-After"] = str(max(1, int(-(-exc.retry_after // 1))))
+    return exc.status, {"error": exc.message, "status": exc.status}, headers

@@ -1,0 +1,280 @@
+"""Async open-loop load generator for the network front-end.
+
+Closed-loop clients (send, wait, send again) hide overload: when the
+server slows down, the client slows down with it, and measured latency
+stays flattering.  The generator here is **open-loop** — arrival times
+are drawn up front from a seeded RNG (fixed-interval or Poisson) and
+every request fires at its scheduled instant whether or not earlier ones
+have returned, exactly how independent clients hit a real service.
+Under overload the in-flight count grows and the server's admission
+layer must shed; the results record that honestly (``rejected`` counts
+429s, ``deadline_exceeded`` 504s).
+
+Each request runs on its own connection (``Connection: close``), so a
+run is a stream of short independent sessions — no head-of-line blocking
+between requests, at loopback connection cost.  Latency is measured from
+each request's scheduled arrival, so client-side queueing delay (the
+loop falling behind) counts against the server, as it would for a user.
+
+Determinism: arrivals and query-point choices derive from ``seed``; the
+wall-clock results of course vary, but the request *stream* is
+reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["LoadResult", "format_table", "http_request", "run_load", "sweep", "ARRIVALS"]
+
+#: Supported arrival processes.
+ARRIVALS = ("fixed", "poisson")
+
+
+async def http_request(
+    host: str,
+    port: int,
+    path: str,
+    payload: Optional[Dict[str, Any]] = None,
+    *,
+    method: str = "POST",
+    timeout_s: float = 30.0,
+) -> Tuple[int, Dict[str, Any], str]:
+    """One HTTP request over its own connection.
+
+    Returns ``(status, parsed_json_body, raw_body_text)`` — the minimal
+    JSON client the load generator, the CLI and the tests share.  The
+    body parses as ``{}`` when it is not JSON (``/metrics``).
+    """
+    body = b"" if payload is None else json.dumps(payload).encode()
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    )
+
+    async def _talk() -> Tuple[int, Dict[str, Any], str]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(head.encode() + body)
+            await writer.drain()
+            raw = await reader.read(-1)  # Connection: close → read to EOF
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        header_blob, _, payload_blob = raw.partition(b"\r\n\r\n")
+        status_line = header_blob.split(b"\r\n", 1)[0].decode("latin-1")
+        status = int(status_line.split()[1])
+        text = payload_blob.decode("utf-8", errors="replace")
+        try:
+            parsed = json.loads(text) if text else {}
+        except ValueError:
+            parsed = {}
+        if not isinstance(parsed, dict):
+            parsed = {"value": parsed}
+        return status, parsed, text
+
+    return await asyncio.wait_for(_talk(), timeout_s)
+
+
+@dataclass
+class LoadResult:
+    """Outcome of one fixed-QPS run against one server."""
+
+    qps_target: float
+    duration_s: float
+    arrivals: str
+    sent: int = 0
+    ok: int = 0
+    rejected: int = 0
+    deadline_exceeded: int = 0
+    errors: int = 0
+    elapsed_s: float = 0.0
+    latencies_ms: List[float] = field(default_factory=list)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile of the OK-response latencies (ms);
+        NaN when nothing succeeded."""
+        if not self.latencies_ms:
+            return float("nan")
+        ordered = sorted(self.latencies_ms)
+        rank = max(0, math.ceil(p / 100.0 * len(ordered)) - 1)
+        return ordered[rank]
+
+    @property
+    def p50_ms(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95_ms(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.percentile(99)
+
+    @property
+    def achieved_qps(self) -> float:
+        """OK responses per second of wall time (sustained throughput)."""
+        return self.ok / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "qps_target": self.qps_target,
+            "duration_s": self.duration_s,
+            "arrivals": self.arrivals,
+            "sent": self.sent,
+            "ok": self.ok,
+            "rejected": self.rejected,
+            "deadline_exceeded": self.deadline_exceeded,
+            "errors": self.errors,
+            "achieved_qps": self.achieved_qps,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+        }
+
+
+def _arrival_offsets(
+    qps: float, duration_s: float, arrivals: str, rng: np.random.Generator
+) -> np.ndarray:
+    """Scheduled send offsets (seconds from start), drawn up front."""
+    count = max(1, int(round(qps * duration_s)))
+    if arrivals == "fixed":
+        return np.arange(count) / qps
+    # Poisson process: exponential interarrivals at rate qps
+    gaps = rng.exponential(scale=1.0 / qps, size=count)
+    return np.cumsum(gaps) - gaps[0]
+
+
+async def run_load(
+    host: str,
+    port: int,
+    *,
+    qps: float,
+    duration_s: float,
+    points: np.ndarray,
+    k: Optional[int] = None,
+    kind: str = "knn",
+    index: Optional[str] = None,
+    deadline_ms: Optional[float] = None,
+    arrivals: str = "fixed",
+    seed: int = 0,
+    timeout_s: float = 30.0,
+) -> LoadResult:
+    """One open-loop run: ``qps`` single-point queries for ``duration_s``.
+
+    ``points`` is the pool query points are drawn from (uniformly, from
+    ``seed``); each request carries one point, the natural online-serving
+    shape.  Returns the aggregated :class:`LoadResult`.
+    """
+    if qps <= 0:
+        raise ValueError(f"qps must be > 0, got {qps}")
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be > 0, got {duration_s}")
+    if arrivals not in ARRIVALS:
+        raise ValueError(f"unknown arrivals {arrivals!r}; choose from {ARRIVALS}")
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[0] < 1:
+        raise ValueError(f"points must be (m, d), got shape {pts.shape}")
+    rng = np.random.default_rng(seed)
+    offsets = _arrival_offsets(qps, duration_s, arrivals, rng)
+    choices = rng.integers(0, pts.shape[0], size=offsets.shape[0])
+    result = LoadResult(qps_target=qps, duration_s=duration_s, arrivals=arrivals)
+
+    async def _one(offset: float, row: int) -> None:
+        payload: Dict[str, Any] = {"point": pts[row].tolist()}
+        if k is not None:
+            payload["k"] = k
+        if kind != "knn":
+            payload["kind"] = kind
+        if index is not None:
+            payload["index"] = index
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        # latency from the *scheduled* arrival: loop lag counts, as it
+        # would for a real client
+        scheduled = t0 + offset
+        try:
+            status, _, _ = await http_request(
+                host, port, "/v1/query", payload, timeout_s=timeout_s
+            )
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            result.errors += 1
+            return
+        latency_ms = (time.perf_counter() - scheduled) * 1e3
+        if status == 200:
+            result.ok += 1
+            result.latencies_ms.append(latency_ms)
+        elif status == 429:
+            result.rejected += 1
+        elif status == 504:
+            result.deadline_exceeded += 1
+        else:
+            result.errors += 1
+
+    tasks: List["asyncio.Task[None]"] = []
+    t0 = time.perf_counter()
+    for offset, row in zip(offsets.tolist(), choices.tolist()):
+        delay = t0 + offset - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        result.sent += 1
+        tasks.append(asyncio.ensure_future(_one(offset, int(row))))
+    if tasks:
+        await asyncio.gather(*tasks)
+    result.elapsed_s = time.perf_counter() - t0
+    return result
+
+
+async def sweep(
+    host: str,
+    port: int,
+    *,
+    qps_list: Sequence[float],
+    duration_s: float,
+    points: np.ndarray,
+    settle_s: float = 0.1,
+    **kwargs: Any,
+) -> List[LoadResult]:
+    """One :func:`run_load` per QPS level, with a settle gap between."""
+    results = []
+    for qps in qps_list:
+        results.append(
+            await run_load(
+                host, port, qps=qps, duration_s=duration_s, points=points, **kwargs
+            )
+        )
+        if settle_s > 0:
+            await asyncio.sleep(settle_s)
+    return results
+
+
+def format_table(rows: Sequence[LoadResult], *, title: str = "") -> str:
+    """Fixed-width p50/p95/p99-vs-QPS table, one row per run."""
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'qps':>8} {'sent':>7} {'ok':>7} {'429':>6} {'504':>6} "
+        f"{'err':>5} {'ach qps':>9} {'p50 ms':>8} {'p95 ms':>8} {'p99 ms':>8}"
+    )
+    for r in rows:
+        lines.append(
+            f"{r.qps_target:>8.0f} {r.sent:>7} {r.ok:>7} {r.rejected:>6} "
+            f"{r.deadline_exceeded:>6} {r.errors:>5} {r.achieved_qps:>9.1f} "
+            f"{r.p50_ms:>8.2f} {r.p95_ms:>8.2f} {r.p99_ms:>8.2f}"
+        )
+    return "\n".join(lines)

@@ -53,6 +53,10 @@ class ServeStats(MetricsView):
     Gauges: ``queue_depth`` (pending requests right now), ``qps``
     (served+cached requests over the wall-clock since the first submit),
     ``last_batch_ms``, ``index_version`` (the version currently served).
+    Series: ``queue_depth_flush`` — the queue depth sampled at each
+    batch-flush trigger (what the adaptive batching controller and the
+    sinks see as the *served* depth distribution, as opposed to the
+    instantaneous gauge).
     """
 
     _NS = "serve"
@@ -65,6 +69,7 @@ class ServeStats(MetricsView):
         "swaps",
     )
     _GAUGE_FIELDS = ("queue_depth", "qps", "last_batch_ms", "index_version")
+    _SERIES_FIELDS = ("queue_depth_flush",)
 
 
 class Ticket:
@@ -243,6 +248,12 @@ class Batcher:
         """Execute everything pending (in ``max_batch`` chunks); returns
         the number of requests served.  A no-op on an empty queue."""
         served = 0
+        if self._queue_tickets:
+            # sample the depth at the flush trigger (before executing):
+            # the distribution of served batch sizes, exported as the
+            # serve.queue_depth_flush series through both sinks
+            self.stats.queue_depth = self.pending
+            self.stats.queue_depth_flush.append(self.pending)
         while self._queue_tickets:
             chunk = min(self.max_batch, len(self._queue_tickets))
             points = self._queue_points[:chunk]
@@ -316,6 +327,12 @@ class Batcher:
         self.index = index
         self.stats.swaps += 1
         self.stats.index_version = index.version
+        if self.cache is not None:
+            # stale entries could never *match* again (keys carry the
+            # version), but they would occupy LRU slots until they age
+            # out — evict them eagerly so repeated swaps stay bounded
+            # by live entries, not by capacity times version count
+            self.cache.evict_stale(index.version)
         return flushed
 
     def _update_qps(self, now: float) -> None:

@@ -102,6 +102,22 @@ class ResultCache:
         """Drop every entry (counters are preserved)."""
         self._entries.clear()
 
+    def evict_stale(self, version: int) -> int:
+        """Drop entries keyed to any index version other than ``version``;
+        returns how many were evicted.
+
+        Called by :meth:`~repro.serve.batcher.Batcher.swap_index` after a
+        hot swap: version-keyed entries for older versions can never
+        match again, so evicting them immediately keeps the cache's
+        footprint bounded by *live* entries across arbitrarily many
+        swaps instead of letting dead keys squat in the LRU.
+        """
+        tag = f"v{int(version)}".encode()
+        stale = [key for key in self._entries if key.split(b":", 3)[2] != tag]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
     @property
     def hit_rate(self) -> float:
         """Hits over total lookups so far (0.0 before any lookup)."""

@@ -136,6 +136,7 @@ class TestServeCommand:
         assert "serve: kind=knn" in out
         assert "served 200 requests" in out and "in-process" in out
         assert "latency p50=" in out and "QPS=" in out
+        assert "p95=" in out and "p99=" in out
 
     def test_serve_covering_with_cache_repeat(self, capsys):
         rc = main(["serve", "-n", "300", "--kind", "covering",
@@ -231,6 +232,41 @@ class TestUpdateCommand:
         assert "index built (online)" in out
         assert "hot swaps: 2" in out and "unfulfilled tickets: 0" in out
         assert "v0" in out and "v2" in out  # per-version latency table
+        assert "p99 ms" in out  # per-version table carries the tail too
+
+
+class TestNetCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["net", "serve"])
+        assert args.net_command == "serve"
+        assert args.port == 8377 and args.max_batch == 256
+        assert not args.no_adaptive and args.uvloop == "auto"
+        args = build_parser().parse_args(["net", "load", "--self-serve"])
+        assert args.net_command == "load"
+        assert args.qps == [200.0, 1000.0] and args.modes == ["adaptive"]
+
+    def test_net_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["net"])
+
+    def test_net_load_self_serve_prints_table(self, capsys):
+        rc = main(["net", "load", "--self-serve", "-n", "250",
+                   "--qps", "40", "--duration", "0.3",
+                   "--modes", "adaptive", "zero", "--seed", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "window=adaptive" in out and "window=zero" in out
+        assert "p99 ms" in out and "ach qps" in out
+
+    def test_net_load_writes_table_file(self, tmp_path, capsys):
+        table = tmp_path / "sweep" / "net.txt"
+        rc = main(["net", "load", "--self-serve", "-n", "200",
+                   "--qps", "30", "--duration", "0.25",
+                   "--out", str(table)])
+        assert rc == 0
+        text = table.read_text()
+        assert "window=adaptive" in text and "p99 ms" in text
+        assert f"wrote {table}" in capsys.readouterr().out
 
 
 class TestOtherCommands:

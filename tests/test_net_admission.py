@@ -1,0 +1,107 @@
+"""Admission control under a fake clock: deterministic, no asyncio."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.admission import AdmissionController, NetStats, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        assert bucket.try_acquire() == (True, 0.0)
+        assert bucket.try_acquire() == (True, 0.0)
+        ok, wait = bucket.try_acquire()
+        assert not ok
+        assert wait == pytest.approx(0.1)  # 1 token at 10/s
+        clock.advance(0.1)
+        assert bucket.try_acquire() == (True, 0.0)
+
+    def test_tokens_cap_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=3, clock=clock)
+        clock.advance(10.0)
+        assert bucket.tokens == pytest.approx(3.0)
+
+    def test_unlimited_when_rate_none(self):
+        bucket = TokenBucket(rate=None, burst=1, clock=FakeClock())
+        for _ in range(1000):
+            assert bucket.try_acquire() == (True, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestAdmissionController:
+    def test_admit_release_roundtrip(self):
+        stats = NetStats()
+        ctl = AdmissionController(max_inflight=4, stats=stats, clock=FakeClock())
+        ok, retry, reason = ctl.admit()
+        assert ok and retry == 0.0 and reason == ""
+        assert ctl.inflight == 1 and stats.inflight == 1
+        ctl.release()
+        assert ctl.inflight == 0 and stats.inflight == 0
+        assert stats.requests == 1 and stats.accepted == 1
+
+    def test_inflight_bound_sheds(self):
+        stats = NetStats()
+        ctl = AdmissionController(max_inflight=2, stats=stats, clock=FakeClock())
+        assert ctl.admit()[0] and ctl.admit()[0]
+        ok, retry, reason = ctl.admit()
+        assert not ok and reason == "inflight" and retry > 0
+        assert stats.rejected_inflight == 1
+        ctl.release()
+        assert ctl.admit()[0]  # capacity freed
+
+    def test_rate_bound_sheds_with_honest_retry(self):
+        clock = FakeClock()
+        stats = NetStats()
+        ctl = AdmissionController(rate=2.0, burst=1, max_inflight=100,
+                                  stats=stats, clock=clock)
+        assert ctl.admit()[0]
+        ok, retry, reason = ctl.admit()
+        assert not ok and reason == "rate"
+        assert retry == pytest.approx(0.5)
+        assert stats.rejected_rate == 1
+        clock.advance(retry)
+        assert ctl.admit()[0]
+
+    def test_release_without_admit_raises(self):
+        ctl = AdmissionController(clock=FakeClock())
+        with pytest.raises(RuntimeError, match="release"):
+            ctl.release()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_inflight"):
+            AdmissionController(max_inflight=0)
+
+
+class TestNetStats:
+    def test_prometheus_exposition_names(self):
+        from repro.obs.metrics import Metrics
+
+        metrics = Metrics()
+        stats = NetStats(metrics=metrics)
+        stats.requests += 3
+        stats.inflight = 2
+        stats.request_ms.append(1.5)
+        text = metrics.to_prometheus()
+        assert 'repro_net_requests_total{key="net.requests"} 3.0' in text
+        assert 'repro_net_inflight{key="net.inflight"} 2.0' in text
+        assert 'repro_net_request_ms_count{key="net.request_ms"} 1.0' in text

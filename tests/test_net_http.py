@@ -1,0 +1,170 @@
+"""The minimal HTTP/1.1 layer: parsing, rendering, error mapping.
+
+Everything runs against in-memory ``asyncio.StreamReader`` objects — no
+sockets — so these are pure unit tests of the wire format.  The one
+numerically load-bearing property lives here too: ``json_response``
+round-trips float64 values bit-exactly (``json.dumps`` repr floats),
+which is what the loopback-equivalence tests in test_net_server.py
+build on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.net.http import (
+    HttpError,
+    Request,
+    error_payload,
+    json_response,
+    read_request,
+    render_response,
+)
+
+
+def _parse(data: bytes, **kwargs):
+    async def _run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(_run())
+
+
+def _raw(method="POST", target="/v1/query", version="HTTP/1.1",
+         headers=(), body=b""):
+    head = [f"{method} {target} {version}"]
+    head += [f"{k}: {v}" for k, v in headers]
+    if body:
+        head.append(f"Content-Length: {len(body)}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode() + body
+
+
+class TestReadRequest:
+    def test_get_with_query_string(self):
+        req = _parse(_raw(method="GET", target="/healthz?verbose=1&x="))
+        assert req.method == "GET"
+        assert req.path == "/healthz"
+        assert req.query == {"verbose": "1", "x": ""}
+        assert req.body == b""
+
+    def test_post_with_json_body(self):
+        body = json.dumps({"point": [0.5, 0.25]}).encode()
+        req = _parse(_raw(body=body))
+        assert req.method == "POST"
+        assert req.json() == {"point": [0.5, 0.25]}
+
+    def test_clean_eof_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_header_names_case_insensitive(self):
+        req = _parse(_raw(method="GET", target="/", headers=[("X-Thing", "a")]))
+        assert req.headers["x-thing"] == "a"
+
+    def test_keep_alive_default_and_close(self):
+        assert _parse(_raw(method="GET", target="/")).keep_alive
+        req = _parse(_raw(method="GET", target="/",
+                          headers=[("Connection", "close")]))
+        assert not req.keep_alive
+
+    @pytest.mark.parametrize("line", [b"GARBAGE\r\n\r\n",
+                                      b"GET /too few\r\n\r\n",
+                                      b"GET / HTTP/2\r\n\r\n"])
+    def test_malformed_request_line_is_400(self, line):
+        with pytest.raises(HttpError) as exc:
+            _parse(line)
+        assert exc.value.status == 400
+
+    def test_unsupported_method_is_405(self):
+        with pytest.raises(HttpError) as exc:
+            _parse(_raw(method="PUT"))
+        assert exc.value.status == 405
+
+    def test_chunked_transfer_encoding_rejected(self):
+        with pytest.raises(HttpError) as exc:
+            _parse(_raw(headers=[("Transfer-Encoding", "chunked")]))
+        assert exc.value.status == 400
+
+    def test_oversized_body_is_413(self):
+        with pytest.raises(HttpError) as exc:
+            _parse(_raw(body=b"x" * 100), max_body_bytes=10)
+        assert exc.value.status == 413
+
+    def test_bad_content_length_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            _parse(_raw(headers=[("Content-Length", "banana")]))
+        assert exc.value.status == 400
+
+    def test_oversized_request_line_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            _parse(_raw(method="GET", target="/" + "q" * 9000))
+        assert exc.value.status == 400
+
+    def test_malformed_header_line_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            _parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+        assert exc.value.status == 400
+
+
+class TestRequestJson:
+    def test_empty_body_parses_as_empty_object(self):
+        req = Request(method="POST", path="/", query={}, headers={})
+        assert req.json() == {}
+
+    def test_malformed_json_is_400(self):
+        req = Request(method="POST", path="/", query={}, headers={},
+                      body=b"{nope")
+        with pytest.raises(HttpError) as exc:
+            req.json()
+        assert exc.value.status == 400
+
+    def test_non_object_json_is_400(self):
+        req = Request(method="POST", path="/", query={}, headers={},
+                      body=b"[1,2]")
+        with pytest.raises(HttpError) as exc:
+            req.json()
+        assert exc.value.status == 400
+
+
+class TestRender:
+    def test_response_shape(self):
+        raw = render_response(200, b"hi", content_type="text/plain",
+                              keep_alive=False,
+                              extra_headers={"Retry-After": "2"})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.decode().split("\r\n")
+        assert lines[0] == "HTTP/1.1 200 OK"
+        assert "Content-Length: 2" in lines
+        assert "Connection: close" in lines
+        assert "Retry-After: 2" in lines
+        assert body == b"hi"
+
+    def test_json_response_floats_round_trip_bit_exact(self):
+        # the wire contract the loopback-equivalence tests stand on:
+        # repr floats → parsing the body reproduces float64 exactly
+        rng = np.random.default_rng(7)
+        values = rng.random(64).tolist() + [1e-300, 1 / 3, np.pi]
+        raw = json_response(200, {"v": values})
+        body = raw.partition(b"\r\n\r\n")[2]
+        parsed = json.loads(body)["v"]
+        assert np.asarray(parsed, dtype=np.float64).tobytes() == \
+            np.asarray(values, dtype=np.float64).tobytes()
+
+    def test_error_payload_ceils_retry_after(self):
+        status, payload, headers = error_payload(
+            HttpError(429, "slow down", retry_after=0.2))
+        assert status == 429
+        assert payload == {"error": "slow down", "status": 429}
+        assert headers["Retry-After"] == "1"
+        _, _, headers = error_payload(
+            HttpError(429, "slow down", retry_after=3.5))
+        assert headers["Retry-After"] == "4"
+
+    def test_error_payload_without_retry_after(self):
+        status, payload, headers = error_payload(HttpError(404, "nope"))
+        assert status == 404 and headers == {}

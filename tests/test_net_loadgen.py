@@ -1,0 +1,98 @@
+"""The open-loop load generator: seeded arrivals, honest accounting."""
+
+from __future__ import annotations
+
+import asyncio
+import math
+
+import numpy as np
+import pytest
+
+from repro.api import net_serve
+from repro.net import LoadResult, NetConfig, ServerThread, format_table, run_load
+from repro.net.loadgen import _arrival_offsets
+from repro.workloads import uniform_cube
+
+
+class TestArrivalOffsets:
+    def test_fixed_spacing(self):
+        rng = np.random.default_rng(0)
+        offs = _arrival_offsets(100.0, 0.5, "fixed", rng)
+        assert offs.shape == (50,)
+        assert offs[0] == 0.0
+        np.testing.assert_allclose(np.diff(offs), 0.01)
+
+    def test_poisson_is_seeded_and_open_loop(self):
+        a = _arrival_offsets(200.0, 1.0, "poisson", np.random.default_rng(3))
+        b = _arrival_offsets(200.0, 1.0, "poisson", np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)  # reproducible stream
+        c = _arrival_offsets(200.0, 1.0, "poisson", np.random.default_rng(4))
+        assert not np.array_equal(a, c)
+        assert a[0] == 0.0 and np.all(np.diff(a) >= 0)
+
+    def test_at_least_one_arrival(self):
+        offs = _arrival_offsets(1.0, 0.01, "fixed", np.random.default_rng(0))
+        assert offs.shape == (1,)
+
+
+class TestLoadResult:
+    def test_nearest_rank_percentiles(self):
+        r = LoadResult(qps_target=10, duration_s=1, arrivals="fixed",
+                       latencies_ms=[float(v) for v in range(1, 101)])
+        assert r.percentile(50) == 50.0
+        assert r.p95_ms == 95.0
+        assert r.p99_ms == 99.0
+
+    def test_empty_latencies_are_nan(self):
+        r = LoadResult(qps_target=10, duration_s=1, arrivals="fixed")
+        assert math.isnan(r.p50_ms)
+        assert r.achieved_qps == 0.0
+
+    def test_to_dict_fields(self):
+        r = LoadResult(qps_target=10, duration_s=1, arrivals="poisson",
+                       sent=5, ok=4, rejected=1, elapsed_s=2.0,
+                       latencies_ms=[1.0, 2.0])
+        d = r.to_dict()
+        assert d["sent"] == 5 and d["rejected"] == 1
+        assert d["achieved_qps"] == pytest.approx(2.0)
+        assert set(d) >= {"p50_ms", "p95_ms", "p99_ms", "arrivals"}
+
+
+class TestFormatTable:
+    def test_header_and_rows(self):
+        r = LoadResult(qps_target=100, duration_s=1, arrivals="fixed",
+                       sent=10, ok=9, rejected=1, elapsed_s=1.0,
+                       latencies_ms=[1.0] * 9)
+        text = format_table([r], title="sweep")
+        lines = text.splitlines()
+        assert lines[0] == "sweep"
+        assert "p99 ms" in lines[1] and "429" in lines[1]
+        assert lines[2].split()[:4] == ["100", "10", "9", "1"]
+
+
+class TestRunLoad:
+    def test_against_loopback_server(self):
+        pts = uniform_cube(300, 2, seed=61)
+        server = net_serve(pts, 1, net=NetConfig(port=0), seed=62)
+        with ServerThread(server) as st:
+            result = asyncio.run(run_load(
+                "127.0.0.1", st.port, qps=80.0, duration_s=0.4,
+                points=pts, seed=0))
+        assert result.sent == 32
+        assert result.ok + result.rejected + result.deadline_exceeded + \
+            result.errors == result.sent
+        assert result.ok > 0
+        assert len(result.latencies_ms) == result.ok
+        assert result.p50_ms > 0
+
+    def test_rate_limited_server_yields_429s(self):
+        pts = uniform_cube(200, 2, seed=63)
+        server = net_serve(pts, 1, net=NetConfig(port=0, rate=10.0, burst=2),
+                           seed=64)
+        with ServerThread(server) as st:
+            result = asyncio.run(run_load(
+                "127.0.0.1", st.port, qps=120.0, duration_s=0.4,
+                points=pts, seed=1))
+        assert result.rejected > 0  # the admission layer shed load
+        assert result.ok > 0  # but some sustained traffic got through
+        assert result.ok + result.rejected + result.errors == result.sent

@@ -228,3 +228,59 @@ class TestSnapshotPersistence:
         state = snap._state()
         del state["index_version"]  # what a pre-1.6 pickle looks like
         assert ServingIndex._from_state(state).version == 0
+
+
+class TestCacheSwapMemory:
+    """Satellite of ISSUE 8: repeated hot swaps must not grow the cache.
+
+    Version-keyed entries for superseded versions can never match again;
+    ``swap_index`` evicts them eagerly so the cache footprint stays
+    bounded by *live* entries, not by swap count.
+    """
+
+    def test_evict_stale_drops_only_other_versions(self):
+        cache = ResultCache(64)
+        p = np.array([0.5, 0.25])
+        q = np.array([0.125, 0.75])
+        cache.put(cache.make_key("knn", 1, p, 0), "v0-p")
+        cache.put(cache.make_key("knn", 1, q, 0), "v0-q")
+        cache.put(cache.make_key("knn", 1, p, 1), "v1-p")
+        assert cache.evict_stale(1) == 2
+        assert len(cache) == 1
+        assert cache.get(cache.make_key("knn", 1, p, 1)) == "v1-p"
+        assert cache.get(cache.make_key("knn", 1, p, 0)) is None
+        assert cache.evict_stale(1) == 0  # idempotent
+
+    def test_swap_index_evicts_old_version_entries(self):
+        pts = uniform_cube(250, 2, seed=40)
+        mutable = MutableIndex(pts, k=1, seed=41, churn_threshold=0.5)
+        cache = ResultCache(512)
+        batcher = Batcher(mutable.snapshot(), kind="knn", k=1,
+                          max_batch=16, cache=cache)
+        probes = uniform_cube(20, 2, seed=42)
+        for row in probes:
+            batcher.submit(row)
+        batcher.flush()
+        assert len(cache) == 20
+        _mutated(mutable, seed=43)
+        batcher.swap_index(mutable.snapshot())
+        assert len(cache) == 0  # every v0 entry was unreachable anyway
+
+    def test_cache_stays_bounded_by_live_entries_across_n_swaps(self):
+        pts = uniform_cube(300, 2, seed=44)
+        mutable = MutableIndex(pts, k=1, seed=45, churn_threshold=0.5)
+        cache = ResultCache(10_000)  # far above the working set
+        batcher = Batcher(mutable.snapshot(), kind="knn", k=1,
+                          max_batch=64, cache=cache)
+        probes = uniform_cube(30, 2, seed=46)
+        for swap in range(6):
+            for row in probes:
+                batcher.submit(row)
+            batcher.flush()
+            # without eviction this would grow ~30 entries per swap
+            assert len(cache) <= probes.shape[0]
+            _mutated(mutable, seed=47 + swap, ins=2, dels=1)
+            batcher.swap_index(mutable.snapshot())
+        current = f"v{batcher.index.version}".encode()
+        assert all(key.split(b":", 3)[2] == current
+                   for key in cache._entries)

@@ -307,3 +307,29 @@ def test_api_serve_end_to_end(queries):
         for i, t in enumerate(tickets):
             assert np.array_equal(t.value[0], idx[i])
             assert np.array_equal(t.value[1], sq[i])
+
+
+def test_queue_depth_sampled_at_flush(queries):
+    """Satellite of ISSUE 8: the ``serve.queue_depth`` gauge is sampled at
+    batch-flush time (the depth that triggered execution), and every
+    flush appends to the ``serve.queue_depth_flush`` series."""
+    machine = Machine()
+    pts = repro.workloads.uniform_cube(400, 2, seed=21)
+    index = ServingIndex.build(pts, 1, machine=machine, seed=22)
+    batcher = Batcher(index, kind="knn", k=1, max_batch=16, machine=machine)
+    for row in queries[:16]:  # fills the batch -> auto-flush at depth 16
+        batcher.submit(row)
+    for row in queries[16:23]:  # partial batch -> explicit flush at depth 7
+        batcher.submit(row)
+    batcher.flush()
+    assert machine.metrics.samples("serve.queue_depth_flush") == [16, 7]
+    # the live gauge returns to 0 once the queue has executed...
+    assert batcher.stats.queue_depth == 0
+    # ...and an empty flush records nothing
+    batcher.flush()
+    assert machine.metrics.samples("serve.queue_depth_flush") == [16, 7]
+    batcher.close()
+    # both sinks: the series reaches the Prometheus exposition too
+    text = machine.metrics.to_prometheus()
+    assert 'repro_serve_queue_depth_flush_count{key="serve.queue_depth_flush"} 2.0' in text
+    assert 'repro_serve_queue_depth_flush_max{key="serve.queue_depth_flush"} 16.0' in text
