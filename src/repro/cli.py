@@ -309,6 +309,24 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["auto", "uvloop", "asyncio"],
                         help="event loop: auto uses uvloop when installed "
                              "(repro[net] extra), asyncio never probes")
+    nserve.add_argument("--no-trace-requests", action="store_true",
+                        help="do not retain per-request timelines (responses "
+                             "are byte-identical either way; /debug/* answer "
+                             "empty)")
+    nserve.add_argument("--recorder-capacity", type=int, default=256,
+                        help="flight-recorder ring size (last-N timelines)")
+    nserve.add_argument("--recorder-slow-k", type=int, default=16,
+                        help="slowest-request timelines retained")
+    nserve.add_argument("--slo-objective", type=float, default=0.95,
+                        help="fraction of requests that must meet --slo-p95-ms "
+                             "(SLO tracking needs --slo-p95-ms)")
+    nserve.add_argument("--slo-error-objective", type=float, default=0.999,
+                        help="availability objective for the error burn rate")
+    nserve.add_argument("--window-latency-source", default="ring",
+                        choices=["ring", "slo"],
+                        help="p95 feed for the adaptive window: the "
+                             "controller's private ring, or the SLO tracker's "
+                             "rolling histogram (needs --slo-p95-ms)")
 
     nload = netsub.add_parser(
         "load", help="open-loop fixed-QPS load sweep against a net server"
@@ -340,6 +358,25 @@ def build_parser() -> argparse.ArgumentParser:
                             "(adaptive, fixed at the ceiling, fixed at 0)")
     nload.add_argument("--out", default=None, metavar="PATH",
                        help="also write the p50/p99-vs-QPS table here")
+    nload.add_argument("--debug-dump", default=None, metavar="PATH",
+                       help="after the sweep, fetch the server's flight "
+                            "recorder (/debug/requests, /debug/slow, "
+                            "/debug/vars) and write the JSON dump here")
+
+    ndebug = netsub.add_parser(
+        "debug", help="inspect a live net server's flight recorder and vars"
+    )
+    ndebug.add_argument("what", nargs="?", default="vars",
+                        choices=["requests", "slow", "vars"],
+                        help="requests: last-N timelines; slow: slowest-K "
+                             "with queued/execute breakdown; vars: one-stop "
+                             "server state dump")
+    ndebug.add_argument("--host", default="127.0.0.1", help="target server host")
+    ndebug.add_argument("--port", type=int, default=8377, help="target server port")
+    ndebug.add_argument("--limit", type=int, default=None,
+                        help="cap on returned timelines (requests/slow)")
+    ndebug.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the raw JSON instead of a table")
 
     bench = sub.add_parser(
         "bench", help="micro-benchmark the hot-path kernel backends"
@@ -899,6 +936,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"p95={np.percentile(lat_ms, 95):.3f}ms "
           f"p99={np.percentile(lat_ms, 99):.3f}ms "
           f"max={lat_ms.max():.3f}ms   QPS={n_req / wall:,.0f}")
+    hist = stats.request_ms
+    if hist.count:
+        # the server-side histogram next to the exact client-side numbers:
+        # bucketed, so quantiles are interpolated within log-linear buckets
+        print(f"server-side request_ms (histogram, {hist.count} obs): "
+              f"p50={hist.percentile(50):.3f}ms "
+              f"p95={hist.percentile(95):.3f}ms "
+              f"p99={hist.percentile(99):.3f}ms")
     if mut_groups:
         unfulfilled = sum(1 for t in tickets if not t.done)
         versions = np.array(ticket_versions)
@@ -973,6 +1018,12 @@ def _net_config_from_args(args: argparse.Namespace):
         cache_size=args.cache_size, cache_decimals=args.cache_decimals,
         serve_workers=args.serve_workers,
         drain_timeout_s=args.drain_timeout_s, uvloop=args.uvloop,
+        trace_requests=not args.no_trace_requests,
+        recorder_capacity=args.recorder_capacity,
+        recorder_slow_k=args.recorder_slow_k,
+        slo_objective=args.slo_objective,
+        slo_error_objective=args.slo_error_objective,
+        window_latency_source=args.window_latency_source,
     )
 
 
@@ -1011,7 +1062,95 @@ def _cmd_net_serve(args: argparse.Namespace) -> int:
     print(f"net: drained clean={summary['clean']} "
           f"inflight_remaining={summary['inflight_remaining']} "
           f"flushed={summary['flushed']}")
+    rq = summary.get("request_ms")
+    if rq:
+        print(f"net: server-side request_ms ({rq['count']} obs): "
+              f"p50={rq['p50']:.3f}ms p95={rq['p95']:.3f}ms "
+              f"p99={rq['p99']:.3f}ms max={rq['max']:.3f}ms")
+    for name, slo in sorted(summary.get("slo", {}).items()):
+        w5 = slo["windows"].get("5m", {})
+        p95 = slo["p95_ms"]
+        att = w5.get("attainment")
+        burn = w5.get("burn_rate")
+        print(f"net: slo[{name}] target={slo['target_ms']:g}ms "
+              f"p95={'n/a' if p95 is None else '%.3fms' % p95} "
+              f"attainment_5m={'n/a' if att is None else '%.4f' % att} "
+              f"burn_5m={'n/a' if burn is None else '%.2f' % burn} "
+              f"errors={slo['errors']}/{slo['total']}")
     return 0 if summary["clean"] else 1
+
+
+def _timeline_table(rows) -> str:
+    """Fixed-width rendering of flight-recorder timeline dicts."""
+    lines = [
+        f"{'request id':<28} {'kind':<7} {'tenant':<10} {'st':>3} "
+        f"{'total ms':>9} {'queued':>8} {'exec':>8} {'batch':>6} "
+        f"{'bsz':>4} {'ver':>4} {'hit':>3}"
+    ]
+    for t in rows:
+        lines.append(
+            f"{str(t.get('request_id', ''))[:28]:<28} "
+            f"{str(t.get('kind', '')):<7} "
+            f"{str(t.get('tenant') or '-')[:10]:<10} "
+            f"{t.get('status') or 0:>3} "
+            f"{t.get('total_ms', 0.0):>9.2f} {t.get('queued_ms', 0.0):>8.2f} "
+            f"{t.get('execute_ms', 0.0):>8.2f} "
+            f"{t.get('batch_id') if t.get('batch_id') is not None else '-':>6} "
+            f"{t.get('batch_size') if t.get('batch_size') is not None else '-':>4} "
+            f"{t.get('index_version') if t.get('index_version') is not None else '-':>4} "
+            f"{'y' if t.get('cache_hit') else 'n':>3}"
+        )
+    return "\n".join(lines)
+
+
+def _fetch_debug_dump(host: str, port: int) -> dict:
+    """One JSON blob from all three ``/debug/*`` endpoints of a server."""
+    import asyncio
+
+    from .net import http_request
+
+    async def _all() -> dict:
+        out = {}
+        for name, path in (("requests", "/debug/requests"),
+                           ("slow", "/debug/slow"),
+                           ("vars", "/debug/vars")):
+            status, payload, _ = await http_request(
+                host, port, path, method="GET")
+            out[name] = payload if status == 200 else {"http_status": status}
+        return out
+
+    return asyncio.run(_all())
+
+
+def _cmd_net_debug(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .net import http_request
+
+    path = {"requests": "/debug/requests", "slow": "/debug/slow",
+            "vars": "/debug/vars"}[args.what]
+    if args.limit is not None and args.what != "vars":
+        path += f"?limit={args.limit}"
+    try:
+        status, payload, text = asyncio.run(
+            http_request(args.host, args.port, path, method="GET"))
+    except (ConnectionError, OSError) as exc:
+        print(f"net debug: cannot reach {args.host}:{args.port}: {exc}")
+        return 1
+    if status != 200:
+        print(f"GET {path} -> HTTP {status}: {text.strip()}")
+        return 1
+    if args.as_json or args.what == "vars":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    key = "requests" if args.what == "requests" else "slowest"
+    rows = payload.get(key, [])
+    print(f"net debug {args.what}: tracing={payload.get('tracing')} "
+          f"recorded={payload.get('recorded')} showing={len(rows)}")
+    if rows:
+        print(_timeline_table(rows))
+    return 0
 
 
 def _cmd_net_load(args: argparse.Namespace) -> int:
@@ -1022,6 +1161,7 @@ def _cmd_net_load(args: argparse.Namespace) -> int:
 
     pts = _load_points(args)
     sections = []
+    debug_dumps = {}
 
     def _sweep(host: str, port: int, title: str) -> None:
         results = asyncio.run(sweep(
@@ -1053,10 +1193,15 @@ def _cmd_net_load(args: argparse.Namespace) -> int:
                        f"net load  window={mode} (self-serve n={pts.shape[0]:,} "
                        f"k={args.k} arrivals={args.arrivals} "
                        f"duration={args.duration:g}s/level)")
+                # grab the flight recorder before the drain tears it down
+                if args.debug_dump:
+                    debug_dumps[mode] = _fetch_debug_dump("127.0.0.1", st.port)
     else:
         _sweep(args.host, args.port,
                f"net load  {args.host}:{args.port} "
                f"(arrivals={args.arrivals} duration={args.duration:g}s/level)")
+        if args.debug_dump:
+            debug_dumps["target"] = _fetch_debug_dump(args.host, args.port)
 
     text = "\n\n".join(sections)
     print(text)
@@ -1065,11 +1210,21 @@ def _cmd_net_load(args: argparse.Namespace) -> int:
         with open(args.out, "w") as fh:
             fh.write(text + "\n")
         print(f"wrote {args.out}")
+    if args.debug_dump:
+        import json
+
+        out_dir = os.path.dirname(os.path.abspath(args.debug_dump))
+        os.makedirs(out_dir, exist_ok=True)
+        with open(args.debug_dump, "w") as fh:
+            json.dump(debug_dumps, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote flight-recorder dump {args.debug_dump}")
     return 0
 
 
 def _cmd_net(args: argparse.Namespace) -> int:
-    return {"serve": _cmd_net_serve, "load": _cmd_net_load}[args.net_command](args)
+    return {"serve": _cmd_net_serve, "load": _cmd_net_load,
+            "debug": _cmd_net_debug}[args.net_command](args)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -25,7 +25,7 @@ from .admission import AdmissionController, NetStats, TokenBucket
 from .config import NetConfig, UVLOOP_MODES
 from .drain import drain, install_signal_handlers
 from .http import HttpError, Request, json_response, read_request, render_response
-from .loadgen import LoadResult, format_table, http_request, run_load, sweep
+from .loadgen import LoadResult, format_table, http_fetch, http_request, run_load, sweep
 from .server import NetServer, ServerThread
 from .tenancy import DEFAULT_TENANT, Tenant, TenantManager
 
@@ -46,6 +46,7 @@ __all__ = [
     "UVLOOP_MODES",
     "drain",
     "format_table",
+    "http_fetch",
     "http_request",
     "install_event_loop",
     "install_signal_handlers",

@@ -58,6 +58,14 @@ class AdaptiveWindow:
         (0.0 keeps the classic flush-immediately behavior when idle).
     latency_window:
         Ring-buffer length for the p95 estimate.
+    latency_source:
+        Optional callable returning the current p95 estimate in
+        milliseconds (or ``None`` while unknown).  When set it replaces
+        the private ring buffer as the controller's latency eye — the
+        server wires an :class:`~repro.obs.rt.SLOTracker`'s rolling
+        histogram p95 here (``NetConfig.window_latency_source="slo"``),
+        so the window controller and the SLO report read the same
+        number.
     metrics:
         Registry receiving the ``net.window_ms`` gauge and
         ``net.window_ticks`` series (``None`` records nothing).
@@ -74,6 +82,7 @@ class AdaptiveWindow:
         alpha: float = 0.2,
         floor_ms: float = 0.0,
         latency_window: int = 256,
+        latency_source: Optional[Callable[[], Optional[float]]] = None,
         metrics: Optional[Metrics] = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
@@ -92,6 +101,7 @@ class AdaptiveWindow:
         self.slo_p95_ms = slo_p95_ms
         self.alpha = float(alpha)
         self.floor_ms = float(floor_ms)
+        self.latency_source = latency_source
         self.metrics = metrics
         self.clock = clock
         self._rate = 0.0  # EWMA arrivals/second
@@ -146,7 +156,11 @@ class AdaptiveWindow:
         self._latencies.append(float(latency_ms))
 
     def observed_p95_ms(self) -> Optional[float]:
-        """p95 of the recent-latency ring buffer (``None`` when empty)."""
+        """The p95 estimate the window decision uses: the external
+        ``latency_source`` when one is wired, else the private ring
+        buffer (``None`` while no latency has been observed)."""
+        if self.latency_source is not None:
+            return self.latency_source()
         if not self._latencies:
             return None
         ordered = sorted(self._latencies)

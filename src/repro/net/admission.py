@@ -42,7 +42,10 @@ class NetStats(MetricsView):
     ``window_ms`` (the adaptive controller's latest batching-window
     decision), ``draining`` (0/1), ``tenants``.
     Series: ``window_ticks`` (every window decision, auditable via the
-    metrics sinks), ``request_ms`` (per-request wall latency samples).
+    metrics sinks).
+    Histograms: ``request_ms`` — per-request wall latency, bucketed
+    (mergeable, Prometheus ``histogram`` exposition, p50/p95/p99
+    computable server-side; was a raw sample series before ISSUE 9).
     """
 
     _NS = "net"
@@ -60,7 +63,8 @@ class NetStats(MetricsView):
         "http_errors",
     )
     _GAUGE_FIELDS = ("inflight", "window_ms", "draining", "tenants")
-    _SERIES_FIELDS = ("window_ticks", "request_ms")
+    _SERIES_FIELDS = ("window_ticks",)
+    _HISTOGRAM_FIELDS = ("request_ms",)
 
 
 class TokenBucket:

@@ -77,6 +77,26 @@ class NetConfig:
         Largest accepted request body (HTTP 413 past it).
     uvloop:
         Event-loop policy mode, one of :data:`UVLOOP_MODES`.
+    trace_requests:
+        Record a :class:`~repro.obs.rt.RequestTimeline` per request into
+        the flight recorder (and feed the SLO tracker).  Off, the
+        ``/debug/*`` endpoints answer with an empty recorder; responses
+        are byte-identical either way (``X-Request-Id`` is always
+        echoed/assigned — tracing only decides whether a timeline is
+        *retained*).
+    recorder_capacity, recorder_slow_k:
+        Flight-recorder retention: ring size for the last-N timelines
+        and K for the slowest-request heap.
+    slo_objective, slo_error_objective:
+        SLO targets per tenant: the fraction of requests that must meet
+        ``slo_p95_ms`` (latency objective) and the availability
+        objective the error burn rate is computed against.  Trackers are
+        created only when ``slo_p95_ms`` is set.
+    window_latency_source:
+        Where the adaptive window's p95 estimate comes from: ``"ring"``
+        (the controller's private latency ring, the pre-ISSUE-9
+        behavior) or ``"slo"`` (the SLO tracker's rolling histogram p95;
+        requires ``slo_p95_ms``).
     """
 
     host: str = "127.0.0.1"
@@ -95,6 +115,12 @@ class NetConfig:
     drain_timeout_s: float = 10.0
     max_body_bytes: int = 8 << 20
     uvloop: str = "auto"
+    trace_requests: bool = True
+    recorder_capacity: int = 256
+    recorder_slow_k: int = 16
+    slo_objective: float = 0.95
+    slo_error_objective: float = 0.999
+    window_latency_source: str = "ring"
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -125,3 +151,26 @@ class NetConfig:
             raise ValueError(
                 f"unknown uvloop mode {self.uvloop!r}; choose from {UVLOOP_MODES}"
             )
+        if self.recorder_capacity < 1:
+            raise ValueError(
+                f"recorder_capacity must be >= 1, got {self.recorder_capacity}"
+            )
+        if self.recorder_slow_k < 0:
+            raise ValueError(
+                f"recorder_slow_k must be >= 0, got {self.recorder_slow_k}"
+            )
+        if not 0.0 < self.slo_objective < 1.0:
+            raise ValueError(
+                f"slo_objective must be in (0, 1), got {self.slo_objective}"
+            )
+        if not 0.0 < self.slo_error_objective < 1.0:
+            raise ValueError(
+                f"slo_error_objective must be in (0, 1), got {self.slo_error_objective}"
+            )
+        if self.window_latency_source not in ("ring", "slo"):
+            raise ValueError(
+                "window_latency_source must be 'ring' or 'slo', "
+                f"got {self.window_latency_source!r}"
+            )
+        if self.window_latency_source == "slo" and self.slo_p95_ms is None:
+            raise ValueError("window_latency_source='slo' requires slo_p95_ms")

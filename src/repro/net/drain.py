@@ -45,7 +45,10 @@ async def drain(server: "NetServer", *, timeout_s: float | None = None) -> Dict[
     Summary fields: ``inflight_at_start``, ``inflight_remaining`` (0
     unless the timeout forced the drain), ``flushed`` (batched requests
     executed during the drain), ``timed_out``, ``clean`` (every admitted
-    request answered).
+    request answered), ``request_ms`` (server-side percentiles from the
+    ``net.request_ms`` histogram, when any request was served) and
+    ``slo`` (per-tenant :meth:`~repro.obs.rt.SLOTracker.summary`, when
+    SLO tracking is configured).
     """
     existing = getattr(server, "_drain_summary", None)
     if existing is not None:
@@ -82,6 +85,12 @@ async def drain(server: "NetServer", *, timeout_s: float | None = None) -> Dict[
     if tasks:
         await asyncio.gather(*tasks, return_exceptions=True)
     server.tenants.close_all(flush=True)
+    # the drain is complete: every tenant's queue is either served or
+    # deliberately dropped, so *now* the live queue-depth gauges read 0
+    # (the batcher itself no longer zeroes them mid-shutdown — see
+    # Batcher.close — so a /metrics scrape during the drain stays honest)
+    for tenant in server.tenants.tenants():
+        tenant.batcher.stats.queue_depth = 0
     if server._server is not None:
         try:
             await server._server.wait_closed()
@@ -95,6 +104,17 @@ async def drain(server: "NetServer", *, timeout_s: float | None = None) -> Dict[
         "timed_out": remaining > 0,
         "clean": remaining == 0,
     }
+    hist = server.metrics.histograms.get("net.request_ms")
+    if hist is not None and hist.count:
+        summary["request_ms"] = hist.summary()
+    slo_summaries = {
+        name: state.slo.summary()
+        for name, state in sorted(server._loops.items())
+        if state.slo is not None
+    }
+    if slo_summaries:
+        server._export_slo()
+        summary["slo"] = slo_summaries
     server._drain_summary = summary
     return summary
 

@@ -32,37 +32,50 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["LoadResult", "format_table", "http_request", "run_load", "sweep", "ARRIVALS"]
+__all__ = [
+    "LoadResult",
+    "format_table",
+    "http_fetch",
+    "http_request",
+    "run_load",
+    "sweep",
+    "ARRIVALS",
+]
 
 #: Supported arrival processes.
 ARRIVALS = ("fixed", "poisson")
 
 
-async def http_request(
+async def http_fetch(
     host: str,
     port: int,
     path: str,
     payload: Optional[Dict[str, Any]] = None,
     *,
     method: str = "POST",
+    headers: Optional[Dict[str, str]] = None,
     timeout_s: float = 30.0,
-) -> Tuple[int, Dict[str, Any], str]:
-    """One HTTP request over its own connection.
+) -> Tuple[int, Dict[str, Any], str, Dict[str, str]]:
+    """One HTTP request over its own connection, headers included.
 
-    Returns ``(status, parsed_json_body, raw_body_text)`` — the minimal
-    JSON client the load generator, the CLI and the tests share.  The
-    body parses as ``{}`` when it is not JSON (``/metrics``).
+    Returns ``(status, parsed_json_body, raw_body_text, response_headers)``
+    with header names lowercased — the full-fidelity client; the common
+    case that only needs the body goes through :func:`http_request`.
+    ``headers`` adds request headers (``X-Request-Id`` propagation).
     """
     body = b"" if payload is None else json.dumps(payload).encode()
-    head = (
-        f"{method} {path} HTTP/1.1\r\n"
-        f"Host: {host}\r\n"
-        "Content-Type: application/json\r\n"
-        f"Content-Length: {len(body)}\r\n"
-        "Connection: close\r\n\r\n"
-    )
+    lines = [
+        f"{method} {path} HTTP/1.1",
+        f"Host: {host}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
 
-    async def _talk() -> Tuple[int, Dict[str, Any], str]:
+    async def _talk() -> Tuple[int, Dict[str, Any], str, Dict[str, str]]:
         reader, writer = await asyncio.open_connection(host, port)
         try:
             writer.write(head.encode() + body)
@@ -75,8 +88,14 @@ async def http_request(
             except (ConnectionError, OSError):
                 pass
         header_blob, _, payload_blob = raw.partition(b"\r\n\r\n")
-        status_line = header_blob.split(b"\r\n", 1)[0].decode("latin-1")
+        header_lines = header_blob.split(b"\r\n")
+        status_line = header_lines[0].decode("latin-1")
         status = int(status_line.split()[1])
+        resp_headers: Dict[str, str] = {}
+        for line in header_lines[1:]:
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                resp_headers[name.strip().lower()] = value.strip()
         text = payload_blob.decode("utf-8", errors="replace")
         try:
             parsed = json.loads(text) if text else {}
@@ -84,9 +103,33 @@ async def http_request(
             parsed = {}
         if not isinstance(parsed, dict):
             parsed = {"value": parsed}
-        return status, parsed, text
+        return status, parsed, text, resp_headers
 
     return await asyncio.wait_for(_talk(), timeout_s)
+
+
+async def http_request(
+    host: str,
+    port: int,
+    path: str,
+    payload: Optional[Dict[str, Any]] = None,
+    *,
+    method: str = "POST",
+    headers: Optional[Dict[str, str]] = None,
+    timeout_s: float = 30.0,
+) -> Tuple[int, Dict[str, Any], str]:
+    """One HTTP request over its own connection.
+
+    Returns ``(status, parsed_json_body, raw_body_text)`` — the minimal
+    JSON client the load generator, the CLI and the tests share.  The
+    body parses as ``{}`` when it is not JSON (``/metrics``).  Use
+    :func:`http_fetch` when response headers matter.
+    """
+    status, parsed, text, _ = await http_fetch(
+        host, port, path, payload, method=method, headers=headers,
+        timeout_s=timeout_s,
+    )
+    return status, parsed, text
 
 
 @dataclass
@@ -101,6 +144,7 @@ class LoadResult:
     rejected: int = 0
     deadline_exceeded: int = 0
     errors: int = 0
+    id_mismatches: int = 0
     elapsed_s: float = 0.0
     latencies_ms: List[float] = field(default_factory=list)
 
@@ -140,6 +184,7 @@ class LoadResult:
             "rejected": self.rejected,
             "deadline_exceeded": self.deadline_exceeded,
             "errors": self.errors,
+            "id_mismatches": self.id_mismatches,
             "achieved_qps": self.achieved_qps,
             "p50_ms": self.p50_ms,
             "p95_ms": self.p95_ms,
@@ -178,7 +223,11 @@ async def run_load(
 
     ``points`` is the pool query points are drawn from (uniformly, from
     ``seed``); each request carries one point, the natural online-serving
-    shape.  Returns the aggregated :class:`LoadResult`.
+    shape.  Every request sends a deterministic seeded ``X-Request-Id``
+    (``lg-<seed>-<i>``) and asserts it round-trips on the response —
+    ``id_mismatches`` counts responses whose echoed id was lost or wrong,
+    a canary for header loss in the hand-rolled HTTP path.  Returns the
+    aggregated :class:`LoadResult`.
     """
     if qps <= 0:
         raise ValueError(f"qps must be > 0, got {qps}")
@@ -194,7 +243,7 @@ async def run_load(
     choices = rng.integers(0, pts.shape[0], size=offsets.shape[0])
     result = LoadResult(qps_target=qps, duration_s=duration_s, arrivals=arrivals)
 
-    async def _one(offset: float, row: int) -> None:
+    async def _one(offset: float, row: int, seq: int) -> None:
         payload: Dict[str, Any] = {"point": pts[row].tolist()}
         if k is not None:
             payload["k"] = k
@@ -204,17 +253,21 @@ async def run_load(
             payload["index"] = index
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
+        rid = f"lg-{seed:08x}-{seq:08d}"
         # latency from the *scheduled* arrival: loop lag counts, as it
         # would for a real client
         scheduled = t0 + offset
         try:
-            status, _, _ = await http_request(
-                host, port, "/v1/query", payload, timeout_s=timeout_s
+            status, _, _, resp_headers = await http_fetch(
+                host, port, "/v1/query", payload,
+                headers={"X-Request-Id": rid}, timeout_s=timeout_s,
             )
         except (asyncio.TimeoutError, ConnectionError, OSError):
             result.errors += 1
             return
         latency_ms = (time.perf_counter() - scheduled) * 1e3
+        if resp_headers.get("x-request-id") != rid:
+            result.id_mismatches += 1
         if status == 200:
             result.ok += 1
             result.latencies_ms.append(latency_ms)
@@ -227,12 +280,12 @@ async def run_load(
 
     tasks: List["asyncio.Task[None]"] = []
     t0 = time.perf_counter()
-    for offset, row in zip(offsets.tolist(), choices.tolist()):
+    for seq, (offset, row) in enumerate(zip(offsets.tolist(), choices.tolist())):
         delay = t0 + offset - time.perf_counter()
         if delay > 0:
             await asyncio.sleep(delay)
         result.sent += 1
-        tasks.append(asyncio.ensure_future(_one(offset, int(row))))
+        tasks.append(asyncio.ensure_future(_one(offset, int(row), seq)))
     if tasks:
         await asyncio.gather(*tasks)
     result.elapsed_s = time.perf_counter() - t0

@@ -44,6 +44,7 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..obs.metrics import Metrics
+from ..obs.rt import FlightRecorder, RequestTimeline, SLOTracker
 from ..serve.batcher import Ticket
 from .adaptive import AdaptiveWindow
 from .admission import AdmissionController, NetStats
@@ -56,19 +57,26 @@ from .http import (
     read_request,
     render_response,
 )
-from .tenancy import Tenant, TenantManager
+from .tenancy import DEFAULT_TENANT, Tenant, TenantManager
 
 __all__ = ["NetServer", "ServerThread"]
 
 
 class _TenantLoop:
-    """Per-tenant flusher state: the waiter list and window controller."""
+    """Per-tenant flusher state: the waiter list, window controller and
+    SLO tracker."""
 
-    __slots__ = ("tenant", "window", "waiters", "event", "task")
+    __slots__ = ("tenant", "window", "slo", "waiters", "event", "task")
 
-    def __init__(self, tenant: Tenant, window: Optional[AdaptiveWindow]) -> None:
+    def __init__(
+        self,
+        tenant: Tenant,
+        window: Optional[AdaptiveWindow],
+        slo: Optional[SLOTracker] = None,
+    ) -> None:
         self.tenant = tenant
         self.window = window
+        self.slo = slo
         self.waiters: List[Tuple[Ticket, "asyncio.Future[None]"]] = []
         self.event = asyncio.Event()
         self.task: Optional["asyncio.Task[None]"] = None
@@ -93,7 +101,20 @@ class NetServer:
         200 with per-tenant state; 503 while draining.
     ``GET /metrics``
         Prometheus text exposition of the merged ``net.*`` + per-tenant
-        ``serve.*`` registries.
+        ``serve.*`` registries (histogram families included; SLO gauges
+        refreshed at scrape time).
+    ``GET /debug/requests`` / ``GET /debug/slow`` / ``GET /debug/vars``
+        The flight recorder (last-N timelines / slowest-K, optional
+        ``?limit=``) and a one-stop variables dump (uptime, in-flight,
+        tenants, SLO summaries, counters, gauges).
+
+    Every request is assigned an ``X-Request-Id`` — client-supplied, or
+    generated from a deterministic per-server counter — and the id is
+    echoed on the response (success and error alike, whenever the
+    request parsed far enough to have one).  With
+    ``config.trace_requests`` the request's full timeline lands in the
+    flight recorder; either way the response bytes are identical —
+    tracing only decides what is *retained*.
 
     Parameters
     ----------
@@ -128,6 +149,12 @@ class NetServer:
             stats=self.stats,
             clock=clock,
         )
+        self.recorder = FlightRecorder(
+            capacity=self.config.recorder_capacity,
+            slow_k=self.config.recorder_slow_k,
+        )
+        self._rid_seq = 0
+        self._started_at = time.time()
         self._loops: Dict[str, _TenantLoop] = {}
         self._draining = False
         self._server: Optional[asyncio.AbstractServer] = None
@@ -185,7 +212,26 @@ class NetServer:
                     metrics=self.metrics,
                     clock=self.clock,
                 )
-            state = _TenantLoop(tenant, window)
+            slo = None
+            if self.config.slo_p95_ms is not None:
+                prefix = (
+                    "net.slo"
+                    if tenant.name == DEFAULT_TENANT
+                    else f"net.slo.{tenant.name}"
+                )
+                slo = SLOTracker(
+                    self.config.slo_p95_ms,
+                    objective=self.config.slo_objective,
+                    error_objective=self.config.slo_error_objective,
+                    metrics=self.metrics,
+                    prefix=prefix,
+                    clock=self.clock,
+                )
+                if window is not None and self.config.window_latency_source == "slo":
+                    # one latency eye for both: the window controller
+                    # steers by the same rolling p95 the SLO reports
+                    window.latency_source = slo.p95_ms
+            state = _TenantLoop(tenant, window, slo)
             state.task = asyncio.get_running_loop().create_task(
                 self._flusher(state), name=f"repro-net-flusher-{tenant.name}"
             )
@@ -217,11 +263,13 @@ class NetServer:
                     return
                 if request is None:
                     return
+                rid = self._request_id(request)
                 try:
-                    response = await self._route(request)
+                    response = await self._route(request, rid)
                 except HttpError as exc:
                     self.stats.http_errors += 1
                     status, payload, headers = error_payload(exc)
+                    headers["X-Request-Id"] = rid
                     response = json_response(
                         status,
                         payload,
@@ -234,6 +282,7 @@ class NetServer:
                         500,
                         {"error": f"{type(exc).__name__}: {exc}", "status": 500},
                         keep_alive=request.keep_alive,
+                        extra_headers={"X-Request-Id": rid},
                     )
                 writer.write(response)
                 await writer.drain()
@@ -248,20 +297,39 @@ class NetServer:
             except (ConnectionError, OSError):
                 pass
 
-    async def _route(self, request: Request) -> bytes:
+    def _request_id(self, request: Request) -> str:
+        """The request's trace id: client-supplied, or generated.
+
+        Generated ids come from a deterministic per-server counter, so
+        two servers fed the same request stream assign the same ids —
+        part of the byte-stability contract the overhead harness checks.
+        """
+        rid = request.headers.get("x-request-id", "").strip()
+        if rid:
+            return rid[:128]
+        self._rid_seq += 1
+        return f"r{self._rid_seq:012x}"
+
+    async def _route(self, request: Request, rid: str) -> bytes:
         if request.path == "/healthz" and request.method == "GET":
-            return self._handle_healthz(request)
+            return self._handle_healthz(request, rid)
         if request.path == "/metrics" and request.method == "GET":
-            return self._handle_metrics(request)
+            return self._handle_metrics(request, rid)
         if request.path == "/v1/query" and request.method == "POST":
-            return await self._handle_query(request)
+            return await self._handle_query(request, rid)
         if request.path == "/v1/mutate" and request.method == "POST":
-            return await self._handle_mutate(request)
+            return await self._handle_mutate(request, rid)
+        if request.path == "/debug/requests" and request.method == "GET":
+            return self._handle_debug_requests(request, rid)
+        if request.path == "/debug/slow" and request.method == "GET":
+            return self._handle_debug_slow(request, rid)
+        if request.path == "/debug/vars" and request.method == "GET":
+            return self._handle_debug_vars(request, rid)
         raise HttpError(404, f"no route for {request.method} {request.path}")
 
     # -- plain endpoints ---------------------------------------------------
 
-    def _handle_healthz(self, request: Request) -> bytes:
+    def _handle_healthz(self, request: Request, rid: str) -> bytes:
         payload = {
             "status": "draining" if self._draining else "ok",
             "draining": self._draining,
@@ -269,9 +337,20 @@ class NetServer:
             "tenants": [t.describe() for t in self.tenants.tenants()],
         }
         status = 503 if self._draining else 200
-        return json_response(status, payload, keep_alive=request.keep_alive)
+        return json_response(
+            status, payload, keep_alive=request.keep_alive,
+            extra_headers={"X-Request-Id": rid},
+        )
 
-    def _handle_metrics(self, request: Request) -> bytes:
+    def _export_slo(self) -> None:
+        """Refresh every tenant's ``net.slo.*`` gauges (scrape-time, so
+        the per-request path never pays the window fold)."""
+        for state in self._loops.values():
+            if state.slo is not None:
+                state.slo.export()
+
+    def _handle_metrics(self, request: Request, rid: str) -> bytes:
+        self._export_slo()
         merged = self.tenants.collect_metrics(self.metrics)
         text = merged.to_prometheus()
         return render_response(
@@ -279,6 +358,76 @@ class NetServer:
             text.encode(),
             content_type="text/plain; version=0.0.4",
             keep_alive=request.keep_alive,
+            extra_headers={"X-Request-Id": rid},
+        )
+
+    # -- debug endpoints ---------------------------------------------------
+
+    @staticmethod
+    def _debug_limit(request: Request) -> Optional[int]:
+        raw = request.query.get("limit")
+        if raw is None:
+            return None
+        try:
+            limit = int(raw)
+        except ValueError:
+            raise HttpError(400, f"bad limit {raw!r}") from None
+        if limit < 0:
+            raise HttpError(400, f"limit must be >= 0, got {limit}")
+        return limit
+
+    def _handle_debug_requests(self, request: Request, rid: str) -> bytes:
+        payload = {
+            "tracing": self.config.trace_requests,
+            "recorded": self.recorder.recorded,
+            "requests": [
+                t.to_dict() for t in self.recorder.recent(self._debug_limit(request))
+            ],
+        }
+        return json_response(
+            200, payload, keep_alive=request.keep_alive,
+            extra_headers={"X-Request-Id": rid},
+        )
+
+    def _handle_debug_slow(self, request: Request, rid: str) -> bytes:
+        payload = {
+            "tracing": self.config.trace_requests,
+            "recorded": self.recorder.recorded,
+            "slowest": [
+                t.to_dict() for t in self.recorder.slowest(self._debug_limit(request))
+            ],
+        }
+        return json_response(
+            200, payload, keep_alive=request.keep_alive,
+            extra_headers={"X-Request-Id": rid},
+        )
+
+    def _handle_debug_vars(self, request: Request, rid: str) -> bytes:
+        self._export_slo()
+        merged = self.tenants.collect_metrics(self.metrics)
+        payload = {
+            "uptime_s": time.time() - self._started_at,
+            "draining": self._draining,
+            "inflight": self.admission.inflight,
+            "tracing": self.config.trace_requests,
+            "tenants": [t.describe() for t in self.tenants.tenants()],
+            "recorder": {
+                "recorded": self.recorder.recorded,
+                "retained": len(self.recorder),
+                "capacity": self.recorder.capacity,
+                "slow_k": self.recorder.slow_k,
+            },
+            "slo": {
+                name: state.slo.summary()
+                for name, state in sorted(self._loops.items())
+                if state.slo is not None
+            },
+            "counters": dict(sorted(merged.counters.items())),
+            "gauges": dict(sorted(merged.gauges.items())),
+        }
+        return json_response(
+            200, payload, keep_alive=request.keep_alive,
+            extra_headers={"X-Request-Id": rid},
         )
 
     # -- admission-gated endpoints -----------------------------------------
@@ -296,55 +445,131 @@ class NetServer:
                 retry_after=retry_after,
             )
 
-    async def _handle_query(self, request: Request) -> bytes:
-        self._admit()
-        t0 = self.clock()
+    def _record_rejection(self, rid: str, kind: str, exc: HttpError) -> None:
+        """File a timeline for a request refused at the door."""
+        if not self.config.trace_requests:
+            return
+        self.recorder.record(
+            RequestTimeline(
+                request_id=rid,
+                kind=kind,
+                status=exc.status,
+                admitted_at=time.time(),
+                error=exc.message,
+            )
+        )
+
+    async def _handle_query(self, request: Request, rid: str) -> bytes:
         try:
-            payload = request.json()
-            tenant = self._resolve_tenant(payload)
-            points = self._parse_points(payload, tenant.d)
-            kind = payload.get("kind", "knn")
-            if kind not in ("knn", "covering"):
-                raise HttpError(400, f"unknown kind {kind!r}")
-            k = payload.get("k")
-            if k is not None:
-                if not isinstance(k, int) or isinstance(k, bool) or k < 1:
-                    raise HttpError(400, f"k must be a positive integer, got {k!r}")
-            deadline_ms = self._resolve_deadline(payload)
-            state = self._loop_state(tenant)
-            m = points.shape[0]
-            self.stats.queries += 1
-            self.stats.query_points += m
-            if state.window is not None:
-                state.window.on_arrival(count=m)
-            version = tenant.version
-            if kind == "knn" and (k is None or k == tenant.k):
-                values = await self._submit_batched(tenant, state, points, deadline_ms)
-            else:
-                # k override / covering: direct execution against the
-                # same snapshot — batch-independent, so still bit-identical
-                values = tenant.execute_direct(kind, points, k)
-            results = _serialize_results(kind, values)
-            latency_ms = (self.clock() - t0) * 1e3
-            self.stats.request_ms.append(latency_ms)
-            if state.window is not None:
-                state.window.on_latency(latency_ms)
-            body = {
-                "index": tenant.name,
-                "version": version,
-                "kind": kind,
-                "k": tenant.k if (kind == "knn" and k is None) else k,
-                "results": results,
-            }
-            return json_response(200, body, keep_alive=request.keep_alive)
+            self._admit()
+        except HttpError as exc:
+            self._record_rejection(rid, "query", exc)
+            raise
+        t0 = self.clock()
+        tl = RequestTimeline(request_id=rid, kind="query", admitted_at=time.time())
+        state: Optional[_TenantLoop] = None
+        try:
+            try:
+                payload = request.json()
+                tenant = self._resolve_tenant(payload)
+                points = self._parse_points(payload, tenant.d)
+                kind = payload.get("kind", "knn")
+                if kind not in ("knn", "covering"):
+                    raise HttpError(400, f"unknown kind {kind!r}")
+                tl.kind = kind
+                tl.tenant = tenant.name
+                k = payload.get("k")
+                if k is not None:
+                    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+                        raise HttpError(400, f"k must be a positive integer, got {k!r}")
+                deadline_ms = self._resolve_deadline(payload)
+                state = self._loop_state(tenant)
+                m = points.shape[0]
+                tl.points = m
+                self.stats.queries += 1
+                self.stats.query_points += m
+                if state.window is not None:
+                    state.window.on_arrival(count=m)
+                version = tenant.version
+                tl.index_version = version
+                if kind == "knn" and (k is None or k == tenant.k):
+                    tickets = await self._submit_batched(
+                        tenant, state, points, deadline_ms
+                    )
+                    values = [t.value for t in tickets]
+                    tl.cache_hit = all(t.cached for t in tickets)
+                    executed = [t for t in tickets if not t.cached]
+                    if executed:
+                        # multi-point requests may span batches: report the
+                        # first batch's identity, the worst queue wait and
+                        # the worst execute (what the request's tail paid)
+                        tl.batch_id = executed[0].batch_id
+                        tl.batch_size = executed[0].batch_size
+                        tl.execute_ms = max(t.execute_ms or 0.0 for t in executed)
+                        tl.queued_ms = max(
+                            max(
+                                0.0,
+                                (t.completed_at - t.submitted_at) * 1e3
+                                - (t.execute_ms or 0.0),
+                            )
+                            for t in executed
+                        )
+                    else:
+                        tl.queued_ms = 0.0
+                        tl.execute_ms = 0.0
+                else:
+                    # k override / covering: direct execution against the
+                    # same snapshot — batch-independent, so still bit-identical
+                    te0 = self.clock()
+                    values = tenant.execute_direct(kind, points, k)
+                    tl.execute_ms = (self.clock() - te0) * 1e3
+                    tl.queued_ms = 0.0
+                    tl.cache_hit = False
+                results = _serialize_results(kind, values)
+                latency_ms = (self.clock() - t0) * 1e3
+                self.stats.request_ms.observe(latency_ms)
+                if state.window is not None:
+                    state.window.on_latency(latency_ms)
+                tl.status = 200
+                body = {
+                    "index": tenant.name,
+                    "version": version,
+                    "kind": kind,
+                    "k": tenant.k if (kind == "knn" and k is None) else k,
+                    "results": results,
+                }
+                return json_response(
+                    200, body, keep_alive=request.keep_alive,
+                    extra_headers={"X-Request-Id": rid},
+                )
+            except HttpError as exc:
+                tl.status = exc.status
+                tl.error = exc.message
+                raise
+            except Exception as exc:
+                tl.status = 500
+                tl.error = f"{type(exc).__name__}: {exc}"
+                raise
         finally:
+            tl.total_ms = (self.clock() - t0) * 1e3
+            if self.config.trace_requests:
+                self.recorder.record(tl)
+            if state is not None and state.slo is not None:
+                state.slo.record(tl.total_ms, ok=tl.ok)
             self.admission.release()
 
-    async def _handle_mutate(self, request: Request) -> bytes:
-        self._admit()
+    async def _handle_mutate(self, request: Request, rid: str) -> bytes:
+        try:
+            self._admit()
+        except HttpError as exc:
+            self._record_rejection(rid, "mutate", exc)
+            raise
+        t0 = self.clock()
+        tl = RequestTimeline(request_id=rid, kind="mutate", admitted_at=time.time())
         try:
             payload = request.json()
             tenant = self._resolve_tenant(payload)
+            tl.tenant = tenant.name
             inserts = None
             if "insert" in payload:
                 inserts = self._parse_points(
@@ -372,10 +597,13 @@ class NetServer:
             if state is not None:
                 self._settle(state)
             self.stats.mutations += n_ops
+            tl.points = n_ops
             committed = info is not None and not info.noop
             if committed:
                 self.stats.commits += 1
             ins_pending, del_pending = tenant.index.pending
+            tl.index_version = tenant.version
+            tl.status = 200
             body: Dict[str, Any] = {
                 "index": tenant.name,
                 "version": tenant.version,
@@ -393,8 +621,22 @@ class NetServer:
                     "punted": info.punted,
                     "noop": info.noop,
                 }
-            return json_response(200, body, keep_alive=request.keep_alive)
+            return json_response(
+                200, body, keep_alive=request.keep_alive,
+                extra_headers={"X-Request-Id": rid},
+            )
+        except HttpError as exc:
+            tl.status = exc.status
+            tl.error = exc.message
+            raise
+        except Exception as exc:
+            tl.status = 500
+            tl.error = f"{type(exc).__name__}: {exc}"
+            raise
         finally:
+            tl.total_ms = tl.execute_ms = (self.clock() - t0) * 1e3
+            if self.config.trace_requests:
+                self.recorder.record(tl)
             self.admission.release()
 
     # -- request plumbing --------------------------------------------------
@@ -469,7 +711,7 @@ class NetServer:
         state: _TenantLoop,
         points: np.ndarray,
         deadline_ms: Optional[float],
-    ) -> List[Any]:
+    ) -> List[Ticket]:
         # submit() may auto-flush at max_batch, fulfilling earlier
         # waiters' tickets along the way — settle them before waiting
         tickets = [tenant.batcher.submit(row) for row in points]
@@ -495,7 +737,7 @@ class NetServer:
                     raise HttpError(
                         504, f"deadline of {deadline_ms:g}ms exceeded"
                     ) from None
-        return [t.value for t in tickets]
+        return tickets
 
     async def _flusher(self, state: _TenantLoop) -> None:
         """Per-tenant batch trigger: flush when the window elapses.

@@ -267,6 +267,8 @@ class TenantManager:
                 merged.set_gauge(prefix + key, value)
             for key, values in src.series.items():
                 merged.samples(prefix + key).extend(values)
+            for key, hist in src.histograms.items():
+                merged.histogram(prefix + key, hist.bounds).merge(hist)
         return merged
 
     def close_all(self, *, flush: bool = True) -> None:

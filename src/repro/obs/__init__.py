@@ -20,7 +20,12 @@ It provides:
   ``docs/telemetry_events.schema.json``) and Prometheus text exposition
   of the metrics registry;
 - :mod:`~repro.obs.overhead` — self-benchmark of tracing overhead against
-  the <5% wall-clock budget.
+  the <5% wall-clock budget;
+- :mod:`~repro.obs.rt` — request-time observability for the serving
+  front-end: per-request :class:`~repro.obs.rt.RequestTimeline` records,
+  the bounded :class:`~repro.obs.rt.FlightRecorder` behind the
+  ``/debug/*`` endpoints, and the multi-window
+  :class:`~repro.obs.rt.SLOTracker` (attainment + burn rates).
 
 Tracing is strictly passive: it never charges the machine ledger, and a
 machine without a tracer records nothing (zero entries, identical costs).
@@ -34,19 +39,32 @@ from .export import (
     validate_event,
     write_events_jsonl,
 )
-from .metrics import Metrics, MetricsView
+from .metrics import (
+    DEFAULT_LATENCY_BOUNDS_MS,
+    Histogram,
+    Metrics,
+    MetricsView,
+    log_linear_bounds,
+)
+from .rt import FlightRecorder, RequestTimeline, SLOTracker
 from .spans import Span, Tracer, span_tree_from_dict, write_trace
 from .stitch import graft_worker_trace, worker_spans
 
 __all__ = [
+    "DEFAULT_LATENCY_BOUNDS_MS",
     "EVENT_SCHEMA",
+    "FlightRecorder",
+    "Histogram",
     "Metrics",
     "MetricsView",
+    "RequestTimeline",
+    "SLOTracker",
     "Span",
     "Tracer",
     "events_from_tracer",
     "graft_worker_trace",
     "load_trace",
+    "log_linear_bounds",
     "metrics_to_prometheus",
     "span_tree_from_dict",
     "validate_event",

@@ -14,9 +14,11 @@ Two machine-readable exports complement the Chrome trace:
   Metrics` registry in Prometheus text exposition format (version 0.0.4):
   counters as ``counter`` samples with a ``_total`` suffix, gauges as
   ``gauge`` samples, series as ``_count`` (plus ``_sum``/``_min``/``_max``
-  for all-numeric series).  Metric names are sanitised to the Prometheus
-  charset; the raw registry key always rides along in a ``key`` label so
-  nothing is lost to sanitisation.
+  for all-numeric series), histograms as full ``histogram`` families —
+  cumulative ``_bucket`` samples with ascending ``le`` labels ending in
+  ``+Inf``, plus ``_sum`` and ``_count``.  Metric names are sanitised to
+  the Prometheus charset; the raw registry key always rides along in a
+  ``key`` label so nothing is lost to sanitisation.
 
 Both sinks are pure functions of already-recorded state — they can never
 perturb the (depth, work) ledger.
@@ -247,6 +249,16 @@ def _escape_help(value: str) -> str:
     return value.replace("\\", "\\\\").replace("\n", "\\n")
 
 
+def _format_le(bound: float) -> str:
+    """Render an ``le`` bound the way Prometheus clients do: shortest
+    exact decimal (``repr``), with integral bounds as plain integers."""
+    if bound == float("inf"):
+        return "+Inf"
+    if bound == int(bound):
+        return str(int(bound))
+    return repr(bound)
+
+
 def _sample(name: str, key: str, value: float) -> str:
     if value != value:  # NaN
         rendered = "NaN"
@@ -313,6 +325,24 @@ def metrics_to_prometheus(metrics: Metrics, *, prefix: str = "repro") -> str:
                     name, "gauge", f"{suffix[1:].capitalize()} of series {key}.",
                     [_sample(name, key, value)],
                 )
+    for key in sorted(metrics.histograms):
+        hist = metrics.histograms[key]
+        base = _prom_name(key, prefix)
+        esc_key = _escape_label(key)
+        samples = []
+        cumulative = hist.cumulative_counts()
+        bounds = list(hist.bounds) + [float("inf")]
+        for bound, cum in zip(bounds, cumulative):
+            samples.append(
+                f'{base}_bucket{{key="{esc_key}",le="{_format_le(bound)}"}} '
+                f"{repr(float(cum))}"
+            )
+        samples.append(_sample(base + "_sum", key, hist.sum))
+        samples.append(_sample(base + "_count", key, float(hist.count)))
+        family(
+            base, "histogram", f"Histogram {key} from the repro metrics registry.",
+            samples,
+        )
     return "\n".join(lines) + "\n"
 
 

@@ -12,7 +12,11 @@ cost*.  Three kinds of entries:
     last-write-wins values (``set_gauge``), e.g. ``query.height``;
 ``series``
     append-only sample lists (``observe``), e.g. per-node
-    ``(m, iota)`` straddler samples.
+    ``(m, iota)`` straddler samples;
+``histograms``
+    bucketed latency distributions (``observe_hist``), e.g.
+    ``net.request_ms`` — fixed log-linear bounds, counts + sum,
+    mergeable across workers, percentile-queryable server-side.
 
 The legacy per-algorithm stats dataclasses (``FastDnCStats``,
 ``SimpleDnCStats``, ``QueryStats``) are now thin views over a registry:
@@ -23,20 +27,207 @@ registry and exports uniformly through :meth:`Metrics.to_dict`.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["Metrics", "MetricsView"]
+__all__ = ["DEFAULT_LATENCY_BOUNDS_MS", "Histogram", "Metrics", "MetricsView", "log_linear_bounds"]
+
+
+def log_linear_bounds(
+    decade_lo: int = -2, decade_hi: int = 5, steps_per_decade: int = 9
+) -> Tuple[float, ...]:
+    """Deterministic log-linear bucket bounds.
+
+    For every decade ``10^d`` with ``decade_lo <= d < decade_hi``, emits
+    ``steps_per_decade`` linearly spaced bounds ``1*10^d .. 9*10^d`` —
+    the classic HDR-style scheme: relative bucket error is bounded
+    (~11% with 9 steps) at every scale, and the bounds are a pure
+    function of the three integers, so histograms recorded by different
+    processes (or committed in benchmark artifacts) always merge.
+    """
+    if decade_hi <= decade_lo:
+        raise ValueError(f"need decade_hi > decade_lo, got [{decade_lo}, {decade_hi})")
+    if not 1 <= steps_per_decade <= 9:
+        raise ValueError(f"steps_per_decade must be in [1, 9], got {steps_per_decade}")
+    bounds = []
+    for dec in range(decade_lo, decade_hi):
+        scale = 10.0 ** dec
+        for step in range(1, steps_per_decade + 1):
+            bounds.append(step * scale)
+    return tuple(bounds)
+
+
+#: Default bounds for millisecond latency histograms: 0.01ms .. 90s in
+#: 63 log-linear buckets (plus the implicit +Inf overflow bucket).
+DEFAULT_LATENCY_BOUNDS_MS = log_linear_bounds(-2, 5, 9)
+
+
+class Histogram:
+    """A fixed-bound bucket histogram: counts + sum, mergeable, queryable.
+
+    Bucket ``i`` counts observations ``v <= bounds[i]`` (Prometheus
+    ``le`` semantics); one implicit overflow bucket catches everything
+    past the last bound.  ``sum``/``count``/``min``/``max`` ride along
+    so averages and exact extremes survive bucketing.  Two histograms
+    merge iff their bounds are identical — which they are by
+    construction when both use a :func:`log_linear_bounds` scheme with
+    the same parameters — making per-worker histograms foldable into one
+    server-side distribution after a pool run.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None) -> None:
+        b = DEFAULT_LATENCY_BOUNDS_MS if bounds is None else tuple(float(x) for x in bounds)
+        if len(b) < 1:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b[i] >= b[i + 1] for i in range(len(b) - 1)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.bounds: Tuple[float, ...] = tuple(b)
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    # -- writers ---------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        """Fold one observation in (NaN is ignored)."""
+        v = float(value)
+        if v != v:  # NaN never lands in a bucket
+            return
+        self.bucket_counts[bisect_left(self.bounds, v)] += 1
+        self.count += 1
+        self.sum += v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into this histogram (bounds must match)."""
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds "
+                f"({len(self.bounds)} vs {len(other.bounds)} buckets)"
+            )
+        for i, c in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += c
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        return self
+
+    # -- readers ---------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def cumulative_counts(self) -> List[int]:
+        """Cumulative bucket counts, one per bound plus the +Inf bucket
+        (the Prometheus ``_bucket`` samples; the last equals ``count``)."""
+        out, running = [], 0
+        for c in self.bucket_counts:
+            running += c
+            out.append(running)
+        return out
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile (``q`` in [0, 1]) from the buckets.
+
+        Nearest-rank bucket selection with linear interpolation inside
+        the bucket; the overflow bucket reports the exact observed
+        ``max``.  ``None`` on an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        target = max(1, -(-q * self.count // 1))  # ceil, at least rank 1
+        running = 0
+        for i, c in enumerate(self.bucket_counts):
+            if c == 0:
+                continue
+            if running + c >= target:
+                if i == len(self.bounds):  # overflow bucket
+                    return self.max
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                hi = self.bounds[i]
+                frac = (target - running) / c
+                est = lo + frac * (hi - lo)
+                # the exact extremes are tracked; never report outside them
+                if self.max is not None:
+                    est = min(est, self.max)
+                if self.min is not None:
+                    est = max(est, self.min)
+                return est
+            running += c
+        return self.max  # pragma: no cover - unreachable (count > 0)
+
+    def percentile(self, p: float) -> Optional[float]:
+        """:meth:`quantile` with ``p`` in [0, 100]."""
+        return self.quantile(p / 100.0)
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready p50/p95/p99 + count/sum/min/max/mean snapshot."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean if self.count else None,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.bucket_counts),
+            "count": int(self.count),
+            "sum": float(self.sum),
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Histogram":
+        hist = cls(data["bounds"])
+        counts = [int(c) for c in data["counts"]]
+        if len(counts) != len(hist.bucket_counts):
+            raise ValueError("bucket count list does not match bounds")
+        hist.bucket_counts = counts
+        hist.count = int(data["count"])
+        hist.sum = float(data["sum"])
+        hist.min = data.get("min")
+        hist.max = data.get("max")
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Histogram(buckets={len(self.bucket_counts)}, count={self.count}, "
+            f"sum={self.sum:g})"
+        )
 
 
 class Metrics:
     """Namespaced registry of counters, gauges and sample series."""
 
-    __slots__ = ("counters", "gauges", "series")
+    __slots__ = ("counters", "gauges", "series", "histograms")
 
     def __init__(self) -> None:
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
         self.series: Dict[str, List[Any]] = {}
+        self.histograms: Dict[str, Histogram] = {}
 
     # -- writers ---------------------------------------------------------
 
@@ -56,6 +247,12 @@ class Metrics:
         """Append ``value`` to the sample series ``name``."""
         self.series.setdefault(name, []).append(value)
 
+    def observe_hist(
+        self, name: str, value: float, bounds: Optional[Sequence[float]] = None
+    ) -> None:
+        """Fold ``value`` into histogram ``name`` (created on first use)."""
+        self.histogram(name, bounds).observe(value)
+
     # -- readers ---------------------------------------------------------
 
     def counter(self, name: str, default: float = 0) -> float:
@@ -70,6 +267,20 @@ class Metrics:
         """The live sample list for ``name`` (created empty on first read)."""
         return self.series.setdefault(name, [])
 
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """The live histogram for ``name``, created on first access.
+
+        ``bounds`` only applies at creation; subsequent calls return the
+        existing histogram regardless (the bounds of a live histogram
+        never move — that is what keeps merges well-defined).
+        """
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(bounds)
+        return hist
+
     # -- export ----------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
@@ -83,6 +294,7 @@ class Metrics:
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
             "series": {k: list(v) for k, v in self.series.items()},
+            "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
         }
 
     def merge(self, other: "Metrics") -> None:
@@ -99,6 +311,8 @@ class Metrics:
         self.gauges.update(other.gauges)
         for k, v in other.series.items():
             self.samples(k).extend(v)
+        for k, h in other.histograms.items():
+            self.histogram(k, h.bounds).merge(h)
 
     def to_prometheus(self, *, prefix: str = "repro") -> str:
         """The registry in Prometheus text exposition format; see
@@ -110,7 +324,7 @@ class Metrics:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Metrics(counters={len(self.counters)}, gauges={len(self.gauges)}, "
-            f"series={len(self.series)})"
+            f"series={len(self.series)}, histograms={len(self.histograms)})"
         )
 
 
@@ -150,6 +364,20 @@ def _series_property(namespace: str, name: str) -> property:
     return property(fget, fset, doc=f"Sample series ``{key}`` (view).")
 
 
+def _histogram_property(namespace: str, name: str) -> property:
+    key = f"{namespace}.{name}"
+
+    def fget(self: "MetricsView") -> Histogram:
+        return self.metrics.histogram(key)
+
+    def fset(self: "MetricsView", value: Histogram) -> None:
+        if not isinstance(value, Histogram):
+            raise TypeError(f"{key} expects a Histogram, got {type(value).__name__}")
+        self.metrics.histograms[key] = value
+
+    return property(fget, fset, doc=f"Histogram ``{key}`` (view).")
+
+
 class MetricsView:
     """Base for stats classes that are thin views over a :class:`Metrics`.
 
@@ -164,6 +392,7 @@ class MetricsView:
     _COUNTER_FIELDS: Tuple[str, ...] = ()
     _GAUGE_FIELDS: Tuple[str, ...] = ()
     _SERIES_FIELDS: Tuple[str, ...] = ()
+    _HISTOGRAM_FIELDS: Tuple[str, ...] = ()
 
     def __init_subclass__(cls, **kwargs: Any) -> None:
         super().__init_subclass__(**kwargs)
@@ -173,10 +402,15 @@ class MetricsView:
             setattr(cls, f, _gauge_property(cls._NS, f))
         for f in cls._SERIES_FIELDS:
             setattr(cls, f, _series_property(cls._NS, f))
+        for f in cls._HISTOGRAM_FIELDS:
+            setattr(cls, f, _histogram_property(cls._NS, f))
 
     def __init__(self, metrics: Metrics | None = None, **fields: Any) -> None:
         self.metrics = metrics if metrics is not None else Metrics()
-        known = self._COUNTER_FIELDS + self._GAUGE_FIELDS + self._SERIES_FIELDS
+        known = (
+            self._COUNTER_FIELDS + self._GAUGE_FIELDS
+            + self._SERIES_FIELDS + self._HISTOGRAM_FIELDS
+        )
         for name, value in fields.items():
             if name not in known:
                 raise TypeError(
@@ -191,6 +425,8 @@ class MetricsView:
             out[f] = getattr(self, f)
         for f in self._SERIES_FIELDS:
             out[f] = list(getattr(self, f))
+        for f in self._HISTOGRAM_FIELDS:
+            out[f] = getattr(self, f).summary()
         return out
 
     def __repr__(self) -> str:

@@ -20,6 +20,14 @@ that file documents the overhead at the time the budget was set;
 :mod:`scripts.check_bench_regression` re-asserts the zero-ledger-delta
 half (machine-independent), while the wall half is informational —
 wall-clock is hardware-dependent and is not gated exactly.
+
+The same contract extends to *request tracing* on the network front-end
+(ISSUE 9): :func:`measure_net_overhead` drives an identical sequential
+loopback request stream against a traced and an untraced
+:class:`~repro.net.server.NetServer` and checks both halves — responses
+must be **byte-identical** (status, body, echoed ``X-Request-Id``) and
+the traced wall-clock must stay within the same 5% budget.  Run with
+``--net`` (writes ``benchmarks/results/obs_net_overhead.json``).
 """
 
 from __future__ import annotations
@@ -29,9 +37,15 @@ import json
 import os
 import time
 from dataclasses import asdict, dataclass
-from typing import Optional
+from typing import List, Optional, Tuple
 
-__all__ = ["OverheadReport", "measure_overhead", "main"]
+__all__ = [
+    "NetOverheadReport",
+    "OverheadReport",
+    "main",
+    "measure_net_overhead",
+    "measure_overhead",
+]
 
 #: Wall-clock overhead budget for tracing, as a fraction (5%).
 OVERHEAD_BUDGET = 0.05
@@ -118,6 +132,105 @@ def measure_overhead(
     )
 
 
+@dataclass
+class NetOverheadReport:
+    """Request-tracing overhead on the network front-end.
+
+    ``byte_identical`` is the exactness half: every response from the
+    traced server (status line, JSON body, echoed ``X-Request-Id``)
+    matched the untraced server's byte for byte.  ``overhead_fraction``
+    is best-of-``repeats`` traced vs untraced wall time for the whole
+    sequential request stream.
+    """
+
+    n: int
+    d: int
+    k: int
+    requests: int
+    repeats: int
+    wall_untraced_s: float
+    wall_traced_s: float
+    overhead_fraction: float
+    byte_identical: bool
+    budget_fraction: float = OVERHEAD_BUDGET
+
+    @property
+    def within_budget(self) -> bool:
+        return self.overhead_fraction <= self.budget_fraction
+
+
+def measure_net_overhead(
+    n: int = 100_000,
+    *,
+    d: int = 2,
+    k: int = 1,
+    requests: int = 400,
+    repeats: int = 3,
+    seed: int = 0,
+) -> NetOverheadReport:
+    """Measure request-tracing overhead over loopback HTTP.
+
+    One index is built once; each side (``trace_requests`` on / off)
+    gets a fresh loopback :class:`~repro.net.server.ServerThread` with an
+    otherwise identical :class:`~repro.net.config.NetConfig`
+    (``max_wait_ms=0``, cache off, so every request pays one real
+    execution) and is driven ``repeats`` times with the same seeded
+    sequential stream of single-point queries carrying deterministic
+    client-supplied request ids.  Responses from the first pass on each
+    side are byte-compared; wall time is best-of-``repeats``.
+    """
+    import asyncio
+
+    from ..api import build_index
+    from ..net import NetConfig, NetServer, ServerThread, TenantManager, http_fetch
+    from ..workloads import uniform_cube
+    import numpy as np
+
+    pts = uniform_cube(n, d, seed)
+    mutable = build_index(pts, k, seed=seed, engine="frontier").mutable
+    rng = np.random.default_rng(seed + 1)
+    rows = rng.integers(0, pts.shape[0], size=requests).tolist()
+
+    async def _drive(port: int) -> Tuple[float, List[Tuple[int, str, str]]]:
+        responses: List[Tuple[int, str, str]] = []
+        t0 = time.perf_counter()
+        for i, row in enumerate(rows):
+            status, _, text, headers = await http_fetch(
+                "127.0.0.1", port, "/v1/query",
+                {"point": pts[row].tolist(), "k": k},
+                headers={"X-Request-Id": f"ov-{seed:08x}-{i:06d}"},
+            )
+            responses.append((status, text, headers.get("x-request-id", "")))
+        return time.perf_counter() - t0, responses
+
+    def _side(traced: bool) -> Tuple[float, List[Tuple[int, str, str]]]:
+        config = NetConfig(
+            port=0, adaptive=False, max_wait_ms=0.0, cache_size=0,
+            trace_requests=traced,
+        )
+        manager = TenantManager(config=config)
+        manager.add("default", mutable)
+        best = float("inf")
+        first: List[Tuple[int, str, str]] = []
+        with ServerThread(NetServer(manager, config=config)) as thread:
+            for rep in range(max(1, repeats)):
+                wall, responses = asyncio.run(_drive(thread.port))
+                best = min(best, wall)
+                if rep == 0:
+                    first = responses
+        return best, first
+
+    wall_untraced, ref = _side(False)
+    wall_traced, traced_responses = _side(True)
+    return NetOverheadReport(
+        n=n, d=d, k=k, requests=requests, repeats=repeats,
+        wall_untraced_s=wall_untraced,
+        wall_traced_s=wall_traced,
+        overhead_fraction=(wall_traced - wall_untraced) / max(wall_untraced, 1e-12),
+        byte_identical=traced_responses == ref,
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Measure tracing overhead (wall-clock and ledger delta)."
@@ -129,30 +242,53 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--net", action="store_true",
+                        help="measure request-tracing overhead on the "
+                             "network front-end instead of span tracing")
+    parser.add_argument("--requests", type=int, default=400,
+                        help="loopback requests per pass (--net only)")
     parser.add_argument("--out", default=None,
                         help="append the report to this JSON list file "
-                             "(default: benchmarks/results/obs_overhead.json)")
+                             "(default: benchmarks/results/obs_overhead.json, "
+                             "or obs_net_overhead.json with --net)")
     parser.add_argument("--no-write", action="store_true",
                         help="print only; do not touch the results file")
     args = parser.parse_args(argv)
-    report = measure_overhead(
-        args.n, d=args.d, k=args.k, engine=args.engine,
-        workers=args.workers, repeats=args.repeats, seed=args.seed,
-    )
-    print(f"n={report.n} engine={report.engine} spans={report.span_count}")
-    print(f"untraced {report.wall_untraced_s:.3f}s  "
-          f"traced {report.wall_traced_s:.3f}s  "
-          f"overhead {report.overhead_fraction:+.2%} "
-          f"(budget {report.budget_fraction:.0%})")
-    print(f"ledger delta: {report.ledger_delta} "
-          f"({'exact' if report.ledger_delta == 0 else 'VIOLATION'})")
+    if args.net:
+        report = measure_net_overhead(
+            args.n, d=args.d, k=args.k, requests=args.requests,
+            repeats=args.repeats, seed=args.seed,
+        )
+        print(f"n={report.n} requests={report.requests} "
+              f"repeats={report.repeats}")
+        print(f"untraced {report.wall_untraced_s:.3f}s  "
+              f"traced {report.wall_traced_s:.3f}s  "
+              f"overhead {report.overhead_fraction:+.2%} "
+              f"(budget {report.budget_fraction:.0%})")
+        print(f"responses byte-identical: {report.byte_identical}")
+        default_name = "obs_net_overhead.json"
+        failed = not report.byte_identical or not report.within_budget
+    else:
+        report = measure_overhead(
+            args.n, d=args.d, k=args.k, engine=args.engine,
+            workers=args.workers, repeats=args.repeats, seed=args.seed,
+        )
+        print(f"n={report.n} engine={report.engine} spans={report.span_count}")
+        print(f"untraced {report.wall_untraced_s:.3f}s  "
+              f"traced {report.wall_traced_s:.3f}s  "
+              f"overhead {report.overhead_fraction:+.2%} "
+              f"(budget {report.budget_fraction:.0%})")
+        print(f"ledger delta: {report.ledger_delta} "
+              f"({'exact' if report.ledger_delta == 0 else 'VIOLATION'})")
+        default_name = "obs_overhead.json"
+        failed = report.ledger_delta != 0 or not report.within_budget
     if not args.no_write:
         out = args.out
         if out is None:
             out = os.path.join(
                 os.path.dirname(os.path.dirname(os.path.dirname(
                     os.path.dirname(os.path.abspath(__file__))))),
-                "benchmarks", "results", "obs_overhead.json",
+                "benchmarks", "results", default_name,
             )
         records = []
         if os.path.exists(out):
@@ -172,9 +308,7 @@ def main(argv=None) -> int:
             json.dump(records, fh, indent=1)
             fh.write("\n")
         print(f"wrote {out}")
-    if report.ledger_delta != 0:
-        return 1
-    return 0 if report.within_budget else 1
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

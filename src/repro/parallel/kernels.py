@@ -318,6 +318,14 @@ def serve_shard(payload: Dict[str, Any]) -> Any:
     return impl(payload)
 
 
+def serve_stats(payload: Dict[str, Any]) -> Any:
+    """Return-and-reset a worker's shard-latency histogram
+    (see :mod:`repro.serve.worker`)."""
+    from ..serve.worker import serve_stats as impl
+
+    return impl(payload)
+
+
 KERNELS = {
     "init_run": init_run,
     "build_shard": build_shard,
@@ -325,4 +333,5 @@ KERNELS = {
     "correct_shard": correct_shard,
     "serve_init": serve_init,
     "serve_shard": serve_shard,
+    "serve_stats": serve_stats,
 }

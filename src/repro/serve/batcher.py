@@ -49,7 +49,8 @@ class ServeStats(MetricsView):
 
     Counters: ``requests`` (accepted), ``served`` (fulfilled through an
     executed batch), ``batches``, ``cache_hits``, ``cache_misses``,
-    ``swaps`` (hot index swaps absorbed mid-stream).
+    ``swaps`` (hot index swaps absorbed mid-stream), ``dropped``
+    (tickets abandoned by a no-flush shutdown).
     Gauges: ``queue_depth`` (pending requests right now), ``qps``
     (served+cached requests over the wall-clock since the first submit),
     ``last_batch_ms``, ``index_version`` (the version currently served).
@@ -57,6 +58,10 @@ class ServeStats(MetricsView):
     batch-flush trigger (what the adaptive batching controller and the
     sinks see as the *served* depth distribution, as opposed to the
     instantaneous gauge).
+    Histograms: ``batch_ms`` (execute wall per batch), ``queue_wait_ms``
+    (submit-to-execute-start per ticket), ``request_ms``
+    (submit-to-fulfill per ticket, cache hits included at ~0) — the
+    server-side latency distributions p50/p95/p99 are computed from.
     """
 
     _NS = "serve"
@@ -67,9 +72,11 @@ class ServeStats(MetricsView):
         "cache_hits",
         "cache_misses",
         "swaps",
+        "dropped",
     )
     _GAUGE_FIELDS = ("queue_depth", "qps", "last_batch_ms", "index_version")
     _SERIES_FIELDS = ("queue_depth_flush",)
+    _HISTOGRAM_FIELDS = ("batch_ms", "queue_wait_ms", "request_ms")
 
 
 class Ticket:
@@ -79,10 +86,15 @@ class Ticket:
     for knn, a ball-id array for covering); reading it before ``done``
     raises.  ``submitted_at``/``completed_at`` are clock readings for
     latency accounting; ``cached`` marks cache hits (fulfilled on
-    submit).
+    submit).  ``batch_id``/``batch_size``/``execute_ms`` identify the
+    batch that answered (``None`` until fulfilled, and forever for cache
+    hits) so request timelines can attribute queue vs execute time.
     """
 
-    __slots__ = ("done", "cached", "submitted_at", "completed_at", "_value")
+    __slots__ = (
+        "done", "cached", "submitted_at", "completed_at", "_value",
+        "batch_id", "batch_size", "execute_ms",
+    )
 
     def __init__(self, submitted_at: float) -> None:
         self.done = False
@@ -90,6 +102,9 @@ class Ticket:
         self.submitted_at = submitted_at
         self.completed_at: Optional[float] = None
         self._value: Any = None
+        self.batch_id: Optional[int] = None
+        self.batch_size: Optional[int] = None
+        self.execute_ms: Optional[float] = None
 
     @property
     def value(self) -> Any:
@@ -181,6 +196,7 @@ class Batcher:
         self._queue_points: List[np.ndarray] = []
         self._queue_tickets: List[Ticket] = []
         self._first_submit: Optional[float] = None
+        self._batch_seq = 0
         self._closed = False
         if kind not in ("knn", "covering"):
             raise ValueError(f"unknown request kind {kind!r}")
@@ -214,6 +230,7 @@ class Batcher:
             if hit is not None:
                 ticket._fulfill(hit, now, cached=True)
                 self.stats.cache_hits += 1
+                self.stats.request_ms.observe(0.0)
                 self._update_qps(now)
                 return ticket
             self.stats.cache_misses += 1
@@ -277,8 +294,16 @@ class Batcher:
             response = self.executor(self.kind, batch, self.k)
         now = self.clock()
         per_request = self.index.split_response(self.kind, response, m)
+        self._batch_seq += 1
+        execute_ms = (now - t0) * 1e3
+        self.stats.batch_ms.observe(execute_ms)
         for point, ticket, value in zip(batch, tickets, per_request):
             ticket._fulfill(value, now)
+            ticket.batch_id = self._batch_seq
+            ticket.batch_size = m
+            ticket.execute_ms = execute_ms
+            self.stats.queue_wait_ms.observe(max(0.0, (t0 - ticket.submitted_at) * 1e3))
+            self.stats.request_ms.observe(max(0.0, (now - ticket.submitted_at) * 1e3))
             if self.cache is not None:
                 self.cache.put(
                     self.cache.make_key(self.kind, self.k, point, self.index.version),
@@ -286,7 +311,7 @@ class Batcher:
                 )
         self.stats.batches += 1
         self.stats.served += m
-        self.stats.last_batch_ms = (now - t0) * 1e3
+        self.stats.last_batch_ms = execute_ms
         self._update_qps(now)
 
     # -- hot swap ----------------------------------------------------------
@@ -349,15 +374,21 @@ class Batcher:
 
         With ``flush=False`` pending tickets stay unfulfilled (the
         mid-stream shutdown path) — the queue is dropped, never half-run.
+        The dropped count lands in the ``serve.dropped`` counter, and the
+        ``queue_depth`` gauge is deliberately *left alone*: zeroing it
+        here made a mid-drain ``/metrics`` scrape report an empty queue
+        while tickets were still being abandoned.  The drain protocol
+        clears the gauge once the whole shutdown has completed
+        (:func:`repro.net.drain.drain`).
         """
         if self._closed:
             return
         if flush:
             self.flush()
         else:
+            self.stats.dropped += self.pending
             self._queue_points.clear()
             self._queue_tickets.clear()
-            self.stats.queue_depth = 0
         self._closed = True
         if self.pool is not None:
             self.pool.close()

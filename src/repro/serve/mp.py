@@ -16,7 +16,11 @@ executor, giving the batching/caching layer a multi-core backend.
 
 Metrics (``serve.pool_workers``, ``serve.pool_batches``,
 ``serve.pool_busy_seconds``) land in the machine registry the caller
-passes, next to the batcher's ``serve.*`` stats.
+passes, next to the batcher's ``serve.*`` stats — and
+:meth:`ServingPool.collect_worker_stats` folds every worker's
+shard-latency histogram into the master registry as
+``serve.pool_shard_ms`` (the ``serve_stats`` kernel hands observations
+over exactly once, so collection is safe to repeat).
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..obs.metrics import Histogram
 from ..parallel.pool import WorkerPool, resolve_workers
 from ..parallel.shm import SharedArray
 from ..pvm.machine import Machine
@@ -179,6 +184,32 @@ class ServingPool:
         for arena in old:
             arena.destroy()
 
+    # -- worker telemetry --------------------------------------------------
+
+    def collect_worker_stats(self) -> Optional[Histogram]:
+        """Drain every worker's shard-latency histogram into the master.
+
+        Broadcasts the ``serve_stats`` kernel (return-and-reset, so
+        repeated calls never double-count), merges the per-worker
+        histograms, folds the merge into the machine registry as
+        ``serve.pool_shard_ms`` (when a machine is bound), and returns
+        the merged histogram for this collection round.  ``None`` once
+        the pool is closed.
+        """
+        if self._pool is None:
+            return None
+        merged: Optional[Histogram] = None
+        for data in self._pool.broadcast("serve_stats", None):
+            hist = Histogram.from_dict(data)
+            if merged is None:
+                merged = Histogram(hist.bounds)
+            merged.merge(hist)
+        if merged is not None and self.machine is not None:
+            self.machine.metrics.histogram(
+                "serve.pool_shard_ms", merged.bounds
+            ).merge(merged)
+        return merged
+
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
@@ -187,9 +218,14 @@ class ServingPool:
         Safe mid-stream: any batch not yet dispatched is simply never
         executed (the owning :class:`~repro.serve.batcher.Batcher` drops
         its queue on ``close(flush=False)``), and no segment or process
-        outlives the call.
+        outlives the call.  Worker shard histograms are drained first so
+        their observations survive in ``serve.pool_shard_ms``.
         """
         if self._pool is not None:
+            try:
+                self.collect_worker_stats()
+            except Exception:
+                pass  # shutting down regardless; stats are best-effort here
             self._pool.close()
             self._pool = None
         for arena in self._arenas:

@@ -1,16 +1,20 @@
 """Worker-process side of multiprocess serving.
 
-Two kernels, dispatched through the same :class:`~repro.parallel.pool.
+Three kernels, dispatched through the same :class:`~repro.parallel.pool.
 WorkerPool` protocol the frontier engine uses (registered in
 :data:`repro.parallel.kernels.KERNELS` as ``serve_init`` /
-``serve_shard``):
+``serve_shard`` / ``serve_stats``):
 
 - :func:`serve_init` (broadcast once per pool) receives the master's
   :meth:`~repro.serve.index.ServingIndex.shm_snapshot` payload, attaches
   the shared arrays zero-copy and reconstructs a worker-local
   :class:`~repro.serve.index.ServingIndex` over the views;
 - :func:`serve_shard` answers one contiguous row range of a batch whose
-  query array also travels by shared memory.
+  query array also travels by shared memory, folding its execute wall
+  time into a worker-local latency histogram;
+- :func:`serve_stats` (broadcast) returns that histogram *and resets
+  it*, so the master can merge per-worker distributions into its own
+  registry (``serve.pool_shard_ms``) without ever double-counting.
 
 Ownership follows :mod:`repro.parallel.shm`: the master creates and
 destroys every segment; workers only attach, and keep the handles alive
@@ -22,16 +26,19 @@ serial one for every worker count.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, List, Optional
 
 from ..core.neighborhood import KNeighborhoodSystem
+from ..obs.metrics import Histogram
 from ..parallel.shm import attach
 from .index import ServingIndex
 
-__all__ = ["serve_init", "serve_shard"]
+__all__ = ["serve_init", "serve_shard", "serve_stats"]
 
 _INDEX: Optional[ServingIndex] = None
 _HANDLES: List[Any] = []  # keep attached SharedMemory objects alive
+_SHARD_MS = Histogram()  # per-shard execute wall, collected via serve_stats
 
 
 def serve_init(payload: Dict[str, Any]) -> bool:
@@ -87,4 +94,21 @@ def serve_shard(payload: Dict[str, Any]) -> Any:
     finally:
         del queries
         shm.close()
-    return _INDEX.execute(payload["kind"], shard, payload["k"])
+    t0 = time.perf_counter()
+    result = _INDEX.execute(payload["kind"], shard, payload["k"])
+    _SHARD_MS.observe((time.perf_counter() - t0) * 1e3)
+    return result
+
+
+def serve_stats(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Return this worker's shard-latency histogram and reset it.
+
+    Return-and-reset makes collection idempotent from the master's side:
+    every observation is handed over exactly once, so merging the
+    returned histograms into the master registry — however often the
+    master asks — never double-counts a shard.
+    """
+    global _SHARD_MS
+    out = _SHARD_MS.to_dict()
+    _SHARD_MS = Histogram(_SHARD_MS.bounds)
+    return out

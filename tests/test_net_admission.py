@@ -100,8 +100,12 @@ class TestNetStats:
         stats = NetStats(metrics=metrics)
         stats.requests += 3
         stats.inflight = 2
-        stats.request_ms.append(1.5)
+        stats.request_ms.observe(1.5)
         text = metrics.to_prometheus()
         assert 'repro_net_requests_total{key="net.requests"} 3.0' in text
         assert 'repro_net_inflight{key="net.inflight"} 2.0' in text
+        # request_ms is a histogram family now: _bucket/_sum/_count
+        assert "# TYPE repro_net_request_ms histogram" in text
+        assert 'repro_net_request_ms_bucket{key="net.request_ms",le="+Inf"} 1.0' in text
+        assert 'repro_net_request_ms_sum{key="net.request_ms"} 1.5' in text
         assert 'repro_net_request_ms_count{key="net.request_ms"} 1.0' in text
