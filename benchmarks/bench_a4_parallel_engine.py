@@ -1,24 +1,39 @@
-"""A4 — Multiprocess frontier engine: wall-clock across worker counts.
+"""A4 — Coarse-grained frontier-mp: wall-clock across worker counts.
 
-The ``frontier-mp`` engine fans each frontier level's batches out to OS
-worker processes over shared-memory buffers; it is bitwise equivalent to
-the serial ``frontier`` engine on a shared seed for any worker count
-(tests/test_parallel_engine.py).  This experiment measures what that
-fan-out costs and buys in host wall-clock time for the fast algorithm at
-n in {20k, 100k, 500k}, sweeping worker counts.
+The ``frontier-mp`` engine runs the frontier recursion on the master only
+until the planner yields ~3x-workers balanced subtrees, then ships each
+subtree *once* to a resident worker that solves it to completion locally
+(no per-level round trips).  It is bitwise equivalent to the serial
+``frontier`` engine on a shared seed for any worker count
+(tests/test_parallel_engine.py); this experiment measures what the
+two-phase execution costs and buys in host wall-clock time.
+
+Methodology: each (n, engine, workers) cell is the **median of
+``REPRO_A4_REPEATS`` runs** (default 5) so a single scheduler hiccup
+cannot flip the CI gate.  Environment knobs (all optional):
+
+- ``REPRO_A4_SIZES``     comma-separated n values (default
+  ``100000,500000``; CI uses a smaller size to stay inside the job
+  budget, nightly runs the full sweep);
+- ``REPRO_A4_REPEATS``   runs per cell (default ``5``);
+- ``REPRO_A4_MIN_SPEEDUP``  the multi-core acceptance floor (default
+  ``1.5``): on hosts with >= 4 cores, frontier-mp at 4 workers must
+  beat serial frontier by at least this factor at the largest n —
+  a hard assertion, not a warning.
 
 Honest-reporting note: parallel speedup is bounded by the host's real
 core count, which the committed table records per row (``cores``).  On a
-single-core host every frontier-mp configuration pays the process fan-out
-and shared-memory round-trips with no hardware parallelism to recoup
-them, so frontier-mp is *expected* to trail the serial frontier engine
-there; the acceptance bar is therefore equivalence plus bounded overhead,
-with speedup > 1 only claimable when ``cores > 1``.
+single-core host every frontier-mp configuration pays the dispatch and
+shared-memory copies with no hardware parallelism to recoup them, so the
+acceptance bar there is equivalence plus bounded overhead
+(``_MAX_SINGLE_CORE_SLOWDOWN``); the >= 1.5x floor is enforced where it
+is physically meaningful, i.e. on the multi-core CI runner.
 """
 
 from __future__ import annotations
 
 import os
+import statistics
 import time
 
 import numpy as np
@@ -29,11 +44,23 @@ from repro.workloads import uniform_cube
 
 from common import bench_seed, record_bench_run, table_bench, write_table
 
-SIZES = [20_000, 100_000, 500_000]
 WORKER_COUNTS = [1, 2, 4]
 
-# single-core hosts cap the mp overhead budget instead of demanding speedup
+#: single-core hosts cap the mp overhead budget instead of demanding speedup
 _MAX_SINGLE_CORE_SLOWDOWN = 25.0
+
+
+def _sizes() -> list[int]:
+    raw = os.environ.get("REPRO_A4_SIZES", "100000,500000")
+    return [int(tok) for tok in raw.split(",") if tok.strip()]
+
+
+def _repeats() -> int:
+    return max(1, int(os.environ.get("REPRO_A4_REPEATS", "5")))
+
+
+def _min_speedup() -> float:
+    return float(os.environ.get("REPRO_A4_MIN_SPEEDUP", "1.5"))
 
 
 def _timed_run(points, k, engine, workers=None):
@@ -46,24 +73,34 @@ def _timed_run(points, k, engine, workers=None):
     return time.perf_counter() - t0, res, machine
 
 
+def _median_run(points, k, engine, workers=None, repeats=1):
+    """Median wall time over ``repeats`` runs; result/machine of the last."""
+    walls = []
+    res = machine = None
+    for _ in range(repeats):
+        wall, res, machine = _timed_run(points, k, engine, workers)
+        walls.append(wall)
+    return statistics.median(walls), res, machine
+
+
 @table_bench
 def test_a4_parallel_engine_table():
     cores = os.cpu_count() or 1
+    sizes = _sizes()
+    repeats = _repeats()
+    min_speedup = _min_speedup()
     rows = []
-    worst_ratio = 0.0
-    for n in SIZES:
+    worst_ratio = 0.0  # mp wall / serial wall (overhead, single-core bar)
+    gate_speedups = {}  # n -> speedup of the 4-worker cell
+    for n in sizes:
         pts = uniform_cube(n, 2, bench_seed(n + 5))
-        t_rec, rec, _ = _timed_run(pts, 1, "recursive")
-        t_fro, fro, _ = _timed_run(pts, 1, "frontier")
-        assert np.array_equal(
-            rec.system.neighbor_indices, fro.system.neighbor_indices
-        )
-        rows.append((n, cores, "recursive", "-", f"{t_rec:.3f}",
-                     f"{t_rec / t_fro:.2f}x", "reference"))
+        t_fro, fro, _ = _median_run(pts, 1, "frontier", repeats=repeats)
         rows.append((n, cores, "frontier", "-", f"{t_fro:.3f}",
-                     "1.00x", "bitwise-equal"))
+                     "1.00x", "serial reference"))
         for workers in WORKER_COUNTS:
-            t_mp, mp_res, m_mp = _timed_run(pts, 1, "frontier-mp", workers)
+            t_mp, mp_res, m_mp = _median_run(
+                pts, 1, "frontier-mp", workers, repeats=repeats
+            )
             assert np.array_equal(
                 fro.system.neighbor_indices, mp_res.system.neighbor_indices
             )
@@ -71,33 +108,58 @@ def test_a4_parallel_engine_table():
             assert fro.cost.work == mp_res.cost.work
             ratio = t_mp / t_fro
             worst_ratio = max(worst_ratio, ratio)
-            util = m_mp.metrics.gauges.get("parallel.utilization", 0.0)
+            if workers == 4:
+                gate_speedups[n] = 1.0 / ratio
+            gauges = m_mp.metrics.gauges
+            util = gauges.get("parallel.utilization", 0.0)
             record_bench_run(
                 "a4_parallel_engine", m_mp,
                 params={"n": n, "d": 2, "k": 1, "engine": "frontier-mp",
                         "workers": workers, "host_cores": cores},
-                extra={"wall_recursive_s": t_rec, "wall_frontier_s": t_fro,
-                       "wall_mp_s": t_mp, "vs_frontier": ratio,
-                       "utilization": util},
+                extra={"wall_frontier_s": t_fro, "wall_mp_s": t_mp,
+                       "vs_frontier": ratio, "utilization": util,
+                       "repeats": repeats,
+                       "subtrees": gauges.get("parallel.subtrees", 0.0),
+                       "copyin_s": gauges.get("parallel.copyin_seconds", 0.0),
+                       "dispatch_s": gauges.get(
+                           "parallel.dispatch_seconds", 0.0),
+                       "collect_s": gauges.get(
+                           "parallel.collect_seconds", 0.0)},
+                wall_seconds=t_mp,
             )
             rows.append((n, cores, "frontier-mp", workers, f"{t_mp:.3f}",
                          f"{t_fro / t_mp:.2f}x", f"util {util:.2f}"))
-    if cores > 1:
-        note = (f"host has {cores} cores: frontier-mp should beat frontier "
-                f"at n >= 100k")
-    else:
-        note = (f"host has 1 core: no hardware parallelism; overhead ratio "
-                f"<= {_MAX_SINGLE_CORE_SLOWDOWN:.0f}x "
-                f"(worst measured {worst_ratio:.2f}x)")
-        assert worst_ratio <= _MAX_SINGLE_CORE_SLOWDOWN, (
-            f"frontier-mp overhead {worst_ratio:.2f}x exceeds the "
-            f"single-core budget"
+    if cores >= 4:
+        n_gate = max(sizes)
+        speedup = gate_speedups.get(n_gate, 0.0)
+        note = (f"host has {cores} cores: gate speedup {speedup:.2f}x at "
+                f"n={n_gate} w=4 (floor {min_speedup:.2f}x)")
+        rows.append(("note", "", "", "", "", "", note))
+        write_table(
+            "a4_parallel_engine",
+            "A4  frontier vs frontier-mp wall-clock (fast DnC, d=2, k=1; "
+            f"median of {repeats}; speedup = frontier_s / engine_s)",
+            ["n", "cores", "engine", "workers", "wall s", "speedup", "notes"],
+            rows,
         )
+        assert speedup >= min_speedup, (
+            f"frontier-mp with 4 workers achieved {speedup:.2f}x over serial "
+            f"frontier at n={n_gate} on a {cores}-core host; the acceptance "
+            f"floor is {min_speedup:.2f}x"
+        )
+        return
+    note = (f"host has {cores} core(s) (<4): speedup floor not applicable; "
+            f"overhead ratio <= {_MAX_SINGLE_CORE_SLOWDOWN:.0f}x "
+            f"(worst measured {worst_ratio:.2f}x)")
     rows.append(("note", "", "", "", "", "", note))
     write_table(
         "a4_parallel_engine",
         "A4  frontier vs frontier-mp wall-clock (fast DnC, d=2, k=1; "
-        "speedup column is frontier_s / engine_s)",
+        f"median of {repeats}; speedup = frontier_s / engine_s)",
         ["n", "cores", "engine", "workers", "wall s", "speedup", "notes"],
         rows,
+    )
+    assert worst_ratio <= _MAX_SINGLE_CORE_SLOWDOWN, (
+        f"frontier-mp overhead {worst_ratio:.2f}x exceeds the "
+        f"single-core budget"
     )

@@ -29,13 +29,28 @@ import os
 import time
 from typing import Any, Dict, Iterable, Optional, Sequence
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+#: Environment variable redirecting benchmark outputs (tables, obs JSON)
+#: to another directory — CI perf jobs point this at a scratch dir so the
+#: committed ``benchmarks/results/`` baselines are never clobbered and the
+#: fresh run can be diffed against them (``check_bench_regression.py
+#: --wall-trend``).
+RESULTS_DIR_ENV = "REPRO_BENCH_RESULTS_DIR"
+
+RESULTS_DIR = os.environ.get(RESULTS_DIR_ENV) or os.path.join(
+    os.path.dirname(__file__), "results"
+)
 
 #: Environment variable holding the benchmark base seed (default "0").
 BENCH_SEED_ENV = "REPRO_BENCH_SEED"
 
-#: Repo-level rollup of every recorded benchmark run.
-BENCH_OBS_PATH = os.path.join(os.path.dirname(os.path.dirname(__file__)), "BENCH_obs.json")
+#: Repo-level rollup of every recorded benchmark run.  Redirected next to
+#: the per-experiment files when ``REPRO_BENCH_RESULTS_DIR`` is set, so a
+#: redirected run leaves the checked-in rollup untouched too.
+BENCH_OBS_PATH = (
+    os.path.join(os.environ[RESULTS_DIR_ENV], "BENCH_obs.json")
+    if os.environ.get(RESULTS_DIR_ENV)
+    else os.path.join(os.path.dirname(os.path.dirname(__file__)), "BENCH_obs.json")
+)
 
 #: Environment variable that enables full (unsummarized) obs dumps; the
 #: pytest ``--trace-full`` flag sets it (see ``benchmarks/conftest.py``).

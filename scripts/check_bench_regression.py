@@ -29,6 +29,14 @@ Usage::
 copy) with the same rules.  ``--perturb-work`` injects a relative error
 into the fresh records before comparing — the CI negative test asserts
 the gate *fails* under it.  Exit codes: 0 pass, 1 regression, 2 usage.
+
+``--wall-trend BASELINE.json FRESH.json`` is the *performance-trend*
+mode used by the nightly workflow: it compares only ``wall_seconds``
+between records with matching (run/experiment, params) keys — ledger
+fields are ignored — and fails when any fresh wall-clock exceeds its
+baseline by more than ``--wall-tol`` (default 15%%).  Keys present on
+only one side are reported as notes, never failures, so adding a new
+benchmark cell does not break the trend gate.
 """
 
 from __future__ import annotations
@@ -167,6 +175,49 @@ def compare_records(
     return failures
 
 
+def compare_wall_trend(
+    baseline: List[Dict[str, Any]],
+    fresh: List[Dict[str, Any]],
+    *,
+    wall_tol: float,
+) -> tuple[List[str], List[str]]:
+    """Wall-clock-only trend comparison.
+
+    Returns ``(failures, notes)``: a failure for every matching record
+    whose fresh ``wall_seconds`` exceeds baseline by more than
+    ``wall_tol`` (relative); notes for unmatched keys and records
+    without wall data.  Ledger fields are deliberately ignored — the
+    exact-ledger gate covers those; this mode exists to catch gradual
+    wall-clock regressions between same-hardware nightly runs.
+    """
+    failures: List[str] = []
+    notes: List[str] = []
+    base_idx = _index(baseline)
+    fresh_idx = _index(fresh)
+    for key in sorted(set(base_idx) - set(fresh_idx)):
+        notes.append(f"{key.split(':')[0]}: baseline-only key (not re-run)")
+    for key in sorted(set(fresh_idx) - set(base_idx)):
+        notes.append(f"{key.split(':')[0]}: new key (no baseline yet)")
+    for key in sorted(set(base_idx) & set(fresh_idx)):
+        name = key.split(":")[0]
+        a = base_idx[key].get("wall_seconds")
+        b = fresh_idx[key].get("wall_seconds")
+        if not a or not b:
+            notes.append(f"{name}: no wall_seconds on one side; skipped")
+            continue
+        if b > a * (1.0 + wall_tol):
+            failures.append(
+                f"{name}: wall {b:.3f}s is {(b / a - 1.0):+.1%} vs baseline "
+                f"{a:.3f}s (trend tolerance +{wall_tol:.0%})"
+            )
+        else:
+            notes.append(
+                f"{name}: wall {b:.3f}s vs baseline {a:.3f}s "
+                f"({(b / a - 1.0):+.1%})"
+            )
+    return failures, notes
+
+
 def _load(path: str) -> List[Dict[str, Any]]:
     with open(path) as fh:
         loaded = json.load(fh)
@@ -191,8 +242,9 @@ def main(argv=None) -> int:
                         help="baseline JSON path (default: committed gate file)")
     parser.add_argument("--runs", default=None,
                         help="comma-separated subset of gate run names")
-    parser.add_argument("--wall-tol", type=float, default=0.5,
-                        help="relative wall-clock tolerance (default 0.5 = +/-50%%)")
+    parser.add_argument("--wall-tol", type=float, default=None,
+                        help="relative wall-clock tolerance (default 0.5 for "
+                             "the gate/--compare modes, 0.15 for --wall-trend)")
     parser.add_argument("--exact-ledger", action="store_true",
                         help="compare ledgers and counters only; ignore wall-clock "
                              "(CI mode: baselines come from other hardware)")
@@ -202,10 +254,39 @@ def main(argv=None) -> int:
     parser.add_argument("--compare", nargs=2, default=None,
                         metavar=("BASELINE.json", "FRESH.json"),
                         help="compare two obs-record files instead of running gates")
+    parser.add_argument("--wall-trend", nargs=2, default=None,
+                        metavar=("BASELINE.json", "FRESH.json"),
+                        help="wall-clock-only trend comparison between two "
+                             "obs-record files (same-hardware nightly mode); "
+                             "fails on > --wall-tol relative regression, "
+                             "unmatched keys are notes")
     parser.add_argument("--skip-overhead", action="store_true",
                         help="skip the tracing zero-ledger-delta self-check")
     args = parser.parse_args(argv)
 
+    if args.wall_trend:
+        wall_tol = 0.15 if args.wall_tol is None else args.wall_tol
+        try:
+            baseline = _load(args.wall_trend[0])
+            fresh = _load(args.wall_trend[1])
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        failures, notes = compare_wall_trend(
+            baseline, fresh, wall_tol=wall_tol
+        )
+        for note in notes:
+            print(f"  note: {note}")
+        if failures:
+            print(f"WALL-TREND REGRESSION: {len(failures)} failure(s)",
+                  file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return 1
+        print(f"wall-trend gate: OK (tolerance +{wall_tol:.0%})")
+        return 0
+
+    wall_tol = 0.5 if args.wall_tol is None else args.wall_tol
     if args.compare:
         try:
             baseline = _load(args.compare[0])
@@ -217,7 +298,7 @@ def main(argv=None) -> int:
             _perturb(fresh, args.perturb_work)
         failures = compare_records(
             baseline, fresh,
-            wall_tol=args.wall_tol, exact_ledger=args.exact_ledger,
+            wall_tol=wall_tol, exact_ledger=args.exact_ledger,
         )
         return _report(failures)
 
@@ -240,7 +321,7 @@ def main(argv=None) -> int:
     if args.perturb_work is not None:
         _perturb(fresh, args.perturb_work)
     failures = compare_records(
-        baseline, fresh, wall_tol=args.wall_tol, exact_ledger=args.exact_ledger,
+        baseline, fresh, wall_tol=wall_tol, exact_ledger=args.exact_ledger,
     )
     if not args.skip_overhead and not failures:
         from repro.obs.overhead import measure_overhead

@@ -543,8 +543,8 @@ def run_traced(
     per-level exclusive-work decomposition.  ``engine``/``workers``
     select the execution engine as in :func:`all_knn` (the frontier
     engines emit per-level ``frontier.level`` spans instead of per-node
-    spans; ``frontier-mp`` additionally emits per-worker
-    ``frontier.shard`` spans with the worker's own span tree grafted
+    spans; ``frontier-mp`` additionally emits one ``parallel.subtree``
+    span per shipped subtree with the worker's own span tree grafted
     underneath).
 
     Telemetry sinks: ``events_out`` writes the run's JSONL event log and

@@ -136,7 +136,16 @@ class _FrontierBase:
     def run(self) -> PartitionNode:
         n = self.points.shape[0]
         root = _Seg(ids=np.arange(n, dtype=np.int64), level=0, path=())
-        frontier: List[_Seg] = [root]
+        levels = self._build_levels([root])
+        self._link_nodes(levels)
+        self._correct_levels(levels)
+        with self.machine.span("frontier.total"):
+            self.machine.charge(self._compose_costs(levels))
+        return root.node
+
+    def _build_levels(self, frontier: List[_Seg]) -> List[List[_Seg]]:
+        """Advance ``frontier`` level by level until every segment has
+        resolved, returning the per-level segment lists."""
         levels: List[List[_Seg]] = []
         while frontier:
             levels.append(frontier)
@@ -150,11 +159,26 @@ class _FrontierBase:
                 points=points_at_level,
             ) as span:
                 frontier = self._build_level(frontier, span)
+        return levels
+
+    def solve_subtree(self, seg: _Seg) -> List[List[_Seg]]:
+        """Solve one subtree to completion: build all its levels, link its
+        partition nodes, run its bottom-up correction and compose its
+        costs — exactly the serial recursion restricted to ``seg``.
+
+        Unlike :meth:`run`, no root charge happens here: the composed
+        subtree total lands in ``seg.total_cost`` and the caller (the
+        ``frontier-mp`` master) folds it into the global root charge.
+        This is the coarse-grained entry point the multiprocess engine
+        ships to workers — because it *is* the serial code, every RNG
+        draw, punt decision and float fold matches the serial engine's
+        by construction.
+        """
+        levels = self._build_levels([seg])
         self._link_nodes(levels)
         self._correct_levels(levels)
-        with self.machine.span("frontier.total"):
-            self.machine.charge(self._compose_costs(levels))
-        return root.node
+        self._compose_costs(levels)
+        return levels
 
     def _rng_of(self, seg: _Seg) -> np.random.Generator:
         if seg.rng is None:

@@ -14,7 +14,7 @@ It provides:
 - :func:`~repro.obs.spans.write_trace` — one-call trace file writer used
   by ``repro trace`` and the ``--trace-out`` CLI flags;
 - :mod:`~repro.obs.stitch` — grafts worker-process span trees under the
-  master's ``frontier.shard`` spans so a ``frontier-mp`` trace renders
+  master's ``parallel.subtree`` spans so a ``frontier-mp`` trace renders
   one Perfetto lane per worker;
 - :mod:`~repro.obs.export` — telemetry sinks: JSONL event logs (schema at
   ``docs/telemetry_events.schema.json``) and Prometheus text exposition

@@ -1,13 +1,13 @@
 """Cross-process trace stitching for the ``frontier-mp`` engine.
 
-Worker processes run their shard kernels under their own lightweight
+Worker processes run their subtree kernels under their own lightweight
 :class:`~repro.obs.spans.Tracer`; the serialized span trees ship back
 with the task results.  This module grafts those trees under the
-master's ``frontier.shard`` spans so that one tracer holds the whole
+master's ``parallel.subtree`` spans so that one tracer holds the whole
 run — master orchestration *and* per-worker execution — and
 :meth:`~repro.obs.spans.Tracer.to_chrome_trace` renders a true
 multi-track Perfetto timeline (one lane per worker process, utilization
-gaps visible between shard tasks).
+gaps visible between subtree tasks).
 
 Timeline alignment
 ------------------
@@ -26,10 +26,10 @@ Stitching is pure observability: it appends :class:`Span` objects to an
 already-recorded tree and never touches any machine frame, so the
 (depth, work) ledger of a stitched run is bit-identical to the untraced
 run's.  Worker-side spans carry zero simulated cost by construction
-(shard kernels fold their per-node costs analytically instead of
+(the subtree kernel folds its per-node costs analytically instead of
 charging the worker machine), so grafting them also keeps every
 :meth:`~repro.obs.spans.Tracer.check_against` identity intact: the
-shard span's exclusive work stays 0 and the per-level exclusive-work
+subtree span's exclusive work stays 0 and the per-level exclusive-work
 decomposition still reconstructs the ledger exactly.
 """
 
@@ -56,7 +56,8 @@ def graft_worker_trace(
     master_epoch: float,
     worker: int,
 ) -> List[Span]:
-    """Graft one task's worker span trees under its ``frontier.shard`` span.
+    """Graft one task's worker span trees under its ``parallel.subtree``
+    (or any other task-scoped) span.
 
     ``trace`` is the payload built by the worker kernels:
     ``{"spans": [span dicts], "epoch": <abs perf_counter>, "pid": ...,

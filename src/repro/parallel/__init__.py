@@ -3,34 +3,52 @@
 The paper's algorithm is an *n-processor* algorithm; the PVM ledger
 simulates that machine, and the frontier engine already executes in the
 level-synchronous shape the ledger accounts for.  This package closes the
-last gap: it runs each frontier level's batches on actual OS worker
-processes over shared-memory numpy buffers, selected as
+last gap with a coarse-grained two-phase execution, selected as
 ``engine="frontier-mp"`` (with ``workers=N``) anywhere an engine is
 accepted — :class:`~repro.core.config.CommonConfig`, the
-:mod:`repro.api` facade, and the CLI's ``--engine/--workers``.
+:mod:`repro.api` facade, and the CLI's ``--engine/--workers``:
+
+1. the master runs the serial frontier recursion only until the planner
+   yields ``~3× workers`` balanced subtrees, then ships each subtree
+   *once* to a worker that solves it to completion locally against a
+   resident shared-memory arena (no per-level round trips);
+2. the master solves only the straddler/boundary correction set above
+   the cut and replays the subtree accounting in serial order —
+   bit-identical neighbors, tree and ledger for every worker count.
 
 Layers (see ``docs/parallel.md`` for the architecture tour):
 
 - :mod:`~repro.parallel.shm` — shared-memory array lifecycle (master
   creates/unlinks, workers attach);
-- :mod:`~repro.parallel.plan` — contiguous, balance-weighted shard
-  planning over a level's segments;
-- :mod:`~repro.parallel.pool` — the persistent worker pool and its task
-  protocol;
-- :mod:`~repro.parallel.kernels` — worker-side shard kernels (the same
-  frontier methods, run on shards);
+- :mod:`~repro.parallel.plan` — the subtree cut target, solve-cost
+  weights and the greedy LPT subtree→worker assignment (plus the
+  contiguous shard planner used by the serving pool);
+- :mod:`~repro.parallel.pool` — the persistent worker pool and its
+  metered task protocol (pipelined per-worker queues, byte/time
+  accounting);
+- :mod:`~repro.parallel.kernels` — the worker-side ``solve_subtree``
+  kernel (the unmodified serial code, run on whole subtrees);
 - :mod:`~repro.parallel.engine` — the master-side orchestrators
   guaranteeing bit-identical results to the serial engines for any
   worker count.
 """
 
-from .plan import Shard, plan_shards
+from .plan import (
+    Shard,
+    plan_shards,
+    plan_subtree_assignment,
+    subtree_target,
+    subtree_weight,
+)
 from .pool import WorkerError, WorkerPool, resolve_workers
 from .shm import SharedArray, ShmSpec
 
 __all__ = [
     "Shard",
     "plan_shards",
+    "plan_subtree_assignment",
+    "subtree_target",
+    "subtree_weight",
     "WorkerError",
     "WorkerPool",
     "resolve_workers",

@@ -1,50 +1,69 @@
-"""The ``frontier-mp`` engine: frontier levels on OS worker processes.
+"""The ``frontier-mp`` engine: coarse-grained subtree solves on OS workers.
 
 :class:`_ParallelFastFrontier` / :class:`_ParallelSimpleFrontier` subclass
-the serial frontier engines and replace the *execution* of each level —
-leaf brute force, separator search, ball classification, correction — with
-shard tasks fanned out over a :class:`~repro.parallel.pool.WorkerPool`,
-while keeping every piece of *accounting* on the master, replayed in the
-serial order.  The bit-identity contract (same neighbors, tree and
-(depth, work) ledger as ``engine="frontier"`` — and hence as
-``"recursive"`` — for any worker count) rests on a strict split of
-responsibilities:
+the serial frontier engines and restructure execution into two phases:
 
-master-side, serial order
-    segment bookkeeping, the level-wide ``segmented_split``, tree linking,
-    the ``pre/divide/base/correct`` section folds (replayed per segment
-    from worker-returned :class:`~repro.pvm.cost.Cost` values in exactly
-    the serial fold order), the bottom-up cost composition and the single
-    root charge;
-worker-side, order-free
-    everything numerical.  Workers run the *same* frontier methods on
-    contiguous shards of the level; shard-restriction is bitwise invisible
-    because those methods are per-segment independent, and each segment
-    consumes only its own :func:`~repro.util.rng.path_rng` stream (build
-    kernels return the post-search generator state, which the master ships
-    back for the node's correction task, so punt-path draws continue the
-    exact serial stream).
+phase 1 — cut and ship (workers, order-free)
+    The master runs the *serial* frontier recursion only until the
+    frontier holds :func:`~repro.parallel.plan.subtree_target` segments
+    (``~3×`` the worker count).  Each of those segments — a whole
+    subtree — is shipped **once** to a worker planned by
+    :func:`~repro.parallel.plan.plan_subtree_assignment`, which solves it
+    to completion locally against the resident shared-memory arena via
+    the serial :meth:`~repro.core.frontier._FrontierBase.solve_subtree`
+    entry point.  There are no per-level round trips and no per-level
+    pickling: master↔worker traffic is one task descriptor down and one
+    solved-subtree summary up, per subtree.
 
-Event counters merge additively and are therefore exact; metric *series*
-arrive in shard order, equal to the serial engine's as multisets (the same
-guarantee the frontier engine gives relative to the recursive one).
+phase 2 — merge and replay (master, serial order)
+    The master corrects only the straddler/boundary set — the internal
+    nodes *above* the cut, whose corrections read the workers' leaf radii
+    out of shared memory — and replays the subtree ledger/section/counter
+    accounting in the serial engine's order from the per-segment
+    :class:`~repro.pvm.cost.Cost` records each worker returns, composing
+    the bottom-up cost algebra and issuing the single root charge.
 
-Observability: in addition to the serial engine's per-level spans, every
-shard task emits a ``frontier.shard`` span (worker id, segment/point
-counts, wall milliseconds) whose wall-clock bounds are the task's real
-dispatch window, and — when tracing is on — the worker's own span tree
-is grafted underneath it by :mod:`repro.obs.stitch`, giving the Chrome
-export one timeline lane per worker process.  The run reports
-``parallel.workers``, ``parallel.tasks``, ``parallel.busy_seconds`` (sum
-and per-worker ``parallel.busy_seconds.<i>`` gauges),
-``parallel.dispatch_span_seconds`` and ``parallel.utilization`` (busy
-time over the span of dispatched work, not pool lifetime) through the
-metrics registry.
+The bit-identity contract (same neighbors, tree and (depth, work) ledger
+as ``engine="frontier"`` — and hence as ``"recursive"`` — for any worker
+count) holds by construction: workers execute the *unmodified* serial
+code on whole subtrees (per-node :func:`~repro.util.rng.path_rng`
+streams, serial punt decisions, serial float folds), subtrees own
+disjoint index sets so concurrent solves never race, and every
+accounting fold the master replays is per-section order-identical to the
+serial engine's (see ``docs/parallel.md`` for the full argument).  Event
+counters merge additively and are therefore exact; metric *series*
+arrive in subtree order, equal to the serial engine's as multisets (the
+same guarantee the frontier engine gives relative to the recursive one).
+
+If the frontier exhausts before reaching the target (tiny inputs, or
+pathological early punts), nothing is dispatched and the master simply
+finishes the serial solve — bit-identical by triviality, with
+``parallel.subtrees == 0`` recording the fallback.
+
+Observability: in addition to the serial engine's per-level spans for
+the master's own levels, every subtree task emits a ``parallel.subtree``
+span (worker id, subtree index, point count, wall milliseconds) whose
+wall-clock bounds are the task's real dispatch window, and — when
+tracing is on — the worker's own span tree (a ``worker.subtree`` root
+with the worker-local ``frontier.level`` spans inside) is grafted
+underneath it by :mod:`repro.obs.stitch`, giving the Chrome export one
+timeline lane per worker process.  The run reports ``parallel.workers``,
+``parallel.tasks``, ``parallel.subtrees``, ``parallel.cut_level``,
+``parallel.busy_seconds`` (sum and per-worker
+``parallel.busy_seconds.<i>`` gauges), ``parallel.dispatch_span_seconds``
+and ``parallel.utilization`` (busy time over the span of dispatched
+work, not pool lifetime), plus the overhead breakdown —
+``parallel.copyin_seconds`` (shm arena population),
+``parallel.dispatch_seconds`` / ``parallel.dispatch_bytes`` (pickle+send
+down), ``parallel.collect_seconds`` / ``parallel.result_bytes``
+(receive+unpickle up) — through the metrics registry, so fan-out
+overhead is attributable rather than guessed.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import time
+from typing import Any, Dict, List
 
 import numpy as np
 
@@ -52,11 +71,17 @@ from ..core.frontier import _FastFrontier, _Seg, _SimpleFrontier
 from ..kernels import registry as kernel_registry
 from ..obs.stitch import graft_worker_trace
 from ..pvm.cost import Cost
-from .plan import build_weight, correct_weight, plan_shards
+from .plan import plan_subtree_assignment, subtree_target, subtree_weight
 from .pool import TaskResult, WorkerPool, resolve_workers
 from .shm import SharedArray
 
 __all__ = ["run_fast_frontier_mp", "run_simple_frontier_mp"]
+
+
+def _base_cost(m: int) -> Cost:
+    """The base-case charge of an ``m``-point leaf, reconstructed exactly
+    as :meth:`~repro.core.frontier._FrontierBase._leaf` builds it."""
+    return Cost(float(m), float(m) * float(m))
 
 
 class _ParallelFrontierMixin:
@@ -65,12 +90,19 @@ class _ParallelFrontierMixin:
     def run(self):
         workers = resolve_workers(self.config.workers)
         self._arena: List[SharedArray] = []
-        self._level_buffers: List[SharedArray] = []
         caller_idx, caller_sq = self.nbr_idx, self.nbr_sq
+        t0 = time.perf_counter()
         points_sa = SharedArray.create_from(self.points)
         idx_sa = SharedArray.create_from(self.nbr_idx)
         sq_sa = SharedArray.create_from(self.nbr_sq)
+        self._copyin_seconds = time.perf_counter() - t0
         self._arena += [points_sa, idx_sa, sq_sa]
+        # The master works against the shared views for the whole run:
+        # its own leaves and corrections must see (and extend) the same
+        # neighbor state the workers write.
+        self.nbr_idx = idx_sa.array
+        self.nbr_sq = sq_sa.array
+        self._cut: List[_Seg] = []
         self._pool = WorkerPool(workers)
         try:
             self._pool.broadcast("init_run", {
@@ -88,164 +120,190 @@ class _ParallelFrontierMixin:
                 # re-resolve "auto" differently from the master
                 "kernels": kernel_registry.active_backend(),
             })
-            root = super().run()
+            root_node = self._run_two_phase(workers)
             caller_idx[...] = idx_sa.array
             caller_sq[...] = sq_sa.array
         finally:
+            self.nbr_idx = caller_idx
+            self.nbr_sq = caller_sq
             self._pool.close()
             for sa in self._arena:
                 sa.destroy()
-        busy = float(sum(self._pool.busy_seconds))
-        window = self._pool.dispatch_window()
-        span_seconds = (window[1] - window[0]) if window is not None else 0.0
-        metrics = self.machine.metrics
-        metrics.set_gauge("parallel.workers", workers)
-        metrics.inc("parallel.tasks", self._pool.tasks_done)
-        metrics.inc("parallel.busy_seconds", busy)
-        for w, worker_busy in enumerate(self._pool.busy_seconds):
-            metrics.set_gauge(f"parallel.busy_seconds.{w}", float(worker_busy))
-        metrics.set_gauge("parallel.dispatch_span_seconds", span_seconds)
-        metrics.set_gauge(
-            "parallel.utilization",
-            min(1.0, busy / max(workers * span_seconds, 1e-12)),
-        )
-        return root
+        self._emit_parallel_metrics(workers)
+        return root_node
 
-    # -- build phase -----------------------------------------------------
-
-    def _build_level(self, segs: List[_Seg], span) -> List[_Seg]:
-        self.stats.nodes += len(segs)
-        level = segs[0].level
-        buf = SharedArray.create_from(np.concatenate([s.ids for s in segs]))
-        self._level_buffers.append(buf)
-        self._arena.append(buf)
-        kinds = ["leaf" if s.ids.shape[0] <= self.base else "active" for s in segs]
-        descs = []
-        offset = 0
-        for seg, kind in zip(segs, kinds):
-            m = seg.ids.shape[0]
-            descs.append((offset, m, seg.path, kind))
-            offset += m
-        weights = [
-            build_weight(s.ids.shape[0], kind == "leaf", self.base)
-            for s, kind in zip(segs, kinds)
-        ]
-        shards = plan_shards(weights, self._pool.workers)
-        payloads = [
-            {"level": level, "ids_spec": buf.spec, "segs": descs[s.start : s.stop]}
-            for s in shards
-        ]
-        results: List[Optional[dict]] = [None] * len(segs)
-        for task, shard in zip(
-            self._pool.run_tasks("build_shard", payloads), shards
-        ):
-            self._merge_task(task.result)
-            self._shard_span("build", level, shard, segs, task)
-            results[shard.start : shard.stop] = task.result["segs"]
-        return self._replay_build(segs, results, span)
-
-    def _replay_build(self, segs, results, span) -> List[_Seg]:
-        """Fold the shard results back in the serial engine's order."""
-        machine = self.machine
-        actives = []
-        for seg, res in zip(segs, results):
-            if res["kind"] == "leaf":
-                seg.is_leaf = True
-                seg.pre_cost = res["pre_cost"]
-                m = seg.ids.shape[0]
-                machine.attribute("base", Cost(float(m), float(m) * float(m)))
-            else:
-                actives.append((seg, res))
-        if span is not None:
-            span.attrs["base_segments"] = len(segs) - len(actives)
-        if not actives:
-            return []
-        for seg, res in actives:
-            seg.divide_cost = res["divide_cost"]
-            machine.attribute("divide", res["divide_cost"])
-        split_segs: List[_Seg] = []
-        for seg, res in actives:
-            seg.pre_cost = res["pre_cost"]
-            if res["kind"] == "split":
-                seg.separator = res["separator"]
-                seg.side = res["side"]
-                seg.attempts = res.get("attempts", 0)
-                seg.rng = res.get("rng")
-                split_segs.append(seg)
-            else:
-                seg.is_leaf = True
-                m = seg.ids.shape[0]
-                machine.attribute("base", Cost(float(m), float(m) * float(m)))
-        self._note_failures(span, len(actives) - len(split_segs))
-        if not split_segs:
-            return []
-        self._finalize_split_costs(split_segs)
-        return self._split_segments(split_segs)
-
-    # -- correction phase ------------------------------------------------
-
-    def _correct_levels(self, levels: List[List[_Seg]]) -> None:
-        self._pool.broadcast("install_tree", {
-            "levels": [
-                [(s.ids.shape[0], s.is_leaf, s.separator) for s in level_segs]
-                for level_segs in levels
-            ],
-            "ids_specs": [buf.spec for buf in self._level_buffers],
-        })
-        for li in range(len(levels) - 1, -1, -1):
-            level_segs = levels[li]
-            internal = [
-                (pos, s) for pos, s in enumerate(level_segs) if not s.is_leaf
-            ]
-            if not internal:
-                continue
+    def _run_two_phase(self, workers: int):
+        n = self.points.shape[0]
+        root = _Seg(ids=np.arange(n, dtype=np.int64), level=0, path=())
+        target = subtree_target(workers)
+        frontier = [root]
+        master_levels: List[List[_Seg]] = []
+        while frontier and len(frontier) < target:
+            master_levels.append(frontier)
+            lvl = frontier[0].level
+            points_at_level = int(sum(s.ids.shape[0] for s in frontier))
             with self.machine.span(
                 "frontier.level",
-                phase="correct",
-                level=internal[0][1].level,
-                segments=len(internal),
+                phase="build",
+                level=lvl,
+                segments=len(frontier),
+                points=points_at_level,
             ) as span:
-                punts_before = self._punt_count()
-                weights = [correct_weight(s.ids.shape[0]) for _, s in internal]
-                shards = plan_shards(weights, self._pool.workers)
-                payloads = []
-                for shard in shards:
-                    chunk = internal[shard.start : shard.stop]
-                    payload = {"level": li, "positions": [pos for pos, _ in chunk]}
-                    if self._ships_correction_rngs:
-                        payload["rngs"] = [s.rng for _, s in chunk]
-                    payloads.append(payload)
-                results: List[Optional[dict]] = [None] * len(internal)
-                for task, shard in zip(
-                    self._pool.run_tasks("correct_shard", payloads), shards
-                ):
-                    self._merge_task(task.result)
-                    self._shard_span(
-                        "correct", li, shard, [s for _, s in internal], task
-                    )
-                    results[shard.start : shard.stop] = task.result["segs"]
-                straddlers = 0
-                for (_, seg), res in zip(internal, results):
-                    seg.post_cost = res["post_cost"]
-                    straddlers += res["straddlers"]
-                    seg.node.meta.update(res["meta"])
-                    self.machine.attribute("correct", seg.post_cost)
-                if span is not None:
-                    span.attrs["straddlers"] = int(straddlers)
-                    span.attrs["punts"] = int(
-                        self._punt_count() - punts_before
-                    )
+                frontier = self._build_level(frontier, span)
+        self._cut = frontier
+        if frontier:
+            self._solve_subtrees(frontier)
+        self._link_nodes(master_levels)
+        self._correct_levels(master_levels)
+        if master_levels:
+            total = self._compose_costs(master_levels)
+        else:
+            # target == 1: the root itself was the single shipped subtree
+            total = frontier[0].total_cost
+        with self.machine.span("frontier.total"):
+            self.machine.charge(total)
+        return root.node
+
+    # -- phase 1: cut and ship -------------------------------------------
+
+    def _solve_subtrees(self, cut: List[_Seg]) -> None:
+        """Ship every cut segment to its planned worker, then mirror and
+        replay the solved subtrees in serial order."""
+        pool = self._pool
+        t0 = time.perf_counter()
+        buf = SharedArray.create_from(np.concatenate([s.ids for s in cut]))
+        self._copyin_seconds += time.perf_counter() - t0
+        self._arena.append(buf)
+        weights = [subtree_weight(int(s.ids.shape[0]), self.base) for s in cut]
+        assignment = plan_subtree_assignment(weights, pool.workers)
+        payloads: List[Dict[str, Any]] = []
+        offset = 0
+        for i, seg in enumerate(cut):
+            m = int(seg.ids.shape[0])
+            payloads.append({
+                "ids_spec": buf.spec,
+                "offset": offset,
+                "length": m,
+                "path": seg.path,
+                "level": seg.level,
+                "index": i,
+            })
+            offset += m
+        tasks = pool.run_assigned("solve_subtree", payloads, assignment)
+        # Merge order is the cut order (run_assigned returns payload
+        # order), so counter merges and series extension are
+        # deterministic for a fixed plan.
+        for i, (seg, task) in enumerate(zip(cut, tasks)):
+            self._merge_task(task.result)
+            self._subtree_span(seg, i, task)
+        for seg, task in zip(cut, tasks):
+            self._install_subtree(seg, task.result)
+        self._replay_accounting([task.result for task in tasks])
+
+    # -- phase 2: mirror and replay --------------------------------------
+
+    def _install_subtree(self, seg: _Seg, res: Dict[str, Any]) -> None:
+        """Rebuild one solved subtree as master-side segments and
+        partition nodes from the worker's per-level records.
+
+        Children of the ``c``-th split segment of a level (in segment
+        order) sit at positions ``2c``/``2c + 1`` of the next level — the
+        append order of ``_split_segments``.  The cut segment itself *is*
+        local level 0 (its fields are filled in place, so the parent
+        level's ``left``/``right`` references stay valid), and its ids
+        array is the master's own — worker-shipped id vectors are plain
+        arrays, so no shared-memory view can leak into the returned tree.
+        """
+        local_levels: List[List[_Seg]] = []
+        for li, level_res in enumerate(res["levels"]):
+            if li == 0:
+                self._apply_record(seg, level_res["segs"][0])
+                local_levels.append([seg])
+                continue
+            ids_flat = level_res["ids"]
+            segs: List[_Seg] = []
+            offset = 0
+            for rec in level_res["segs"]:
+                m = rec["length"]
+                child = _Seg(
+                    ids=ids_flat[offset : offset + m],
+                    level=seg.level + li,
+                    path=(),
+                )
+                offset += m
+                self._apply_record(child, rec)
+                segs.append(child)
+            local_levels.append(segs)
+        for li, segs in enumerate(local_levels):
+            child = 0
+            for s in segs:
+                if not s.is_leaf:
+                    s.left = local_levels[li + 1][2 * child]
+                    s.right = local_levels[li + 1][2 * child + 1]
+                    s.left.path = s.path + (0,)
+                    s.right.path = s.path + (1,)
+                    child += 1
+        self._link_nodes(local_levels)
+        for segs, level_res in zip(local_levels, res["levels"]):
+            for s, rec in zip(segs, level_res["segs"]):
+                if rec["kind"] == "split":
+                    s.node.meta.update(rec["meta"])
+        seg.total_cost = res["total"]
+
+    @staticmethod
+    def _apply_record(seg: _Seg, rec: Dict[str, Any]) -> None:
+        kind = rec["kind"]
+        if kind == "split":
+            seg.separator = rec["separator"]
+            seg.divide_cost = rec["divide_cost"]
+            seg.post_cost = rec["post_cost"]
+        else:
+            seg.is_leaf = True
+            if kind == "failed":
+                seg.divide_cost = rec["divide_cost"]
+
+    def _replay_accounting(self, results: List[Dict[str, Any]]) -> None:
+        """Replay the subtrees' section folds in the serial engine's order.
+
+        Sections fold per *name*, so only the within-name order matters.
+        Serially, ``base`` folds level by level — arrived leaves in
+        segment order, then degenerated actives in segment order;
+        ``divide`` folds every active in segment order per level; and
+        ``correct`` folds internal segments per level walking levels
+        bottom-up.  At any level at or below the cut, the serial segment
+        order is the concatenation of the per-subtree segment lists in
+        cut order (splits preserve order), so concatenating the subtree
+        records per global level — subtree-major — reproduces each fold
+        bit for bit.  Master levels folded live before (build) and after
+        (correct) this replay complete the serial order.
+        """
+        machine = self.machine
+        depth = max(len(res["levels"]) for res in results)
+        for li in range(depth):
+            recs = [
+                rec
+                for res in results
+                if li < len(res["levels"])
+                for rec in res["levels"][li]["segs"]
+            ]
+            for rec in recs:
+                if rec["kind"] == "leaf":
+                    machine.attribute("base", _base_cost(rec["length"]))
+            for rec in recs:
+                if rec["kind"] != "leaf":
+                    machine.attribute("divide", rec["divide_cost"])
+            for rec in recs:
+                if rec["kind"] == "failed":
+                    machine.attribute("base", _base_cost(rec["length"]))
+        for li in range(depth - 1, -1, -1):
+            for res in results:
+                if li >= len(res["levels"]):
+                    continue
+                for rec in res["levels"][li]["segs"]:
+                    if rec["kind"] == "split":
+                        machine.attribute("correct", rec["post_cost"])
 
     # -- merge helpers ---------------------------------------------------
-
-    def _punt_count(self) -> int:
-        """Correction-phase punt events so far (0 for engines without
-        punt counters); worker punts land here through the per-task
-        metrics merge, so per-level deltas match the serial engine's."""
-        return int(
-            getattr(self.stats, "punts_iota", 0)
-            + getattr(self.stats, "punts_marching", 0)
-        )
 
     def _merge_task(self, reply: dict) -> None:
         counters = self.machine.counters
@@ -253,19 +311,13 @@ class _ParallelFrontierMixin:
             counters[key] = counters.get(key, 0) + value
         self.machine.metrics.merge(reply["metrics"])
 
-    def _shard_span(
-        self, phase, level, shard, segs, task: TaskResult
-    ) -> None:
-        points = int(
-            sum(s.ids.shape[0] for s in segs[shard.start : shard.stop])
-        )
+    def _subtree_span(self, seg: _Seg, index: int, task: TaskResult) -> None:
         with self.machine.span(
-            "frontier.shard",
-            phase=phase,
-            level=level,
+            "parallel.subtree",
             worker=task.worker,
-            segments=len(shard),
-            points=points,
+            subtree=index,
+            level=seg.level,
+            points=int(seg.ids.shape[0]),
             wall_ms=task.elapsed * 1000.0,
         ) as handle:
             pass
@@ -274,7 +326,7 @@ class _ParallelFrontierMixin:
         # Rewrite the span's wall bounds to the task's real dispatch
         # window (the span itself opened at collection time, after the
         # work was already done), then graft the worker's own span tree
-        # underneath.  Both are pure-observability edits: the shard
+        # underneath.  Both are pure-observability edits: the subtree
         # span's zero Cost and the ledger are untouched.
         tracer = self.machine.tracer
         handle.wall_start = task.submitted - tracer.epoch
@@ -285,48 +337,40 @@ class _ParallelFrontierMixin:
                 handle, trace, master_epoch=tracer.epoch, worker=task.worker
             )
 
-    # -- engine-specific hooks -------------------------------------------
-
-    _ships_correction_rngs = False
-
-    def _finalize_split_costs(self, split_segs: List[_Seg]) -> None:
-        raise NotImplementedError
-
-    def _note_failures(self, span, failures: int) -> None:
-        pass
+    def _emit_parallel_metrics(self, workers: int) -> None:
+        pool = self._pool
+        busy = float(sum(pool.busy_seconds))
+        window = pool.dispatch_window()
+        span_seconds = (window[1] - window[0]) if window is not None else 0.0
+        metrics = self.machine.metrics
+        metrics.set_gauge("parallel.workers", workers)
+        metrics.inc("parallel.tasks", pool.tasks_done)
+        metrics.inc("parallel.busy_seconds", busy)
+        for w, worker_busy in enumerate(pool.busy_seconds):
+            metrics.set_gauge(f"parallel.busy_seconds.{w}", float(worker_busy))
+        metrics.set_gauge("parallel.dispatch_span_seconds", span_seconds)
+        metrics.set_gauge(
+            "parallel.utilization",
+            min(1.0, busy / max(workers * span_seconds, 1e-12)),
+        )
+        metrics.set_gauge("parallel.subtrees", float(len(self._cut)))
+        metrics.set_gauge(
+            "parallel.cut_level",
+            float(self._cut[0].level) if self._cut else -1.0,
+        )
+        metrics.set_gauge("parallel.copyin_seconds", self._copyin_seconds)
+        metrics.set_gauge("parallel.dispatch_seconds", pool.dispatch_seconds)
+        metrics.set_gauge("parallel.collect_seconds", pool.collect_seconds)
+        metrics.inc("parallel.dispatch_bytes", pool.dispatch_bytes)
+        metrics.inc("parallel.result_bytes", pool.result_bytes)
 
 
 class _ParallelFastFrontier(_ParallelFrontierMixin, _FastFrontier):
     """Multiprocess execution of the Section 6 fast algorithm."""
 
-    # punt-path correction draws continue the post-separator-search
-    # generator state returned by the build kernels
-    _ships_correction_rngs = True
-
-    def _finalize_split_costs(self, split_segs: List[_Seg]) -> None:
-        for seg in split_segs:
-            m = seg.ids.shape[0]
-            seg.pre_cost = (
-                seg.pre_cost
-                .then(self.machine.ewise_cost(m, 2.0))
-                .then(self.machine.scan_cost(m).then(self.machine.permute_cost(m)))
-            )
-
-    def _note_failures(self, span, failures: int) -> None:
-        if span is not None:
-            span.attrs["separator_failures"] = failures
-
 
 class _ParallelSimpleFrontier(_ParallelFrontierMixin, _SimpleFrontier):
-    """Multiprocess execution of the Section 5 simple algorithm.
-
-    Correction generators are derived worker-side from each node's path
-    (the simple build never consumes randomness), so no RNG state ships.
-    """
-
-    def _finalize_split_costs(self, split_segs: List[_Seg]) -> None:
-        # the hyperplane divide cost already includes the split fold
-        pass
+    """Multiprocess execution of the Section 5 simple algorithm."""
 
 
 def run_fast_frontier_mp(

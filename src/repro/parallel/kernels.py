@@ -1,40 +1,44 @@
 """Worker-side kernels of the multiprocess frontier engine.
 
 Each worker process holds one :class:`RunState` per engine run (installed
-by :func:`init_run`) and then executes shard kernels against it.  The
-kernels do **not** reimplement the algorithms: they instantiate the very
-same :class:`~repro.core.frontier._FastFrontier` /
+by :func:`init_run`) and then solves whole subtrees against it.  The
+kernels do **not** reimplement the algorithms: :func:`solve_subtree`
+instantiates the very same :class:`~repro.core.frontier._FastFrontier` /
 :class:`~repro.core.frontier._SimpleFrontier` classes — over shared-memory
 views of the run's arrays, with a private
-:class:`~repro.pvm.machine.Machine` and metrics registry — and run the
-existing segment-restricted methods (``_leaf``, ``_find_separators``,
-``_divide_segment``, ``_classify_level``, ``_correct_node``,
-``_flush_level_pairs``) on their shard.  Because every batched pass in
-those methods is per-segment independent (row-local sphere tests,
-per-matrix-stable stacked SVDs, per-owner-independent pair merges) and
-each segment consumes only its own :func:`~repro.util.rng.path_rng`
-stream, a shard-restricted execution is bitwise identical to the same
-segments' slice of a whole-level execution — worker count can never
-change a result.
+:class:`~repro.pvm.machine.Machine` and metrics registry — and runs the
+serial :meth:`~repro.core.frontier._FrontierBase.solve_subtree` entry
+point on one frontier segment.  Because the worker executes the
+*unmodified* serial code on the whole subtree (every RNG draw comes from
+the segment's own :func:`~repro.util.rng.path_rng` stream, every punt
+decision and float fold happens in the serial order), the subtree's
+neighbor rows, partition nodes and per-node costs are bitwise identical
+to the same subtree's slice of a serial whole-tree run — worker count
+can never change a result.
 
-Results travel back as plain picklable payloads: per-segment costs,
-separators, side vectors and post-search RNG states, plus the task-local
-``machine.counters`` and metrics registry for the master to fold in.
 Neighbor rows are written directly into the shared ``nbr_idx``/``nbr_sq``
-arrays; same-level segments own disjoint rows, so concurrent shard writes
-never race.
+arrays.  Subtrees own disjoint index sets and every correction a subtree
+performs reads and writes only rows its own nodes own, so concurrent
+subtree solves never race (see ``docs/parallel.md`` for the containment
+argument).
+
+The task result ships everything the master needs to (a) rebuild the
+subtree's :class:`~repro.core.partition_tree.PartitionNode` mirror from
+plain arrays and (b) replay the subtree's ledger/section accounting in
+serial order: per-level flat id vectors, per-segment records (length,
+kind, separator, divide/post costs, node meta), the composed subtree
+total, and the task-local ``machine.counters`` and metrics registry.
 
 Tracing: when the master's machine has a tracer attached, ``init_run``
-ships ``trace=True`` and every shard kernel runs under its own
-task-local :class:`~repro.obs.spans.Tracer` — coarse ``worker.build`` /
-``worker.correct`` spans with ``worker.separators`` / ``worker.divide``
-/ ``worker.classify`` / ``worker.nodes`` / ``worker.flush`` children.
-The serialized span tree (plus the worker's pid/tid and tracer epoch)
+ships ``trace=True`` and the subtree solve runs under a task-local
+:class:`~repro.obs.spans.Tracer` — one ``worker.subtree`` root span
+containing the worker-local ``frontier.level`` build/correct spans.  The
+serialized span tree (plus the worker's pid/tid and tracer epoch)
 travels back in the task result for :mod:`repro.obs.stitch` to graft
-under the master's ``frontier.shard`` span.  Worker spans carry zero
-simulated cost — shard kernels fold per-node costs analytically instead
-of charging the worker machine — so stitching can never perturb any
-ledger identity.
+under the master's ``parallel.subtree`` span.  Worker spans carry zero
+simulated cost — ``solve_subtree`` composes costs analytically and never
+charges the worker machine — so stitching can never perturb any ledger
+identity.
 """
 
 from __future__ import annotations
@@ -47,19 +51,18 @@ import numpy as np
 
 from ..core.fast_dnc import FastDnCStats
 from ..core.frontier import _FastFrontier, _Seg, _SimpleFrontier
-from ..core.partition_tree import PartitionNode
 from ..core.simple_dnc import SimpleDnCStats
 from ..kernels import registry as kernel_registry
 from ..pvm.machine import Machine
 from .shm import attach
 
-__all__ = ["KERNELS", "init_run"]
+__all__ = ["KERNELS", "init_run", "solve_subtree"]
 
 _STATE: Optional["RunState"] = None
 
 
 class RunState:
-    """Per-run worker context: shared arrays, config, and the tree mirror."""
+    """Per-run worker context: shared arrays and run configuration."""
 
     def __init__(self, payload: Dict[str, Any]) -> None:
         self.method: str = payload["method"]
@@ -74,7 +77,6 @@ class RunState:
         self.points = self.attach_cached(payload["points_spec"])
         self.nbr_idx = self.attach_cached(payload["nbr_idx_spec"])
         self.nbr_sq = self.attach_cached(payload["nbr_sq_spec"])
-        self.levels: Optional[List[List[_Seg]]] = None
 
     def attach_cached(self, spec) -> np.ndarray:
         if spec.name not in self._attached:
@@ -114,12 +116,9 @@ def init_run(payload: Dict[str, Any]) -> bool:
     return True
 
 
-def _task_result(engine, segs: List[Dict[str, Any]]) -> Dict[str, Any]:
-    out = {
-        "segs": segs,
-        "counters": dict(engine.machine.counters),
-        "metrics": engine.machine.metrics,
-    }
+def _task_result(engine, out: Dict[str, Any]) -> Dict[str, Any]:
+    out["counters"] = dict(engine.machine.counters)
+    out["metrics"] = engine.machine.metrics
     tracer = engine.machine.tracer
     if tracer is not None:
         out["trace"] = {
@@ -131,177 +130,71 @@ def _task_result(engine, segs: List[Dict[str, Any]]) -> Dict[str, Any]:
     return out
 
 
-def build_shard(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Build-phase kernel: resolve this shard's leaves and search this
-    shard's active segments for separators, exactly as the serial
-    frontier would for the same segments."""
-    state = _STATE
-    ids_buf = state.attach_cached(payload["ids_spec"])
-    engine = state.make_engine()
-    machine = engine.machine
-    level = payload["level"]
-    points = int(sum(length for _, length, _, _ in payload["segs"]))
-    results: List[Optional[Dict[str, Any]]] = []
-    actives: List[_Seg] = []
-    active_slots: List[int] = []
-    with machine.span(
-        "worker.build", level=level, segments=len(payload["segs"]), points=points
-    ) as wspan:
-        for offset, length, path, kind in payload["segs"]:
-            seg = _Seg(
-                ids=ids_buf[offset : offset + length], level=level, path=tuple(path)
-            )
-            if kind == "leaf":
-                engine._leaf(seg)
-                results.append({"kind": "leaf", "pre_cost": seg.pre_cost})
-            else:
-                active_slots.append(len(results))
-                results.append(None)
-                actives.append(seg)
-        if wspan is not None:
-            wspan.attrs["leaves"] = len(results) - len(actives)
-            wspan.attrs["actives"] = len(actives)
-        if actives:
-            if state.method == "fast":
-                with machine.span("worker.separators", segments=len(actives)):
-                    engine._find_separators(actives)
-                for slot, seg in zip(active_slots, actives):
-                    if seg.separator is None:
-                        engine.stats.punts_separator += 1
-                        engine._leaf(seg)
-                        results[slot] = {
-                            "kind": "failed",
-                            "pre_cost": seg.pre_cost,
-                            "divide_cost": seg.divide_cost,
-                        }
-                    else:
-                        results[slot] = {
-                            "kind": "split",
-                            "pre_cost": seg.pre_cost,
-                            "divide_cost": seg.divide_cost,
-                            "separator": seg.separator,
-                            "side": seg.side,
-                            "attempts": seg.attempts,
-                            "rng": seg.rng,
-                        }
-            else:
-                with machine.span("worker.divide", segments=len(actives)):
-                    for slot, seg in zip(active_slots, actives):
-                        if engine._divide_segment(seg):
-                            results[slot] = {
-                                "kind": "split",
-                                "pre_cost": seg.pre_cost,
-                                "divide_cost": seg.divide_cost,
-                                "separator": seg.separator,
-                                "side": seg.side,
-                            }
-                        else:
-                            results[slot] = {
-                                "kind": "failed",
-                                "pre_cost": seg.pre_cost,
-                                "divide_cost": seg.divide_cost,
-                            }
-    return _task_result(engine, results)
+def _seg_record(seg: _Seg, base: int) -> Dict[str, Any]:
+    """Everything the master needs to mirror one solved segment.
+
+    ``kind`` separates the three replay classes: ``"leaf"`` (arrived at
+    or below the base size — its only charge is the ``m²`` brute force),
+    ``"failed"`` (an active segment that degenerated: fast separator
+    failure or simple degenerate cut — divide charges *then* the brute
+    force), ``"split"`` (internal — divide charges, then correction
+    charges on the way back up).  Arrived leaves and failed actives are
+    distinguishable by size alone, but the kind is shipped explicitly so
+    the replay never re-derives policy.
+    """
+    m = int(seg.ids.shape[0])
+    if not seg.is_leaf:
+        return {
+            "length": m,
+            "kind": "split",
+            "separator": seg.separator,
+            "divide_cost": seg.divide_cost,
+            "post_cost": seg.post_cost,
+            "meta": dict(seg.node.meta),
+        }
+    if m > base:
+        return {"length": m, "kind": "failed", "divide_cost": seg.divide_cost}
+    return {"length": m, "kind": "leaf"}
 
 
-def install_tree(payload: Dict[str, Any]) -> bool:
-    """Rebuild the partition tree as a local mirror over shared-memory id
-    buffers, so correction kernels can classify and march without
-    shipping subtrees per task.
+def solve_subtree(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Solve one whole subtree to completion against the resident arena.
 
-    Children of the ``c``-th internal segment of level ``L`` (in segment
-    order) sit at positions ``2c``/``2c + 1`` of level ``L + 1`` — the
-    append order of the master's ``_split_segments``.
+    The payload names a slice of the shared cut-frontier id buffer plus
+    the segment's tree position (``path``/``level``); the kernel runs the
+    serial :meth:`~repro.core.frontier._FrontierBase.solve_subtree` on it
+    and packages the solved levels for the master's mirror rebuild and
+    accounting replay.  ``levels[0]["ids"]`` is ``None`` — the master
+    already holds the cut segment's ids and substitutes its own array.
     """
     state = _STATE
-    levels: List[List[_Seg]] = []
-    for li, (level_spec, ids_spec) in enumerate(
-        zip(payload["levels"], payload["ids_specs"])
-    ):
-        ids_buf = state.attach_cached(ids_spec)
-        offset = 0
-        segs: List[_Seg] = []
-        for length, is_leaf, separator in level_spec:
-            seg = _Seg(ids=ids_buf[offset : offset + length], level=li, path=())
-            seg.is_leaf = is_leaf
-            seg.separator = separator
-            segs.append(seg)
-            offset += length
-        levels.append(segs)
-    for li, segs in enumerate(levels):
-        child = 0
-        for seg in segs:
-            if not seg.is_leaf:
-                seg.left = levels[li + 1][2 * child]
-                seg.right = levels[li + 1][2 * child + 1]
-                seg.left.path = seg.path + (0,)
-                seg.right.path = seg.path + (1,)
-                child += 1
-    for segs in reversed(levels):
-        for seg in segs:
-            if seg.is_leaf:
-                seg.node = PartitionNode(indices=seg.ids)
-            else:
-                seg.node = PartitionNode(
-                    indices=seg.ids,
-                    separator=seg.separator,
-                    left=seg.left.node,
-                    right=seg.right.node,
-                )
-    state.levels = levels
-    return True
-
-
-def correct_shard(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Correction kernel: classify, correct and flush this shard's
-    internal segments of one level against the mirrored tree."""
-    state = _STATE
-    segs = [state.levels[payload["level"]][pos] for pos in payload["positions"]]
-    rngs = payload.get("rngs")
-    if rngs is not None:
-        for seg, rng in zip(segs, rngs):
-            seg.rng = rng
-    engine = state.make_engine()
-    machine = engine.machine
-    results: List[Dict[str, Any]] = []
-    points = int(sum(seg.ids.shape[0] for seg in segs))
-    with machine.span(
-        "worker.correct",
+    ids_buf = state.attach_cached(payload["ids_spec"])
+    offset, length = payload["offset"], payload["length"]
+    seg = _Seg(
+        ids=ids_buf[offset : offset + length],
         level=payload["level"],
-        segments=len(segs),
-        points=points,
+        path=tuple(payload["path"]),
+    )
+    engine = state.make_engine()
+    with engine.machine.span(
+        "worker.subtree",
+        subtree=payload["index"],
+        level=payload["level"],
+        points=length,
     ) as wspan:
-        if state.method == "fast":
-            with machine.span("worker.classify", segments=len(segs)):
-                classified = engine._classify_level(segs)
-            engine._pending_owners = []
-            engine._pending_cands = []
-            total_straddlers = 0
-            with machine.span("worker.nodes", segments=len(segs)):
-                for seg, (cls_in, cls_ex) in zip(segs, classified):
-                    straddlers = engine._correct_node(seg, cls_in, cls_ex)
-                    total_straddlers += int(straddlers)
-                    results.append({
-                        "post_cost": seg.post_cost,
-                        "straddlers": int(straddlers),
-                        "meta": dict(seg.node.meta),
-                    })
-            with machine.span("worker.flush", pairs=len(engine._pending_owners)):
-                engine._flush_level_pairs()
-        else:
-            total_straddlers = 0
-            with machine.span("worker.nodes", segments=len(segs)):
-                for seg in segs:
-                    straddlers = engine._correct_node(seg)
-                    total_straddlers += int(straddlers)
-                    results.append({
-                        "post_cost": seg.post_cost,
-                        "straddlers": int(straddlers),
-                        "meta": dict(seg.node.meta),
-                    })
+        levels = engine.solve_subtree(seg)
         if wspan is not None:
-            wspan.attrs["straddlers"] = total_straddlers
-    return _task_result(engine, results)
+            wspan.attrs["depth"] = len(levels)
+            wspan.attrs["segments"] = int(sum(len(ls) for ls in levels))
+    shipped: List[Dict[str, Any]] = []
+    for li, level_segs in enumerate(levels):
+        shipped.append({
+            "ids": None if li == 0 else np.concatenate(
+                [s.ids for s in level_segs]
+            ),
+            "segs": [_seg_record(s, state.base) for s in level_segs],
+        })
+    return _task_result(engine, {"levels": shipped, "total": seg.total_cost})
 
 
 def serve_init(payload: Dict[str, Any]) -> Any:
@@ -328,9 +221,7 @@ def serve_stats(payload: Dict[str, Any]) -> Any:
 
 KERNELS = {
     "init_run": init_run,
-    "build_shard": build_shard,
-    "install_tree": install_tree,
-    "correct_shard": correct_shard,
+    "solve_subtree": solve_subtree,
     "serve_init": serve_init,
     "serve_shard": serve_shard,
     "serve_stats": serve_stats,

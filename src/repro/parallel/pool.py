@@ -4,29 +4,53 @@ One pool serves one engine run: the master spawns ``workers`` processes
 up front (``fork`` where the platform offers it, else ``spawn``), seeds
 each with the run's :func:`~repro.parallel.kernels.init_run` payload, and
 then drives named kernel tasks over duplex pipes.  The protocol is
-deliberately tiny:
+deliberately tiny — one explicitly pickled frame per message, so the
+master can meter dispatch and result traffic byte-for-byte:
 
-- master sends ``(kernel_name, payload)``; worker replies
-  ``("ok", result, elapsed_seconds)`` or ``("err", traceback_text)``;
+- master sends ``pickle((kernel_name, payload))``; worker replies
+  ``pickle(("ok", result, elapsed_seconds))`` or
+  ``pickle(("err", traceback_text))``;
 - ``(_EXIT, None)`` asks the worker to return from its loop.
 
 Remote exceptions re-raise in the master as :class:`WorkerError` carrying
-the worker's formatted traceback.  The pool tracks per-worker busy time
-(worker-measured kernel seconds) so the engine can report utilization,
-and a ``weakref.finalize`` terminates any still-alive children if a pool
-is dropped without :meth:`WorkerPool.close` — the suite's leak test
-relies on no code path orphaning a process.
+the worker's formatted traceback.  Two dispatch shapes exist:
+:meth:`WorkerPool.run_tasks` (waved, one task in flight per worker —
+what the serving pool uses) and :meth:`WorkerPool.run_assigned` (the
+coarse engine's shape: every task is queued to its planned worker up
+front and results are collected out-of-order as workers finish, so a
+fast worker never waits on a slow one's pipe).
+
+Accounting invariants the utilization metric relies on:
+
+- ``busy_seconds[w]`` accumulates the *worker-measured* kernel seconds
+  of each **completed** task exactly once, at collection time.  Failed
+  tasks, exit messages and close-time flushes never touch it — an
+  earlier revision also counted the final flush window when a worker
+  exited mid-dispatch, double-charging the last task; utilization could
+  then exceed 1.0 on a saturated pool (the tests pin ``≤ 1.0`` now).
+- ``dispatch_window()`` is the ``(first_submit, last_complete)`` wall
+  interval of completed work — the honest utilization denominator.
+- ``dispatch_bytes``/``result_bytes`` and ``dispatch_seconds``/
+  ``collect_seconds`` meter the serialize+send / receive+deserialize
+  halves of the protocol so the engine can attribute fan-out overhead
+  instead of guessing.
+
+A ``weakref.finalize`` terminates any still-alive children if a pool is
+dropped without :meth:`WorkerPool.close` — the suite's leak test relies
+on no code path orphaning a process.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import pickle
 import time
 import traceback
 import weakref
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple
+from multiprocessing.connection import wait as _conn_wait
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["WorkerPool", "WorkerError", "TaskResult", "resolve_workers"]
 
@@ -50,6 +74,8 @@ class TaskResult:
 
 _EXIT = "__exit__"
 
+_PICKLE_PROTO = pickle.HIGHEST_PROTOCOL
+
 
 class WorkerError(RuntimeError):
     """A kernel raised (or a worker died) in a worker process."""
@@ -70,7 +96,7 @@ def _worker_main(conn) -> None:
 
     while True:
         try:
-            name, payload = conn.recv()
+            name, payload = pickle.loads(conn.recv_bytes())
         except (EOFError, OSError):
             break
         if name == _EXIT:
@@ -80,12 +106,18 @@ def _worker_main(conn) -> None:
             result = kernels.KERNELS[name](payload)
         except BaseException:
             try:
-                conn.send(("err", traceback.format_exc()))
+                conn.send_bytes(
+                    pickle.dumps(("err", traceback.format_exc()), _PICKLE_PROTO)
+                )
             except (BrokenPipeError, OSError):
                 break
             continue
         try:
-            conn.send(("ok", result, time.perf_counter() - t0))
+            conn.send_bytes(
+                pickle.dumps(
+                    ("ok", result, time.perf_counter() - t0), _PICKLE_PROTO
+                )
+            )
         except (BrokenPipeError, OSError):
             break
     conn.close()
@@ -115,6 +147,10 @@ class WorkerPool:
         self._procs = []
         self.busy_seconds = [0.0] * self.workers
         self.tasks_done = 0
+        self.dispatch_bytes = 0
+        self.result_bytes = 0
+        self.dispatch_seconds = 0.0
+        self.collect_seconds = 0.0
         self._first_submit: Optional[float] = None
         self._last_complete: Optional[float] = None
         self._closed = False
@@ -130,26 +166,40 @@ class WorkerPool:
     # -- task protocol ---------------------------------------------------
 
     def _submit(self, worker: int, name: str, payload: Any) -> float:
+        t0 = time.perf_counter()
+        buf = pickle.dumps((name, payload), _PICKLE_PROTO)
+        self._conns[worker].send_bytes(buf)
         now = time.perf_counter()
         if self._first_submit is None:
-            self._first_submit = now
-        self._conns[worker].send((name, payload))
-        return now
+            self._first_submit = t0
+        self.dispatch_bytes += len(buf)
+        self.dispatch_seconds += now - t0
+        return t0
 
     def _collect(self, worker: int, name: str) -> Tuple[Any, float]:
+        """Receive one reply from ``worker``; raises on kernel error.
+
+        Busy time is credited here — and only here — exactly once per
+        *successful* task: the worker-measured kernel seconds.  Errors
+        and flushes contribute nothing, so utilization can never be
+        inflated by a worker that exits mid-dispatch.
+        """
         try:
-            reply = self._conns[worker].recv()
+            buf = self._conns[worker].recv_bytes()
         except (EOFError, OSError) as exc:
             raise WorkerError(
                 f"worker {worker} died while running {name!r}"
             ) from exc
+        t0 = time.perf_counter()
+        reply = pickle.loads(buf)
+        self.result_bytes += len(buf)
+        self.collect_seconds += time.perf_counter() - t0
         if reply[0] == "err":
             raise WorkerError(
                 f"kernel {name!r} failed on worker {worker}:\n{reply[1]}"
             )
         _, result, elapsed = reply
-        now = time.perf_counter()
-        self._last_complete = now
+        self._last_complete = time.perf_counter()
         self.busy_seconds[worker] += float(elapsed)
         self.tasks_done += 1
         return result, float(elapsed)
@@ -189,6 +239,60 @@ class WorkerPool:
                 )
         return out
 
+    def run_assigned(
+        self, name: str, payloads: Sequence[Any], assignment: Sequence[int]
+    ) -> List[TaskResult]:
+        """Run ``payloads[i]`` on worker ``assignment[i]``, pipelined.
+
+        Every task is written to its worker's pipe up front (workers
+        drain their queue in order), and replies are collected
+        **out-of-order** as workers finish — a worker with a light queue
+        never blocks on a heavy one.  Returns results in payload order.
+
+        If any kernel fails, the remaining outstanding replies are
+        drained first (so the pool stays usable) and the first failure
+        re-raises as :class:`WorkerError`.
+        """
+        if len(payloads) != len(assignment):
+            raise ValueError(
+                f"{len(payloads)} payloads vs {len(assignment)} assignments"
+            )
+        out: List[Optional[TaskResult]] = [None] * len(payloads)
+        queues: Dict[int, List[int]] = {}
+        submits: List[float] = [0.0] * len(payloads)
+        for i, worker in enumerate(assignment):
+            w = int(worker)
+            if not 0 <= w < self.workers:
+                raise ValueError(f"assignment[{i}]={w} outside pool of {self.workers}")
+            queues.setdefault(w, []).append(i)
+            submits[i] = self._submit(w, name, payloads[i])
+        conn_to_worker = {id(self._conns[w]): w for w in queues}
+        pending = {w: list(ids) for w, ids in queues.items()}
+        first_error: Optional[WorkerError] = None
+        while pending:
+            ready = _conn_wait([self._conns[w] for w in pending])
+            for conn in ready:
+                w = conn_to_worker[id(conn)]
+                i = pending[w].pop(0)
+                if not pending[w]:
+                    del pending[w]
+                try:
+                    result, elapsed = self._collect(w, name)
+                except WorkerError as exc:
+                    if first_error is None:
+                        first_error = exc
+                    continue
+                out[i] = TaskResult(
+                    result=result,
+                    worker=w,
+                    elapsed=elapsed,
+                    submitted=submits[i],
+                    completed=time.perf_counter(),
+                )
+        if first_error is not None:
+            raise first_error
+        return out  # type: ignore[return-value]
+
     def broadcast(self, name: str, payload: Any) -> List[Any]:
         """Run one kernel with the same payload on every worker."""
         for w in range(self.workers):
@@ -204,7 +308,7 @@ class WorkerPool:
         self._closed = True
         for conn in self._conns:
             try:
-                conn.send((_EXIT, None))
+                conn.send_bytes(pickle.dumps((_EXIT, None), _PICKLE_PROTO))
             except (BrokenPipeError, OSError):
                 pass
         for proc in self._procs:

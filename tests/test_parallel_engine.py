@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import glob
 import multiprocessing as mp
+import time
 
 import numpy as np
 import pytest
@@ -62,7 +63,7 @@ def _assert_mp_identical(method: str, points, k: int, seed: int, workers, **cfg)
 
 
 class TestBitIdentity:
-    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("workers", [1, 2, 3, 4])
     @pytest.mark.parametrize("method", ["fast", "simple"])
     def test_identical_across_worker_counts(self, method, workers):
         _assert_mp_identical(method, uniform_cube(500, 2, seed=1), 2, 13, workers)
@@ -75,15 +76,17 @@ class TestBitIdentity:
         _assert_mp_identical("fast", pts, 2, 19, 2)
         _assert_mp_identical("simple", pts, 2, 19, 2)
 
-    def test_identical_under_forced_iota_punts(self):
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_identical_under_forced_iota_punts(self, workers):
         ref, _ = _assert_mp_identical(
-            "fast", uniform_cube(400, 2, seed=8), 1, 31, 2, iota_factor=1e-9
+            "fast", uniform_cube(400, 2, seed=8), 1, 31, workers, iota_factor=1e-9
         )
         assert ref.stats.punts_iota > 0
 
-    def test_identical_under_forced_marching_punts(self):
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_identical_under_forced_marching_punts(self, workers):
         ref, _ = _assert_mp_identical(
-            "fast", uniform_cube(400, 2, seed=9), 1, 37, 2, active_factor=1e-9
+            "fast", uniform_cube(400, 2, seed=9), 1, 37, workers, active_factor=1e-9
         )
         assert ref.stats.punts_marching > 0
 
@@ -108,6 +111,59 @@ class TestBitIdentity:
         )
         assert a.cost.work == b.cost.work
         assert a.machine.counters == b.machine.counters
+
+
+class TestCoarsePlanEdgeCases:
+    """Degenerate cut plans forced via ``REPRO_MP_SUBTREE_TARGET``: the
+    engine must stay bit-identical and report the plan it actually ran."""
+
+    def test_single_giant_subtree(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_SUBTREE_TARGET", "1")
+        _, got = _assert_mp_identical(
+            "fast", uniform_cube(400, 2, seed=21), 2, 61, 2
+        )
+        gauges = got.machine.metrics.gauges
+        assert gauges["parallel.subtrees"] == 1.0
+        assert gauges["parallel.cut_level"] == 0.0
+
+    def test_more_workers_than_subtrees(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_SUBTREE_TARGET", "2")
+        _, got = _assert_mp_identical(
+            "fast", uniform_cube(400, 2, seed=22), 2, 67, 4
+        )
+        gauges = got.machine.metrics.gauges
+        assert gauges["parallel.subtrees"] == 2.0
+        # every per-worker gauge exists even for the idle workers
+        for w in range(4):
+            assert f"parallel.busy_seconds.{w}" in gauges
+
+    @pytest.mark.parametrize("method", ["fast", "simple"])
+    def test_serial_fallback_when_frontier_exhausts(self, method):
+        """An input below the base size never reaches the cut target; the
+        master must solve everything itself, bit-identically."""
+        _, got = _assert_mp_identical(
+            method, uniform_cube(40, 2, seed=23), 2, 71, 2
+        )
+        gauges = got.machine.metrics.gauges
+        assert gauges["parallel.subtrees"] == 0.0
+        assert gauges["parallel.cut_level"] == -1.0
+
+    def test_fixed_target_invariant_across_worker_counts(self, monkeypatch):
+        """With an absolute target the cut level is worker-independent."""
+        monkeypatch.setenv("REPRO_MP_SUBTREE_TARGET", "4")
+        pts = uniform_cube(500, 2, seed=24)
+        runs = [
+            _run("fast", pts, 2, 73, engine="frontier-mp", workers=w)
+            for w in (1, 2, 4)
+        ]
+        cut_levels = {
+            r.machine.metrics.gauges["parallel.cut_level"] for r in runs
+        }
+        subtrees = {
+            r.machine.metrics.gauges["parallel.subtrees"] for r in runs
+        }
+        assert len(cut_levels) == 1 and len(subtrees) == 1
+        assert subtrees.pop() >= 4.0
 
 
 class TestLeakFreeShutdown:
@@ -155,6 +211,69 @@ class TestWorkerPool:
         assert resolve_workers(None) >= 1
         with pytest.raises(ValueError, match="workers"):
             resolve_workers(0)
+
+
+def _echo_kernel(payload):
+    if payload.get("sleep"):
+        time.sleep(payload["sleep"])
+    return payload["value"]
+
+
+class TestRunAssigned:
+    """The coarse engine's dispatch shape: pipelined per-worker queues,
+    out-of-order collection, payload-order results."""
+
+    @pytest.fixture()
+    def echo_pool(self):
+        from repro.parallel import kernels as worker_kernels
+
+        worker_kernels.KERNELS["_test_echo"] = _echo_kernel
+        pool = WorkerPool(2)
+        if pool.start_method != "fork":
+            pool.close()
+            del worker_kernels.KERNELS["_test_echo"]
+            pytest.skip("test kernel injection needs fork workers")
+        yield pool
+        pool.close()
+        worker_kernels.KERNELS.pop("_test_echo", None)
+
+    def test_results_in_payload_order(self, echo_pool):
+        # worker 0 sleeps on its first task; worker 1 drains three tasks
+        # meanwhile — results must still come back in payload order
+        payloads = [
+            {"value": i, "sleep": 0.2 if i == 0 else 0.0} for i in range(5)
+        ]
+        assignment = [0, 1, 1, 1, 0]
+        results = echo_pool.run_assigned("_test_echo", payloads, assignment)
+        assert [t.result for t in results] == [0, 1, 2, 3, 4]
+        assert [t.worker for t in results] == assignment
+        assert echo_pool.tasks_done == 5
+        assert all(t.completed >= t.submitted for t in results)
+
+    def test_traffic_is_metered(self, echo_pool):
+        echo_pool.run_assigned("_test_echo", [{"value": 1}], [0])
+        assert echo_pool.dispatch_bytes > 0
+        assert echo_pool.result_bytes > 0
+        assert echo_pool.dispatch_seconds >= 0.0
+        assert echo_pool.collect_seconds >= 0.0
+
+    def test_validates_assignment(self, echo_pool):
+        with pytest.raises(ValueError):
+            echo_pool.run_assigned("_test_echo", [{"value": 1}], [])
+        with pytest.raises(ValueError):
+            echo_pool.run_assigned("_test_echo", [{"value": 1}], [5])
+
+    def test_error_drains_outstanding_and_pool_survives(self, echo_pool):
+        with pytest.raises(WorkerError, match="no_such_kernel"):
+            echo_pool.run_assigned(
+                "no_such_kernel", [{}, {}, {}], [0, 1, 0]
+            )
+        # failed tasks never count as busy time — the double-count the
+        # old flush-window accounting suffered from is pinned out here
+        assert echo_pool.busy_seconds == [0.0, 0.0]
+        assert echo_pool.dispatch_window() is None
+        results = echo_pool.run_assigned("_test_echo", [{"value": 9}], [1])
+        assert results[0].result == 9
 
 
 class TestEngineRegistry:
@@ -219,29 +338,49 @@ class TestFacadeAndObservability:
         b = repro.build_index(pts, 2, seed=17, engine="frontier-mp", workers=2)
         np.testing.assert_array_equal(a.query(pts[:5])[0], b.query(pts[:5])[0])
 
-    def test_shard_spans_and_parallel_metrics(self):
+    def test_subtree_spans_and_parallel_metrics(self):
         pts = uniform_cube(400, 2, seed=7)
         result, tracer = repro.run_traced(
             pts, 1, method="fast", seed=47, engine="frontier-mp", workers=2
         )
         spans = [s for _, s in tracer.root.walk()]
-        shard = [s for s in spans if s.name == "frontier.shard"]
-        assert shard, "frontier-mp runs must emit frontier.shard spans"
-        for s in shard:
-            assert s.attrs["phase"] in ("build", "correct")
+        subtree = [s for s in spans if s.name == "parallel.subtree"]
+        assert subtree, "frontier-mp runs must emit parallel.subtree spans"
+        for s in subtree:
             assert 0 <= s.attrs["worker"] < 2
-            assert s.attrs["segments"] >= 1
+            assert s.attrs["subtree"] >= 0
+            assert s.attrs["points"] >= 1
             assert s.attrs["wall_ms"] >= 0.0
-            # shard spans are observability-only: zero ledger cost
+            # subtree spans are observability-only: zero ledger cost
             assert s.cost.work == 0.0
-        # the level spans of the serial frontier engine are still there
-        assert any(s.name == "frontier.level" for s in spans)
+        # one span per shipped subtree, every subtree index exactly once
         gauges = result.machine.metrics.gauges
+        assert len(subtree) == int(gauges["parallel.subtrees"])
+        assert sorted(s.attrs["subtree"] for s in subtree) == list(
+            range(len(subtree))
+        )
+        # the master's own levels still emit serial frontier.level spans
+        assert any(s.name == "frontier.level" for s in spans)
         counters = result.machine.metrics.counters
         assert gauges["parallel.workers"] == 2
         assert 0.0 <= gauges["parallel.utilization"] <= 1.0
+        assert gauges["parallel.cut_level"] >= 0.0
         assert counters["parallel.tasks"] > 0
         assert counters["parallel.busy_seconds"] > 0.0
+
+    def test_overhead_breakdown_metrics(self):
+        """Dispatch overhead is attributed, not guessed: copy-in, pickle
+        traffic and collect time are all reported."""
+        pts = uniform_cube(500, 2, seed=9)
+        res = _run("fast", pts, 2, 53, engine="frontier-mp", workers=2)
+        gauges = res.machine.metrics.gauges
+        counters = res.machine.metrics.counters
+        assert gauges["parallel.copyin_seconds"] > 0.0
+        assert gauges["parallel.dispatch_seconds"] > 0.0
+        assert gauges["parallel.collect_seconds"] > 0.0
+        assert counters["parallel.dispatch_bytes"] > 0
+        assert counters["parallel.result_bytes"] > 0
+        assert gauges["parallel.subtrees"] >= 1.0
 
     def test_traced_ledger_verifies(self):
         # run_traced cross-checks the span tree against the ledger on a
@@ -296,10 +435,10 @@ class TestFacadeAndObservability:
         machine_res, tracer = repro.run_traced(
             pts, 1, method="fast", seed=59, engine="frontier-mp", workers=2
         )
-        shards = [s for _, s in tracer.root.walk()
-                  if s.name == "frontier.shard"]
-        assert shards
-        for s in shards:
-            # shard spans sit on the master timeline at the task's
+        subtrees = [s for _, s in tracer.root.walk()
+                    if s.name == "parallel.subtree"]
+        assert subtrees
+        for s in subtrees:
+            # subtree spans sit on the master timeline at the task's
             # submitted→completed window (rebased to the tracer epoch)
             assert s.wall_end >= s.wall_start >= 0.0

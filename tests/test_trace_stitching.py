@@ -1,7 +1,7 @@
 """Cross-process trace stitching tests.
 
 The contract under test: a traced ``frontier-mp`` run grafts every
-worker's span tree under the master's ``frontier.shard`` spans, with
+worker's span tree under the master's ``parallel.subtree`` spans, with
 per-worker pid/tid lanes in the Chrome export — while remaining
 bit-identical (neighbors, tree, ledger, sections, counters, merged
 metrics) to the serial ``frontier`` engine and to its own untraced run,
@@ -36,8 +36,10 @@ def _run(engine, workers=None, trace=True, n=500, k=2, seed=13):
 
 def _structure(tracer):
     """Span-tree structure modulo wall-clock and process identity:
-    (tree level, name, cost, stable attrs) in pre-order."""
-    drop = {"pid", "tid", "wall_ms"}
+    (tree level, name, cost, stable attrs) in pre-order.  The ``worker``
+    attribute is placement, not structure — the plan decides *where* a
+    subtree solves, never what is computed — so it is dropped too."""
+    drop = {"pid", "tid", "wall_ms", "worker"}
     rows = []
     for root in tracer.roots:
         for level, span in root.walk():
@@ -49,22 +51,26 @@ def _structure(tracer):
 
 class TestStitchedStructure:
     @pytest.mark.parametrize("workers", [1, 2, 4])
-    def test_worker_count_invariant_structure(self, workers):
-        """Workers 1/2/4 produce the same stitched span-tree structure
-        except for shard fan-out, and identical results/ledgers."""
+    def test_worker_count_invariant_structure(self, workers, monkeypatch):
+        """With the cut target pinned, workers 1/2/4 produce the same
+        stitched span-tree structure except for per-task span placement,
+        and identical results/ledgers.  (Without the pin the *default*
+        target scales with the worker count — by design — so the master
+        solves fewer levels itself at higher worker counts.)"""
+        monkeypatch.setenv("REPRO_MP_SUBTREE_TARGET", "6")
         ref, ref_tracer = _run("frontier-mp", workers=1)
         got, got_tracer = _run("frontier-mp", workers=workers)
         assert np.array_equal(ref.system.neighbor_indices,
                               got.system.neighbor_indices)
         assert ref.machine.total == got.machine.total
         assert ref.machine.counters == got.machine.counters
-        # shard/worker spans vary in count with W; everything else is fixed
-        fixed_ref = [r for r in _structure(ref_tracer)
-                     if not r[1].startswith(("frontier.shard", "worker."))]
-        fixed_got = [r for r in _structure(got_tracer)
-                     if not r[1].startswith(("frontier.shard", "worker."))]
-        # parallel gauges differ in worker count; compare names/costs only
-        assert [r[:4] for r in fixed_ref] == [r[:4] for r in fixed_got]
+        # with a fixed cut target the *entire* stitched structure —
+        # master levels, subtree spans, grafted worker trees — is
+        # worker-count invariant modulo placement
+        assert _structure(ref_tracer) == _structure(got_tracer)
+        assert any(
+            r[1] == "parallel.subtree" for r in _structure(ref_tracer)
+        )
 
     @pytest.mark.parametrize("workers", [1, 2, 4])
     def test_matches_serial_frontier(self, workers):
@@ -98,37 +104,42 @@ class TestStitchedStructure:
 
 
 class TestGraftedSpans:
-    def test_worker_spans_nest_under_shards(self):
-        _, tracer = _run("frontier-mp", workers=4)
+    def test_worker_trees_nest_under_subtree_spans(self):
+        # n must be large enough that the frontier reaches the workers=4
+        # cut target (12 subtrees) before leafing out
+        _, tracer = _run("frontier-mp", workers=4, n=800)
         root = tracer.root
         grafted = []
         for _, span in root.walk():
-            if span.name == "frontier.shard":
+            if span.name == "parallel.subtree":
                 grafted.extend(span.children)
         assert grafted, "no worker trees were grafted"
         for child in grafted:
-            assert child.name in ("worker.build", "worker.correct")
+            assert child.name == "worker.subtree"
             assert int(child.attrs["pid"]) != 0
             assert "worker" in child.attrs
+            # the worker's own frontier levels ride inside its subtree span
+            names = {s.name for _, s in child.walk()}
+            assert "frontier.level" in names
         # worker_spans finds exactly the spans with a foreign pid
         ws = worker_spans(root)
         assert len(ws) == sum(1 for g in grafted for _ in g.walk())
 
     def test_worker_spans_carry_zero_cost(self):
-        """Shard kernels fold costs analytically — worker spans must be
-        zero-cost so stitching can never break check_against."""
+        """The subtree kernel folds costs analytically — worker spans must
+        be zero-cost so stitching can never break check_against."""
         _, tracer = _run("frontier-mp", workers=2)
         for span in worker_spans(tracer.root):
             assert span.cost.depth == 0.0 and span.cost.work == 0.0
 
     def test_check_against_passes_on_stitched_tree(self):
-        result, tracer = _run("frontier-mp", workers=4)
+        result, tracer = _run("frontier-mp", workers=4, n=800)
         tracer.check_against(result.machine.total)  # raises on violation
 
-    def test_grafts_within_shard_window(self):
+    def test_grafts_within_task_window(self):
         _, tracer = _run("frontier-mp", workers=2)
         for _, span in tracer.root.walk():
-            if span.name != "frontier.shard":
+            if span.name != "parallel.subtree":
                 continue
             for child in span.children:
                 assert child.wall_start >= span.wall_start - 1e-6
